@@ -1,0 +1,39 @@
+# SMARQ — build, test, and experiment targets.
+
+GO ?= go
+
+.PHONY: all build test race bench figures examples clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# One testing.B benchmark per table/figure plus micro-benchmarks.
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Regenerate every table and figure of the paper (plus the ablation,
+# unrolling and Efficeon extensions).
+figures:
+	$(GO) run ./cmd/smarq-bench
+
+figures-json:
+	$(GO) run ./cmd/smarq-bench -json
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/reorder
+	$(GO) run ./examples/storeforward
+	$(GO) run ./examples/scaling
+	$(GO) run ./examples/assembler
+
+clean:
+	$(GO) clean ./...

@@ -1,0 +1,400 @@
+// Benchmarks that regenerate the paper's tables and figures (one bench per
+// experiment, reporting the headline statistic as a custom metric) plus
+// micro-benchmarks of the core components.
+//
+//	go test -bench=. -benchmem
+package smarq_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"smarq"
+	"smarq/internal/alias"
+	"smarq/internal/aliashw"
+	"smarq/internal/core"
+	"smarq/internal/deps"
+	"smarq/internal/dynopt"
+	"smarq/internal/guest"
+	"smarq/internal/harness"
+	"smarq/internal/interp"
+	"smarq/internal/ir"
+	"smarq/internal/opt"
+	"smarq/internal/region"
+	"smarq/internal/sched"
+	"smarq/internal/vliw"
+	"smarq/internal/workload"
+	"smarq/internal/xlate"
+)
+
+// --- Experiment regeneration benches (Tables 1-2, Figures 14-19) ---
+
+func BenchmarkTable1Probes(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := harness.Table1(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable2MachineModel(b *testing.B) {
+	cfg := vliw.DefaultConfig()
+	ops := figureSeq()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = cfg.CycleCount(ops, 256)
+	}
+}
+
+func BenchmarkFigure14SuperblockSizes(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := harness.NewRunner(nil)
+		d, err := r.Figure14()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(d.Max["ammp"]), "ammp-max-memops")
+	}
+}
+
+func BenchmarkFigure15Speedup(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := harness.NewRunner(nil)
+		d, err := r.Figure15()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(d.Mean[harness.CfgSMARQ64], "smarq64-speedup")
+		b.ReportMetric(d.Mean[harness.CfgSMARQ16], "smarq16-speedup")
+		b.ReportMetric(d.Mean[harness.CfgALAT], "itanium-speedup")
+	}
+}
+
+func BenchmarkFigure16StoreReorder(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := harness.NewRunner(nil)
+		d, err := r.Figure16()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(100*d.Impact["mesa"], "mesa-impact-pct")
+		b.ReportMetric(100*d.Mean, "mean-impact-pct")
+	}
+}
+
+func BenchmarkFigure17WorkingSet(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := harness.NewRunner(nil)
+		d, err := r.Figure17()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(d.MeanSMARQ, "smarq-normalized-ws")
+		b.ReportMetric(d.MeanLowerBound, "lower-bound")
+	}
+}
+
+func BenchmarkFigure18Overhead(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := harness.NewRunner(nil)
+		d, err := r.Figure18()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(100*d.MeanOptPct, "overhead-pct")
+		b.ReportMetric(100*d.MeanSchedShare, "sched-share-pct")
+	}
+}
+
+func BenchmarkFigure19Constraints(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := harness.NewRunner(nil)
+		d, err := r.Figure19()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(d.MeanChecks, "checks-per-memop")
+		b.ReportMetric(d.MeanAntis, "antis-per-memop")
+	}
+}
+
+func BenchmarkScalingSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := harness.NewRunner(nil)
+		d, err := r.ScalingSweep([]int{16, 64})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(d.Mean[64]/d.Mean[16], "gain-64-over-16")
+	}
+}
+
+// --- End-to-end benches: one full system run per suite benchmark ---
+
+func BenchmarkEndToEnd(b *testing.B) {
+	for _, bm := range workload.Suite() {
+		b.Run(bm.Name, func(b *testing.B) {
+			var cycles int64
+			var insts int64
+			for i := 0; i < b.N; i++ {
+				sys := dynopt.New(bm.Build(), &guest.State{}, guest.NewMemory(bm.MemSize), dynopt.ConfigSMARQ(64))
+				if _, err := sys.Run(bm.MaxInsts); err != nil {
+					b.Fatal(err)
+				}
+				cycles = sys.Stats.TotalCycles
+				insts = sys.Stats.GuestInsts
+			}
+			b.ReportMetric(float64(cycles)/float64(insts), "cpi")
+			b.ReportMetric(float64(insts), "guest-insts")
+		})
+	}
+}
+
+// --- Micro-benchmarks of the core components ---
+
+// figureSeq builds a representative scheduled sequence for machine-model
+// micro-benchmarks.
+func figureSeq() []*ir.Op {
+	var seq []*ir.Op
+	v := ir.VReg(64)
+	for i := 0; i < 64; i++ {
+		switch i % 4 {
+		case 0:
+			seq = append(seq, &ir.Op{ID: i, Kind: ir.Load, GOp: guest.Ld8, Dst: v,
+				Srcs: []ir.VReg{1}, SrcFloat: []bool{false},
+				Mem: &ir.MemInfo{Base: 1, Size: 8}, AROffset: -1})
+		case 1, 2:
+			seq = append(seq, &ir.Op{ID: i, Kind: ir.Arith, GOp: guest.Addi, Dst: v + 1,
+				Srcs: []ir.VReg{v}, SrcFloat: []bool{false}, AROffset: -1})
+		default:
+			seq = append(seq, &ir.Op{ID: i, Kind: ir.Store, GOp: guest.St8, Dst: ir.NoVReg,
+				Srcs: []ir.VReg{v, 2}, SrcFloat: []bool{false, false},
+				Mem: &ir.MemInfo{Base: 2, Size: 8}, AROffset: -1})
+		}
+		v += 2
+	}
+	return seq
+}
+
+// BenchmarkAllocator measures the SMARQ allocation algorithm itself — the
+// cost the paper's Figure 18 bounds (it must be cheap enough to run at
+// translation time).
+func BenchmarkAllocator(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	const n = 64
+	kinds := make([]byte, n)
+	for i := range kinds {
+		kinds[i] = "LSa"[rng.Intn(3)]
+	}
+	ops := make([]*ir.Op, n)
+	for i, k := range kinds {
+		o := &ir.Op{ID: i, Dst: ir.NoVReg, AROffset: -1}
+		switch k {
+		case 'L':
+			o.Kind = ir.Load
+			o.GOp = guest.Ld8
+			o.Mem = &ir.MemInfo{Size: 8}
+		case 'S':
+			o.Kind = ir.Store
+			o.GOp = guest.St8
+			o.Mem = &ir.MemInfo{Size: 8}
+		default:
+			o.Kind = ir.Arith
+		}
+		ops[i] = o
+	}
+	ds := deps.NewSet()
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if ops[i].IsMem() && ops[j].IsMem() &&
+				(ops[i].Kind == ir.Store || ops[j].Kind == ir.Store) && rng.Intn(4) == 0 {
+				ds.Add(deps.Dep{Src: i, Dst: j, Rel: alias.MayAlias,
+					SrcIsStore: ops[i].Kind == ir.Store, DstIsStore: ops[j].Kind == ir.Store})
+			}
+		}
+	}
+	schedule := rng.Perm(n)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, op := range ops {
+			op.AROffset = -1
+			op.P, op.C = false, false
+		}
+		if _, err := core.AllocateSequence(ops, schedule, ds, 64); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkOrderedQueueOnMem(b *testing.B) {
+	q := aliashw.NewOrderedQueue(64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q.OnMem(1, false, true, false, i%32, 0, uint64(i*8), uint64(i*8+8))
+		q.OnMem(2, true, false, true, i%32, 0, uint64(i*8+4), uint64(i*8+12))
+		q.Rotate(1)
+	}
+}
+
+func BenchmarkALATOnMem(b *testing.B) {
+	a := aliashw.NewALAT()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a.OnMem(1, false, true, false, 0, 0, uint64(i*8), uint64(i*8+8))
+		a.OnMem(2, true, false, false, -1, 0, 4096, 4104)
+		if i%16 == 15 {
+			a.Reset()
+		}
+	}
+}
+
+func BenchmarkInterpreter(b *testing.B) {
+	bm, _ := workload.ByName("swim")
+	prog := bm.Build()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		it := interp.New(prog, &guest.State{}, guest.NewMemory(bm.MemSize))
+		if _, err := it.Run(0, 100_000); err != nil {
+			b.Fatal(err)
+		}
+		b.SetBytes(int64(it.DynInsts))
+	}
+}
+
+// BenchmarkTranslatePipeline measures region formation through scheduling
+// — the full translation path the runtime pays per hot region.
+func BenchmarkTranslatePipeline(b *testing.B) {
+	bm, _ := workload.ByName("ammp")
+	prog := bm.Build()
+	it := interp.New(prog, &guest.State{}, guest.NewMemory(bm.MemSize))
+	_, _ = it.Run(0, 500_000)
+	best, bc := 0, uint64(0)
+	for id, c := range it.Prof.BlockCounts {
+		if c > bc {
+			best, bc = id, c
+		}
+	}
+	machine := vliw.DefaultConfig()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sb, err := region.Form(prog, it.Prof, best, region.DefaultConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		reg, err := xlate.Translate(sb)
+		if err != nil {
+			b.Fatal(err)
+		}
+		tbl := alias.BuildTable(reg, nil)
+		optRes := opt.Run(reg, tbl, opt.Config{LoadElim: true, StoreElim: true, Speculative: true})
+		ds := deps.Compute(reg, tbl)
+		opt.AddExtendedDeps(ds, reg, tbl, optRes)
+		if _, err := sched.Run(reg, tbl, ds, sched.Config{
+			Mode: sched.HWOrdered, NumAliasRegs: 64, StoreReorder: true,
+			PressureMargin: 4, Machine: machine,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRegionExecution measures the VLIW execution engine.
+func BenchmarkRegionExecution(b *testing.B) {
+	bb := smarq.NewBuilder()
+	bb.NewBlock()
+	bb.Li(1, 1024)
+	bb.Li(2, 4096)
+	bb.Li(3, 0)
+	bb.Li(4, 1<<30)
+	loop := bb.NewBlock()
+	bb.St8(1, 0, 5)
+	bb.Ld8(6, 2, 0)
+	bb.Addi(5, 6, 3)
+	bb.Addi(3, 3, 1)
+	bb.Blt(3, 4, loop)
+	bb.NewBlock()
+	bb.Halt()
+	prog := bb.MustProgram()
+
+	st := &guest.State{}
+	mem := guest.NewMemory(1 << 16)
+	it := interp.New(prog, st, mem)
+	if _, err := it.Run(0, 10_000); err != nil {
+		b.Fatal(err)
+	}
+	sb, err := region.Form(prog, it.Prof, 1, region.DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	reg, err := xlate.Translate(sb)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tbl := alias.BuildTable(reg, nil)
+	ds := deps.Compute(reg, tbl)
+	machine := vliw.DefaultConfig()
+	sc, err := sched.Run(reg, tbl, ds, sched.Config{
+		Mode: sched.HWOrdered, NumAliasRegs: 64, StoreReorder: true,
+		PressureMargin: 4, Machine: machine,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	cr := machine.Compile(sc.Seq, reg, len(sb.Insts))
+	det := aliashw.NewOrderedQueue(64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := vliw.Execute(cr, st, mem, det)
+		if res.Outcome != vliw.Commit {
+			b.Fatalf("outcome %s", res.Outcome)
+		}
+	}
+}
+
+func BenchmarkAblations(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := harness.NewRunner(nil)
+		d, err := r.Ablations()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(100*d.MeanSlowdown[harness.AblNoAnti], "no-anti-slowdown-pct")
+		b.ReportMetric(100*d.MeanSlowdown[harness.AblNoElim], "no-elim-slowdown-pct")
+	}
+}
+
+func BenchmarkUnrollSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := harness.NewRunner(nil)
+		d, err := r.UnrollSweep([]int{1, 2})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(d.Mean[2]/d.Mean[1], "gain-x2-over-x1")
+		b.ReportMetric(float64(d.MaxWS[2]), "max-working-set-x2")
+	}
+}
+
+func BenchmarkEfficeonCompare(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := harness.NewRunner(nil)
+		d, err := r.Efficeon()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(d.Mean[harness.CfgEfficeon], "efficeon-speedup")
+		b.ReportMetric(d.Mean[harness.CfgEfficeon]/d.Mean[harness.CfgSMARQ16], "efficeon-over-smarq16")
+	}
+}
+
+func BenchmarkEnergyChecks(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := harness.NewRunner(nil)
+		d, err := r.Energy()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(d.Mean[harness.CfgSMARQ64], "smarq-checks-per-kinst")
+		b.ReportMetric(d.Mean[harness.CfgALAT], "alat-checks-per-kinst")
+	}
+}

@@ -1,0 +1,65 @@
+// Command smarq-asm assembles guest assembly to binary images and back.
+//
+// Usage:
+//
+//	smarq-asm prog.s                  # assemble to prog.bin
+//	smarq-asm -o image.bin prog.s     # explicit output
+//	smarq-asm -d image.bin            # disassemble to stdout
+//	smarq-asm -check prog.s           # parse + validate only
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"smarq/internal/guest"
+)
+
+func main() {
+	out := flag.String("o", "", "output file (default: input with .bin)")
+	dis := flag.Bool("d", false, "disassemble a binary image to stdout")
+	check := flag.Bool("check", false, "parse and validate only")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: smarq-asm [-o out.bin] [-d] [-check] <file>")
+		os.Exit(2)
+	}
+	path := flag.Arg(0)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fail(err)
+	}
+
+	if *dis {
+		prog, err := guest.DecodeProgram(data)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Print(prog.String())
+		return
+	}
+
+	prog, err := guest.Assemble(string(data))
+	if err != nil {
+		fail(err)
+	}
+	if *check {
+		fmt.Printf("%s: %d blocks, %d instructions\n", path, len(prog.Blocks), prog.NumInsts())
+		return
+	}
+	target := *out
+	if target == "" {
+		target = strings.TrimSuffix(strings.TrimSuffix(path, ".s"), ".asm") + ".bin"
+	}
+	if err := os.WriteFile(target, guest.EncodeProgram(prog), 0o644); err != nil {
+		fail(err)
+	}
+	fmt.Printf("%s: %d instructions -> %s\n", path, prog.NumInsts(), target)
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "smarq-asm:", err)
+	os.Exit(1)
+}

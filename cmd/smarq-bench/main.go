@@ -1,0 +1,191 @@
+// Command smarq-bench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	smarq-bench                 # everything
+//	smarq-bench -only fig15     # one artifact: table1 table2 fig14..fig19 scaling
+//	smarq-bench -bench ammp     # restrict the suite
+//	smarq-bench -v              # per-run summaries
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"smarq/internal/dynopt"
+	"smarq/internal/harness"
+	"smarq/internal/workload"
+)
+
+func main() {
+	only := flag.String("only", "", "emit only this artifact (table1, table2, fig14, fig15, fig16, fig17, fig18, fig19, scaling, ablations, unroll, efficeon, breakdown, energy)")
+	benches := flag.String("bench", "", "comma-separated benchmark subset (default: full suite)")
+	verbose := flag.Bool("v", false, "print a summary line per completed run")
+	asJSON := flag.Bool("json", false, "emit all results as one JSON document")
+	scale := flag.Int64("scale", 1, "multiply every benchmark's main loop count (longer runs amortize translation cost)")
+	flag.Parse()
+
+	suite := workload.SuiteScaled(*scale)
+	if *benches != "" {
+		suite = suite[:0]
+		for _, name := range strings.Split(*benches, ",") {
+			bm, ok := workload.ByName(strings.TrimSpace(name))
+			if !ok {
+				fmt.Fprintf(os.Stderr, "smarq-bench: unknown benchmark %q\n", name)
+				os.Exit(2)
+			}
+			suite = append(suite, bm)
+		}
+	}
+
+	r := harness.NewRunner(suite)
+	if *verbose {
+		r.Verbose = func(bench, config string, st *dynopt.Stats) {
+			fmt.Fprintf(os.Stderr, "# %s/%s: %s\n", bench, config, harness.SummaryLine(st))
+		}
+	}
+
+	results := map[string]interface{}{}
+	emit := func(name string, render func() (string, error)) {
+		if *only != "" && *only != name {
+			return
+		}
+		out, err := render()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "smarq-bench: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		if !*asJSON {
+			fmt.Println(out)
+		}
+	}
+	collect := func(name string, data interface{}) {
+		if *asJSON {
+			results[name] = data
+		}
+	}
+	_ = collect
+
+	emit("table1", func() (string, error) {
+		d, err := harness.Table1()
+		if err != nil {
+			return "", err
+		}
+		collect("table1", d)
+		return d.Render(), nil
+	})
+	emit("table2", func() (string, error) {
+		d := harness.Table2()
+		collect("table2", d)
+		return d.Render(), nil
+	})
+	emit("fig14", func() (string, error) {
+		d, err := r.Figure14()
+		if err != nil {
+			return "", err
+		}
+		collect("fig14", d)
+		return d.Render(), nil
+	})
+	emit("fig15", func() (string, error) {
+		d, err := r.Figure15()
+		if err != nil {
+			return "", err
+		}
+		collect("fig15", d)
+		return d.Render(), nil
+	})
+	emit("fig16", func() (string, error) {
+		d, err := r.Figure16()
+		if err != nil {
+			return "", err
+		}
+		collect("fig16", d)
+		return d.Render(), nil
+	})
+	emit("fig17", func() (string, error) {
+		d, err := r.Figure17()
+		if err != nil {
+			return "", err
+		}
+		collect("fig17", d)
+		return d.Render(), nil
+	})
+	emit("fig18", func() (string, error) {
+		d, err := r.Figure18()
+		if err != nil {
+			return "", err
+		}
+		collect("fig18", d)
+		return d.Render(), nil
+	})
+	emit("fig19", func() (string, error) {
+		d, err := r.Figure19()
+		if err != nil {
+			return "", err
+		}
+		collect("fig19", d)
+		return d.Render(), nil
+	})
+	emit("scaling", func() (string, error) {
+		d, err := r.ScalingSweep(nil)
+		if err != nil {
+			return "", err
+		}
+		collect("scaling", d)
+		return d.Render(), nil
+	})
+	emit("ablations", func() (string, error) {
+		d, err := r.Ablations()
+		if err != nil {
+			return "", err
+		}
+		collect("ablations", d)
+		return d.Render(), nil
+	})
+	emit("unroll", func() (string, error) {
+		d, err := r.UnrollSweep(nil)
+		if err != nil {
+			return "", err
+		}
+		collect("unroll", d)
+		return d.Render(), nil
+	})
+	emit("efficeon", func() (string, error) {
+		d, err := r.Efficeon()
+		if err != nil {
+			return "", err
+		}
+		collect("efficeon", d)
+		return d.Render(), nil
+	})
+
+	emit("breakdown", func() (string, error) {
+		d, err := r.Breakdown()
+		if err != nil {
+			return "", err
+		}
+		collect("breakdown", d)
+		return d.Render(), nil
+	})
+	emit("energy", func() (string, error) {
+		d, err := r.Energy()
+		if err != nil {
+			return "", err
+		}
+		collect("energy", d)
+		return d.Render(), nil
+	})
+
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(results); err != nil {
+			fmt.Fprintln(os.Stderr, "smarq-bench:", err)
+			os.Exit(1)
+		}
+	}
+}

@@ -1,0 +1,109 @@
+// Command smarq-run executes one benchmark under one alias-hardware
+// configuration and prints the run statistics.
+//
+// Usage:
+//
+//	smarq-run -bench ammp -config smarq64
+//	smarq-run -bench mesa -config nostorereorder -regions
+//	smarq-run -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"smarq/internal/dynopt"
+	"smarq/internal/guest"
+	"smarq/internal/harness"
+	"smarq/internal/workload"
+)
+
+func main() {
+	bench := flag.String("bench", "swim", "benchmark name")
+	file := flag.String("file", "", "run a guest assembly (.s) or binary (.bin) file instead of a benchmark")
+	config := flag.String("config", "smarq64", "configuration: smarq<N>, alat, efficeon, nohw, nostorereorder")
+	regions := flag.Bool("regions", false, "print per-region statistics")
+	traceEvents := flag.Bool("trace", false, "print runtime events (compiles, exceptions, drops)")
+	list := flag.Bool("list", false, "list benchmarks and exit")
+	memSize := flag.Int("mem", 1<<20, "guest memory size for -file runs")
+	maxInsts := flag.Uint64("maxinsts", 100_000_000, "instruction budget for -file runs")
+	flag.Parse()
+
+	if *list {
+		for _, bm := range workload.Suite() {
+			fmt.Printf("%-10s %s\n", bm.Name, bm.Description)
+		}
+		return
+	}
+
+	var bm workload.Benchmark
+	if *file != "" {
+		prog, err := loadProgram(*file)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "smarq-run:", err)
+			os.Exit(1)
+		}
+		bm = workload.Benchmark{
+			Name:        *file,
+			Description: "user program",
+			MemSize:     *memSize,
+			MaxInsts:    *maxInsts,
+			Build:       func() *guest.Program { return prog },
+		}
+	} else {
+		var ok bool
+		bm, ok = workload.ByName(*bench)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "smarq-run: unknown benchmark %q (try -list)\n", *bench)
+			os.Exit(2)
+		}
+	}
+	cfg, err := harness.ParseConfig(*config)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "smarq-run:", err)
+		os.Exit(2)
+	}
+	if *traceEvents {
+		cfg.Trace = func(format string, args ...interface{}) {
+			fmt.Fprintf(os.Stderr, "trace: "+format+"\n", args...)
+		}
+	}
+
+	sys := dynopt.New(bm.Build(), &guest.State{}, guest.NewMemory(bm.MemSize), cfg)
+	halted, err := sys.Run(bm.MaxInsts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "smarq-run:", err)
+		os.Exit(1)
+	}
+	st := &sys.Stats
+	fmt.Printf("%s under %s (halted=%v)\n", bm.Name, *config, halted)
+	fmt.Println(" ", harness.SummaryLine(st))
+	fmt.Printf("  guest insts: %d total, %d interpreted (%.1f%%)\n",
+		st.GuestInsts, st.InterpretedInsts,
+		100*float64(st.InterpretedInsts)/float64(st.GuestInsts))
+	fmt.Printf("  cycles/inst: %.3f\n", float64(st.TotalCycles)/float64(st.GuestInsts))
+	if *regions {
+		fmt.Println("  regions:")
+		for _, r := range st.Regions {
+			fmt.Printf("    B%-3d insts=%-3d mem=%-3d seq=%-3d cycles=%-4d P=%-3d C=%-3d checks=%-3d antis=%-2d amovs=%-2d ws=%d\n",
+				r.Entry, r.GuestInsts, r.MemOps, r.SeqLen, r.Cycles,
+				r.Alloc.PBits, r.Alloc.CBits, r.Alloc.Checks, r.Alloc.Antis, r.Alloc.AMovs,
+				r.Alloc.WorkingSet)
+		}
+	}
+}
+
+// loadProgram reads a guest program from assembly text (.s) or a binary
+// image (anything else).
+func loadProgram(path string) (*guest.Program, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if strings.HasSuffix(path, ".s") || strings.HasSuffix(path, ".asm") {
+		return guest.Assemble(string(data))
+	}
+	return guest.DecodeProgram(data)
+}

@@ -1,0 +1,142 @@
+// Command smarq-trace shows the optimizer's work on one region of a
+// benchmark: the superblock, the dependences, the final schedule with its
+// alias register annotations (P/C bits, offsets, rotations, AMOVs), and
+// the allocation statistics.
+//
+// Usage:
+//
+//	smarq-trace -bench ammp             # hottest region
+//	smarq-trace -bench mesa -all        # every compiled region
+//	smarq-trace -bench swim -regs 16    # with a 16-register file
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"smarq/internal/alias"
+	"smarq/internal/deps"
+	"smarq/internal/guest"
+	"smarq/internal/interp"
+	"smarq/internal/opt"
+	"smarq/internal/region"
+	"smarq/internal/sched"
+	"smarq/internal/vliw"
+	"smarq/internal/workload"
+	"smarq/internal/xlate"
+)
+
+func main() {
+	bench := flag.String("bench", "swim", "benchmark name")
+	all := flag.Bool("all", false, "trace every hot region, not just the hottest")
+	regs := flag.Int("regs", 64, "alias register count")
+	storeReorder := flag.Bool("storereorder", true, "allow speculative store reordering")
+	flag.Parse()
+
+	bm, ok := workload.ByName(*bench)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "smarq-trace: unknown benchmark %q\n", *bench)
+		os.Exit(2)
+	}
+
+	prog := bm.Build()
+	it := interp.New(prog, &guest.State{}, guest.NewMemory(bm.MemSize))
+	if _, err := it.Run(0, bm.MaxInsts/4); err != nil {
+		fmt.Fprintln(os.Stderr, "smarq-trace: profiling run:", err)
+		os.Exit(1)
+	}
+
+	type hot struct {
+		id    int
+		count uint64
+	}
+	var hots []hot
+	for id, c := range it.Prof.BlockCounts {
+		if c >= 50 {
+			hots = append(hots, hot{id, c})
+		}
+	}
+	if len(hots) == 0 {
+		fmt.Fprintln(os.Stderr, "smarq-trace: no hot blocks found")
+		os.Exit(1)
+	}
+	// Hottest first.
+	for i := 0; i < len(hots); i++ {
+		for j := i + 1; j < len(hots); j++ {
+			if hots[j].count > hots[i].count {
+				hots[i], hots[j] = hots[j], hots[i]
+			}
+		}
+	}
+	if !*all {
+		hots = hots[:1]
+	}
+
+	machine := vliw.DefaultConfig()
+	for _, h := range hots {
+		sb, err := region.Form(prog, it.Prof, h.id, region.DefaultConfig())
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "smarq-trace:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("=== %s: block B%d (executed %d times) ===\n", bm.Name, h.id, h.count)
+		fmt.Print(sb)
+
+		reg, err := xlate.Translate(sb)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "smarq-trace:", err)
+			os.Exit(1)
+		}
+		tbl := alias.BuildTable(reg, nil)
+		optRes := opt.Run(reg, tbl, opt.Config{LoadElim: true, StoreElim: true, Speculative: true})
+		ds := deps.Compute(reg, tbl)
+		opt.AddExtendedDeps(ds, reg, tbl, optRes)
+
+		fmt.Printf("\neliminations: %d loads forwarded, %d stores removed\n",
+			optRes.LoadsRemoved, optRes.StoresRemoved)
+		base, ext := ds.Counts()
+		fmt.Printf("dependences: %d base, %d extended\n", base, ext)
+		for _, d := range ds.Sorted() {
+			fmt.Println("  ", d)
+		}
+
+		sc, err := sched.Run(reg, tbl, ds, sched.Config{
+			Mode: sched.HWOrdered, NumAliasRegs: *regs,
+			StoreReorder: *storeReorder, PressureMargin: 4, Machine: machine,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "smarq-trace: schedule:", err)
+			os.Exit(1)
+		}
+
+		cycles := machine.IssueCycles(sc.Seq, reg.NumVRegs)
+		fmt.Printf("\nschedule (%d ops, %d cycles on the VLIW):\n",
+			len(sc.Seq), machine.CycleCount(sc.Seq, reg.NumVRegs))
+		lastCycle := int64(-1)
+		for i, op := range sc.Seq {
+			annot := ""
+			if op.IsMem() && op.AROffset >= 0 {
+				bits := ""
+				if op.P {
+					bits += "P"
+				}
+				if op.C {
+					bits += "C"
+				}
+				annot = fmt.Sprintf("   ; AR offset %d [%s]", op.AROffset, bits)
+			}
+			cycleCol := "     "
+			if cycles[i] != lastCycle {
+				cycleCol = fmt.Sprintf("%4d:", cycles[i])
+				lastCycle = cycles[i]
+			}
+			fmt.Printf("  %s %3d: %s%s\n", cycleCol, i, op, annot)
+		}
+
+		st := sc.Alloc.Stats
+		fmt.Printf("\nallocation: P=%d C=%d checks=%d antis=%d amovs=%d (cleanups=%d) rotates=%d working-set=%d\n\n",
+			st.PBits, st.CBits, st.Checks, st.Antis, st.AMovs, st.AMovCleanups,
+			st.Rotates, st.WorkingSet)
+	}
+}

@@ -1,0 +1,74 @@
+// Assembler: write guest code as text, assemble it, round-trip it through
+// the binary encoding (the form the dynamic optimizer would receive a
+// program in), and run it under SMARQ.
+//
+//	go run ./examples/assembler
+package main
+
+import (
+	"fmt"
+
+	"smarq"
+)
+
+const src = `
+; dot product with an in-place update: the x-store may alias the y-loads
+; (the optimizer cannot tell), so hoisting y's loads needs alias checks.
+        li   r1, 8192      ; x base
+        li   r2, 16384     ; y base
+        li   r3, 0         ; i
+        li   r4, 256       ; n
+        fli  f1, 0.0       ; acc
+
+fill:   cvtif f2, r3
+        muli r10, r3, 8
+        add  r11, r1, r10
+        fst8 [r11+0], f2
+        add  r12, r2, r10
+        fst8 [r12+0], f2
+        addi r3, r3, 1
+        blt  r3, r4, fill
+
+setup:  li   r3, 0
+loop:   muli r10, r3, 8
+        add  r11, r1, r10
+        add  r12, r2, r10
+        fld8 f2, [r11+0]   ; x[i]
+        fld8 f3, [r12+0]   ; y[i]
+        fmul f4, f2, f3
+        fadd f1, f1, f4
+        fli  f5, 0.5
+        fmul f2, f2, f5
+        fst8 [r11+0], f2   ; x[i] *= 0.5 — crosses the next i's loads
+        addi r3, r3, 1
+        blt  r3, r4, loop
+
+done:   cvtfi r31, f1
+        halt
+`
+
+func main() {
+	prog, err := smarq.Assemble(src)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("assembled: %d blocks, %d instructions\n", len(prog.Blocks), prog.NumInsts())
+
+	// Round-trip through the binary image, like a real DBT input.
+	image := smarq.EncodeProgram(prog)
+	decoded, err := smarq.DecodeProgram(image)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("binary image: %d bytes, decodes to %d instructions\n",
+		len(image), decoded.NumInsts())
+
+	sys := smarq.NewSystem(decoded, &smarq.State{}, smarq.NewMemory(1<<20),
+		smarq.ConfigSMARQ(64))
+	halted, err := sys.Run(10_000_000)
+	if err != nil || !halted {
+		panic(fmt.Sprintf("run: halted=%v err=%v", halted, err))
+	}
+	fmt.Printf("ran under SMARQ-64: %d cycles, %d region commits, dot+updates gave r31=%d\n",
+		sys.Stats.TotalCycles, sys.Stats.Commits, sys.State().R[31])
+}

@@ -1,0 +1,77 @@
+// Quickstart: build a small guest program, run it under the SMARQ dynamic
+// optimization system, and compare against pure interpretation and against
+// the same system without alias-detection hardware.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+
+	"smarq/internal/dynopt"
+	"smarq/internal/guest"
+	"smarq/internal/interp"
+)
+
+// buildProgram assembles the guest code: a loop that updates two arrays
+// through different base registers. The dynamic optimizer cannot prove the
+// arrays disjoint (the bases are opaque registers inside the hot region),
+// so every load of the second array may alias the stores to the first —
+// exactly the situation SMARQ's speculation resolves.
+func buildProgram() *guest.Program {
+	b := guest.NewBuilder()
+	b.NewBlock()
+	b.Li(1, 1024) // array A
+	b.Li(2, 4096) // array B
+	b.Li(3, 0)    // i
+	b.Li(4, 20000)
+
+	loop := b.NewBlock()
+	// Store to A first, then load from B: without alias hardware the load
+	// cannot be hoisted and the in-order pipeline stalls on its consumer.
+	b.St8(1, 0, 5)  // A[i] = r5
+	b.Ld8(6, 2, 0)  // r6 = B[i]
+	b.Addi(6, 6, 3) // consumer chain
+	b.Muli(5, 6, 7) //
+	b.Addi(1, 1, 8) // bump pointers
+	b.Addi(2, 2, 8)
+	b.Addi(3, 3, 1)
+	b.Blt(3, 4, loop)
+
+	b.NewBlock()
+	b.Halt()
+	return b.MustProgram()
+}
+
+func main() {
+	const memSize = 1 << 20
+
+	// Reference: pure interpretation.
+	ref := interp.New(buildProgram(), &guest.State{}, guest.NewMemory(memSize))
+	if _, err := ref.Run(0, 10_000_000); err != nil {
+		panic(err)
+	}
+
+	run := func(name string, cfg dynopt.Config) *dynopt.System {
+		sys := dynopt.New(buildProgram(), &guest.State{}, guest.NewMemory(memSize), cfg)
+		if _, err := sys.Run(10_000_000); err != nil {
+			panic(err)
+		}
+		fmt.Printf("%-22s %9d cycles  (%d regions, %d commits, %d alias exceptions)\n",
+			name, sys.Stats.TotalCycles, sys.Stats.RegionsCompiled,
+			sys.Stats.Commits, sys.Stats.AliasExceptions)
+		return sys
+	}
+
+	fmt.Println("quickstart: one speculative loop, three ways")
+	noHW := run("no alias hardware", dynopt.ConfigNoHW())
+	smarq := run("SMARQ, 64 registers", dynopt.ConfigSMARQ(64))
+
+	// The optimized run must compute exactly what the interpreter did.
+	if smarq.State().R[5] != ref.St.R[5] {
+		panic("optimized execution diverged from the interpreter")
+	}
+	fmt.Printf("\nverified: r5 = %d in both executions\n", smarq.State().R[5])
+	fmt.Printf("speedup from alias speculation: %.2fx\n",
+		float64(noHW.Stats.TotalCycles)/float64(smarq.Stats.TotalCycles))
+}

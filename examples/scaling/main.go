@@ -1,0 +1,42 @@
+// Scaling: how many alias registers does speculation need?
+//
+// Runs the register-pressure benchmark (ammp — very large superblocks,
+// ~50 memory operations each) across alias register file sizes and prints
+// the speedup curve over the no-hardware baseline. This is the §2.2 claim:
+// "performance improvement for ammp ... by 30% by using 64 alias
+// registers instead of 16".
+//
+//	go run ./examples/scaling
+package main
+
+import (
+	"fmt"
+
+	"smarq/internal/dynopt"
+	"smarq/internal/guest"
+	"smarq/internal/workload"
+)
+
+func main() {
+	bm, _ := workload.ByName("ammp")
+
+	cycles := func(cfg dynopt.Config) int64 {
+		sys := dynopt.New(bm.Build(), &guest.State{}, guest.NewMemory(bm.MemSize), cfg)
+		halted, err := sys.Run(bm.MaxInsts)
+		if err != nil || !halted {
+			panic(fmt.Sprintf("run failed: halted=%v err=%v", halted, err))
+		}
+		return sys.Stats.TotalCycles
+	}
+
+	base := cycles(dynopt.ConfigNoHW())
+	fmt.Printf("ammp, no alias hardware: %d cycles (baseline)\n\n", base)
+	fmt.Printf("%-10s %12s %9s\n", "registers", "cycles", "speedup")
+	for _, n := range []int{4, 8, 16, 24, 32, 48, 64, 96} {
+		c := cycles(dynopt.ConfigSMARQ(n))
+		fmt.Printf("%-10d %12d %8.3fx\n", n, c, float64(base)/float64(c))
+	}
+	fmt.Println("\nthe curve flattens once the file holds the superblock's")
+	fmt.Println("speculation working set — scalable alias registers are what")
+	fmt.Println("make large-region speculation profitable (paper §2.2).")
+}

@@ -1,0 +1,88 @@
+// Storeforward: speculative load elimination end to end, the paper's
+// Figure 5 scenario.
+//
+// A load reads back a value just stored through the same register; the
+// optimizer forwards the stored value and deletes the load. An intervening
+// store through an unrelated pointer may alias the slot, so the forwarding
+// is speculative: the intervening store receives a C bit and checks the
+// forwarding source's alias register even though nothing was reordered —
+// the extended-dependence machinery of §4.1. When the pointers truly
+// collide at runtime, the region rolls back, the pair is blacklisted, and
+// re-optimization stops forwarding.
+//
+//	go run ./examples/storeforward
+package main
+
+import (
+	"fmt"
+
+	"smarq/internal/dynopt"
+	"smarq/internal/guest"
+	"smarq/internal/interp"
+	"smarq/internal/ir"
+)
+
+func buildProgram(collide bool) *guest.Program {
+	b := guest.NewBuilder()
+	b.NewBlock()
+	b.Li(1, 1024) // p
+	b.Li(2, 4096) // q — possibly the same slot as p
+	if collide {
+		b.Li(2, 1024)
+	}
+	b.Li(3, 0)
+	b.Li(4, 5000)
+
+	loop := b.NewBlock()
+	b.St8(1, 0, 5) // *p = r5
+	b.St8(2, 0, 3) // *q = i   (may clobber *p)
+	b.Ld8(6, 1, 0) // r6 = *p  (forwarded from the first store, speculatively)
+	b.Addi(5, 6, 1)
+	b.Addi(3, 3, 1)
+	b.Blt(3, 4, loop)
+
+	b.NewBlock()
+	b.Halt()
+	return b.MustProgram()
+}
+
+func run(collide bool) {
+	label := "disjoint pointers"
+	if collide {
+		label = "colliding pointers"
+	}
+	prog := buildProgram(collide)
+
+	ref := interp.New(buildProgram(collide), &guest.State{}, guest.NewMemory(1<<16))
+	if _, err := ref.Run(0, 10_000_000); err != nil {
+		panic(err)
+	}
+
+	sys := dynopt.New(prog, &guest.State{}, guest.NewMemory(1<<16), dynopt.ConfigSMARQ(64))
+	if _, err := sys.Run(10_000_000); err != nil {
+		panic(err)
+	}
+	if sys.State().R[5] != ref.St.R[5] {
+		panic("optimized execution diverged from the interpreter")
+	}
+
+	fmt.Printf("%s:\n", label)
+	fmt.Printf("  cycles=%d, alias exceptions=%d, conservative recompiles=%d\n",
+		sys.Stats.TotalCycles, sys.Stats.AliasExceptions, sys.Stats.Recompiles)
+	fmt.Printf("  r5 = %d (matches the interpreter)\n", sys.State().R[5])
+}
+
+func main() {
+	fmt.Println("speculative store-to-load forwarding across a may-alias store")
+	fmt.Println()
+	run(false)
+	fmt.Println()
+	run(true)
+	fmt.Println()
+	fmt.Println("with disjoint pointers the load disappears (a register copy")
+	fmt.Println("remains) and the intervening store checks the forwarding")
+	fmt.Println("source's alias register; with colliding pointers that check")
+	fmt.Println("fires once, the pair is blacklisted, and the region is")
+	fmt.Println("re-optimized without the forwarding — Figure 1's loop.")
+	_ = ir.Copy // the forwarded load becomes an ir.Copy in the schedule
+}

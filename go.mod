@@ -1,0 +1,3 @@
+module smarq
+
+go 1.22

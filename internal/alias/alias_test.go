@@ -1,0 +1,181 @@
+package alias
+
+import (
+	"testing"
+	"testing/quick"
+
+	"smarq/internal/guest"
+	"smarq/internal/ir"
+)
+
+func mi(root ir.VReg, off int64, size int) *ir.MemInfo {
+	return &ir.MemInfo{Root: root, RootOff: off, Size: size}
+}
+
+func abs(off int64, size int) *ir.MemInfo {
+	return &ir.MemInfo{Root: ir.NoVReg, RootOff: off, Size: size, Abs: true}
+}
+
+func TestClassify(t *testing.T) {
+	cases := []struct {
+		name string
+		a, b *ir.MemInfo
+		want Relation
+	}{
+		{"same root same slot", mi(1, 8, 8), mi(1, 8, 8), MustAlias},
+		{"same root disjoint", mi(1, 0, 8), mi(1, 8, 8), NoAlias},
+		{"same root overlap", mi(1, 0, 8), mi(1, 4, 8), PartialAlias},
+		{"same root same addr diff size", mi(1, 0, 8), mi(1, 0, 4), PartialAlias},
+		{"same root contained", mi(1, 0, 8), mi(1, 2, 2), PartialAlias},
+		{"different roots", mi(1, 0, 8), mi(2, 0, 8), MayAlias},
+		{"abs identical", abs(100, 4), abs(100, 4), MustAlias},
+		{"abs disjoint", abs(100, 4), abs(104, 4), NoAlias},
+		{"abs overlap", abs(100, 4), abs(102, 4), PartialAlias},
+		{"abs vs root", abs(100, 4), mi(1, 100, 4), MayAlias},
+		{"adjacent no overlap", mi(1, 0, 4), mi(1, 4, 4), NoAlias},
+		{"negative offsets", mi(1, -8, 8), mi(1, 0, 8), NoAlias},
+		{"negative overlap", mi(1, -4, 8), mi(1, 0, 8), PartialAlias},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if got := Classify(c.a, c.b); got != c.want {
+				t.Errorf("Classify = %s, want %s", got, c.want)
+			}
+			if got := Classify(c.b, c.a); got != c.want {
+				t.Errorf("Classify reversed = %s, want %s (must be symmetric)", got, c.want)
+			}
+		})
+	}
+}
+
+// Property: classification agrees with concrete interval overlap for
+// same-root pairs.
+func TestClassifyMatchesConcreteOverlap(t *testing.T) {
+	sizes := []int{1, 2, 4, 8}
+	f := func(offA, offB int16, sa, sb uint8) bool {
+		a := mi(3, int64(offA), sizes[int(sa)%4])
+		b := mi(3, int64(offB), sizes[int(sb)%4])
+		got := Classify(a, b)
+		aLo, aHi := a.RootOff, a.RootOff+int64(a.Size)
+		bLo, bHi := b.RootOff, b.RootOff+int64(b.Size)
+		overlap := aLo < bHi && bLo < aHi
+		switch got {
+		case NoAlias:
+			return !overlap
+		case MustAlias:
+			return overlap && aLo == bLo && a.Size == b.Size
+		case PartialAlias:
+			return overlap && !(aLo == bLo && a.Size == b.Size)
+		default:
+			return false // same-root pairs must never be MayAlias
+		}
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRelationHelpers(t *testing.T) {
+	if !MustAlias.Definite() || !PartialAlias.Definite() {
+		t.Error("must/partial should be definite")
+	}
+	if MayAlias.Definite() || NoAlias.Definite() {
+		t.Error("may/no should not be definite")
+	}
+	for r, want := range map[Relation]string{MayAlias: "may", NoAlias: "no",
+		PartialAlias: "partial", MustAlias: "must"} {
+		if r.String() != want {
+			t.Errorf("Relation(%d).String() = %q, want %q", r, r.String(), want)
+		}
+	}
+}
+
+func TestMakePair(t *testing.T) {
+	if MakePair(5, 2) != (Pair{2, 5}) || MakePair(2, 5) != (Pair{2, 5}) {
+		t.Error("MakePair does not normalize")
+	}
+}
+
+// tableRegion builds a region with three memory ops:
+//
+//	op0: load  [v1+0]:8
+//	op1: store [v1+0]:8  (must-alias op0)
+//	op2: store [v2+0]:8  (may-alias both)
+func tableRegion() *ir.Region {
+	r := &ir.Region{NumVRegs: 64}
+	mk := func(id int, kind ir.Kind, root ir.VReg) *ir.Op {
+		o := &ir.Op{ID: id, Kind: kind, GOp: guest.Ld8, Dst: ir.NoVReg,
+			Mem: &ir.MemInfo{Base: root, Size: 8, Root: root}}
+		if kind == ir.Store {
+			o.Srcs = []ir.VReg{3, root}
+			o.SrcFloat = []bool{false, false}
+		} else {
+			o.Dst = 10
+			o.Srcs = []ir.VReg{root}
+			o.SrcFloat = []bool{false}
+		}
+		return o
+	}
+	r.Ops = []*ir.Op{mk(0, ir.Load, 1), mk(1, ir.Store, 1), mk(2, ir.Store, 2)}
+	return r
+}
+
+func TestBuildTable(t *testing.T) {
+	reg := tableRegion()
+	tbl := BuildTable(reg, nil)
+	if got := tbl.Rel(0, 1); got != MustAlias {
+		t.Errorf("Rel(0,1) = %s, want must", got)
+	}
+	if got := tbl.Rel(0, 2); got != MayAlias {
+		t.Errorf("Rel(0,2) = %s, want may", got)
+	}
+	if got := tbl.Rel(1, 1); got != MustAlias {
+		t.Errorf("Rel(x,x) = %s, want must", got)
+	}
+	if got := tbl.Rel(0, 99); got != MayAlias {
+		t.Errorf("Rel on unknown pair = %s, want may (conservative)", got)
+	}
+}
+
+func TestClassOf(t *testing.T) {
+	reg := tableRegion()
+	tbl := BuildTable(reg, nil)
+	if tbl.ClassOf(0) != tbl.ClassOf(1) {
+		t.Error("must-alias ops 0 and 1 should share a class")
+	}
+	if tbl.ClassOf(0) == tbl.ClassOf(2) {
+		t.Error("may-alias ops 0 and 2 should not share a class")
+	}
+	if tbl.ClassOf(99) != -1 {
+		t.Error("ClassOf on non-mem op should be -1")
+	}
+}
+
+// TestBlacklistIsClassWide: blacklisting one pair hardens every pair
+// between the two must-alias classes, so re-optimization cannot
+// re-speculate through a range-equivalent op.
+func TestBlacklistIsClassWide(t *testing.T) {
+	reg := tableRegion() // op0 load, op1 store (same class), op2 store (other root)
+	bl := Blacklist{MakePair(1, 2): true}
+	tbl := BuildTable(reg, bl)
+	if got := tbl.Rel(1, 2); got != PartialAlias {
+		t.Errorf("Rel(1,2) = %s, want partial", got)
+	}
+	// op0 is in op1's class: the (0,2) pair must be hardened too.
+	if got := tbl.Rel(0, 2); got != PartialAlias {
+		t.Errorf("Rel(0,2) = %s, want partial (class-wide blacklist)", got)
+	}
+}
+
+func TestBlacklistUpgradesMayAlias(t *testing.T) {
+	reg := tableRegion()
+	bl := Blacklist{MakePair(0, 2): true, MakePair(0, 1): true}
+	tbl := BuildTable(reg, bl)
+	if got := tbl.Rel(0, 2); got != PartialAlias {
+		t.Errorf("blacklisted may pair = %s, want partial", got)
+	}
+	// Already-definite pairs keep their stronger classification.
+	if got := tbl.Rel(0, 1); got != MustAlias {
+		t.Errorf("blacklisted must pair = %s, want must", got)
+	}
+}

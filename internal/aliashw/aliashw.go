@@ -1,0 +1,206 @@
+// Package aliashw models the alias-detection hardware variants the paper
+// compares (Table 1): the order-based alias register queue SMARQ manages,
+// an Itanium-like ALAT, a Transmeta-Efficeon-like bit-mask scheme, and a
+// null detector.
+package aliashw
+
+import "fmt"
+
+// Conflict reports a detected alias: the op that performed the check and
+// the op whose alias register it conflicted with (the "origin" travels
+// with the register contents, including through AMOV moves, so the runtime
+// can blacklist the right pair).
+type Conflict struct {
+	Checker, Origin int
+}
+
+// Detector is the runtime interface the VLIW consults on every memory
+// operation of a translated region.
+type Detector interface {
+	// OnMem is called with the executing op's identity, kind, alias
+	// annotations (P/C bits, register offset, and — for the bit-mask
+	// hardware — the explicit check mask), and its runtime address range
+	// [lo, hi). It returns a non-nil Conflict when an alias exception
+	// must abort the region. For an op with both P and C the check
+	// happens before the set (§3.1).
+	OnMem(opID int, isStore, p, c bool, offset int, mask uint16, lo, hi uint64) *Conflict
+	// Rotate advances the queue BASE pointer (order-based only).
+	Rotate(n int)
+	// AMov moves the register at src to dst, or clears src when src==dst
+	// (order-based only).
+	AMov(src, dst int)
+	// Reset clears all state (called at region commit and rollback).
+	Reset()
+	// Checked returns the cumulative number of register comparisons the
+	// hardware has performed — the energy proxy of §2.4 ("unnecessary
+	// alias detections ... cost energy"). Reset does not clear it.
+	Checked() uint64
+	// Name identifies the model in traces and tables.
+	Name() string
+}
+
+type entry struct {
+	valid   bool
+	lo, hi  uint64
+	byStore bool
+	origin  int
+	order   int
+}
+
+func overlaps(aLo, aHi, bLo, bHi uint64) bool { return aLo < bHi && bLo < aHi }
+
+// OrderedQueue is the order-based alias register queue of §2.4/§3: N
+// physical registers organized as a circular queue with a rotating BASE.
+// [ORDERED-ALIAS-DETECTION-RULE]: an executing op with the C bit checks
+// every valid register whose order is not earlier than its own assigned
+// order; loads do not check registers set by loads.
+type OrderedQueue struct {
+	regs    []entry
+	base    int
+	checked uint64
+}
+
+// NewOrderedQueue returns a queue with n physical alias registers.
+func NewOrderedQueue(n int) *OrderedQueue {
+	return &OrderedQueue{regs: make([]entry, n)}
+}
+
+// Name implements Detector.
+func (q *OrderedQueue) Name() string { return fmt.Sprintf("ordered-%d", len(q.regs)) }
+
+// NumRegs returns the physical register count.
+func (q *OrderedQueue) NumRegs() int { return len(q.regs) }
+
+func (q *OrderedQueue) slot(order int) *entry { return &q.regs[order%len(q.regs)] }
+
+// OnMem implements Detector.
+func (q *OrderedQueue) OnMem(opID int, isStore, p, c bool, offset int, _ uint16, lo, hi uint64) *Conflict {
+	if (p || c) && (offset < 0 || offset >= len(q.regs)) {
+		panic(fmt.Sprintf("aliashw: op %d uses offset %d with %d registers", opID, offset, len(q.regs)))
+	}
+	if c {
+		for k := offset; k < len(q.regs); k++ {
+			e := q.slot(q.base + k)
+			if !e.valid || e.order != q.base+k {
+				continue
+			}
+			if !isStore && !e.byStore {
+				continue // loads do not check loads
+			}
+			q.checked++
+			if overlaps(lo, hi, e.lo, e.hi) {
+				return &Conflict{Checker: opID, Origin: e.origin}
+			}
+		}
+	}
+	if p {
+		*q.slot(q.base + offset) = entry{
+			valid: true, lo: lo, hi: hi, byStore: isStore,
+			origin: opID, order: q.base + offset,
+		}
+	}
+	return nil
+}
+
+// Rotate implements Detector: the first n registers of the window are
+// cleared and become free registers at the end of the queue (§3.2).
+func (q *OrderedQueue) Rotate(n int) {
+	for i := 0; i < n && i < len(q.regs); i++ {
+		*q.slot(q.base + i) = entry{}
+	}
+	q.base += n
+}
+
+// AMov implements Detector (§3.3): the access range at offset src moves to
+// offset dst; src==dst only cleans up.
+func (q *OrderedQueue) AMov(src, dst int) {
+	se := q.slot(q.base + src)
+	e := *se
+	*se = entry{}
+	if src == dst || !e.valid {
+		return
+	}
+	e.order = q.base + dst
+	*q.slot(q.base + dst) = e
+}
+
+// Reset implements Detector.
+func (q *OrderedQueue) Reset() {
+	for i := range q.regs {
+		q.regs[i] = entry{}
+	}
+	q.base = 0
+}
+
+// Base exposes the BASE pointer for tests.
+func (q *OrderedQueue) Base() int { return q.base }
+
+// Checked implements Detector.
+func (q *OrderedQueue) Checked() uint64 { return q.checked }
+
+// ALAT is the Itanium-like detector (§2.3): advanced loads (P-bit loads in
+// our encoding) record their ranges; every store checks *all* recorded
+// ranges — the source of false positives — and stores never record, so
+// store-store aliases are undetectable. Entries live until the region
+// commits or aborts.
+type ALAT struct {
+	entries []entry
+	checked uint64
+}
+
+// NewALAT returns an empty ALAT.
+func NewALAT() *ALAT { return &ALAT{} }
+
+// Name implements Detector.
+func (a *ALAT) Name() string { return "alat" }
+
+// OnMem implements Detector.
+func (a *ALAT) OnMem(opID int, isStore, p, c bool, offset int, _ uint16, lo, hi uint64) *Conflict {
+	if isStore {
+		for _, e := range a.entries {
+			a.checked++
+			if overlaps(lo, hi, e.lo, e.hi) {
+				return &Conflict{Checker: opID, Origin: e.origin}
+			}
+		}
+		return nil
+	}
+	if p {
+		a.entries = append(a.entries, entry{valid: true, lo: lo, hi: hi, origin: opID})
+	}
+	return nil
+}
+
+// Rotate implements Detector (no-op: the ALAT is not an ordered queue).
+func (a *ALAT) Rotate(int) {}
+
+// AMov implements Detector (no-op).
+func (a *ALAT) AMov(int, int) {}
+
+// Reset implements Detector.
+func (a *ALAT) Reset() { a.entries = a.entries[:0] }
+
+// Checked implements Detector.
+func (a *ALAT) Checked() uint64 { return a.checked }
+
+// None is the null detector: no alias hardware. The scheduler must not
+// have speculated.
+type None struct{}
+
+// Name implements Detector.
+func (None) Name() string { return "none" }
+
+// OnMem implements Detector.
+func (None) OnMem(int, bool, bool, bool, int, uint16, uint64, uint64) *Conflict { return nil }
+
+// Rotate implements Detector.
+func (None) Rotate(int) {}
+
+// AMov implements Detector.
+func (None) AMov(int, int) {}
+
+// Reset implements Detector.
+func (None) Reset() {}
+
+// Checked implements Detector.
+func (None) Checked() uint64 { return 0 }

@@ -1,0 +1,71 @@
+// Package atomic implements the atomic-region hardware of Figure 1: a
+// checkpoint of the guest architectural state plus a memory undo log, so a
+// translated region either commits completely or rolls back to its entry.
+//
+// Stores write through and record the overwritten bytes. Write-through
+// gives loads scheduled-order visibility — a load that executes after a
+// store in the optimized schedule sees that store's value, and a load
+// hoisted above a store sees the old value, which is exactly the
+// speculation the alias hardware polices. Rollback replays the undo log in
+// reverse and restores the register checkpoint.
+package atomic
+
+import "smarq/internal/guest"
+
+type undoRec struct {
+	addr uint64
+	size int
+	old  uint64
+}
+
+// Region is one active atomic region.
+type Region struct {
+	st         *guest.State
+	mem        *guest.Memory
+	checkpoint *guest.State
+	undo       []undoRec
+}
+
+// Begin opens an atomic region: the register state is checkpointed now.
+func Begin(st *guest.State, mem *guest.Memory) *Region {
+	return &Region{st: st, mem: mem, checkpoint: st.Clone()}
+}
+
+// Store performs a speculative store: the old bytes are logged, then the
+// new value is written through.
+func (r *Region) Store(addr uint64, size int, val uint64) error {
+	old, err := r.mem.Load(addr, size)
+	if err != nil {
+		return err
+	}
+	if err := r.mem.Store(addr, size, val); err != nil {
+		return err
+	}
+	r.undo = append(r.undo, undoRec{addr: addr, size: size, old: old})
+	return nil
+}
+
+// StoreBytes reports how many stores the region has buffered (tests and
+// stats).
+func (r *Region) StoreBytes() int { return len(r.undo) }
+
+// Commit makes the region's effects permanent and invalidates the region.
+func (r *Region) Commit() {
+	r.undo = nil
+	r.checkpoint = nil
+}
+
+// Rollback undoes every store in reverse order and restores the register
+// checkpoint.
+func (r *Region) Rollback() {
+	for i := len(r.undo) - 1; i >= 0; i-- {
+		u := r.undo[i]
+		// The undo write cannot fail: the original store succeeded.
+		if err := r.mem.Store(u.addr, u.size, u.old); err != nil {
+			panic("atomic: undo of a committed store failed: " + err.Error())
+		}
+	}
+	r.undo = nil
+	*r.st = *r.checkpoint
+	r.checkpoint = nil
+}

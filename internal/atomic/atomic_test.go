@@ -1,0 +1,103 @@
+package atomic
+
+import (
+	"testing"
+
+	"smarq/internal/guest"
+)
+
+func TestCommitKeepsEffects(t *testing.T) {
+	st := &guest.State{}
+	mem := guest.NewMemory(64)
+	st.R[1] = 7
+	r := Begin(st, mem)
+	if err := r.Store(8, 8, 42); err != nil {
+		t.Fatal(err)
+	}
+	st.R[1] = 9
+	r.Commit()
+	v, _ := mem.Load(8, 8)
+	if v != 42 {
+		t.Errorf("memory = %d after commit, want 42", v)
+	}
+	if st.R[1] != 9 {
+		t.Errorf("r1 = %d after commit, want 9", st.R[1])
+	}
+}
+
+func TestRollbackRestoresEverything(t *testing.T) {
+	st := &guest.State{}
+	mem := guest.NewMemory(64)
+	st.R[1] = 7
+	st.F[2] = 1.5
+	if err := mem.Store(8, 8, 11); err != nil {
+		t.Fatal(err)
+	}
+	r := Begin(st, mem)
+	st.R[1] = 100
+	st.F[2] = -3
+	if err := r.Store(8, 8, 42); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Store(16, 4, 5); err != nil {
+		t.Fatal(err)
+	}
+	r.Rollback()
+	v, _ := mem.Load(8, 8)
+	if v != 11 {
+		t.Errorf("memory[8] = %d after rollback, want 11", v)
+	}
+	v, _ = mem.Load(16, 4)
+	if v != 0 {
+		t.Errorf("memory[16] = %d after rollback, want 0", v)
+	}
+	if st.R[1] != 7 || st.F[2] != 1.5 {
+		t.Errorf("state after rollback = r1:%d f2:%v, want 7/1.5", st.R[1], st.F[2])
+	}
+}
+
+func TestStoresVisibleWithinRegion(t *testing.T) {
+	// Write-through: a later load (in scheduled order) sees the value.
+	st := &guest.State{}
+	mem := guest.NewMemory(64)
+	r := Begin(st, mem)
+	if err := r.Store(0, 8, 99); err != nil {
+		t.Fatal(err)
+	}
+	v, _ := mem.Load(0, 8)
+	if v != 99 {
+		t.Errorf("in-region visibility: got %d, want 99", v)
+	}
+	r.Rollback()
+}
+
+func TestRollbackReverseOrder(t *testing.T) {
+	// Two stores to the same location: rollback must restore the ORIGINAL
+	// value, not the intermediate one.
+	st := &guest.State{}
+	mem := guest.NewMemory(64)
+	if err := mem.Store(0, 8, 1); err != nil {
+		t.Fatal(err)
+	}
+	r := Begin(st, mem)
+	_ = r.Store(0, 8, 2)
+	_ = r.Store(0, 8, 3)
+	r.Rollback()
+	v, _ := mem.Load(0, 8)
+	if v != 1 {
+		t.Errorf("memory = %d after rollback of two stores, want 1", v)
+	}
+}
+
+func TestStoreFaultDoesNotLog(t *testing.T) {
+	st := &guest.State{}
+	mem := guest.NewMemory(16)
+	r := Begin(st, mem)
+	if err := r.Store(100, 8, 1); err == nil {
+		t.Fatal("out-of-range store succeeded")
+	}
+	if r.StoreBytes() != 0 {
+		t.Error("failed store left an undo record")
+	}
+	r.Rollback()
+}

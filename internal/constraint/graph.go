@@ -1,0 +1,217 @@
+// Package constraint maintains SMARQ's constraint graph: check-constraints
+// and anti-constraints over memory operations (§4 of the paper), with the
+// incremental cycle detection of §5.4.1.
+//
+// An edge src → dst always means "src must be allocated an alias register
+// order no later than dst" (order(src) ≤ order(dst) for check-constraints,
+// strictly earlier for anti-constraints), and dst's allocation is blocked
+// until src's. The graph maintains the partial order T with the invariance
+// that every edge src → dst has T(src) < T(dst); a violated invariance on
+// an anti-constraint insertion signals a potential cycle, resolved either
+// by shifting T of the reachable set or — when a true cycle exists — by
+// the allocator inserting an AMOV (§5.2).
+package constraint
+
+import "fmt"
+
+// Kind distinguishes the two constraint types.
+type Kind uint8
+
+const (
+	// Check: order(src) ≤ order(dst); src performs an alias check that
+	// must cover dst's alias register.
+	Check Kind = iota
+	// Anti: order(src) < order(dst); dst must not check src's register.
+	Anti
+)
+
+// String returns the kind name.
+func (k Kind) String() string {
+	if k == Anti {
+		return "anti"
+	}
+	return "check"
+}
+
+// Graph is the constraint graph. Node IDs are region op IDs plus any
+// pseudo-op IDs the allocator creates for AMOVs.
+type Graph struct {
+	t   map[int]int
+	out map[int]map[int]Kind
+	in  map[int]map[int]Kind
+
+	// NumCheck and NumAnti count constraints ever added (Figure 19's
+	// statistic); retargeting moves edges without recounting.
+	NumCheck, NumAnti int
+}
+
+// New returns an empty constraint graph.
+func New() *Graph {
+	return &Graph{
+		t:   make(map[int]int),
+		out: make(map[int]map[int]Kind),
+		in:  make(map[int]map[int]Kind),
+	}
+}
+
+// SetT initializes (or overrides) a node's partial order value. The
+// allocator initializes every op's T to its original program position
+// (Figure 13 line 2) and gives AMOV pseudo-ops explicit values.
+func (g *Graph) SetT(id, t int) { g.t[id] = t }
+
+// T returns a node's partial order value.
+func (g *Graph) T(id int) int { return g.t[id] }
+
+func (g *Graph) addEdge(src, dst int, k Kind) {
+	if src == dst {
+		panic(fmt.Sprintf("constraint: self edge on op %d", src))
+	}
+	if g.out[src] == nil {
+		g.out[src] = make(map[int]Kind)
+	}
+	if g.in[dst] == nil {
+		g.in[dst] = make(map[int]Kind)
+	}
+	g.out[src][dst] = k
+	g.in[dst][src] = k
+}
+
+// AddCheck inserts the check-constraint src →check dst. When the
+// T-invariance is violated, src's T is lowered to T(dst)-1; this is always
+// safe because check sources are not yet scheduled and therefore have no
+// incoming constraints (§5.4.1: "Since X is not scheduled yet, there is no
+// constraint →check X or →anti X yet").
+func (g *Graph) AddCheck(src, dst int) {
+	if g.t[src] >= g.t[dst] {
+		g.t[src] = g.t[dst] - 1
+	}
+	g.addEdge(src, dst, Check)
+	g.NumCheck++
+}
+
+// TryAddAnti attempts to insert the anti-constraint src →anti dst. When the
+// T-invariance holds, or can be restored by shifting the set H reachable
+// from dst, the edge is added and TryAddAnti returns true. When src is
+// reachable from dst the edge would close a cycle; the graph is left
+// unchanged and TryAddAnti returns false — the allocator must break the
+// cycle with an AMOV.
+func (g *Graph) TryAddAnti(src, dst int) bool {
+	if g.t[src] < g.t[dst] {
+		g.addEdge(src, dst, Anti)
+		g.NumAnti++
+		return true
+	}
+	h := g.Reachable(dst)
+	if h[src] {
+		return false
+	}
+	delta := g.t[src] - g.t[dst] + 1
+	for z := range h {
+		g.t[z] += delta
+	}
+	g.addEdge(src, dst, Anti)
+	g.NumAnti++
+	return true
+}
+
+// Reachable returns the set of nodes reachable from start by constraint
+// edges, including start itself (the paper's set H).
+func (g *Graph) Reachable(start int) map[int]bool {
+	h := map[int]bool{start: true}
+	stack := []int{start}
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for m := range g.out[n] {
+			if !h[m] {
+				h[m] = true
+				stack = append(stack, m)
+			}
+		}
+	}
+	return h
+}
+
+// InDegree returns the number of constraints currently blocking id's
+// allocation.
+func (g *Graph) InDegree(id int) int { return len(g.in[id]) }
+
+// HasEdge reports whether the edge src → dst is currently present, and its
+// kind.
+func (g *Graph) HasEdge(src, dst int) (Kind, bool) {
+	k, ok := g.out[src][dst]
+	return k, ok
+}
+
+// RemoveOut deletes all constraints whose source is src (performed when src
+// is allocated, Figure 13 lines 66-67) and returns the destinations whose
+// in-degree dropped to zero.
+func (g *Graph) RemoveOut(src int) []int {
+	var freed []int
+	for dst := range g.out[src] {
+		delete(g.in[dst], src)
+		if len(g.in[dst]) == 0 {
+			freed = append(freed, dst)
+		}
+	}
+	delete(g.out, src)
+	return freed
+}
+
+// RetargetIncomingChecks moves pending check-constraints z →check old to
+// z →check newDst for every source z accepted by shouldMove (Figure 13
+// lines 41-42: after an AMOV, *not-yet-scheduled* checkers must check the
+// moved register instead; already-scheduled checkers execute before the
+// AMOV and keep checking the original register). Each mover's T is lowered
+// below T(newDst) when needed — safe because movers are unscheduled and
+// therefore have no incoming constraints. It returns the sources whose
+// edges moved.
+func (g *Graph) RetargetIncomingChecks(old, newDst int, shouldMove func(src int) bool) []int {
+	var moved []int
+	for src, k := range g.in[old] {
+		if k != Check || !shouldMove(src) {
+			continue
+		}
+		delete(g.in[old], src)
+		delete(g.out[src], old)
+		if g.t[src] >= g.t[newDst] {
+			g.t[src] = g.t[newDst] - 1
+		}
+		g.addEdge(src, newDst, Check)
+		moved = append(moved, src)
+	}
+	return moved
+}
+
+// CheckInvariance verifies T(src) < T(dst) for every edge; used by tests
+// and the allocator's internal assertions.
+func (g *Graph) CheckInvariance() error {
+	for src, m := range g.out {
+		for dst := range m {
+			if g.t[src] >= g.t[dst] {
+				return fmt.Errorf("constraint: invariance violated: T(%d)=%d >= T(%d)=%d", src, g.t[src], dst, g.t[dst])
+			}
+		}
+	}
+	return nil
+}
+
+// Edges returns all current edges for inspection.
+func (g *Graph) Edges() []struct {
+	Src, Dst int
+	Kind     Kind
+} {
+	var out []struct {
+		Src, Dst int
+		Kind     Kind
+	}
+	for src, m := range g.out {
+		for dst, k := range m {
+			out = append(out, struct {
+				Src, Dst int
+				Kind     Kind
+			}{src, dst, k})
+		}
+	}
+	return out
+}

@@ -1,0 +1,429 @@
+// Package core implements SMARQ's alias register allocation — the paper's
+// primary contribution (§5, Figure 13).
+//
+// The allocator consumes a stream of scheduled operations (it is designed
+// to sit inside a list scheduler, §5.3) and incrementally:
+//
+//   - builds check- and anti-constraints from the dependences, exactly one
+//     dependence examined per edge, at its Dst op's scheduling;
+//   - maintains the partial order T with incremental cycle detection,
+//     breaking true cycles by inserting AMOV instructions (§5.2);
+//   - assigns alias register *orders* in constraint order with delayed
+//     allocation: an op's register order is assigned only once its last
+//     pending checker has been allocated, which both satisfies
+//     REGISTER-ALLOCATION-RULE and makes every drained register dead at the
+//     op just scheduled — so the rotation emitted after that op safely
+//     reuses them (§3.2);
+//   - converts orders to offsets via the invariance
+//     order(X) = base(X) + offset(X), flagging overflow when an offset
+//     reaches the physical register count.
+//
+// Edge direction convention (documented in DESIGN.md): a constraint edge
+// A → B means order(A) ≤ order(B) (strict for anti), and B's allocation is
+// blocked until A's. All edges are created pointing into the op being
+// scheduled, so unscheduled ops never have incoming edges.
+package core
+
+import (
+	"fmt"
+
+	"smarq/internal/constraint"
+	"smarq/internal/deps"
+	"smarq/internal/ir"
+)
+
+// Stats summarizes one region's allocation, feeding Figures 17 and 19.
+type Stats struct {
+	MemOps       int // memory operations seen
+	PBits, CBits int // ops that set / check alias registers
+	Checks       int // check-constraints inserted
+	Antis        int // anti-constraints inserted
+	AMovs        int // AMOV instructions inserted
+	AMovCleanups int // AMOVs that are pure cleanups (no destination register)
+	Rotates      int // rotate instructions inserted
+	RotateTotal  int // total rotation amount (== final BASE)
+	WorkingSet   int // max offset + 1 over all allocated registers
+	Overflowed   bool
+}
+
+// Result is a completed allocation.
+type Result struct {
+	// Seq is the final linear sequence: the scheduled ops with AMOVs and
+	// rotates interleaved. Memory ops carry AROffset/P/C annotations.
+	Seq []*ir.Op
+	// Order and Base per op ID (including AMOV pseudo IDs), for analysis.
+	Order, Base map[int]int
+	// Checks and Antis are the final logical constraints (after AMOV
+	// retargeting), as (src, dst) pairs.
+	Checks, Antis [][2]int
+	Stats         Stats
+}
+
+type amovInfo struct {
+	op        *ir.Op
+	srcID     int  // the op whose register this AMOV reads
+	hasTarget bool // false for the cleanup form
+}
+
+// Allocator performs integrated alias register allocation. Create one per
+// region, call Schedule for every op in the scheduler's chosen order, then
+// Finish.
+type Allocator struct {
+	ds      *deps.Set
+	numRegs int
+	g       *constraint.Graph
+	opts    Options
+
+	scheduled  map[int]bool
+	allocated  map[int]bool
+	pBit, cBit map[int]bool
+	order      map[int]int
+	base       map[int]int
+	pending    map[int]bool // scheduled, needs a register, not yet allocated
+	pendingP   int          // pending ops with P bit (overflow estimate term)
+	nextOrder  int
+	ready      []int
+	// rangeChecked records (checker, original range owner) pairs: "checker
+	// performs an alias check covering owner's access range". Written once
+	// per check-constraint; AMOV retargeting moves the register but not
+	// the range identity, so this map never needs updating. It implements
+	// ANTI-CONSTRAINT's "there is no Y →check X" condition.
+	rangeChecked map[[2]int]bool
+	// liveChecks mirrors the graph's current check edges (including
+	// retargets) for final verification.
+	liveChecks map[[2]int]bool
+	liveAntis  [][2]int
+	movedTo    map[int]int // op -> AMOV currently holding its entry
+	amovs      map[int]*amovInfo
+	nextPseudo int
+	overflow   bool
+	seq        []*ir.Op
+	stats      Stats
+}
+
+// NewAllocator creates an allocator for a region with numOps real ops, the
+// given dependences, and numRegs physical alias registers. Every real op's
+// T is initialized to its original program order (op ID).
+func NewAllocator(numOps int, ds *deps.Set, numRegs int) *Allocator {
+	a := &Allocator{
+		ds:           ds,
+		numRegs:      numRegs,
+		g:            constraint.New(),
+		scheduled:    make(map[int]bool),
+		allocated:    make(map[int]bool),
+		pBit:         make(map[int]bool),
+		cBit:         make(map[int]bool),
+		order:        make(map[int]int),
+		base:         make(map[int]int),
+		pending:      make(map[int]bool),
+		rangeChecked: make(map[[2]int]bool),
+		liveChecks:   make(map[[2]int]bool),
+		movedTo:      make(map[int]int),
+		amovs:        make(map[int]*amovInfo),
+		nextPseudo:   numOps,
+	}
+	for i := 0; i < numOps; i++ {
+		a.g.SetT(i, i)
+	}
+	return a
+}
+
+// resolve follows AMOV moves to the op currently holding x's access range.
+func (a *Allocator) resolve(x int) int {
+	for {
+		nx, ok := a.movedTo[x]
+		if !ok {
+			return x
+		}
+		x = nx
+	}
+}
+
+// Schedule informs the allocator that op y is the next instruction in the
+// schedule. It returns the ops to emit at this point, in order: any AMOVs
+// inserted to break cycles, then y itself, then a rotate when registers
+// were freed. The caller must place them exactly in that order.
+func (a *Allocator) Schedule(y *ir.Op) []*ir.Op {
+	if a.scheduled[y.ID] {
+		panic(fmt.Sprintf("core: op %d scheduled twice", y.ID))
+	}
+	a.scheduled[y.ID] = true
+	baseAtStart := a.nextOrder
+	a.base[y.ID] = baseAtStart
+	if a.opts.DisableRotation {
+		// BASE never moves: offsets equal orders.
+		a.base[y.ID] = 0
+	}
+
+	var pre []*ir.Op
+	if y.IsMem() {
+		for _, d := range a.ds.ByDst(y.ID) {
+			x := d.Src
+			if !a.scheduled[x] {
+				// Check-constraint x →check y: x will execute after y and
+				// must check y's register (Figure 13 lines 9-12).
+				a.cBit[x] = true
+				if !a.pBit[y.ID] {
+					a.pBit[y.ID] = true
+					a.stats.PBits++
+				}
+				a.g.AddCheck(x, y.ID)
+				a.rangeChecked[[2]int{x, y.ID}] = true
+				a.liveChecks[[2]int{x, y.ID}] = true
+				continue
+			}
+			// x executes before y: consider the anti-constraint preventing
+			// y from checking x's register (Figure 13 lines 13-16). If an
+			// AMOV already moved x's entry, the constraint applies to the
+			// holder.
+			if a.opts.DisableAnti {
+				continue
+			}
+			xr := a.resolve(x)
+			if a.allocated[xr] || !a.pBit[xr] || !a.cBit[y.ID] {
+				continue // already satisfied, or no check can happen
+			}
+			if a.rangeChecked[[2]int{y.ID, x}] {
+				continue // y legitimately checks x's range; cannot prohibit it
+			}
+			if _, dup := a.g.HasEdge(xr, y.ID); dup {
+				continue
+			}
+			if a.g.TryAddAnti(xr, y.ID) {
+				a.stats.Antis++
+				a.liveAntis = append(a.liveAntis, [2]int{xr, y.ID})
+				continue
+			}
+			// True cycle: break it with an AMOV just before y (§5.2).
+			pre = append(pre, a.insertAMov(xr, y.ID))
+		}
+	}
+
+	a.seq = append(a.seq, pre...)
+	a.seq = append(a.seq, y)
+
+	if y.IsMem() && (a.pBit[y.ID] || a.cBit[y.ID]) {
+		a.stats.MemOps++ // memory ops that participate in alias detection
+		if a.cBit[y.ID] {
+			a.stats.CBits++
+		}
+		if a.g.InDegree(y.ID) == 0 {
+			a.ready = append(a.ready, y.ID)
+		} else {
+			a.pending[y.ID] = true
+			if a.pBit[y.ID] {
+				a.pendingP++
+			}
+		}
+	} else if y.IsMem() {
+		a.stats.MemOps++
+	}
+
+	a.drain()
+
+	out := append(pre, y)
+	if a.nextOrder > baseAtStart && !a.opts.DisableRotation {
+		rot := &ir.Op{
+			ID:       a.nextPseudo,
+			Kind:     ir.Rotate,
+			Dst:      ir.NoVReg,
+			Amount:   a.nextOrder - baseAtStart,
+			AROffset: -1,
+		}
+		a.nextPseudo++
+		a.seq = append(a.seq, rot)
+		out = append(out, rot)
+		a.stats.Rotates++
+		a.stats.RotateTotal += rot.Amount
+	}
+	return out
+}
+
+// insertAMov creates the AMOV pseudo-op that moves (or clears) x's alias
+// register just before the op being scheduled (whose ID is yID), retargets
+// x's pending checkers to the new register, and adds the anti-constraint
+// protecting the moved range (Figure 13 lines 39-48).
+func (a *Allocator) insertAMov(x, yID int) *ir.Op {
+	xp := a.nextPseudo
+	a.nextPseudo++
+	a.g.SetT(xp, a.g.T(yID)-1)
+
+	moved := a.g.RetargetIncomingChecks(x, xp, func(src int) bool {
+		return !a.scheduled[src]
+	})
+	op := &ir.Op{ID: xp, Kind: ir.AMov, Dst: ir.NoVReg, AROffset: -1}
+	info := &amovInfo{op: op, srcID: x, hasTarget: len(moved) > 0}
+	a.amovs[xp] = info
+	a.scheduled[xp] = true
+	a.base[xp] = a.nextOrder
+	if a.opts.DisableRotation {
+		a.base[xp] = 0
+	}
+	a.movedTo[x] = xp
+	a.stats.AMovs++
+
+	for _, z := range moved {
+		delete(a.liveChecks, [2]int{z, x})
+		a.liveChecks[[2]int{z, xp}] = true
+	}
+
+	if len(moved) > 0 {
+		// The moved range will be checked later; it needs a register and
+		// the anti-constraint so yID cannot check it.
+		a.pBit[xp] = true
+		a.stats.PBits++
+		if !a.g.TryAddAnti(xp, yID) {
+			// T(xp) = T(yID)-1 guarantees acceptance; a rejection means a
+			// bookkeeping bug.
+			panic("core: anti-constraint on fresh AMOV rejected")
+		}
+		a.stats.Antis++
+		a.liveAntis = append(a.liveAntis, [2]int{xp, yID})
+		a.pending[xp] = true
+		a.pendingP++
+	} else {
+		a.stats.AMovCleanups++
+	}
+
+	// Retargeting may have unblocked x itself.
+	a.maybeReady(x)
+	return op
+}
+
+func (a *Allocator) maybeReady(x int) {
+	if a.pending[x] && a.g.InDegree(x) == 0 {
+		delete(a.pending, x)
+		if a.pBit[x] {
+			a.pendingP--
+		}
+		a.ready = append(a.ready, x)
+	}
+}
+
+// drain allocates every ready op in FIFO order (Figure 13 lines 62-70).
+func (a *Allocator) drain() {
+	for len(a.ready) > 0 {
+		x := a.ready[0]
+		a.ready = a.ready[1:]
+		a.order[x] = a.nextOrder
+		off := a.nextOrder - a.base[x]
+		if off >= a.numRegs {
+			a.overflow = true
+		}
+		if a.pBit[x] {
+			a.nextOrder++
+		}
+		a.allocated[x] = true
+		for _, z := range a.g.RemoveOut(x) {
+			a.maybeReady(z)
+		}
+	}
+}
+
+// Pressure returns the conservative worst-case alias register demand if
+// scheduling continues speculatively: allocated-but-live orders plus a
+// register for every pending P op plus futureP potential setters, measured
+// against the earliest base still pinned by a pending op (Figure 13's
+// overflow estimate, lines 21-25). The scheduler compares it to the
+// physical register count to pick speculation or non-speculation mode.
+func (a *Allocator) Pressure(futureP int) int {
+	maxOrder := a.nextOrder + a.pendingP + futureP
+	minBase := a.nextOrder
+	for x := range a.pending {
+		if a.base[x] < minBase {
+			minBase = a.base[x]
+		}
+	}
+	return maxOrder - minBase
+}
+
+// NextOrder exposes the next order counter (tests and traces).
+func (a *Allocator) NextOrder() int { return a.nextOrder }
+
+// Finish completes the allocation: every op must have been scheduled. It
+// patches AROffset/P/C onto memory ops and SrcOff/DstOff onto AMOVs, and
+// returns the result. An error is returned when an offset overflowed the
+// physical register file — the caller must re-optimize less aggressively.
+func (a *Allocator) Finish() (*Result, error) {
+	if len(a.pending) != 0 || len(a.ready) != 0 {
+		return nil, fmt.Errorf("core: %d ops still pending at Finish (constraint cycle not broken?)", len(a.pending)+len(a.ready))
+	}
+	for _, op := range a.seq {
+		switch {
+		case op.IsMem():
+			if ord, ok := a.order[op.ID]; ok {
+				op.AROffset = ord - a.base[op.ID]
+				op.P = a.pBit[op.ID]
+				op.C = a.cBit[op.ID]
+			}
+		case op.Kind == ir.AMov:
+			info := a.amovs[op.ID]
+			srcOrd, ok := a.order[info.srcID]
+			if !ok {
+				return nil, fmt.Errorf("core: AMOV %d source op %d never allocated", op.ID, info.srcID)
+			}
+			op.SrcOff = srcOrd - a.base[op.ID]
+			if info.hasTarget {
+				op.DstOff = a.order[op.ID] - a.base[op.ID]
+			} else {
+				op.DstOff = op.SrcOff
+			}
+			if op.SrcOff >= a.numRegs || op.DstOff >= a.numRegs || op.SrcOff < 0 {
+				a.overflow = true
+			}
+		}
+	}
+	ws := 0
+	for id, ord := range a.order {
+		if off := ord - a.base[id]; off+1 > ws {
+			ws = off + 1
+		}
+	}
+	a.stats.WorkingSet = ws
+	a.stats.Overflowed = a.overflow
+
+	res := &Result{
+		Seq:   a.seq,
+		Order: a.order,
+		Base:  a.base,
+		Stats: a.stats,
+	}
+	res.Stats.Checks = a.g.NumCheck
+	res.Stats.Antis = a.g.NumAnti
+	for pair := range a.liveChecks {
+		res.Checks = append(res.Checks, pair)
+	}
+	res.Antis = a.liveAntis
+	if a.overflow {
+		return res, fmt.Errorf("core: alias register overflow (working set %d > %d registers)", ws, a.numRegs)
+	}
+	return res, nil
+}
+
+// VerifyOrders confirms REGISTER-ALLOCATION-RULE on a finished result:
+// order(src) ≤ order(dst) for every final check constraint and
+// order(src) < order(dst) for every anti constraint. Tests call it; it is
+// cheap enough to keep as a production assertion as well.
+func VerifyOrders(res *Result) error {
+	for _, c := range res.Checks {
+		so, sok := res.Order[c[0]]
+		do, dok := res.Order[c[1]]
+		if !sok || !dok {
+			return fmt.Errorf("core: check constraint %v references unallocated op", c)
+		}
+		if so > do {
+			return fmt.Errorf("core: check constraint %v violated: order %d > %d", c, so, do)
+		}
+	}
+	for _, c := range res.Antis {
+		so, sok := res.Order[c[0]]
+		do, dok := res.Order[c[1]]
+		if !sok || !dok {
+			return fmt.Errorf("core: anti constraint %v references unallocated op", c)
+		}
+		if so >= do {
+			return fmt.Errorf("core: anti constraint %v violated: order %d >= %d", c, so, do)
+		}
+	}
+	return nil
+}

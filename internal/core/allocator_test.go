@@ -1,0 +1,535 @@
+package core
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"smarq/internal/alias"
+	"smarq/internal/deps"
+	"smarq/internal/guest"
+	"smarq/internal/ir"
+)
+
+// mkOps builds a list of memory ops from a kind string: 'L' load, 'S'
+// store, 'a' non-memory arith.
+func mkOps(kinds string) []*ir.Op {
+	ops := make([]*ir.Op, len(kinds))
+	for i, k := range kinds {
+		o := &ir.Op{ID: i, Dst: ir.NoVReg, AROffset: -1}
+		switch k {
+		case 'L':
+			o.Kind = ir.Load
+			o.GOp = guest.Ld8
+			o.Mem = &ir.MemInfo{Size: 8}
+		case 'S':
+			o.Kind = ir.Store
+			o.GOp = guest.St8
+			o.Mem = &ir.MemInfo{Size: 8}
+		default:
+			o.Kind = ir.Arith
+		}
+		ops[i] = o
+	}
+	return ops
+}
+
+func dep(src, dst int) deps.Dep {
+	return deps.Dep{Src: src, Dst: dst, Rel: alias.MayAlias}
+}
+
+func xdep(src, dst int) deps.Dep {
+	return deps.Dep{Src: src, Dst: dst, Rel: alias.MayAlias, Extended: true}
+}
+
+func mkDeps(ds ...deps.Dep) *deps.Set {
+	s := deps.NewSet()
+	for _, d := range ds {
+		s.Add(d)
+	}
+	return s
+}
+
+func offsets(res *Result, ids ...int) []int {
+	out := make([]int, len(ids))
+	for i, id := range ids {
+		out[i] = res.Order[id] - res.Base[id]
+	}
+	return out
+}
+
+// TestReorderBasic replays the shape of Figure 2/4: two loads hoisted above
+// two stores; the demoted stores must check the hoisted loads.
+func TestReorderBasic(t *testing.T) {
+	// Original order: 0:S 1:L 2:S 3:L. Deps: 0-1, 0-3, 2-3 (0-2 and 1-2
+	// disambiguated by the compiler, like Figure 2's same-base stores).
+	ops := mkOps("SLSL")
+	ds := mkDeps(dep(0, 1), dep(0, 3), dep(2, 3))
+	// Schedule loads first: 3, 1, 2, 0.
+	res, err := AllocateSequence(ops, []int{3, 1, 2, 0}, ds, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyOrders(res); err != nil {
+		t.Error(err)
+	}
+	if !ops[3].P || !ops[1].P {
+		t.Error("hoisted loads must carry P bits")
+	}
+	if !ops[0].C || !ops[2].C {
+		t.Error("demoted stores must carry C bits")
+	}
+	if ops[1].C || ops[3].C {
+		t.Error("loads check nothing here; C bit wrongly set")
+	}
+	if res.Stats.Checks != 3 {
+		t.Errorf("checks = %d, want 3", res.Stats.Checks)
+	}
+	if res.Stats.AMovs != 0 {
+		t.Errorf("AMOVs = %d, want 0", res.Stats.AMovs)
+	}
+	// order(checker) <= order(checkee) for (0,1), (0,3), (2,3).
+	for _, c := range [][2]int{{0, 1}, {0, 3}, {2, 3}} {
+		if res.Order[c[0]] > res.Order[c[1]] {
+			t.Errorf("order(%d)=%d > order(%d)=%d", c[0], res.Order[c[0]], c[1], res.Order[c[1]])
+		}
+	}
+}
+
+// TestDelayedAllocationReducesWorkingSet mirrors §3.2/Figure 7: rotation
+// plus delayed allocation lets registers be reused, so the working set is
+// smaller than the number of P ops when checkers arrive early.
+func TestDelayedAllocationReducesWorkingSet(t *testing.T) {
+	// Three independent hoisted loads each checked by the store right
+	// after it: pairs (0,1) (2,3) (4,5) with schedule L S L S L S hoisting
+	// each load above its own store only.
+	ops := mkOps("SLSLSL")
+	ds := mkDeps(dep(0, 1), dep(2, 3), dep(4, 5))
+	res, err := AllocateSequence(ops, []int{1, 0, 3, 2, 5, 4}, ds, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.PBits != 3 {
+		t.Fatalf("P bits = %d, want 3", res.Stats.PBits)
+	}
+	if res.Stats.WorkingSet != 1 {
+		t.Errorf("working set = %d, want 1 (each register dies before the next is set)", res.Stats.WorkingSet)
+	}
+	if res.Stats.Rotates != 3 {
+		t.Errorf("rotates = %d, want 3", res.Stats.Rotates)
+	}
+	if res.Stats.RotateTotal != 3 {
+		t.Errorf("total rotation = %d, want 3 (== final BASE)", res.Stats.RotateTotal)
+	}
+}
+
+// TestInterleavedLiveRanges: overlapping check live ranges need distinct
+// registers.
+func TestInterleavedLiveRanges(t *testing.T) {
+	// Loads 1,3 hoisted above both stores 0,2; both stores check both.
+	ops := mkOps("SLSL")
+	ds := mkDeps(dep(0, 1), dep(0, 3), dep(2, 1), dep(2, 3))
+	res, err := AllocateSequence(ops, []int{1, 3, 0, 2}, ds, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.WorkingSet != 2 {
+		t.Errorf("working set = %d, want 2", res.Stats.WorkingSet)
+	}
+	if err := VerifyOrders(res); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestCOnlySharesOrder: a checker that sets nothing shares next_order with
+// the following P allocation (§5.1 FAST ALGORITHM: "If only C(X) is set, we
+// just set order(X) = next_order without increasing").
+func TestCOnlySharesOrder(t *testing.T) {
+	ops := mkOps("SLSL")
+	ds := mkDeps(dep(0, 1), dep(2, 3))
+	res, err := AllocateSequence(ops, []int{1, 0, 3, 2}, ds, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// op0 (C-only) and op1 (P) share order 0; op2/op3 share order 1.
+	if res.Order[0] != res.Order[1] {
+		t.Errorf("C-only op0 order %d != checkee op1 order %d", res.Order[0], res.Order[1])
+	}
+	if res.Order[2] != res.Order[3] {
+		t.Errorf("C-only op2 order %d != checkee op3 order %d", res.Order[2], res.Order[3])
+	}
+}
+
+// TestBackwardDepCheckWithoutReorder: an extended dependence makes a check
+// fire between ops that stay in order (§2.4, Figure 5).
+func TestBackwardDepCheckWithoutReorder(t *testing.T) {
+	// op0: forwarding source load; op1: intervening store. Load elim adds
+	// backward dep 1 -> 0. Program-order schedule.
+	ops := mkOps("LS")
+	ds := mkDeps(xdep(1, 0))
+	res, err := AllocateSequence(ops, []int{0, 1}, ds, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ops[0].P {
+		t.Error("forwarding source must set an alias register")
+	}
+	if !ops[1].C {
+		t.Error("intervening store must check")
+	}
+	if res.Order[1] > res.Order[0] {
+		t.Error("checker's order must not exceed checkee's")
+	}
+}
+
+// TestAntiConstraint: §4.2 — a P op followed by an unrelated C op must get
+// a strictly earlier order so the C op cannot check it.
+func TestAntiConstraint(t *testing.T) {
+	// op0: load (P, checked by op3 via backward dep), op1: store with C
+	// (checks hoisted op2), op2: load hoisted above op1, op3: store
+	// checking op0 (backward dep). Dep 0->1 may-alias but unordered.
+	ops := mkOps("LSLS")
+	ds := mkDeps(
+		xdep(3, 0), // op3 checks op0 (e.g. store elimination)
+		dep(1, 2),  // op2 hoisted above op1 -> op1 checks op2
+		dep(0, 1),  // may-alias, not reordered -> anti candidate
+	)
+	// Schedule: 2 (hoisted), 0, 1, 3.
+	res, err := AllocateSequence(ops, []int{2, 0, 1, 3}, ds, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Antis != 1 {
+		t.Fatalf("antis = %d, want 1", res.Stats.Antis)
+	}
+	if res.Order[0] >= res.Order[1] {
+		t.Errorf("anti violated: order(0)=%d >= order(1)=%d — op1 would falsely check op0",
+			res.Order[0], res.Order[1])
+	}
+	if err := VerifyOrders(res); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestCycleCleanupAMov is the hand-worked scenario from the package
+// design: X=0, Y=1, U=2 with deps 0->1 (normal), 1->2 (normal),
+// 2->0 (extended). Schedule 0, 2, 1. The anti 0->1 closes a cycle and the
+// pending checker of 0 (op 2) is already scheduled, so the AMOV degenerates
+// to a cleanup.
+func TestCycleCleanupAMov(t *testing.T) {
+	ops := mkOps("LSS")
+	ds := mkDeps(dep(0, 1), dep(1, 2), xdep(2, 0))
+	res, err := AllocateSequence(ops, []int{0, 2, 1}, ds, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.AMovs != 1 || res.Stats.AMovCleanups != 1 {
+		t.Fatalf("AMovs=%d cleanups=%d, want 1/1", res.Stats.AMovs, res.Stats.AMovCleanups)
+	}
+	// The cleanup must sit immediately before op1 in the sequence.
+	var amovIdx, op1Idx int = -1, -1
+	for i, op := range res.Seq {
+		if op.Kind == ir.AMov {
+			amovIdx = i
+		}
+		if op.ID == 1 {
+			op1Idx = i
+		}
+	}
+	if amovIdx == -1 || amovIdx != op1Idx-1 {
+		t.Errorf("AMOV at %d, op1 at %d: cleanup must immediately precede the op it protects", amovIdx, op1Idx)
+	}
+	am := res.Seq[amovIdx]
+	if am.SrcOff != am.DstOff {
+		t.Errorf("cleanup AMOV has SrcOff=%d DstOff=%d, want equal", am.SrcOff, am.DstOff)
+	}
+	// Hand-computed orders: op1 C-only order 0, op2 order 0 (C+P), op0
+	// order 1.
+	if got := []int{res.Order[0], res.Order[1], res.Order[2]}; got[0] != 1 || got[1] != 0 || got[2] != 0 {
+		t.Errorf("orders = %v, want [1 0 0]", got)
+	}
+	// Cleanup reads op0's register: SrcOff = order(0) - base(amov) = 1.
+	if am.SrcOff != 1 {
+		t.Errorf("cleanup SrcOff = %d, want 1", am.SrcOff)
+	}
+	if err := VerifyOrders(res); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestCycleMovingAMov extends the cleanup scenario with an unscheduled
+// checker (op 3, backward dep 3 -> 0) so the AMOV must actually move the
+// register and the checker is retargeted to it.
+func TestCycleMovingAMov(t *testing.T) {
+	ops := mkOps("LSSS")
+	ds := mkDeps(dep(0, 1), dep(1, 2), xdep(2, 0), xdep(3, 0))
+	res, err := AllocateSequence(ops, []int{0, 2, 1, 3}, ds, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.AMovs != 1 || res.Stats.AMovCleanups != 0 {
+		t.Fatalf("AMovs=%d cleanups=%d, want 1/0", res.Stats.AMovs, res.Stats.AMovCleanups)
+	}
+	var am *ir.Op
+	for _, op := range res.Seq {
+		if op.Kind == ir.AMov {
+			am = op
+		}
+	}
+	if am == nil {
+		t.Fatal("no AMOV in sequence")
+	}
+	if am.SrcOff == am.DstOff {
+		t.Error("moving AMOV degenerated to cleanup")
+	}
+	// Hand-computed: order(3)=0 (C-only), order(amov)=0 (P), order(1)=1
+	// (C-only), order(2)=1 (C+P), order(0)=2.
+	if res.Order[0] != 2 || res.Order[1] != 1 || res.Order[2] != 1 || res.Order[3] != 0 {
+		t.Errorf("orders = [%d %d %d %d], want [2 1 1 0]",
+			res.Order[0], res.Order[1], res.Order[2], res.Order[3])
+	}
+	if am.SrcOff != 2 || am.DstOff != 0 {
+		t.Errorf("AMOV offsets = (%d,%d), want (2,0)", am.SrcOff, am.DstOff)
+	}
+	// The retargeted checker (op3) must have order <= the AMOV's order.
+	if err := VerifyOrders(res); err != nil {
+		t.Error(err)
+	}
+	if res.Stats.WorkingSet != 3 {
+		t.Errorf("working set = %d, want 3", res.Stats.WorkingSet)
+	}
+}
+
+// TestAntiViaMovedRegister: after an AMOV moves a register, later anti
+// candidates against the original op must protect the holder instead.
+func TestAntiViaMovedRegister(t *testing.T) {
+	// Same as TestCycleMovingAMov plus op4: store with C bit (checks
+	// hoisted op5) and dep 0->4 (may-alias, not reordered).
+	ops := mkOps("LSSSSL")
+	ds := mkDeps(dep(0, 1), dep(1, 2), xdep(2, 0), xdep(3, 0),
+		dep(4, 5), dep(0, 4))
+	// Schedule: 0, 2, 1, 5 (hoisted above 4), 3, 4.
+	res, err := AllocateSequence(ops, []int{0, 2, 1, 5, 3, 4}, ds, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyOrders(res); err != nil {
+		t.Error(err)
+	}
+	// op4 checks op5 (C bit); the holder of op0's moved range must have a
+	// strictly smaller order than op4, so op4's check (which covers orders
+	// >= order(4)) cannot reach it. The holder is the AMOV pseudo-op: the
+	// single ID in Order that is not a real op.
+	holder := -1
+	for id := range res.Order {
+		if id >= len(ops) {
+			holder = id
+		}
+	}
+	if holder == -1 {
+		t.Fatal("AMOV holder not allocated")
+	}
+	if res.Order[holder] >= res.Order[4] {
+		t.Errorf("order(holder)=%d >= order(op4)=%d: op4 could falsely check the moved range",
+			res.Order[holder], res.Order[4])
+	}
+	if res.Stats.Antis != 1 {
+		t.Errorf("antis = %d, want 1 (the AMOV's; op4's protection is automatic once the holder is allocated)", res.Stats.Antis)
+	}
+}
+
+func TestOverflowDetection(t *testing.T) {
+	// 5 loads hoisted above one store that checks all of them: 5 live
+	// registers with only 4 physical.
+	ops := mkOps("SLLLLL")
+	ds := mkDeps(dep(0, 1), dep(0, 2), dep(0, 3), dep(0, 4), dep(0, 5))
+	_, err := AllocateSequence(ops, []int{1, 2, 3, 4, 5, 0}, ds, 4)
+	if err == nil {
+		t.Fatal("expected overflow error")
+	}
+	if !strings.Contains(err.Error(), "overflow") {
+		t.Errorf("error = %v, want overflow", err)
+	}
+	// With 5 registers it must fit.
+	ops = mkOps("SLLLLL")
+	res, err := AllocateSequence(ops, []int{1, 2, 3, 4, 5, 0}, ds, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.WorkingSet != 5 {
+		t.Errorf("working set = %d, want 5", res.Stats.WorkingSet)
+	}
+}
+
+func TestPressureEstimate(t *testing.T) {
+	ops := mkOps("SLLL")
+	ds := mkDeps(dep(0, 1), dep(0, 2), dep(0, 3))
+	a := NewAllocator(len(ops), ds, 64)
+	if p := a.Pressure(0); p != 0 {
+		t.Errorf("initial pressure = %d, want 0", p)
+	}
+	a.Schedule(ops[1])
+	a.Schedule(ops[2])
+	// Two pending P ops; with 1 potential future setter the estimate is 3.
+	if p := a.Pressure(1); p != 3 {
+		t.Errorf("pressure = %d, want 3", p)
+	}
+	a.Schedule(ops[3])
+	a.Schedule(ops[0])
+	if _, err := a.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	if p := a.Pressure(0); p != 0 {
+		t.Errorf("final pressure = %d, want 0", p)
+	}
+}
+
+func TestNonMemOpsPassThrough(t *testing.T) {
+	ops := mkOps("aLaSa")
+	ds := mkDeps(dep(1, 3))
+	res, err := AllocateSequence(ops, []int{0, 3, 2, 1, 4}, ds, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// op1 demoted below op3: op1 checks op3.
+	if !ops[1].C || !ops[3].P {
+		t.Error("C/P bits missing on reordered pair")
+	}
+	if len(res.Seq) < 5 {
+		t.Errorf("sequence lost ops: %d < 5", len(res.Seq))
+	}
+}
+
+func TestScheduleTwicePanics(t *testing.T) {
+	ops := mkOps("L")
+	a := NewAllocator(1, deps.NewSet(), 4)
+	a.Schedule(ops[0])
+	defer func() {
+		if recover() == nil {
+			t.Error("double schedule did not panic")
+		}
+	}()
+	a.Schedule(ops[0])
+}
+
+func TestFinishRejectsBadSchedule(t *testing.T) {
+	ops := mkOps("LS")
+	if _, err := AllocateSequence(ops, []int{0, 5}, mkDeps(), 4); err == nil {
+		t.Error("out-of-range schedule accepted")
+	}
+}
+
+func TestNoDepsNoRegisters(t *testing.T) {
+	ops := mkOps("LSLS")
+	res, err := AllocateSequence(ops, []int{3, 2, 1, 0}, mkDeps(), 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.PBits != 0 || res.Stats.CBits != 0 || res.Stats.WorkingSet != 0 {
+		t.Errorf("stats = %+v, want no register activity", res.Stats)
+	}
+	for _, op := range ops {
+		if op.AROffset != -1 {
+			t.Errorf("op %d got register offset %d, want none", op.ID, op.AROffset)
+		}
+	}
+}
+
+func TestRotationKeepsBaseInvariance(t *testing.T) {
+	// order(X) = base(X) + offset(X) must hold for every allocated op.
+	ops := mkOps("SLSLSL")
+	ds := mkDeps(dep(0, 1), dep(0, 3), dep(2, 3), dep(2, 5), dep(4, 5))
+	res, err := AllocateSequence(ops, []int{1, 3, 5, 0, 2, 4}, ds, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, op := range res.Seq {
+		if op.IsMem() && op.AROffset >= 0 {
+			if res.Order[op.ID] != res.Base[op.ID]+op.AROffset {
+				t.Errorf("op %d: order %d != base %d + offset %d",
+					op.ID, res.Order[op.ID], res.Base[op.ID], op.AROffset)
+			}
+		}
+	}
+	// Sum of rotations equals the final next_order (all registers are
+	// eventually released).
+	if res.Stats.RotateTotal != res.Stats.PBits {
+		t.Errorf("rotation total %d != P count %d", res.Stats.RotateTotal, res.Stats.PBits)
+	}
+}
+
+// TestAMovChain: a register moved by one AMOV can need moving again when a
+// second cycle forms against the holder; resolve() must follow the chain.
+func TestAMovChain(t *testing.T) {
+	// Extend TestCycleMovingAMov: after the first AMOV (holding op0's
+	// range), create a second cycle against the holder via a later
+	// anti candidate whose target reaches it.
+	ops := mkOps("LSSSSS")
+	ds := mkDeps(
+		dep(0, 1), dep(1, 2), xdep(2, 0), xdep(3, 0), // first cycle (as before)
+		dep(0, 4), dep(4, 5), xdep(5, 0), // op4 anti candidate, op5 checks op0's range
+	)
+	res, err := AllocateSequence(ops, []int{0, 2, 1, 5, 4, 3}, ds, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyOrders(res); err != nil {
+		t.Error(err)
+	}
+	if res.Stats.AMovs < 1 {
+		t.Fatalf("expected at least one AMOV, got %d", res.Stats.AMovs)
+	}
+	// Whatever the final shape, every offset is in range and the
+	// invariance holds (checked via VerifyOrders + the base identity).
+	for _, op := range res.Seq {
+		if op.IsMem() && op.AROffset >= 0 {
+			if res.Order[op.ID] != res.Base[op.ID]+op.AROffset {
+				t.Errorf("op %d: base invariance broken", op.ID)
+			}
+		}
+	}
+}
+
+// TestPressureNeverNegative: the overflow estimate is a valid upper bound
+// throughout random allocations.
+func TestPressureNeverNegative(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 100; trial++ {
+		n := 6 + rng.Intn(8)
+		kinds := make([]byte, n)
+		for i := range kinds {
+			kinds[i] = "LS"[rng.Intn(2)]
+		}
+		ops := mkOps(string(kinds))
+		ds := deps.NewSet()
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if rng.Intn(3) == 0 {
+					ds.Add(deps.Dep{Src: i, Dst: j, Rel: alias.MayAlias})
+				}
+			}
+		}
+		a := NewAllocator(n, ds, 64)
+		maxSeen := 0
+		for _, id := range rng.Perm(n) {
+			a.Schedule(ops[id])
+			p := a.Pressure(0)
+			if p < 0 {
+				t.Fatalf("trial %d: negative pressure %d", trial, p)
+			}
+			if p > maxSeen {
+				maxSeen = p
+			}
+		}
+		res, err := a.Finish()
+		if err != nil {
+			t.Fatal(err)
+		}
+		// The final working set never exceeds the worst-case estimate
+		// seen during scheduling.
+		if res.Stats.WorkingSet > maxSeen && res.Stats.WorkingSet > 0 {
+			t.Errorf("trial %d: working set %d exceeded max estimate %d",
+				trial, res.Stats.WorkingSet, maxSeen)
+		}
+	}
+}

@@ -1,0 +1,113 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"smarq/internal/deps"
+	"smarq/internal/ir"
+)
+
+// AllocateSequence runs the allocator over a fixed schedule: ops is the
+// region's op list indexed by ID, schedule the chosen execution order (op
+// IDs). This is the paper's FAST ALGORITHM (§5.1) driver: allocation in
+// constraint order, one topological pass, without a surrounding list
+// scheduler. It returns the finished result.
+func AllocateSequence(ops []*ir.Op, schedule []int, ds *deps.Set, numRegs int) (*Result, error) {
+	a := NewAllocator(len(ops), ds, numRegs)
+	for _, id := range schedule {
+		if id < 0 || id >= len(ops) {
+			return nil, fmt.Errorf("core: schedule references op %d of %d", id, len(ops))
+		}
+		a.Schedule(ops[id])
+	}
+	return a.Finish()
+}
+
+// WorkingSets holds the Figure 17 statistics for one region.
+type WorkingSets struct {
+	// ProgramOrder: one register per memory operation, allocated in
+	// program order — the paper's normalizer (the straightforward
+	// order-based allocation of §2.4).
+	ProgramOrder int
+	// PBitOnly: program-order allocation restricted to operations that
+	// set alias registers (Figure 17's first bar).
+	PBitOnly int
+	// SMARQ: max offset + 1 achieved by the constraint-order allocation
+	// with rotation (second bar).
+	SMARQ int
+	// LowerBound: the maximum number of alias register live ranges
+	// crossing any program point (last bar) — no allocation can do
+	// better (§6.2).
+	LowerBound int
+}
+
+// MeasureWorkingSets derives all four Figure 17 statistics from a finished
+// allocation and the region's memory operation count.
+func MeasureWorkingSets(res *Result, memOps int) WorkingSets {
+	return WorkingSets{
+		ProgramOrder: memOps,
+		PBitOnly:     res.Stats.PBits,
+		SMARQ:        res.Stats.WorkingSet,
+		LowerBound:   LowerBound(res),
+	}
+}
+
+// LowerBound computes the live-range lower bound of §6.2: for each final
+// check constraint (checker, checkee), the checkee's alias register must
+// stay live from the checkee's position in the final sequence to its last
+// checker's position. The maximum number of such live ranges crossing any
+// point bounds every possible allocation from below.
+func LowerBound(res *Result) int {
+	pos := make(map[int]int, len(res.Seq))
+	for i, op := range res.Seq {
+		pos[op.ID] = i
+	}
+	type interval struct{ start, end int }
+	iv := make(map[int]*interval)
+	for _, c := range res.Checks {
+		srcPos, sok := pos[c[0]]
+		dstPos, dok := pos[c[1]]
+		if !sok || !dok {
+			continue
+		}
+		in := iv[c[1]]
+		if in == nil {
+			in = &interval{start: dstPos, end: dstPos}
+			iv[c[1]] = in
+		}
+		if srcPos > in.end {
+			in.end = srcPos
+		}
+	}
+	// Sweep: +1 at start, -1 after end.
+	type event struct{ at, delta int }
+	var events []event
+	for _, in := range iv {
+		events = append(events, event{in.start, +1}, event{in.end + 1, -1})
+	}
+	sort.Slice(events, func(i, j int) bool {
+		if events[i].at != events[j].at {
+			return events[i].at < events[j].at
+		}
+		return events[i].delta < events[j].delta // process -1 before +1 at same point
+	})
+	cur, max := 0, 0
+	for _, e := range events {
+		cur += e.delta
+		if cur > max {
+			max = cur
+		}
+	}
+	return max
+}
+
+// ProgramOrderSchedule returns the identity schedule over a region's ops —
+// the baseline order used when speculation is disabled.
+func ProgramOrderSchedule(n int) []int {
+	s := make([]int, n)
+	for i := range s {
+		s[i] = i
+	}
+	return s
+}

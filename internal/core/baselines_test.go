@@ -1,0 +1,191 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"smarq/internal/alias"
+	"smarq/internal/deps"
+	"smarq/internal/ir"
+)
+
+func TestLowerBoundSimple(t *testing.T) {
+	// Two disjoint live ranges -> lower bound 1; the SMARQ working set
+	// matches it.
+	ops := mkOps("SLSL")
+	ds := mkDeps(dep(0, 1), dep(2, 3))
+	res, err := AllocateSequence(ops, []int{1, 0, 3, 2}, ds, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lb := LowerBound(res); lb != 1 {
+		t.Errorf("LowerBound = %d, want 1", lb)
+	}
+	ws := MeasureWorkingSets(res, 4)
+	if ws.ProgramOrder != 4 || ws.PBitOnly != 2 || ws.SMARQ != 1 || ws.LowerBound != 1 {
+		t.Errorf("working sets = %+v, want {4 2 1 1}", ws)
+	}
+}
+
+func TestLowerBoundOverlapping(t *testing.T) {
+	// Both loads live across both stores -> lower bound 2.
+	ops := mkOps("SLSL")
+	ds := mkDeps(dep(0, 1), dep(0, 3), dep(2, 1), dep(2, 3))
+	res, err := AllocateSequence(ops, []int{1, 3, 0, 2}, ds, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lb := LowerBound(res); lb != 2 {
+		t.Errorf("LowerBound = %d, want 2", lb)
+	}
+	if res.Stats.WorkingSet < lb(t, res) {
+		t.Error("working set below lower bound — impossible")
+	}
+}
+
+func lb(t *testing.T, res *Result) int {
+	t.Helper()
+	return LowerBound(res)
+}
+
+func TestProgramOrderSchedule(t *testing.T) {
+	s := ProgramOrderSchedule(4)
+	for i, v := range s {
+		if v != i {
+			t.Fatalf("ProgramOrderSchedule[%d] = %d", i, v)
+		}
+	}
+}
+
+// TestWorkingSetNeverBelowLowerBound is the structural half of Figure 17:
+// for random regions and random schedules, SMARQ's working set is always
+// >= the live-range lower bound, and both are <= the P-bit count.
+func TestWorkingSetNeverBelowLowerBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 200; trial++ {
+		res, _, nMem := randomAllocation(rng, 64)
+		if res == nil {
+			continue
+		}
+		lbv := LowerBound(res)
+		ws := res.Stats.WorkingSet
+		if ws < lbv {
+			t.Fatalf("trial %d: working set %d < lower bound %d", trial, ws, lbv)
+		}
+		if res.Stats.PBits > nMem {
+			t.Fatalf("trial %d: more P bits (%d) than memory ops (%d)", trial, res.Stats.PBits, nMem)
+		}
+	}
+}
+
+// randomAllocation builds a random region (loads/stores), random forward
+// may-alias deps plus occasional backward extended deps, and a random
+// schedule; it runs the allocator and returns the result (nil on overflow,
+// which is legitimate for tiny register files).
+func randomAllocation(rng *rand.Rand, numRegs int) (*Result, []*ir.Op, int) {
+	res, ops, nMem, _ := randomAllocationDeps(rng, numRegs)
+	return res, ops, nMem
+}
+
+// randomAllocationDeps also returns the dependence set, for the detection
+// semantics test.
+func randomAllocationDeps(rng *rand.Rand, numRegs int) (*Result, []*ir.Op, int, *deps.Set) {
+	n := 4 + rng.Intn(12)
+	kinds := make([]byte, n)
+	nMem := 0
+	for i := range kinds {
+		switch rng.Intn(3) {
+		case 0:
+			kinds[i] = 'L'
+			nMem++
+		case 1:
+			kinds[i] = 'S'
+			nMem++
+		default:
+			kinds[i] = 'a'
+		}
+	}
+	ops := mkOps(string(kinds))
+	ds := deps.NewSet()
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if !ops[i].IsMem() || !ops[j].IsMem() {
+				continue
+			}
+			if ops[i].Kind != ir.Store && ops[j].Kind != ir.Store {
+				continue
+			}
+			switch rng.Intn(4) {
+			case 0: // forward dep
+				ds.Add(deps.Dep{Src: i, Dst: j, Rel: alias.MayAlias})
+			case 1: // occasionally a backward (extended) dep
+				if rng.Intn(3) == 0 {
+					ds.Add(deps.Dep{Src: j, Dst: i, Rel: alias.MayAlias, Extended: true})
+				}
+			}
+		}
+	}
+	schedule := rng.Perm(n)
+	res, err := AllocateSequence(ops, schedule, ds, numRegs)
+	if err != nil {
+		return nil, ops, nMem, ds
+	}
+	return res, ops, nMem, ds
+}
+
+// TestRandomAllocationsSatisfyConstraints fuzzes the allocator: any random
+// schedule must yield an allocation where every surviving check constraint
+// has order(checker) <= order(checkee), every anti is strict, and the
+// base/offset invariance holds.
+func TestRandomAllocationsSatisfyConstraints(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	checked := 0
+	for trial := 0; trial < 500; trial++ {
+		res, _, _ := randomAllocation(rng, 64)
+		if res == nil {
+			continue
+		}
+		checked++
+		if err := VerifyOrders(res); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		for _, op := range res.Seq {
+			if op.IsMem() && op.AROffset >= 0 {
+				if res.Order[op.ID] != res.Base[op.ID]+op.AROffset {
+					t.Fatalf("trial %d: base invariance broken on op %d", trial, op.ID)
+				}
+				if op.AROffset >= 64 {
+					t.Fatalf("trial %d: offset %d escaped overflow detection", trial, op.AROffset)
+				}
+			}
+			if op.Kind == ir.AMov && (op.SrcOff < 0 || op.SrcOff >= 64) {
+				t.Fatalf("trial %d: AMOV SrcOff %d out of range", trial, op.SrcOff)
+			}
+		}
+	}
+	if checked < 400 {
+		t.Errorf("only %d/500 trials allocated without overflow — generator too aggressive", checked)
+	}
+}
+
+// TestTinyRegisterFileOverflows confirms the overflow path fires under
+// pressure rather than producing bogus offsets.
+func TestTinyRegisterFileOverflows(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	sawOverflow := false
+	for trial := 0; trial < 300; trial++ {
+		res, _, _ := randomAllocation(rng, 2)
+		if res == nil {
+			sawOverflow = true
+			continue
+		}
+		for _, op := range res.Seq {
+			if op.IsMem() && op.AROffset >= 2 {
+				t.Fatalf("trial %d: offset %d with 2 registers not flagged", trial, op.AROffset)
+			}
+		}
+	}
+	if !sawOverflow {
+		t.Error("no overflow in 300 trials with 2 registers — suspicious")
+	}
+}

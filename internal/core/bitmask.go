@@ -1,0 +1,131 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"smarq/internal/aliashw"
+	"smarq/internal/deps"
+	"smarq/internal/ir"
+)
+
+// AllocateBitmask performs alias register allocation for the
+// Efficeon-like bit-mask hardware (§2.2): registers are *named*, not
+// ordered — each protected operation gets one of numRegs registers for
+// its live range (its position to its last checker's position), and each
+// checker's instruction encodes the exact set of registers to examine as
+// a bit-mask. Precision is perfect (no false positives, no
+// anti-constraints, no AMOVs) but the encoding caps the file at
+// aliashw.MaxBitmaskRegs — the scalability wall of Table 1.
+//
+// seq is the scheduled sequence (memory and non-memory ops; no rotates or
+// AMOVs exist in this mode). The ops are annotated in place: checkees get
+// P and AROffset (the register number), checkers get C and ARMask. It
+// fails when the live ranges need more than numRegs registers — the
+// caller must retry with less speculation.
+func AllocateBitmask(seq []*ir.Op, ds *deps.Set, numRegs int) (*Result, error) {
+	if numRegs > aliashw.MaxBitmaskRegs {
+		numRegs = aliashw.MaxBitmaskRegs
+	}
+	pos := make(map[int]int, len(seq))
+	for i, op := range seq {
+		pos[op.ID] = i
+	}
+
+	// Derive check pairs: for a dependence s →dep d, the later-executing
+	// op checks the earlier one exactly when d precedes s in the schedule
+	// (the same CHECK-CONSTRAINT rule as the ordered queue; here it only
+	// decides who checks whom, with no ordering consequences).
+	type interval struct {
+		checkee  int
+		start    int
+		end      int
+		checkers []int
+	}
+	byCheckee := make(map[int]*interval)
+	for _, d := range ds.All {
+		ps, okS := pos[d.Src]
+		pd, okD := pos[d.Dst]
+		if !okS || !okD || pd >= ps {
+			continue
+		}
+		iv := byCheckee[d.Dst]
+		if iv == nil {
+			iv = &interval{checkee: d.Dst, start: pd, end: pd}
+			byCheckee[d.Dst] = iv
+		}
+		if ps > iv.end {
+			iv.end = ps
+		}
+		iv.checkers = append(iv.checkers, d.Src)
+	}
+
+	// Linear scan over intervals ordered by start.
+	ivs := make([]*interval, 0, len(byCheckee))
+	for _, iv := range byCheckee {
+		ivs = append(ivs, iv)
+	}
+	sort.Slice(ivs, func(i, j int) bool { return ivs[i].start < ivs[j].start })
+
+	free := make([]int, 0, numRegs)
+	for r := numRegs - 1; r >= 0; r-- {
+		free = append(free, r) // pop from the back -> lowest register first
+	}
+	type active struct{ end, reg int }
+	var act []active
+	regOf := make(map[int]int, len(ivs))
+	stats := Stats{}
+	for _, iv := range ivs {
+		// Expire finished intervals.
+		keep := act[:0]
+		for _, a := range act {
+			if a.end < iv.start {
+				free = append(free, a.reg)
+			} else {
+				keep = append(keep, a)
+			}
+		}
+		act = keep
+		if len(free) == 0 {
+			return nil, fmt.Errorf("core: bitmask allocation needs more than %d registers", numRegs)
+		}
+		reg := free[len(free)-1]
+		free = free[:len(free)-1]
+		act = append(act, active{end: iv.end, reg: reg})
+		regOf[iv.checkee] = reg
+		if len(act) > stats.WorkingSet {
+			stats.WorkingSet = len(act)
+		}
+	}
+
+	// Annotate.
+	opByID := make(map[int]*ir.Op, len(seq))
+	for _, op := range seq {
+		opByID[op.ID] = op
+	}
+	checks := make([][2]int, 0)
+	for _, iv := range ivs {
+		ce := opByID[iv.checkee]
+		ce.P = true
+		ce.AROffset = regOf[iv.checkee]
+		stats.PBits++
+		for _, ck := range iv.checkers {
+			op := opByID[ck]
+			if !op.C {
+				op.C = true
+				stats.CBits++
+			}
+			op.ARMask |= 1 << uint(regOf[iv.checkee])
+			stats.Checks++
+			checks = append(checks, [2]int{ck, iv.checkee})
+		}
+	}
+	for _, op := range seq {
+		if op.IsMem() {
+			stats.MemOps++
+		}
+	}
+
+	return &Result{Seq: seq, Stats: stats, Checks: checks,
+		Order: map[int]int{}, Base: map[int]int{}}, nil
+}

@@ -1,0 +1,131 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"smarq/internal/ir"
+)
+
+// seqOf arranges ops in the given schedule order.
+func seqOf(ops []*ir.Op, order ...int) []*ir.Op {
+	out := make([]*ir.Op, len(order))
+	for i, id := range order {
+		out[i] = ops[id]
+	}
+	return out
+}
+
+func TestBitmaskBasic(t *testing.T) {
+	// Loads 1,3 hoisted above stores 0,2; store 0 checks both, store 2
+	// checks 3 only.
+	ops := mkOps("SLSL")
+	ds := mkDeps(dep(0, 1), dep(0, 3), dep(2, 3))
+	res, err := AllocateBitmask(seqOf(ops, 1, 3, 0, 2), ds, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ops[1].P || !ops[3].P {
+		t.Error("checkees lack P bits")
+	}
+	if ops[1].AROffset == ops[3].AROffset {
+		t.Error("overlapping live ranges share a register")
+	}
+	if !ops[0].C || !ops[2].C {
+		t.Error("checkers lack C bits")
+	}
+	want0 := uint16(1<<uint(ops[1].AROffset) | 1<<uint(ops[3].AROffset))
+	if ops[0].ARMask != want0 {
+		t.Errorf("store 0 mask = %#x, want %#x", ops[0].ARMask, want0)
+	}
+	if ops[2].ARMask != 1<<uint(ops[3].AROffset) {
+		t.Errorf("store 2 mask = %#x, want only op3's register", ops[2].ARMask)
+	}
+	if res.Stats.Checks != 3 || res.Stats.PBits != 2 || res.Stats.CBits != 2 {
+		t.Errorf("stats = %+v", res.Stats)
+	}
+	if res.Stats.WorkingSet != 2 {
+		t.Errorf("working set = %d, want 2", res.Stats.WorkingSet)
+	}
+}
+
+func TestBitmaskRegisterReuse(t *testing.T) {
+	// Disjoint live ranges reuse the same register: L S L S with each
+	// load checked only by its own store.
+	ops := mkOps("SLSL")
+	ds := mkDeps(dep(0, 1), dep(2, 3))
+	res, err := AllocateBitmask(seqOf(ops, 1, 0, 3, 2), ds, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ops[1].AROffset != ops[3].AROffset {
+		t.Error("disjoint live ranges did not reuse the register")
+	}
+	if res.Stats.WorkingSet != 1 {
+		t.Errorf("working set = %d, want 1", res.Stats.WorkingSet)
+	}
+}
+
+func TestBitmaskOverflow(t *testing.T) {
+	// 16 loads all live across one store: cannot fit 15 named registers.
+	kinds := "S" + strings.Repeat("L", 16)
+	ops := mkOps(kinds)
+	var sd []int
+	ds := mkDeps()
+	for i := 1; i <= 16; i++ {
+		ds.Add(dep(0, i))
+		sd = append(sd, i)
+	}
+	sd = append(sd, 0)
+	_, err := AllocateBitmask(seqOf(ops, sd...), ds, 15)
+	if err == nil {
+		t.Fatal("16 concurrent live ranges fit in 15 registers?!")
+	}
+	if !strings.Contains(err.Error(), "15") {
+		t.Errorf("error %v does not mention the register cap", err)
+	}
+}
+
+func TestBitmaskCapsAtEncodingLimit(t *testing.T) {
+	// Asking for 64 registers silently caps at 15 (the encoding wall).
+	kinds := "S" + strings.Repeat("L", 16)
+	ops := mkOps(kinds)
+	ds := mkDeps()
+	var sd []int
+	for i := 1; i <= 16; i++ {
+		ds.Add(dep(0, i))
+		sd = append(sd, i)
+	}
+	sd = append(sd, 0)
+	if _, err := AllocateBitmask(seqOf(ops, sd...), ds, 64); err == nil {
+		t.Error("encoding cap not enforced")
+	}
+}
+
+func TestBitmaskBackwardDeps(t *testing.T) {
+	// Elimination-style backward dep: program order, store checks the
+	// earlier load's register.
+	ops := mkOps("LS")
+	ds := mkDeps(xdep(1, 0))
+	_, err := AllocateBitmask(seqOf(ops, 0, 1), ds, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ops[0].P || !ops[1].C {
+		t.Error("backward-dep check not derived")
+	}
+	if ops[1].ARMask != 1<<uint(ops[0].AROffset) {
+		t.Error("mask does not select the source's register")
+	}
+}
+
+func TestBitmaskNoChecksNoRegisters(t *testing.T) {
+	ops := mkOps("LSLS")
+	res, err := AllocateBitmask(seqOf(ops, 0, 1, 2, 3), mkDeps(), 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.PBits != 0 || res.Stats.WorkingSet != 0 {
+		t.Errorf("unexpected allocation: %+v", res.Stats)
+	}
+}

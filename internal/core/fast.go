@@ -1,0 +1,154 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+)
+
+// This file implements §5.1 in its standalone presentation: FAST ALGORITHM
+// (allocation by topological traversal of an acyclic constraint graph) and
+// MAX-BASE (the rotation placement that minimizes offsets after the
+// fact). The integrated allocator subsumes both, but the standalone form
+// is the paper's pedagogical core and allocates Figure 7 exactly; keeping
+// it separately lets tests confirm the two formulations agree.
+
+// Constraint is one explicit constraint edge for FastAllocate: Src's
+// register order must not exceed Dst's (strictly less for Anti).
+type Constraint struct {
+	Src, Dst int
+	Anti     bool
+}
+
+// FastResult is a standalone allocation: orders, bases and offsets per op,
+// and the rotation amounts to insert after each schedule position.
+type FastResult struct {
+	Order, Base, Offset map[int]int
+	// RotateAfter[pos] is the rotation to insert after schedule[pos].
+	RotateAfter map[int]int
+	// WorkingSet is max offset + 1.
+	WorkingSet int
+}
+
+// FastAllocate runs FAST ALGORITHM over the ops that need registers.
+//
+//	schedule — op IDs in execution order.
+//	pBit     — ops that set an alias register.
+//	cBit     — ops that check alias registers.
+//	cons     — the (acyclic) constraint edges.
+//
+// Orders are assigned in a topological order of the constraint graph that
+// follows the schedule where possible (matching the integrated
+// allocator's delayed allocation); "If P(X) is set, we allocate a new
+// alias register order ... If only C(X) is set, we just set order(X) =
+// next_order without increasing next_order." Afterwards MAX-BASE computes
+// base(X) as the minimum order among X and everything scheduled after it,
+// and rotations are placed where base increases. An error reports a cycle
+// (the integrated allocator would break it with an AMOV; the standalone
+// algorithm per §5.1 requires acyclicity).
+func FastAllocate(schedule []int, pBit, cBit map[int]bool, cons []Constraint) (*FastResult, error) {
+	pos := make(map[int]int, len(schedule))
+	for i, id := range schedule {
+		pos[id] = i
+	}
+	indeg := map[int]int{}
+	out := map[int][]int{}
+	for _, c := range cons {
+		out[c.Src] = append(out[c.Src], c.Dst)
+		indeg[c.Dst]++
+	}
+
+	// Kahn's algorithm, preferring the op whose *last constraint user*
+	// comes earliest — the delayed-allocation order. Ties break by
+	// schedule position.
+	needsReg := map[int]bool{}
+	for id := range pBit {
+		needsReg[id] = true
+	}
+	for id := range cBit {
+		needsReg[id] = true
+	}
+	var ready []int
+	for id := range needsReg {
+		if indeg[id] == 0 {
+			ready = append(ready, id)
+		}
+	}
+	sort.Slice(ready, func(i, j int) bool { return pos[ready[i]] < pos[ready[j]] })
+
+	res := &FastResult{
+		Order: map[int]int{}, Base: map[int]int{}, Offset: map[int]int{},
+		RotateAfter: map[int]int{},
+	}
+	next := 0
+	allocated := 0
+	for len(ready) > 0 {
+		x := ready[0]
+		ready = ready[1:]
+		res.Order[x] = next
+		if pBit[x] {
+			next++
+		}
+		allocated++
+		for _, dst := range out[x] {
+			indeg[dst]--
+			if indeg[dst] == 0 && needsReg[dst] {
+				// Insert keeping schedule order among ready ops.
+				i := sort.Search(len(ready), func(i int) bool { return pos[ready[i]] > pos[dst] })
+				ready = append(ready, 0)
+				copy(ready[i+1:], ready[i:])
+				ready[i] = dst
+			}
+		}
+	}
+	if allocated != len(needsReg) {
+		return nil, fmt.Errorf("core: constraint graph has a cycle (%d of %d ops allocated)", allocated, len(needsReg))
+	}
+
+	// MAX-BASE: base(X) = MIN{order(Y) | Y at or after X in the schedule}.
+	// Suffix minimum over schedule positions.
+	minSuffix := make([]int, len(schedule)+1)
+	minSuffix[len(schedule)] = next // nothing after: everything released
+	for i := len(schedule) - 1; i >= 0; i-- {
+		minSuffix[i] = minSuffix[i+1]
+		if o, ok := res.Order[schedule[i]]; ok && o < minSuffix[i] {
+			minSuffix[i] = o
+		}
+	}
+	prevBase := 0
+	for i, id := range schedule {
+		base := minSuffix[i]
+		if _, ok := res.Order[id]; ok {
+			res.Base[id] = base
+			off := res.Order[id] - base
+			res.Offset[id] = off
+			if off+1 > res.WorkingSet {
+				res.WorkingSet = off + 1
+			}
+		}
+		// A rotation is inserted after position i when the base for the
+		// remaining ops has advanced.
+		if nextBase := minSuffix[i+1]; nextBase > prevBase {
+			res.RotateAfter[i] = nextBase - prevBase
+			prevBase = nextBase
+		}
+	}
+	return res, nil
+}
+
+// VerifyFast confirms REGISTER-ALLOCATION-RULE on a standalone result.
+func VerifyFast(res *FastResult, cons []Constraint) error {
+	for _, c := range cons {
+		so, sok := res.Order[c.Src]
+		do, dok := res.Order[c.Dst]
+		if !sok || !dok {
+			return fmt.Errorf("core: constraint %+v references unallocated op", c)
+		}
+		if c.Anti && so >= do {
+			return fmt.Errorf("core: anti constraint %+v violated (%d >= %d)", c, so, do)
+		}
+		if !c.Anti && so > do {
+			return fmt.Errorf("core: check constraint %+v violated (%d > %d)", c, so, do)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,145 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestFastAllocateHandExample is a Figure 7-shaped example worked by hand:
+// two hoisted loads (ops 1, 3), three checkers (0, 2, 4), schedule
+// [1 3 0 2 4]. The expected orders, bases, offsets and rotations follow
+// §5.1/§3.2 exactly.
+func TestFastAllocateHandExample(t *testing.T) {
+	schedule := []int{1, 3, 0, 2, 4}
+	pBit := map[int]bool{1: true, 3: true}
+	cBit := map[int]bool{0: true, 2: true, 4: true}
+	cons := []Constraint{{Src: 0, Dst: 1}, {Src: 2, Dst: 3}, {Src: 4, Dst: 3}}
+
+	res, err := FastAllocate(schedule, pBit, cBit, cons)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyFast(res, cons); err != nil {
+		t.Fatal(err)
+	}
+	wantOrder := map[int]int{0: 0, 1: 0, 2: 1, 3: 1, 4: 1}
+	for id, want := range wantOrder {
+		if res.Order[id] != want {
+			t.Errorf("order(%d) = %d, want %d", id, res.Order[id], want)
+		}
+	}
+	wantBase := map[int]int{1: 0, 3: 0, 0: 0, 2: 1, 4: 1}
+	for id, want := range wantBase {
+		if res.Base[id] != want {
+			t.Errorf("base(%d) = %d, want %d", id, res.Base[id], want)
+		}
+	}
+	// offset = order - base.
+	if res.Offset[3] != 1 || res.Offset[2] != 0 || res.Offset[4] != 0 {
+		t.Errorf("offsets = %v", res.Offset)
+	}
+	if res.WorkingSet != 2 {
+		t.Errorf("working set = %d, want 2", res.WorkingSet)
+	}
+	// Rotations: by 1 after the first checker finishes with register 0
+	// (schedule position 2), by 1 after the last op.
+	if res.RotateAfter[2] != 1 || res.RotateAfter[4] != 1 {
+		t.Errorf("rotations = %v, want {2:1, 4:1}", res.RotateAfter)
+	}
+	if len(res.RotateAfter) != 2 {
+		t.Errorf("extra rotations: %v", res.RotateAfter)
+	}
+}
+
+func TestFastAllocateRejectsCycle(t *testing.T) {
+	schedule := []int{0, 1}
+	pBit := map[int]bool{0: true, 1: true}
+	cBit := map[int]bool{0: true, 1: true}
+	cons := []Constraint{{Src: 0, Dst: 1}, {Src: 1, Dst: 0, Anti: true}}
+	if _, err := FastAllocate(schedule, pBit, cBit, cons); err == nil {
+		t.Fatal("cycle not reported")
+	}
+}
+
+func TestFastAllocateAntiStrict(t *testing.T) {
+	schedule := []int{0, 1, 2}
+	pBit := map[int]bool{0: true, 2: true}
+	cBit := map[int]bool{1: true}
+	cons := []Constraint{
+		{Src: 0, Dst: 1, Anti: true}, // order(0) < order(1)
+		{Src: 1, Dst: 2},             // order(1) <= order(2)
+	}
+	res, err := FastAllocate(schedule, pBit, cBit, cons)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyFast(res, cons); err != nil {
+		t.Error(err)
+	}
+	if res.Order[0] >= res.Order[1] {
+		t.Error("anti not strict")
+	}
+}
+
+// TestFastAgreesWithIntegrated: for random reorder-style problems, the
+// standalone §5.1 algorithm and the integrated Figure 13 allocator derive
+// equally valid allocations with the same working set — the two
+// presentations of the algorithm coincide.
+func TestFastAgreesWithIntegrated(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	agree := 0
+	for trial := 0; trial < 300; trial++ {
+		res, ops, _ := randomAllocation(rng, 64)
+		if res == nil || res.Stats.AMovs > 0 {
+			continue // standalone form requires acyclic graphs
+		}
+		// Rebuild the constraint inputs from the integrated result.
+		var schedule []int
+		pBit := map[int]bool{}
+		cBit := map[int]bool{}
+		for _, op := range res.Seq {
+			if op.ID < len(ops) {
+				schedule = append(schedule, op.ID)
+			}
+			if op.P {
+				pBit[op.ID] = true
+			}
+			if op.C {
+				cBit[op.ID] = true
+			}
+		}
+		var cons []Constraint
+		for _, c := range res.Checks {
+			cons = append(cons, Constraint{Src: c[0], Dst: c[1]})
+		}
+		for _, c := range res.Antis {
+			cons = append(cons, Constraint{Src: c[0], Dst: c[1], Anti: true})
+		}
+		fast, err := FastAllocate(schedule, pBit, cBit, cons)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if err := VerifyFast(fast, cons); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		// Both orders are valid; the tie-breaking differs (the standalone
+		// form prefers earliest-scheduled ready ops and occasionally
+		// saves a register over the integrated FIFO), so require the two
+		// to be within one register and both bounded below by the
+		// live-range lower bound.
+		lb := LowerBound(res)
+		if fast.WorkingSet < lb {
+			t.Fatalf("trial %d: standalone working set %d below lower bound %d",
+				trial, fast.WorkingSet, lb)
+		}
+		diff := fast.WorkingSet - res.Stats.WorkingSet
+		if diff < -1 || diff > 1 {
+			t.Fatalf("trial %d: standalone working set %d vs integrated %d — formulations diverged",
+				trial, fast.WorkingSet, res.Stats.WorkingSet)
+		}
+		agree++
+	}
+	if agree < 200 {
+		t.Errorf("only %d/300 trials compared — generator too cycle-happy", agree)
+	}
+}

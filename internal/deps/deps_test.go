@@ -1,0 +1,216 @@
+package deps
+
+import (
+	"testing"
+
+	"smarq/internal/alias"
+	"smarq/internal/guest"
+	"smarq/internal/ir"
+)
+
+// buildRegion creates a region of memory ops from a compact spec.
+// Each entry: kind, root vreg, offset. All accesses are 8 bytes.
+type memSpec struct {
+	kind ir.Kind
+	root ir.VReg
+	off  int64
+}
+
+func buildRegion(specs []memSpec) *ir.Region {
+	r := &ir.Region{NumVRegs: 64}
+	for i, s := range specs {
+		o := &ir.Op{ID: i, Kind: s.kind, GOp: guest.Ld8, Dst: ir.NoVReg,
+			Mem: &ir.MemInfo{Base: s.root, Off: s.off, Size: 8, Root: s.root, RootOff: s.off}}
+		if s.kind == ir.Store {
+			o.GOp = guest.St8
+			o.Srcs = []ir.VReg{5, ir.VReg(s.root)}
+			o.SrcFloat = []bool{false, false}
+		} else {
+			o.Dst = 20
+			o.Srcs = []ir.VReg{ir.VReg(s.root)}
+			o.SrcFloat = []bool{false}
+		}
+		r.Ops = append(r.Ops, o)
+	}
+	return r
+}
+
+func TestComputeBaseDependences(t *testing.T) {
+	// op0: ld [v1+0], op1: st [v2+0] (may), op2: ld [v1+0] (must vs op0, may vs op1)
+	reg := buildRegion([]memSpec{
+		{ir.Load, 1, 0},
+		{ir.Store, 2, 0},
+		{ir.Load, 1, 0},
+	})
+	tbl := alias.BuildTable(reg, nil)
+	s := Compute(reg, tbl)
+	if !s.Has(0, 1) {
+		t.Error("missing dep 0->1 (load/store may-alias)")
+	}
+	if !s.Has(1, 2) {
+		t.Error("missing dep 1->2 (store/load may-alias)")
+	}
+	if s.Has(0, 2) {
+		t.Error("unexpected dep 0->2 (load/load pairs carry no dependence)")
+	}
+	if len(s.All) != 2 {
+		t.Errorf("got %d deps, want 2: %v", len(s.All), s.Sorted())
+	}
+}
+
+func TestComputeSkipsProvablyDisjoint(t *testing.T) {
+	// Same root, disjoint offsets: the compiler disambiguates them
+	// (Figure 7 (c): "There is no dependence M1->dep M2 ... since the
+	// compiler can easily disambiguate them").
+	reg := buildRegion([]memSpec{
+		{ir.Store, 1, 0},
+		{ir.Load, 1, 8},
+		{ir.Store, 1, 16},
+	})
+	tbl := alias.BuildTable(reg, nil)
+	s := Compute(reg, tbl)
+	if len(s.All) != 0 {
+		t.Errorf("disjoint accesses produced deps: %v", s.Sorted())
+	}
+}
+
+func TestComputeStoreStore(t *testing.T) {
+	reg := buildRegion([]memSpec{
+		{ir.Store, 1, 0},
+		{ir.Store, 2, 0},
+	})
+	tbl := alias.BuildTable(reg, nil)
+	s := Compute(reg, tbl)
+	if !s.Has(0, 1) {
+		t.Error("store-store may-alias pair must carry a dependence")
+	}
+}
+
+func TestExtendedLoadElim(t *testing.T) {
+	// op0: ld [v1] (source X), op1: st [v2] (intervening store, may-alias),
+	// op2: st [v1+8] (disjoint from X), op3: ld [v3] (intervening load),
+	// op4: ld [v1] (eliminated Z).
+	reg := buildRegion([]memSpec{
+		{ir.Load, 1, 0},
+		{ir.Store, 2, 0},
+		{ir.Store, 1, 8},
+		{ir.Load, 3, 0},
+		{ir.Load, 1, 0},
+	})
+	tbl := alias.BuildTable(reg, nil)
+	s := NewSet()
+	AddExtendedLoadElim(s, reg, tbl, 0, 4)
+	if !s.Has(1, 0) {
+		t.Error("missing backward xdep 1->0 (intervening may-alias store)")
+	}
+	if s.Has(2, 0) {
+		t.Error("disjoint intervening store must not add an xdep")
+	}
+	if s.Has(3, 0) {
+		t.Error("intervening load must not add an xdep for load elimination")
+	}
+	for _, d := range s.All {
+		if !d.Extended {
+			t.Errorf("dep %v not marked extended", d)
+		}
+	}
+}
+
+func TestExtendedStoreElim(t *testing.T) {
+	// op0: st [v1] (eliminated X), op1: ld [v2] (intervening load,
+	// may-alias Z), op2: st [v3] (intervening store), op3: ld [v1+8]
+	// (intervening load, disjoint from Z), op4: st [v1] (overwriting Z).
+	reg := buildRegion([]memSpec{
+		{ir.Store, 1, 0},
+		{ir.Load, 2, 0},
+		{ir.Store, 3, 0},
+		{ir.Load, 1, 8},
+		{ir.Store, 1, 0},
+	})
+	tbl := alias.BuildTable(reg, nil)
+	s := NewSet()
+	AddExtendedStoreElim(s, reg, tbl, 0, 4, nil)
+	if !s.Has(4, 1) {
+		t.Error("missing backward xdep 4->1 (Z checks intervening load)")
+	}
+	if s.Has(4, 2) {
+		t.Error("intervening store must not add an xdep for store elimination (paper §4.1)")
+	}
+	if s.Has(4, 3) {
+		t.Error("disjoint intervening load must not add an xdep")
+	}
+}
+
+// TestExtendedStoreElimRedirectsEliminatedLoads: an intervening load that
+// was itself eliminated contributes a dependence on its forwarding source
+// instead.
+func TestExtendedStoreElimRedirectsEliminatedLoads(t *testing.T) {
+	// op0: ld [v2] (forwarding source), op1: st [v1] (eliminated X),
+	// op2: ld [v2] (eliminated load, forwarded from op0), op3: st [v1]
+	// (overwriting Z).
+	reg := buildRegion([]memSpec{
+		{ir.Load, 2, 0},
+		{ir.Store, 1, 0},
+		{ir.Load, 2, 0},
+		{ir.Store, 1, 0},
+	})
+	tbl := alias.BuildTable(reg, nil) // classify before mutating
+	// Simulate the load elimination: op2 becomes a Copy.
+	reg.Ops[2].Kind = ir.Copy
+	s := NewSet()
+	AddExtendedStoreElim(s, reg, tbl, 1, 3, map[int]int{2: 0})
+	if !s.Has(3, 0) {
+		t.Errorf("xdep not redirected to forwarding source: %v", s.Sorted())
+	}
+	if s.Has(3, 2) {
+		t.Error("xdep still targets the eliminated load")
+	}
+}
+
+func TestSetDeduplication(t *testing.T) {
+	s := NewSet()
+	s.Add(Dep{Src: 1, Dst: 2, Rel: alias.MayAlias})
+	s.Add(Dep{Src: 1, Dst: 2, Rel: alias.MayAlias})
+	s.Add(Dep{Src: 1, Dst: 1, Rel: alias.MayAlias}) // self edge ignored
+	if len(s.All) != 1 {
+		t.Errorf("got %d deps, want 1", len(s.All))
+	}
+}
+
+func TestByDst(t *testing.T) {
+	s := NewSet()
+	s.Add(Dep{Src: 0, Dst: 3})
+	s.Add(Dep{Src: 1, Dst: 3})
+	s.Add(Dep{Src: 2, Dst: 4})
+	got := s.ByDst(3)
+	if len(got) != 2 {
+		t.Fatalf("ByDst(3) returned %d deps, want 2", len(got))
+	}
+	if got[0].Src != 0 || got[1].Src != 1 {
+		t.Errorf("ByDst(3) srcs = %d,%d want 0,1", got[0].Src, got[1].Src)
+	}
+	if len(s.ByDst(99)) != 0 {
+		t.Error("ByDst on absent op should be empty")
+	}
+}
+
+func TestCounts(t *testing.T) {
+	s := NewSet()
+	s.Add(Dep{Src: 0, Dst: 1})
+	s.Add(Dep{Src: 2, Dst: 1, Extended: true})
+	base, ext := s.Counts()
+	if base != 1 || ext != 1 {
+		t.Errorf("Counts = (%d,%d), want (1,1)", base, ext)
+	}
+}
+
+func TestSortedDeterministic(t *testing.T) {
+	s := NewSet()
+	s.Add(Dep{Src: 3, Dst: 4})
+	s.Add(Dep{Src: 1, Dst: 2})
+	s.Add(Dep{Src: 1, Dst: 0})
+	got := s.Sorted()
+	if got[0].Src != 1 || got[0].Dst != 0 || got[2].Src != 3 {
+		t.Errorf("Sorted order wrong: %v", got)
+	}
+}

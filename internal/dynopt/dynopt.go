@@ -1,0 +1,533 @@
+// Package dynopt is the dynamic optimization system of Figure 1: guest
+// code starts in the interpreter, hot blocks grow into superblock regions,
+// regions are translated, speculatively optimized, scheduled with SMARQ
+// alias register allocation, and installed in a code cache. Translated
+// regions execute inside atomic regions on the VLIW model; alias
+// exceptions roll back and trigger conservative re-optimization with the
+// offending pair blacklisted, exactly as the paper's runtime module does.
+package dynopt
+
+import (
+	"fmt"
+
+	"smarq/internal/alias"
+	"smarq/internal/aliashw"
+	"smarq/internal/core"
+	"smarq/internal/deps"
+	"smarq/internal/guest"
+	"smarq/internal/interp"
+	"smarq/internal/ir"
+	"smarq/internal/opt"
+	"smarq/internal/region"
+	"smarq/internal/sched"
+	"smarq/internal/vliw"
+	"smarq/internal/xlate"
+)
+
+// Config selects the alias hardware and tuning parameters for a run.
+type Config struct {
+	// Mode selects the alias-detection hardware.
+	Mode sched.HWMode
+	// NumAliasRegs sizes the ordered queue (ignored for ALAT/None).
+	NumAliasRegs int
+	// StoreReorder allows speculative store-store reordering (HWOrdered).
+	StoreReorder bool
+	// HotThreshold is the block execution count that triggers region
+	// formation.
+	HotThreshold uint64
+	// MaxGuardFails drops a region from the cache after this many
+	// consecutive off-trace exits.
+	MaxGuardFails int
+	// Region controls superblock formation.
+	Region region.Config
+	// Machine is the VLIW model.
+	Machine vliw.Config
+	// Ablation switches off individual SMARQ design elements for the
+	// ablation studies (zero value = the full system).
+	Ablation Ablation
+	// Trace, when non-nil, receives one line per runtime event
+	// (compilation, alias exception, region drop) — the observability
+	// hook for debugging translated workloads.
+	Trace func(format string, args ...interface{})
+}
+
+// Ablation selects design elements to disable.
+type Ablation struct {
+	// Anti drops anti-constraints: accidental checks between
+	// never-reordered operations become runtime false positives.
+	Anti bool
+	// Rotation stops reusing alias registers through queue rotation.
+	Rotation bool
+	// Elim disables speculative load/store elimination.
+	Elim bool
+}
+
+// DefaultConfig returns the paper's primary configuration: SMARQ with 64
+// alias registers.
+func DefaultConfig() Config {
+	return Config{
+		Mode:          sched.HWOrdered,
+		NumAliasRegs:  64,
+		StoreReorder:  true,
+		HotThreshold:  50,
+		MaxGuardFails: 8,
+		Region:        region.DefaultConfig(),
+		Machine:       vliw.DefaultConfig(),
+	}
+}
+
+// Named preset configurations for the paper's comparisons (Figure 15/16).
+
+// ConfigSMARQ is SMARQ with n ordered alias registers (n=64 reproduces the
+// paper's SMARQ bar, n=16 the Efficeon-like SMARQ16 bar).
+func ConfigSMARQ(n int) Config {
+	c := DefaultConfig()
+	c.NumAliasRegs = n
+	return c
+}
+
+// ConfigALAT is the Itanium-like model.
+func ConfigALAT() Config {
+	c := DefaultConfig()
+	c.Mode = sched.HWALAT
+	return c
+}
+
+// ConfigEfficeon is the true bit-mask model: precise named-register
+// detection with explicit check masks, capped at 15 registers by the
+// instruction encoding (§2.2). The paper approximates Efficeon with
+// SMARQ-16; this configuration implements the real scheme so the encoding
+// wall is visible directly.
+func ConfigEfficeon() Config {
+	c := DefaultConfig()
+	c.Mode = sched.HWBitmask
+	c.NumAliasRegs = 15
+	return c
+}
+
+// ConfigNoHW disables alias hardware entirely.
+func ConfigNoHW() Config {
+	c := DefaultConfig()
+	c.Mode = sched.HWNone
+	return c
+}
+
+// ConfigNoStoreReorder is SMARQ-64 with store reordering disabled
+// (Figure 16).
+func ConfigNoStoreReorder() Config {
+	c := DefaultConfig()
+	c.StoreReorder = false
+	return c
+}
+
+// RegionStats aggregates the static per-superblock statistics the paper's
+// Figures 14, 17 and 19 report.
+type RegionStats struct {
+	Entry      int
+	GuestInsts int
+	MemOps     int
+	Alloc      core.Stats
+	Working    core.WorkingSets
+	SeqLen     int
+	Cycles     int64
+}
+
+// Stats is the run-wide accounting.
+type Stats struct {
+	// Cycle breakdown.
+	TotalCycles    int64
+	InterpCycles   int64
+	RegionCycles   int64
+	RollbackCycles int64
+	OptCycles      int64 // optimizer outside scheduling
+	SchedCycles    int64 // scheduling + alias register allocation
+
+	// Events.
+	Commits         int64
+	GuardFails      int64
+	AliasExceptions int64
+	Faults          int64
+	RegionsCompiled int
+	Recompiles      int
+	RegionsDropped  int
+	OverflowRetries int
+
+	// Retirement.
+	GuestInsts       int64
+	InterpretedInsts int64
+
+	// HWChecks counts the register comparisons the alias hardware
+	// performed across the run — the §2.4 energy proxy.
+	HWChecks uint64
+
+	// Static per-region statistics (one entry per compiled region,
+	// including recompiles' latest version).
+	Regions []RegionStats
+}
+
+// maxExceptionsPerRegion bounds trap-recompile churn: a region that keeps
+// raising alias exceptions after this many conservative re-optimizations
+// is pinned to non-speculative code.
+const maxExceptionsPerRegion = 24
+
+type compiled struct {
+	cr         *vliw.CompiledRegion
+	failStreak int
+}
+
+// System is one guest program under the dynamic optimization system.
+type System struct {
+	cfg  Config
+	prog *guest.Program
+	st   *guest.State
+	mem  *guest.Memory
+	it   *interp.Interpreter
+	det  aliashw.Detector
+
+	cache     map[int]*compiled
+	sbCache   map[int]*region.Superblock
+	blacklist map[int]alias.Blacklist
+	cooldown  map[int]uint64 // entry -> block count required to recompile
+	regionIdx map[int]int    // entry -> index into Stats.Regions
+	// pinnedLoads collects, per region entry, ops that must no longer be
+	// speculated on. Under ALAT a store checks *every* advanced load, so
+	// a false positive can only be silenced by not advancing the load at
+	// all; hardening the pair is not enough.
+	pinnedLoads map[int]map[int]bool
+	// pinnedNonSpec marks regions whose speculation keeps trapping even
+	// with loads pinned; they are recompiled without speculation.
+	pinnedNonSpec map[int]bool
+	// fatalErr records a genuine guest fault hit while interpreting after
+	// a rollback; Run surfaces it.
+	fatalErr error
+	// exceptions counts alias exceptions per region entry; past
+	// maxExceptionsPerRegion the region is pinned non-speculative (a
+	// guard against pathological trap-recompile churn, e.g. when the
+	// anti-constraint ablation floods a region with false positives).
+	exceptions map[int]int
+
+	Stats Stats
+}
+
+// New creates a system over prog with the given initial state and memory.
+func New(prog *guest.Program, st *guest.State, mem *guest.Memory, cfg Config) *System {
+	var det aliashw.Detector
+	switch cfg.Mode {
+	case sched.HWOrdered:
+		det = aliashw.NewOrderedQueue(cfg.NumAliasRegs)
+	case sched.HWALAT:
+		det = aliashw.NewALAT()
+	case sched.HWBitmask:
+		det = aliashw.NewBitmask(cfg.NumAliasRegs)
+	default:
+		det = aliashw.None{}
+	}
+	return &System{
+		cfg:           cfg,
+		prog:          prog,
+		st:            st,
+		mem:           mem,
+		it:            interp.New(prog, st, mem),
+		det:           det,
+		cache:         make(map[int]*compiled),
+		sbCache:       make(map[int]*region.Superblock),
+		blacklist:     make(map[int]alias.Blacklist),
+		cooldown:      make(map[int]uint64),
+		regionIdx:     make(map[int]int),
+		pinnedLoads:   make(map[int]map[int]bool),
+		pinnedNonSpec: make(map[int]bool),
+		exceptions:    make(map[int]int),
+	}
+}
+
+// optConfig derives the optimization pass configuration from the hardware
+// mode: SMARQ speculates through eliminations; ALAT supports neither
+// (§7: the ALAT "cannot be used for ... store load forwarding"); without
+// hardware only provably safe eliminations run.
+func (s *System) optConfig(entry int) opt.Config {
+	if s.cfg.Ablation.Elim {
+		return opt.Config{}
+	}
+	if s.pinnedNonSpec[entry] {
+		// Fully conservative re-optimization: speculative eliminations
+		// would still allocate alias registers (their checks exist even
+		// in program order), so a region pinned for chronic exceptions
+		// keeps only the provably safe eliminations.
+		return opt.Config{LoadElim: true, StoreElim: true, Speculative: false}
+	}
+	switch s.cfg.Mode {
+	case sched.HWOrdered, sched.HWBitmask:
+		// Both precise schemes can check eliminations (§2.2: Efficeon
+		// "can also support scheduling of stores" and precise pairs).
+		return opt.Config{LoadElim: true, StoreElim: true, Speculative: true}
+	default:
+		// ALAT cannot check eliminations (no ordered registers), and
+		// without hardware nothing can: both run only the provably safe
+		// eliminations.
+		return opt.Config{LoadElim: true, StoreElim: true, Speculative: false}
+	}
+}
+
+// compile translates, optimizes, schedules and installs the region rooted
+// at entry. The superblock is pinned on first compilation so op IDs stay
+// stable across conservative re-optimizations.
+func (s *System) compile(entry int) error {
+	sb, ok := s.sbCache[entry]
+	if !ok {
+		var err error
+		sb, err = region.Form(s.prog, s.it.Prof, entry, s.cfg.Region)
+		if err != nil {
+			return err
+		}
+		s.sbCache[entry] = sb
+	}
+
+	reg, err := xlate.Translate(sb)
+	if err != nil {
+		return err
+	}
+	tbl := alias.BuildTable(reg, s.blacklist[entry])
+	optRes := opt.Run(reg, tbl, s.optConfig(entry))
+	ds := deps.Compute(reg, tbl)
+	opt.AddExtendedDeps(ds, reg, tbl, optRes)
+
+	scfg := sched.Config{
+		Mode:           s.cfg.Mode,
+		NumAliasRegs:   s.cfg.NumAliasRegs,
+		StoreReorder:   s.cfg.StoreReorder,
+		ForceNonSpec:   s.pinnedNonSpec[entry],
+		PinnedOps:      s.pinnedLoads[entry],
+		PressureMargin: 4,
+		Machine:        s.cfg.Machine,
+		Alloc: core.Options{
+			DisableAnti:     s.cfg.Ablation.Anti,
+			DisableRotation: s.cfg.Ablation.Rotation,
+		},
+	}
+	sc, err := sched.Run(reg, tbl, ds, scfg)
+	if err != nil {
+		// Alias register overflow: retry pinned to non-speculation mode,
+		// then give up on eliminations entirely. The failed attempt left
+		// partial annotations on the ops; clear them first.
+		s.Stats.OverflowRetries++
+		resetAnnotations(reg)
+		scfg.ForceNonSpec = true
+		sc, err = sched.Run(reg, tbl, ds, scfg)
+		if err != nil {
+			reg, err = xlate.Translate(sb)
+			if err != nil {
+				return err
+			}
+			tbl = alias.BuildTable(reg, s.blacklist[entry])
+			ds = deps.Compute(reg, tbl)
+			sc, err = sched.Run(reg, tbl, ds, scfg)
+			if err != nil {
+				return fmt.Errorf("dynopt: region B%d cannot be scheduled: %w", entry, err)
+			}
+		}
+	}
+
+	// Charge the optimizer's own execution time (Figure 18): translation
+	// and optimization per op, scheduling/allocation per op.
+	n := int64(len(reg.Ops))
+	s.Stats.OptCycles += n * int64(s.cfg.Machine.OptCyclesPerOp)
+	s.Stats.SchedCycles += n * int64(s.cfg.Machine.SchedCyclesPerOp)
+
+	cr := s.cfg.Machine.Compile(sc.Seq, reg, len(sb.Insts))
+	if old, ok := s.cache[entry]; ok && old != nil {
+		s.Stats.Recompiles++
+		s.trace("recompile B%d: %d ops, %d cycles, nonspec=%v", entry, len(sc.Seq), cr.Cycles, s.pinnedNonSpec[entry])
+	} else {
+		s.Stats.RegionsCompiled++
+		s.trace("compile B%d: %d guest insts -> %d ops, %d cycles, %d mem ops, P=%d C=%d ws=%d",
+			entry, len(sb.Insts), len(sc.Seq), cr.Cycles, sb.NumMemOps(),
+			sc.Alloc.Stats.PBits, sc.Alloc.Stats.CBits, sc.Alloc.Stats.WorkingSet)
+	}
+	s.cache[entry] = &compiled{cr: cr}
+
+	rs := RegionStats{
+		Entry:      entry,
+		GuestInsts: len(sb.Insts),
+		MemOps:     sb.NumMemOps(),
+		Alloc:      sc.Alloc.Stats,
+		Working:    core.MeasureWorkingSets(sc.Alloc, sb.NumMemOps()),
+		SeqLen:     len(sc.Seq),
+		Cycles:     cr.Cycles,
+	}
+	if idx, ok := s.regionIdx[entry]; ok {
+		s.Stats.Regions[idx] = rs
+	} else {
+		s.regionIdx[entry] = len(s.Stats.Regions)
+		s.Stats.Regions = append(s.Stats.Regions, rs)
+	}
+	return nil
+}
+
+// trace emits a runtime event line when tracing is enabled.
+func (s *System) trace(format string, args ...interface{}) {
+	if s.cfg.Trace != nil {
+		s.cfg.Trace(format, args...)
+	}
+}
+
+// resetAnnotations clears alias register annotations left by a failed
+// scheduling attempt.
+func resetAnnotations(reg *ir.Region) {
+	for _, o := range reg.Ops {
+		o.AROffset = -1
+		o.ARMask = 0
+		o.P, o.C = false, false
+	}
+}
+
+// Run executes the guest until it halts or maxInsts guest instructions
+// retire. It reports whether the guest halted.
+func (s *System) Run(maxInsts uint64) (bool, error) {
+	id := s.prog.Entry
+	for id != interp.HaltID {
+		if s.fatalErr != nil {
+			return false, s.fatalErr
+		}
+		if uint64(s.Stats.GuestInsts) >= maxInsts {
+			s.finalize()
+			return false, nil
+		}
+		if c, ok := s.cache[id]; ok {
+			id = s.runRegion(id, c)
+			continue
+		}
+		// Interpret one block; consider compiling its region.
+		before := s.it.DynInsts
+		next, err := s.it.RunBlock(id)
+		if err != nil {
+			return false, err
+		}
+		insts := int64(s.it.DynInsts - before)
+		s.Stats.InterpCycles += insts * int64(s.cfg.Machine.InterpCyclesPerInst)
+		s.Stats.GuestInsts += insts
+		s.Stats.InterpretedInsts += insts
+
+		if s.it.Prof.Hot(id, s.cfg.HotThreshold) && s.cache[id] == nil &&
+			s.it.Prof.BlockCounts[id] >= s.cooldown[id] {
+			if err := s.compile(id); err != nil {
+				// Unschedulable regions stay interpreted.
+				s.cooldown[id] = s.it.Prof.BlockCounts[id] * 2
+			}
+		}
+		id = next
+	}
+	s.finalize()
+	if s.fatalErr != nil {
+		return false, s.fatalErr
+	}
+	return true, nil
+}
+
+// runRegion executes an installed region and handles its outcome,
+// returning the next block to dispatch.
+func (s *System) runRegion(entry int, c *compiled) int {
+	res := vliw.Execute(c.cr, s.st, s.mem, s.det)
+	switch res.Outcome {
+	case vliw.Commit:
+		s.Stats.RegionCycles += c.cr.Cycles + int64(s.cfg.Machine.CommitCycles)
+		s.Stats.GuestInsts += int64(c.cr.GuestInsts)
+		s.Stats.Commits++
+		c.failStreak = 0
+		return res.NextBlock
+
+	case vliw.AliasException:
+		s.Stats.RegionCycles += c.cr.Cycles
+		s.Stats.RollbackCycles += int64(s.cfg.Machine.RollbackPenalty)
+		s.Stats.AliasExceptions++
+		// Conservative re-optimization (Figure 1). Under the ordered
+		// queue the check identifies exactly the speculated pair, so the
+		// pair is assumed to always alias from now on. Under ALAT the
+		// store that trapped checked *every* advanced load — hardening
+		// the pair cannot silence a false positive — so the load itself
+		// stops being advanced. If traps persist regardless, the region
+		// is pinned to non-speculative code.
+		bl := s.blacklist[entry]
+		if bl == nil {
+			bl = make(alias.Blacklist)
+			s.blacklist[entry] = bl
+		}
+		pair := alias.MakePair(res.Conflict.Checker, res.Conflict.Origin)
+		s.trace("alias exception in B%d: op %d checked op %d", entry, res.Conflict.Checker, res.Conflict.Origin)
+		s.exceptions[entry]++
+		if s.exceptions[entry] > maxExceptionsPerRegion {
+			s.pinnedNonSpec[entry] = true
+		}
+		if s.cfg.Mode == sched.HWALAT {
+			pins := s.pinnedLoads[entry]
+			if pins == nil {
+				pins = make(map[int]bool)
+				s.pinnedLoads[entry] = pins
+			}
+			if pins[res.Conflict.Origin] {
+				s.pinnedNonSpec[entry] = true
+			}
+			pins[res.Conflict.Origin] = true
+		} else if bl[pair] {
+			s.pinnedNonSpec[entry] = true
+		}
+		bl[pair] = true
+		if err := s.compile(entry); err != nil {
+			delete(s.cache, entry)
+			s.Stats.RegionsDropped++
+		}
+		// Make forward progress in the interpreter before re-dispatching.
+		return s.interpretOne(entry)
+
+	case vliw.GuardFail:
+		s.Stats.RegionCycles += c.cr.Cycles
+		s.Stats.RollbackCycles += int64(s.cfg.Machine.RollbackPenalty)
+		s.Stats.GuardFails++
+		c.failStreak++
+		if c.failStreak >= s.cfg.MaxGuardFails {
+			// The trace no longer matches behaviour: drop it and require
+			// twice the heat before re-forming.
+			s.trace("drop B%d after %d consecutive guard failures", entry, c.failStreak)
+			delete(s.cache, entry)
+			delete(s.sbCache, entry)
+			s.cooldown[entry] = s.it.Prof.BlockCounts[entry] * 2
+			s.Stats.RegionsDropped++
+		}
+		return s.interpretOne(entry)
+
+	default: // Fault
+		s.Stats.RegionCycles += c.cr.Cycles
+		s.Stats.RollbackCycles += int64(s.cfg.Machine.RollbackPenalty)
+		s.Stats.Faults++
+		return s.interpretOne(entry)
+	}
+}
+
+// interpretOne interprets a single block after a rollback (the state is
+// back at the region entry) and returns the next block. An interpreter
+// error here means the guest itself faults architecturally at this point;
+// it is recorded and surfaced by Run.
+func (s *System) interpretOne(id int) int {
+	before := s.it.DynInsts
+	next, err := s.it.RunBlock(id)
+	insts := int64(s.it.DynInsts - before)
+	s.Stats.InterpCycles += insts * int64(s.cfg.Machine.InterpCyclesPerInst)
+	s.Stats.GuestInsts += insts
+	s.Stats.InterpretedInsts += insts
+	if err != nil {
+		s.fatalErr = err
+		return interp.HaltID
+	}
+	return next
+}
+
+func (s *System) finalize() {
+	s.Stats.TotalCycles = s.Stats.InterpCycles + s.Stats.RegionCycles +
+		s.Stats.RollbackCycles + s.Stats.OptCycles + s.Stats.SchedCycles
+	s.Stats.HWChecks = s.det.Checked()
+}
+
+// State and Mem expose the architectural state for verification.
+func (s *System) State() *guest.State { return s.st }
+
+// Mem returns the guest memory.
+func (s *System) Mem() *guest.Memory { return s.mem }

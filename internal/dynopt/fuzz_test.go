@@ -1,0 +1,182 @@
+package dynopt
+
+import (
+	"math/rand"
+	"testing"
+
+	"smarq/internal/guest"
+	"smarq/internal/interp"
+)
+
+// randomProgram generates a structured random guest program that always
+// halts: an init block seeding registers and arrays, a nest of counted
+// loops whose bodies mix arithmetic, may-alias loads/stores (through both
+// direct and loaded base registers), and rare data-dependent side
+// branches. The generator is the adversary for the differential fuzz
+// test: any miscompilation anywhere in the pipeline shows up as a final
+// state divergence from the interpreter.
+func randomProgram(rng *rand.Rand) *guest.Program {
+	b := guest.NewBuilder()
+	const memSize = 1 << 14
+
+	// Registers: r1..r4 array bases, r5 loop counter outer, r6 inner,
+	// r7/r8 limits, r9..r15 scratch, r16 pointer-table base.
+	b.NewBlock()
+	bases := []int64{1 << 10, 3 << 10, 5 << 10, 7 << 10}
+	for i, base := range bases {
+		b.Li(guest.Reg(1+i), base+int64(rng.Intn(4))*8)
+	}
+	b.Li(16, 9<<10)
+	// Pointer table: PT[0..1] hold (possibly equal!) array addresses.
+	b.Li(9, bases[rng.Intn(4)])
+	b.St8(16, 0, 9)
+	b.Li(9, bases[rng.Intn(4)])
+	b.St8(16, 8, 9)
+	b.Li(5, 0)
+	b.Li(7, int64(60+rng.Intn(120))) // outer trip count
+	for r := 10; r <= 15; r++ {
+		b.Li(guest.Reg(r), int64(rng.Intn(64))*8)
+	}
+	b.FLi(1, 1.5)
+	b.FLi(2, 0.25)
+
+	loop := b.NewBlock()
+	// Loop body: 6..20 random operations.
+	nOps := 6 + rng.Intn(15)
+	for i := 0; i < nOps; i++ {
+		base := guest.Reg(1 + rng.Intn(4))
+		off := int64(rng.Intn(32)) * 8
+		scratch := guest.Reg(10 + rng.Intn(6))
+		switch rng.Intn(10) {
+		case 0, 1: // store
+			b.St8(base, off, scratch)
+		case 2, 3, 4: // load
+			b.Ld8(scratch, base, off)
+		case 5: // load through the pointer table (opaque root)
+			b.Ld8(9, 16, int64(rng.Intn(2))*8)
+			b.Ld8(scratch, 9, off%128)
+		case 6: // store through the pointer table
+			b.Ld8(9, 16, int64(rng.Intn(2))*8)
+			b.St8(9, off%128, scratch)
+		case 7: // float round trip through memory
+			b.FSt8(base, off, guest.Reg(1+rng.Intn(2)))
+			b.FLd8(3, base, off)
+			b.FAdd(1, 1, 2)
+		case 8: // arithmetic chain
+			b.Addi(scratch, scratch, int64(rng.Intn(16)))
+			b.Mul(11, scratch, 10)
+			b.And(12, 11, scratch)
+		default: // narrow accesses
+			b.St4(base, off, scratch)
+			b.Ld2(scratch, base, off)
+		}
+	}
+	// A rare data-dependent side exit that rejoins: tests guard handling.
+	if rng.Intn(2) == 0 {
+		rejoin := b.Reserve(2)
+		b.And(13, 5, 10)
+		b.Bne(13, 13, rejoin) // never taken (x != x is false) but opaque
+		b.At(rejoin)
+		b.Addi(14, 14, 1)
+		b.At(rejoin + 1)
+		b.Addi(5, 5, 1)
+		b.Blt(5, 7, loop)
+	} else {
+		b.Addi(5, 5, 1)
+		b.Blt(5, 7, loop)
+	}
+
+	b.NewBlock()
+	b.Halt()
+	return b.MustProgram()
+}
+
+// TestFuzzDifferential generates random programs and checks that every
+// hardware configuration computes exactly the interpreter's result.
+func TestFuzzDifferential(t *testing.T) {
+	const memSize = 1 << 14
+	trials := 60
+	if testing.Short() {
+		trials = 10
+	}
+	unrolled := ConfigSMARQ(64)
+	unrolled.Region.Unroll = 3
+	noAnti := ConfigSMARQ(16)
+	noAnti.Ablation = Ablation{Anti: true}
+	configs := map[string]Config{
+		"no-anti-16": noAnti, // false positives + rollback convergence
+		"smarq64":    ConfigSMARQ(64),
+		"smarq6":     ConfigSMARQ(6), // tiny file: exercises overflow throttling
+		"smarq64-u3": unrolled,       // loop-unrolled regions
+		"alat":       ConfigALAT(),
+		"efficeon":   ConfigEfficeon(),
+		"nohw":       ConfigNoHW(),
+	}
+	var totalCommits, totalExceptions, totalSpeculative int64
+	for trial := 0; trial < trials; trial++ {
+		rng := rand.New(rand.NewSource(int64(1000 + trial)))
+		// Build once per run (the builder is deterministic for a seed, but
+		// each System needs its own Program since translation annotates).
+		build := func() *guest.Program {
+			return randomProgram(rand.New(rand.NewSource(int64(1000 + trial))))
+		}
+		_ = rng
+
+		ref := interp.New(build(), &guest.State{}, guest.NewMemory(memSize))
+		haltedRef, err := ref.Run(0, 3_000_000)
+		if err != nil {
+			t.Fatalf("trial %d: reference: %v", trial, err)
+		}
+		if !haltedRef {
+			t.Fatalf("trial %d: reference did not halt", trial)
+		}
+
+		for cname, cfg := range configs {
+			cfg.HotThreshold = 20 // compile eagerly to stress the pipeline
+			sys := New(build(), &guest.State{}, guest.NewMemory(memSize), cfg)
+			halted, err := sys.Run(3_000_000)
+			if err != nil {
+				t.Fatalf("trial %d/%s: %v", trial, cname, err)
+			}
+			if !halted {
+				t.Fatalf("trial %d/%s: did not halt", trial, cname)
+			}
+			for r := 0; r < guest.NumRegs; r++ {
+				if sys.State().R[r] != ref.St.R[r] {
+					t.Fatalf("trial %d/%s: r%d = %d, interpreter got %d",
+						trial, cname, r, sys.State().R[r], ref.St.R[r])
+				}
+				if sys.State().F[r] != ref.St.F[r] {
+					t.Fatalf("trial %d/%s: f%d = %v, interpreter got %v",
+						trial, cname, r, sys.State().F[r], ref.St.F[r])
+				}
+			}
+			for a := 0; a < memSize; a += 8 {
+				got, _ := sys.Mem().Load(uint64(a), 8)
+				want, _ := ref.Mem.Load(uint64(a), 8)
+				if got != want {
+					t.Fatalf("trial %d/%s: mem[%#x] = %#x, interpreter got %#x",
+						trial, cname, a, got, want)
+				}
+			}
+			totalCommits += sys.Stats.Commits
+			totalExceptions += sys.Stats.AliasExceptions
+			for _, reg := range sys.Stats.Regions {
+				totalSpeculative += int64(reg.Alloc.PBits)
+			}
+		}
+	}
+	// The fuzz is only meaningful if the random programs actually drove
+	// compiled, speculating regions — and occasionally speculated wrong.
+	if totalCommits == 0 {
+		t.Error("fuzz never committed a region — programs too cold")
+	}
+	if totalSpeculative == 0 {
+		t.Error("fuzz never speculated — no alias registers allocated")
+	}
+	if totalExceptions == 0 {
+		t.Log("note: no alias exceptions across all trials (speculation never wrong)")
+	}
+	t.Logf("fuzz drove %d commits, %d P bits, %d alias exceptions",
+		totalCommits, totalSpeculative, totalExceptions)
+}

@@ -1,0 +1,366 @@
+package guest
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Assemble parses guest assembly text into a program. The syntax is the
+// one Inst.String and Program.String produce, plus named labels:
+//
+//	; a comment (also #)
+//	start:
+//	        li   r1, 1024
+//	loop:
+//	        ld8  r2, [r1+0]
+//	        addi r2, r2, 1
+//	        st8  [r1+0], r2
+//	        fli  f0, 2.5
+//	        fadd f1, f1, f0
+//	        blt  r3, r4, loop
+//	        halt
+//
+// Every label starts a new block; an instruction before any label starts
+// block 0 implicitly. Branch targets may be labels or literal block IDs
+// (B3). The entry point is block 0.
+func Assemble(src string) (*Program, error) {
+	a := &assembler{
+		b:      NewBuilder(),
+		labels: map[string]int{},
+	}
+	lines := strings.Split(src, "\n")
+
+	// First pass: map labels to block IDs by counting label definitions
+	// in order. A label on a line of its own or before an instruction
+	// opens a new block.
+	blockID := 0
+	started := false
+	for ln, raw := range lines {
+		line := stripComment(raw)
+		for {
+			line = strings.TrimSpace(line)
+			name, rest, ok := splitLabel(line)
+			if !ok {
+				break
+			}
+			if _, dup := a.labels[name]; dup {
+				return nil, fmt.Errorf("asm: line %d: duplicate label %q", ln+1, name)
+			}
+			// A label always begins a fresh block — except the very
+			// first label of the file when nothing has been emitted.
+			if started {
+				blockID++
+			}
+			a.labels[name] = blockID
+			started = true
+			line = rest
+		}
+		if line != "" {
+			started = true
+		}
+	}
+
+	// Second pass: emit.
+	a.curBlock = -1
+	for ln, raw := range lines {
+		line := stripComment(raw)
+		for {
+			line = strings.TrimSpace(line)
+			name, rest, ok := splitLabel(line)
+			if !ok {
+				break
+			}
+			a.openBlockFor(a.labels[name])
+			line = rest
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		if err := a.inst(line); err != nil {
+			return nil, fmt.Errorf("asm: line %d: %w", ln+1, err)
+		}
+	}
+	return a.b.Program()
+}
+
+// MustAssemble is Assemble but panics on error (tests, examples).
+func MustAssemble(src string) *Program {
+	p, err := Assemble(src)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+func stripComment(line string) string {
+	if i := strings.IndexAny(line, ";#"); i >= 0 {
+		return line[:i]
+	}
+	return line
+}
+
+// splitLabel recognizes a leading "name:" and returns the remainder.
+func splitLabel(line string) (name, rest string, ok bool) {
+	i := strings.IndexByte(line, ':')
+	if i <= 0 {
+		return "", "", false
+	}
+	name = strings.TrimSpace(line[:i])
+	if name == "" || strings.ContainsAny(name, " \t,[]") {
+		return "", "", false
+	}
+	return name, line[i+1:], true
+}
+
+type assembler struct {
+	b        *Builder
+	labels   map[string]int
+	curBlock int
+}
+
+func (a *assembler) openBlockFor(id int) {
+	for a.curBlock < id {
+		a.b.NewBlock()
+		a.curBlock++
+	}
+}
+
+// ensureBlock opens block 0 for instructions before any label.
+func (a *assembler) ensureBlock() {
+	if a.curBlock < 0 {
+		a.openBlockFor(0)
+	}
+}
+
+func (a *assembler) inst(line string) error {
+	a.ensureBlock()
+	mnemonic, rest, _ := strings.Cut(line, " ")
+	mnemonic = strings.ToLower(strings.TrimSpace(mnemonic))
+	op, ok := opByName(mnemonic)
+	if !ok {
+		return fmt.Errorf("unknown mnemonic %q", mnemonic)
+	}
+	args := splitArgs(rest)
+
+	in := Inst{Op: op}
+	var err error
+	switch {
+	case op == Nop || op == Halt:
+		err = expectArgs(args, 0)
+
+	case op == Li:
+		if err = expectArgs(args, 2); err == nil {
+			in.Rd, err = parseReg(args[0], 'r')
+			if err == nil {
+				in.Imm, err = parseInt(args[1])
+			}
+		}
+
+	case op == FLi:
+		if err = expectArgs(args, 2); err == nil {
+			in.Rd, err = parseReg(args[0], 'f')
+			if err == nil {
+				in.FImm, err = strconv.ParseFloat(args[1], 64)
+			}
+		}
+
+	case op == Mov:
+		if err = expectArgs(args, 2); err == nil {
+			in.Rd, err = parseReg(args[0], 'r')
+			if err == nil {
+				in.Rs1, err = parseReg(args[1], 'r')
+			}
+		}
+
+	case op == FMov, op == FNeg, op == FAbs, op == FSqrt:
+		if err = expectArgs(args, 2); err == nil {
+			in.Rd, err = parseReg(args[0], 'f')
+			if err == nil {
+				in.Rs1, err = parseReg(args[1], 'f')
+			}
+		}
+
+	case op == CvtIF:
+		if err = expectArgs(args, 2); err == nil {
+			in.Rd, err = parseReg(args[0], 'f')
+			if err == nil {
+				in.Rs1, err = parseReg(args[1], 'r')
+			}
+		}
+
+	case op == CvtFI:
+		if err = expectArgs(args, 2); err == nil {
+			in.Rd, err = parseReg(args[0], 'r')
+			if err == nil {
+				in.Rs1, err = parseReg(args[1], 'f')
+			}
+		}
+
+	case op == Addi || op == Muli:
+		if err = expectArgs(args, 3); err == nil {
+			in.Rd, err = parseReg(args[0], 'r')
+			if err == nil {
+				in.Rs1, err = parseReg(args[1], 'r')
+			}
+			if err == nil {
+				in.Imm, err = parseInt(args[2])
+			}
+		}
+
+	case op.IsLoad():
+		file := byte('r')
+		if op.IsFloat() {
+			file = 'f'
+		}
+		if err = expectArgs(args, 2); err == nil {
+			in.Rd, err = parseReg(args[0], file)
+			if err == nil {
+				in.Rs1, in.Imm, err = parseMem(args[1])
+			}
+		}
+
+	case op.IsStore():
+		file := byte('r')
+		if op.IsFloat() {
+			file = 'f'
+		}
+		if err = expectArgs(args, 2); err == nil {
+			in.Rs1, in.Imm, err = parseMem(args[0])
+			if err == nil {
+				in.Rd, err = parseReg(args[1], file)
+			}
+		}
+
+	case op.IsBranch():
+		if err = expectArgs(args, 3); err == nil {
+			in.Rs1, err = parseReg(args[0], 'r')
+			if err == nil {
+				in.Rs2, err = parseReg(args[1], 'r')
+			}
+			if err == nil {
+				in.Target, err = a.parseTarget(args[2])
+			}
+		}
+
+	case op == Jmp:
+		if err = expectArgs(args, 1); err == nil {
+			in.Target, err = a.parseTarget(args[0])
+		}
+
+	case op.IsFloat(): // three-operand float ALU
+		if err = expectArgs(args, 3); err == nil {
+			in.Rd, err = parseReg(args[0], 'f')
+			if err == nil {
+				in.Rs1, err = parseReg(args[1], 'f')
+			}
+			if err == nil {
+				in.Rs2, err = parseReg(args[2], 'f')
+			}
+		}
+
+	default: // three-operand integer ALU
+		if err = expectArgs(args, 3); err == nil {
+			in.Rd, err = parseReg(args[0], 'r')
+			if err == nil {
+				in.Rs1, err = parseReg(args[1], 'r')
+			}
+			if err == nil {
+				in.Rs2, err = parseReg(args[2], 'r')
+			}
+		}
+	}
+	if err != nil {
+		return err
+	}
+	a.b.Emit(in)
+	return nil
+}
+
+func splitArgs(rest string) []string {
+	rest = strings.TrimSpace(rest)
+	if rest == "" {
+		return nil
+	}
+	parts := strings.Split(rest, ",")
+	for i := range parts {
+		parts[i] = strings.TrimSpace(parts[i])
+	}
+	return parts
+}
+
+func expectArgs(args []string, n int) error {
+	if len(args) != n {
+		return fmt.Errorf("want %d operands, got %d", n, len(args))
+	}
+	return nil
+}
+
+func parseReg(s string, file byte) (Reg, error) {
+	if len(s) < 2 || (s[0] != file && s[0] != file-32) {
+		return 0, fmt.Errorf("want %c-register, got %q", file, s)
+	}
+	n, err := strconv.Atoi(s[1:])
+	if err != nil || n < 0 || n >= NumRegs {
+		return 0, fmt.Errorf("bad register %q", s)
+	}
+	return Reg(n), nil
+}
+
+func parseInt(s string) (int64, error) {
+	v, err := strconv.ParseInt(s, 0, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad integer %q", s)
+	}
+	return v, nil
+}
+
+// parseMem parses "[rN+imm]", "[rN-imm]" or "[rN]".
+func parseMem(s string) (Reg, int64, error) {
+	if len(s) < 4 || s[0] != '[' || s[len(s)-1] != ']' {
+		return 0, 0, fmt.Errorf("bad memory operand %q", s)
+	}
+	inner := s[1 : len(s)-1]
+	sep := strings.IndexAny(inner[1:], "+-")
+	var regPart, offPart string
+	if sep < 0 {
+		regPart, offPart = inner, "0"
+	} else {
+		regPart, offPart = inner[:sep+1], inner[sep+1:]
+	}
+	base, err := parseReg(strings.TrimSpace(regPart), 'r')
+	if err != nil {
+		return 0, 0, err
+	}
+	off, err := parseInt(strings.TrimSpace(offPart))
+	if err != nil {
+		return 0, 0, err
+	}
+	return base, off, nil
+}
+
+func (a *assembler) parseTarget(s string) (int, error) {
+	if id, ok := a.labels[s]; ok {
+		return id, nil
+	}
+	if len(s) > 1 && (s[0] == 'B' || s[0] == 'b') {
+		if n, err := strconv.Atoi(s[1:]); err == nil {
+			return n, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown branch target %q", s)
+}
+
+var nameToOp map[string]Opcode
+
+func opByName(name string) (Opcode, bool) {
+	if nameToOp == nil {
+		nameToOp = make(map[string]Opcode, int(numOpcodes))
+		for op := Opcode(0); op < numOpcodes; op++ {
+			nameToOp[op.String()] = op
+		}
+	}
+	op, ok := nameToOp[name]
+	return op, ok
+}

@@ -1,0 +1,254 @@
+package guest
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestAssembleBasic(t *testing.T) {
+	p, err := Assemble(`
+		; counter loop
+		li   r1, 10
+		li   r2, 64
+	loop:
+		ld8  r3, [r2+0]
+		addi r3, r3, 1
+		st8  [r2+0], r3
+		addi r1, r1, -1
+		bne  r1, r0, loop
+	done:
+		halt
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Blocks) != 3 {
+		t.Fatalf("got %d blocks, want 3", len(p.Blocks))
+	}
+	// Run it: memory[64] should reach 10.
+	st := &State{}
+	mem := NewMemory(128)
+	id := 0
+	for id != -1 {
+		blk := p.Block(id)
+		next := id + 1
+		for _, in := range blk.Insts {
+			ctl, err := Exec(in, st, mem)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ctl == CtlBranch {
+				next = in.Target
+			}
+			if ctl == CtlHalt {
+				next = -1
+				break
+			}
+		}
+		id = next
+	}
+	v, _ := mem.Load(64, 8)
+	if v != 10 {
+		t.Errorf("counter = %d, want 10", v)
+	}
+}
+
+func TestAssembleFloatAndConversions(t *testing.T) {
+	p, err := Assemble(`
+		fli   f1, 2.5
+		fli   f2, -0.5
+		fadd  f3, f1, f2
+		fmul  f3, f3, f1
+		fsqrt f4, f3
+		cvtfi r1, f3
+		cvtif f5, r1
+		fst8  [r2+8], f3
+		fld8  f6, [r2+8]
+		halt
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := p.Blocks[0].Insts
+	if in[0].FImm != 2.5 || in[1].FImm != -0.5 {
+		t.Error("float immediates wrong")
+	}
+	if in[5].Op != CvtFI || in[5].Rd != 1 || in[5].Rs1 != 3 {
+		t.Errorf("cvtfi parsed as %+v", in[5])
+	}
+	if in[7].Op != FSt8 || in[7].Rs1 != 2 || in[7].Imm != 8 || in[7].Rd != 3 {
+		t.Errorf("fst8 parsed as %+v", in[7])
+	}
+}
+
+func TestAssembleNegativeOffsets(t *testing.T) {
+	p, err := Assemble("ld8 r1, [r2-16]\nst8 [r3], r1\nhalt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := p.Blocks[0].Insts
+	if in[0].Imm != -16 {
+		t.Errorf("offset = %d, want -16", in[0].Imm)
+	}
+	if in[1].Imm != 0 {
+		t.Errorf("bare [r3] offset = %d, want 0", in[1].Imm)
+	}
+}
+
+func TestAssembleLiteralBlockTargets(t *testing.T) {
+	p, err := Assemble("jmp B1\nend:\nhalt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Blocks[0].Insts[0].Target != 1 {
+		t.Error("literal block target not parsed")
+	}
+}
+
+func TestAssembleErrors(t *testing.T) {
+	cases := map[string]string{
+		"bad mnemonic":    "frobnicate r1, r2",
+		"bad reg file":    "fadd r1, f2, f3",
+		"missing operand": "add r1, r2",
+		"bad register":    "li r99, 0",
+		"bad memory":      "ld8 r1, r2+0",
+		"bad target":      "jmp nowhere",
+		"duplicate label": "a:\nhalt\na:\nhalt",
+		"bad immediate":   "li r1, banana",
+		"extra operand":   "halt r1",
+	}
+	for name, src := range cases {
+		if _, err := Assemble(src); err == nil {
+			t.Errorf("%s: assembled successfully", name)
+		}
+	}
+}
+
+func TestAssembleHexImmediates(t *testing.T) {
+	p, err := Assemble("li r1, 0x40\nhalt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Blocks[0].Insts[0].Imm != 64 {
+		t.Error("hex immediate not parsed")
+	}
+}
+
+// TestDisassembleAssembleRoundTrip: Program.String output (with block
+// labels rewritten to the BN: form the assembler accepts) re-assembles to
+// the identical program.
+func TestDisassembleAssembleRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 100; trial++ {
+		p := randomValidProgram(rng)
+		// Program.String emits "B0:" labels and instruction syntax the
+		// assembler understands directly.
+		src := p.String()
+		q, err := Assemble(src)
+		if err != nil {
+			t.Fatalf("trial %d: %v\n%s", trial, err, src)
+		}
+		if len(q.Blocks) != len(p.Blocks) {
+			t.Fatalf("trial %d: %d blocks, want %d", trial, len(q.Blocks), len(p.Blocks))
+		}
+		for i := range p.Blocks {
+			for j, in := range p.Blocks[i].Insts {
+				got := q.Blocks[i].Insts[j]
+				// Float immediates go through decimal text; require exact
+				// equality only for everything else.
+				if in.Op == FLi {
+					if got.Op != FLi || got.Rd != in.Rd {
+						t.Fatalf("trial %d: B%d[%d]: %v != %v", trial, i, j, got, in)
+					}
+					continue
+				}
+				if got != in {
+					t.Fatalf("trial %d: B%d[%d]: %v != %v", trial, i, j, got, in)
+				}
+			}
+		}
+	}
+}
+
+func TestMustAssemblePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustAssemble did not panic on bad input")
+		}
+	}()
+	MustAssemble("not a program")
+}
+
+func TestAssembleCommentsAndWhitespace(t *testing.T) {
+	p, err := Assemble("  \n; only a comment\n# hash comment\n\nhalt ; trailing\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.NumInsts() != 1 {
+		t.Errorf("got %d insts, want 1", p.NumInsts())
+	}
+	_ = strings.TrimSpace
+}
+
+// TestCompositeRoundTrip fuzzes the full tooling chain: random program ->
+// disassemble -> assemble -> encode -> decode -> compare, and both
+// versions execute identically.
+func TestCompositeRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 60; trial++ {
+		p := randomValidProgram(rng)
+		q, err := Assemble(p.String())
+		if err != nil {
+			t.Fatalf("trial %d: assemble: %v", trial, err)
+		}
+		r, err := DecodeProgram(EncodeProgram(q))
+		if err != nil {
+			t.Fatalf("trial %d: decode: %v", trial, err)
+		}
+		// Execute both for a bounded number of steps and compare state.
+		run := func(prog *Program) (State, [64]byte) {
+			st := State{}
+			mem := NewMemory(4096)
+			// Seed registers so memory ops stay in range.
+			for i := range st.R {
+				st.R[i] = int64(64 + i*8)
+			}
+			id, steps := 0, 0
+			for id >= 0 && id < len(prog.Blocks) && steps < 500 {
+				next := id + 1
+				for _, in := range prog.Blocks[id].Insts {
+					ctl, err := Exec(in, &st, mem)
+					if err != nil {
+						// Faults are data-dependent and identical across
+						// the two versions; stop here for both.
+						return st, snapshot(mem)
+					}
+					steps++
+					if ctl == CtlBranch {
+						next = in.Target
+					}
+					if ctl == CtlHalt {
+						return st, snapshot(mem)
+					}
+				}
+				id = next
+			}
+			return st, snapshot(mem)
+		}
+		s1, m1 := run(p)
+		s2, m2 := run(r)
+		if s1 != s2 || m1 != m2 {
+			t.Fatalf("trial %d: round-tripped program diverged", trial)
+		}
+	}
+}
+
+func snapshot(m *Memory) [64]byte {
+	var out [64]byte
+	for i := 0; i < 64; i++ {
+		v, _ := m.Load(uint64(i*8)%uint64(m.Size()-8), 1)
+		out[i] = byte(v)
+	}
+	return out
+}

@@ -1,0 +1,117 @@
+package guest
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// randomValidProgram builds a structurally valid random program.
+func randomValidProgram(rng *rand.Rand) *Program {
+	b := NewBuilder()
+	nblocks := 1 + rng.Intn(5)
+	for blk := 0; blk < nblocks; blk++ {
+		b.NewBlock()
+		for i := rng.Intn(6); i > 0; i-- {
+			switch rng.Intn(6) {
+			case 0:
+				b.Li(Reg(rng.Intn(32)), rng.Int63n(1<<40)-1<<39)
+			case 1:
+				b.Add(Reg(rng.Intn(32)), Reg(rng.Intn(32)), Reg(rng.Intn(32)))
+			case 2:
+				b.Ld8(Reg(rng.Intn(32)), Reg(rng.Intn(32)), int64(rng.Intn(256)-128))
+			case 3:
+				b.St4(Reg(rng.Intn(32)), int64(rng.Intn(256)), Reg(rng.Intn(32)))
+			case 4:
+				b.FLi(Reg(rng.Intn(32)), rng.NormFloat64())
+			default:
+				b.FMul(Reg(rng.Intn(32)), Reg(rng.Intn(32)), Reg(rng.Intn(32)))
+			}
+		}
+		if blk == nblocks-1 {
+			b.Halt()
+		} else if rng.Intn(2) == 0 {
+			b.Blt(Reg(rng.Intn(32)), Reg(rng.Intn(32)), rng.Intn(nblocks))
+		}
+	}
+	return b.MustProgram()
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 200; trial++ {
+		p := randomValidProgram(rng)
+		img := EncodeProgram(p)
+		q, err := DecodeProgram(img)
+		if err != nil {
+			t.Fatalf("trial %d: decode: %v", trial, err)
+		}
+		if q.Entry != p.Entry || len(q.Blocks) != len(p.Blocks) {
+			t.Fatalf("trial %d: structure mismatch", trial)
+		}
+		for i, blk := range p.Blocks {
+			if len(q.Blocks[i].Insts) != len(blk.Insts) {
+				t.Fatalf("trial %d: block %d length mismatch", trial, i)
+			}
+			for j, in := range blk.Insts {
+				if q.Blocks[i].Insts[j] != in {
+					t.Fatalf("trial %d: B%d[%d]: %v != %v", trial, i, j, q.Blocks[i].Insts[j], in)
+				}
+			}
+		}
+	}
+}
+
+func TestDecodeRejectsGarbage(t *testing.T) {
+	cases := map[string][]byte{
+		"empty":         {},
+		"short magic":   []byte("SM"),
+		"bad magic":     []byte("NOPE\x01\x00\x00\x00\x00\x00\x00\x00\x00"),
+		"bad version":   append([]byte("SMRQ"), 99, 0, 0, 0, 0, 0, 0, 0, 0),
+		"truncated":     EncodeProgram(twoBlockProgram())[:20],
+		"trailing junk": append(EncodeProgram(twoBlockProgram()), 0xFF),
+	}
+	for name, img := range cases {
+		if _, err := DecodeProgram(img); err == nil {
+			t.Errorf("%s: decode accepted invalid image", name)
+		}
+	}
+}
+
+func TestDecodeRejectsInvalidProgram(t *testing.T) {
+	// Encode a program, then corrupt an opcode to an out-of-range value:
+	// the decoder must reject it through validation.
+	p := twoBlockProgram()
+	img := EncodeProgram(p)
+	img[13+4] = 0xFF // first instruction's opcode byte
+	if _, err := DecodeProgram(img); err == nil {
+		t.Error("corrupted opcode accepted")
+	}
+}
+
+func TestEncodePreservesFloatImm(t *testing.T) {
+	b := NewBuilder()
+	b.NewBlock()
+	b.FLi(3, -123.456e-7)
+	b.Halt()
+	p := b.MustProgram()
+	q, err := DecodeProgram(EncodeProgram(p))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := q.Blocks[0].Insts[0].FImm; got != -123.456e-7 {
+		t.Errorf("FImm = %v after round trip", got)
+	}
+}
+
+func TestEncodedSize(t *testing.T) {
+	p := twoBlockProgram()
+	img := EncodeProgram(p)
+	want := 4 + 1 + 4 + 4 + len(p.Blocks)*4 + p.NumInsts()*instBytes
+	if len(img) != want {
+		t.Errorf("image size %d, want %d", len(img), want)
+	}
+	if !strings.HasPrefix(string(img), "SMRQ") {
+		t.Error("image missing magic")
+	}
+}

@@ -1,0 +1,144 @@
+package guest
+
+import (
+	"fmt"
+	"math"
+)
+
+// Control describes where execution goes after one instruction.
+type Control int
+
+const (
+	// CtlNext falls through to the following instruction (or block).
+	CtlNext Control = iota
+	// CtlBranch transfers to the instruction's Target block.
+	CtlBranch
+	// CtlHalt stops the guest program.
+	CtlHalt
+)
+
+// Exec executes a single guest instruction against st and mem, returning
+// the control action. Division by zero yields zero (a quiet guest fault)
+// so workloads cannot crash the host. Memory faults are returned as errors.
+//
+// Exec is the single source of truth for guest semantics: the interpreter,
+// the atomic-region re-execution path, and the differential tests that
+// compare interpreted and optimized execution all go through it.
+func Exec(in Inst, st *State, mem *Memory) (Control, error) {
+	r := &st.R
+	f := &st.F
+	switch in.Op {
+	case Nop:
+	case Li:
+		r[in.Rd] = in.Imm
+	case Mov:
+		r[in.Rd] = r[in.Rs1]
+	case Add:
+		r[in.Rd] = r[in.Rs1] + r[in.Rs2]
+	case Sub:
+		r[in.Rd] = r[in.Rs1] - r[in.Rs2]
+	case Mul:
+		r[in.Rd] = r[in.Rs1] * r[in.Rs2]
+	case Div:
+		if r[in.Rs2] == 0 {
+			r[in.Rd] = 0
+		} else {
+			r[in.Rd] = r[in.Rs1] / r[in.Rs2]
+		}
+	case And:
+		r[in.Rd] = r[in.Rs1] & r[in.Rs2]
+	case Or:
+		r[in.Rd] = r[in.Rs1] | r[in.Rs2]
+	case Xor:
+		r[in.Rd] = r[in.Rs1] ^ r[in.Rs2]
+	case Shl:
+		r[in.Rd] = r[in.Rs1] << (uint64(r[in.Rs2]) & 63)
+	case Shr:
+		r[in.Rd] = r[in.Rs1] >> (uint64(r[in.Rs2]) & 63)
+	case Addi:
+		r[in.Rd] = r[in.Rs1] + in.Imm
+	case Muli:
+		r[in.Rd] = r[in.Rs1] * in.Imm
+	case Slt:
+		if r[in.Rs1] < r[in.Rs2] {
+			r[in.Rd] = 1
+		} else {
+			r[in.Rd] = 0
+		}
+	case FLi:
+		f[in.Rd] = in.FImm
+	case FMov:
+		f[in.Rd] = f[in.Rs1]
+	case FAdd:
+		f[in.Rd] = f[in.Rs1] + f[in.Rs2]
+	case FSub:
+		f[in.Rd] = f[in.Rs1] - f[in.Rs2]
+	case FMul:
+		f[in.Rd] = f[in.Rs1] * f[in.Rs2]
+	case FDiv:
+		f[in.Rd] = f[in.Rs1] / f[in.Rs2]
+	case FNeg:
+		f[in.Rd] = -f[in.Rs1]
+	case FAbs:
+		f[in.Rd] = math.Abs(f[in.Rs1])
+	case FSqrt:
+		f[in.Rd] = math.Sqrt(f[in.Rs1])
+	case CvtIF:
+		f[in.Rd] = float64(r[in.Rs1])
+	case CvtFI:
+		r[in.Rd] = int64(f[in.Rs1])
+	case Ld1, Ld2, Ld4, Ld8:
+		v, err := mem.Load(uint64(r[in.Rs1]+in.Imm), in.Op.AccessSize())
+		if err != nil {
+			return CtlNext, err
+		}
+		r[in.Rd] = int64(v)
+	case St1, St2, St4, St8:
+		if err := mem.Store(uint64(r[in.Rs1]+in.Imm), in.Op.AccessSize(), uint64(r[in.Rd])); err != nil {
+			return CtlNext, err
+		}
+	case FLd8:
+		v, err := mem.LoadF64(uint64(r[in.Rs1] + in.Imm))
+		if err != nil {
+			return CtlNext, err
+		}
+		f[in.Rd] = v
+	case FSt8:
+		if err := mem.StoreF64(uint64(r[in.Rs1]+in.Imm), f[in.Rd]); err != nil {
+			return CtlNext, err
+		}
+	case Beq:
+		if r[in.Rs1] == r[in.Rs2] {
+			return CtlBranch, nil
+		}
+	case Bne:
+		if r[in.Rs1] != r[in.Rs2] {
+			return CtlBranch, nil
+		}
+	case Blt:
+		if r[in.Rs1] < r[in.Rs2] {
+			return CtlBranch, nil
+		}
+	case Bge:
+		if r[in.Rs1] >= r[in.Rs2] {
+			return CtlBranch, nil
+		}
+	case Jmp:
+		return CtlBranch, nil
+	case Halt:
+		return CtlHalt, nil
+	default:
+		return CtlNext, fmt.Errorf("guest: cannot execute opcode %s", in.Op)
+	}
+	return CtlNext, nil
+}
+
+// EffectiveAddr returns the effective address and access size of a memory
+// instruction given the current state. It panics when in is not a memory
+// instruction.
+func EffectiveAddr(in Inst, st *State) (addr uint64, size int) {
+	if !in.Op.IsMem() {
+		panic(fmt.Sprintf("guest: EffectiveAddr on non-memory instruction %s", in))
+	}
+	return uint64(st.R[in.Rs1] + in.Imm), in.Op.AccessSize()
+}

@@ -1,0 +1,160 @@
+package guest
+
+import (
+	"math"
+	"testing"
+)
+
+func exec1(t *testing.T, in Inst, st *State, mem *Memory) Control {
+	t.Helper()
+	ctl, err := Exec(in, st, mem)
+	if err != nil {
+		t.Fatalf("Exec(%s): %v", in, err)
+	}
+	return ctl
+}
+
+func TestExecIntALU(t *testing.T) {
+	var st State
+	mem := NewMemory(16)
+	st.R[1], st.R[2] = 7, 3
+	cases := []struct {
+		in   Inst
+		want int64
+	}{
+		{Inst{Op: Li, Rd: 0, Imm: -9}, -9},
+		{Inst{Op: Mov, Rd: 0, Rs1: 1}, 7},
+		{Inst{Op: Add, Rd: 0, Rs1: 1, Rs2: 2}, 10},
+		{Inst{Op: Sub, Rd: 0, Rs1: 1, Rs2: 2}, 4},
+		{Inst{Op: Mul, Rd: 0, Rs1: 1, Rs2: 2}, 21},
+		{Inst{Op: Div, Rd: 0, Rs1: 1, Rs2: 2}, 2},
+		{Inst{Op: And, Rd: 0, Rs1: 1, Rs2: 2}, 3},
+		{Inst{Op: Or, Rd: 0, Rs1: 1, Rs2: 2}, 7},
+		{Inst{Op: Xor, Rd: 0, Rs1: 1, Rs2: 2}, 4},
+		{Inst{Op: Shl, Rd: 0, Rs1: 1, Rs2: 2}, 56},
+		{Inst{Op: Shr, Rd: 0, Rs1: 1, Rs2: 2}, 0},
+		{Inst{Op: Addi, Rd: 0, Rs1: 1, Imm: 100}, 107},
+		{Inst{Op: Muli, Rd: 0, Rs1: 1, Imm: -2}, -14},
+		{Inst{Op: Slt, Rd: 0, Rs1: 2, Rs2: 1}, 1},
+		{Inst{Op: Slt, Rd: 0, Rs1: 1, Rs2: 2}, 0},
+	}
+	for _, c := range cases {
+		exec1(t, c.in, &st, mem)
+		if st.R[0] != c.want {
+			t.Errorf("%s: r0 = %d, want %d", c.in, st.R[0], c.want)
+		}
+	}
+}
+
+func TestExecDivByZero(t *testing.T) {
+	var st State
+	st.R[1] = 5
+	st.R[2] = 0
+	exec1(t, Inst{Op: Div, Rd: 0, Rs1: 1, Rs2: 2}, &st, NewMemory(1))
+	if st.R[0] != 0 {
+		t.Errorf("div by zero: r0 = %d, want 0", st.R[0])
+	}
+}
+
+func TestExecFloat(t *testing.T) {
+	var st State
+	mem := NewMemory(16)
+	st.F[1], st.F[2] = 6, 1.5
+	st.R[3] = -4
+	cases := []struct {
+		in   Inst
+		want float64
+	}{
+		{Inst{Op: FLi, Rd: 0, FImm: 2.25}, 2.25},
+		{Inst{Op: FMov, Rd: 0, Rs1: 1}, 6},
+		{Inst{Op: FAdd, Rd: 0, Rs1: 1, Rs2: 2}, 7.5},
+		{Inst{Op: FSub, Rd: 0, Rs1: 1, Rs2: 2}, 4.5},
+		{Inst{Op: FMul, Rd: 0, Rs1: 1, Rs2: 2}, 9},
+		{Inst{Op: FDiv, Rd: 0, Rs1: 1, Rs2: 2}, 4},
+		{Inst{Op: FNeg, Rd: 0, Rs1: 1}, -6},
+		{Inst{Op: FAbs, Rd: 0, Rs1: 1}, 6},
+		{Inst{Op: FSqrt, Rd: 0, Rs1: 1}, math.Sqrt(6)},
+		{Inst{Op: CvtIF, Rd: 0, Rs1: 3}, -4},
+	}
+	for _, c := range cases {
+		exec1(t, c.in, &st, mem)
+		if st.F[0] != c.want {
+			t.Errorf("%s: f0 = %v, want %v", c.in, st.F[0], c.want)
+		}
+	}
+	exec1(t, Inst{Op: CvtFI, Rd: 0, Rs1: 2}, &st, mem)
+	if st.R[0] != 1 {
+		t.Errorf("cvtfi: r0 = %d, want 1", st.R[0])
+	}
+}
+
+func TestExecMemory(t *testing.T) {
+	var st State
+	mem := NewMemory(64)
+	st.R[1] = 8 // base
+	st.R[2] = -1
+	exec1(t, Inst{Op: St8, Rd: 2, Rs1: 1, Imm: 8}, &st, mem)
+	exec1(t, Inst{Op: Ld4, Rd: 3, Rs1: 1, Imm: 8}, &st, mem)
+	if st.R[3] != 0xFFFFFFFF {
+		t.Errorf("ld4 after st8: r3 = %#x, want 0xFFFFFFFF", st.R[3])
+	}
+	st.F[4] = 3.75
+	exec1(t, Inst{Op: FSt8, Rd: 4, Rs1: 1, Imm: 24}, &st, mem)
+	exec1(t, Inst{Op: FLd8, Rd: 5, Rs1: 1, Imm: 24}, &st, mem)
+	if st.F[5] != 3.75 {
+		t.Errorf("fld8 after fst8: f5 = %v, want 3.75", st.F[5])
+	}
+}
+
+func TestExecMemFaultPropagates(t *testing.T) {
+	var st State
+	mem := NewMemory(8)
+	st.R[1] = 100
+	if _, err := Exec(Inst{Op: Ld8, Rd: 0, Rs1: 1}, &st, mem); err == nil {
+		t.Error("load fault not propagated")
+	}
+	if _, err := Exec(Inst{Op: St8, Rd: 0, Rs1: 1}, &st, mem); err == nil {
+		t.Error("store fault not propagated")
+	}
+}
+
+func TestExecControl(t *testing.T) {
+	var st State
+	mem := NewMemory(1)
+	st.R[1], st.R[2] = 1, 2
+	cases := []struct {
+		in   Inst
+		want Control
+	}{
+		{Inst{Op: Beq, Rs1: 1, Rs2: 2}, CtlNext},
+		{Inst{Op: Beq, Rs1: 1, Rs2: 1}, CtlBranch},
+		{Inst{Op: Bne, Rs1: 1, Rs2: 2}, CtlBranch},
+		{Inst{Op: Blt, Rs1: 1, Rs2: 2}, CtlBranch},
+		{Inst{Op: Blt, Rs1: 2, Rs2: 1}, CtlNext},
+		{Inst{Op: Bge, Rs1: 2, Rs2: 1}, CtlBranch},
+		{Inst{Op: Bge, Rs1: 1, Rs2: 2}, CtlNext},
+		{Inst{Op: Jmp}, CtlBranch},
+		{Inst{Op: Halt}, CtlHalt},
+		{Inst{Op: Nop}, CtlNext},
+	}
+	for _, c := range cases {
+		if got := exec1(t, c.in, &st, mem); got != c.want {
+			t.Errorf("%s: control = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestEffectiveAddr(t *testing.T) {
+	var st State
+	st.R[1] = 100
+	addr, size := EffectiveAddr(Inst{Op: Ld4, Rd: 0, Rs1: 1, Imm: -4}, &st)
+	if addr != 96 || size != 4 {
+		t.Errorf("EffectiveAddr = (%d,%d), want (96,4)", addr, size)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("EffectiveAddr on non-memory op did not panic")
+		}
+	}()
+	EffectiveAddr(Inst{Op: Add}, &st)
+}

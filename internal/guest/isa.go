@@ -1,0 +1,216 @@
+// Package guest defines the guest instruction set the dynamic optimization
+// system translates from.
+//
+// The paper translates x86 binaries; the properties its analyses consume are
+// much narrower than x86 — loads and stores with base+displacement
+// addressing, integer and floating-point arithmetic, and conditional
+// branches. This package provides exactly that: a small, regular RISC-like
+// ISA with 32 integer and 32 floating-point registers, a byte-addressable
+// little-endian memory, and programs structured as basic blocks.
+package guest
+
+import "fmt"
+
+// Reg names one of the 32 integer or 32 floating-point guest registers.
+// Whether a Reg field selects the integer or the floating-point file is
+// determined by the opcode.
+type Reg uint8
+
+// NumRegs is the size of each guest register file.
+const NumRegs = 32
+
+// Opcode identifies a guest instruction.
+type Opcode uint8
+
+// Guest opcodes. Field usage per opcode is documented in the comment; Rd is
+// always the destination.
+const (
+	// Nop does nothing.
+	Nop Opcode = iota
+
+	// Integer ALU.
+	Li   // Rd = Imm
+	Mov  // Rd = Rs1
+	Add  // Rd = Rs1 + Rs2
+	Sub  // Rd = Rs1 - Rs2
+	Mul  // Rd = Rs1 * Rs2
+	Div  // Rd = Rs1 / Rs2 (0 on divide-by-zero, like a quiet guest fault)
+	And  // Rd = Rs1 & Rs2
+	Or   // Rd = Rs1 | Rs2
+	Xor  // Rd = Rs1 ^ Rs2
+	Shl  // Rd = Rs1 << (Rs2 & 63)
+	Shr  // Rd = Rs1 >> (Rs2 & 63) (arithmetic)
+	Addi // Rd = Rs1 + Imm
+	Muli // Rd = Rs1 * Imm
+	Slt  // Rd = 1 if Rs1 < Rs2 else 0
+
+	// Floating point (operates on the F register file).
+	FLi   // F[Rd] = FImm
+	FMov  // F[Rd] = F[Rs1]
+	FAdd  // F[Rd] = F[Rs1] + F[Rs2]
+	FSub  // F[Rd] = F[Rs1] - F[Rs2]
+	FMul  // F[Rd] = F[Rs1] * F[Rs2]
+	FDiv  // F[Rd] = F[Rs1] / F[Rs2]
+	FNeg  // F[Rd] = -F[Rs1]
+	FAbs  // F[Rd] = |F[Rs1]|
+	FSqrt // F[Rd] = sqrt(F[Rs1])
+	CvtIF // F[Rd] = float64(R[Rs1])
+	CvtFI // Rd = int64(F[Rs1])
+
+	// Memory. The effective address is always R[Rs1] + Imm.
+	Ld1  // Rd = zero-extended 1-byte load
+	Ld2  // Rd = zero-extended 2-byte load
+	Ld4  // Rd = zero-extended 4-byte load
+	Ld8  // Rd = 8-byte load
+	St1  // store low 1 byte of R[Rd]
+	St2  // store low 2 bytes of R[Rd]
+	St4  // store low 4 bytes of R[Rd]
+	St8  // store R[Rd]
+	FLd8 // F[Rd] = 8-byte float load
+	FSt8 // store F[Rd]
+
+	// Control. Branch targets are block IDs; a block whose last instruction
+	// is not a control instruction falls through to the next block.
+	Beq  // if R[Rs1] == R[Rs2] goto Target
+	Bne  // if R[Rs1] != R[Rs2] goto Target
+	Blt  // if R[Rs1] <  R[Rs2] goto Target
+	Bge  // if R[Rs1] >= R[Rs2] goto Target
+	Jmp  // goto Target
+	Halt // stop the guest program
+
+	numOpcodes // sentinel; must be last
+)
+
+var opNames = [numOpcodes]string{
+	Nop: "nop",
+	Li:  "li", Mov: "mov", Add: "add", Sub: "sub", Mul: "mul", Div: "div",
+	And: "and", Or: "or", Xor: "xor", Shl: "shl", Shr: "shr",
+	Addi: "addi", Muli: "muli", Slt: "slt",
+	FLi: "fli", FMov: "fmov", FAdd: "fadd", FSub: "fsub", FMul: "fmul",
+	FDiv: "fdiv", FNeg: "fneg", FAbs: "fabs", FSqrt: "fsqrt",
+	CvtIF: "cvtif", CvtFI: "cvtfi",
+	Ld1: "ld1", Ld2: "ld2", Ld4: "ld4", Ld8: "ld8",
+	St1: "st1", St2: "st2", St4: "st4", St8: "st8",
+	FLd8: "fld8", FSt8: "fst8",
+	Beq: "beq", Bne: "bne", Blt: "blt", Bge: "bge",
+	Jmp: "jmp", Halt: "halt",
+}
+
+// String returns the mnemonic for op.
+func (op Opcode) String() string {
+	if int(op) < len(opNames) && opNames[op] != "" {
+		return opNames[op]
+	}
+	return fmt.Sprintf("op(%d)", uint8(op))
+}
+
+// IsLoad reports whether op reads guest memory.
+func (op Opcode) IsLoad() bool {
+	switch op {
+	case Ld1, Ld2, Ld4, Ld8, FLd8:
+		return true
+	}
+	return false
+}
+
+// IsStore reports whether op writes guest memory.
+func (op Opcode) IsStore() bool {
+	switch op {
+	case St1, St2, St4, St8, FSt8:
+		return true
+	}
+	return false
+}
+
+// IsMem reports whether op accesses guest memory.
+func (op Opcode) IsMem() bool { return op.IsLoad() || op.IsStore() }
+
+// IsBranch reports whether op is a conditional branch.
+func (op Opcode) IsBranch() bool {
+	switch op {
+	case Beq, Bne, Blt, Bge:
+		return true
+	}
+	return false
+}
+
+// IsControl reports whether op ends a basic block unconditionally or
+// conditionally.
+func (op Opcode) IsControl() bool { return op.IsBranch() || op == Jmp || op == Halt }
+
+// IsFloat reports whether op produces or consumes the floating-point file.
+func (op Opcode) IsFloat() bool {
+	switch op {
+	case FLi, FMov, FAdd, FSub, FMul, FDiv, FNeg, FAbs, FSqrt, CvtIF,
+		FLd8, FSt8:
+		return true
+	}
+	return false
+}
+
+// AccessSize returns the number of bytes op reads or writes, or 0 for
+// non-memory opcodes.
+func (op Opcode) AccessSize() int {
+	switch op {
+	case Ld1, St1:
+		return 1
+	case Ld2, St2:
+		return 2
+	case Ld4, St4:
+		return 4
+	case Ld8, St8, FLd8, FSt8:
+		return 8
+	}
+	return 0
+}
+
+// Inst is one guest instruction. Field meanings depend on Op; see the
+// opcode constants. For stores, Rd names the register holding the value to
+// store. For memory operations the effective address is R[Rs1] + Imm.
+type Inst struct {
+	Op     Opcode
+	Rd     Reg
+	Rs1    Reg
+	Rs2    Reg
+	Imm    int64
+	FImm   float64
+	Target int // destination block ID for Jmp and conditional branches
+}
+
+// String renders the instruction in a readable assembly-like syntax.
+func (in Inst) String() string {
+	switch {
+	case in.Op == Nop || in.Op == Halt:
+		return in.Op.String()
+	case in.Op == Li:
+		return fmt.Sprintf("li r%d, %d", in.Rd, in.Imm)
+	case in.Op == FLi:
+		return fmt.Sprintf("fli f%d, %g", in.Rd, in.FImm)
+	case in.Op == Mov:
+		return fmt.Sprintf("mov r%d, r%d", in.Rd, in.Rs1)
+	case in.Op == FMov || in.Op == FNeg || in.Op == FAbs || in.Op == FSqrt:
+		return fmt.Sprintf("%s f%d, f%d", in.Op, in.Rd, in.Rs1)
+	case in.Op == CvtIF:
+		return fmt.Sprintf("cvtif f%d, r%d", in.Rd, in.Rs1)
+	case in.Op == CvtFI:
+		return fmt.Sprintf("cvtfi r%d, f%d", in.Rd, in.Rs1)
+	case in.Op == Addi || in.Op == Muli:
+		return fmt.Sprintf("%s r%d, r%d, %d", in.Op, in.Rd, in.Rs1, in.Imm)
+	case in.Op.IsFloat() && in.Op.IsLoad():
+		return fmt.Sprintf("%s f%d, [r%d%+d]", in.Op, in.Rd, in.Rs1, in.Imm)
+	case in.Op.IsFloat() && in.Op.IsStore():
+		return fmt.Sprintf("%s [r%d%+d], f%d", in.Op, in.Rs1, in.Imm, in.Rd)
+	case in.Op.IsLoad():
+		return fmt.Sprintf("%s r%d, [r%d%+d]", in.Op, in.Rd, in.Rs1, in.Imm)
+	case in.Op.IsStore():
+		return fmt.Sprintf("%s [r%d%+d], r%d", in.Op, in.Rs1, in.Imm, in.Rd)
+	case in.Op.IsBranch():
+		return fmt.Sprintf("%s r%d, r%d, B%d", in.Op, in.Rs1, in.Rs2, in.Target)
+	case in.Op == Jmp:
+		return fmt.Sprintf("jmp B%d", in.Target)
+	case in.Op.IsFloat():
+		return fmt.Sprintf("%s f%d, f%d, f%d", in.Op, in.Rd, in.Rs1, in.Rs2)
+	default:
+		return fmt.Sprintf("%s r%d, r%d, r%d", in.Op, in.Rd, in.Rs1, in.Rs2)
+	}
+}

@@ -1,0 +1,88 @@
+package guest
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestOpcodeClasses(t *testing.T) {
+	cases := []struct {
+		op                              Opcode
+		load, store, branch, ctl, float bool
+		size                            int
+	}{
+		{Nop, false, false, false, false, false, 0},
+		{Add, false, false, false, false, false, 0},
+		{FMul, false, false, false, false, true, 0},
+		{Ld1, true, false, false, false, false, 1},
+		{Ld2, true, false, false, false, false, 2},
+		{Ld4, true, false, false, false, false, 4},
+		{Ld8, true, false, false, false, false, 8},
+		{FLd8, true, false, false, false, true, 8},
+		{St1, false, true, false, false, false, 1},
+		{St4, false, true, false, false, false, 4},
+		{St8, false, true, false, false, false, 8},
+		{FSt8, false, true, false, false, true, 8},
+		{Beq, false, false, true, true, false, 0},
+		{Blt, false, false, true, true, false, 0},
+		{Jmp, false, false, false, true, false, 0},
+		{Halt, false, false, false, true, false, 0},
+	}
+	for _, c := range cases {
+		if got := c.op.IsLoad(); got != c.load {
+			t.Errorf("%s: IsLoad = %v, want %v", c.op, got, c.load)
+		}
+		if got := c.op.IsStore(); got != c.store {
+			t.Errorf("%s: IsStore = %v, want %v", c.op, got, c.store)
+		}
+		if got := c.op.IsMem(); got != (c.load || c.store) {
+			t.Errorf("%s: IsMem = %v, want %v", c.op, got, c.load || c.store)
+		}
+		if got := c.op.IsBranch(); got != c.branch {
+			t.Errorf("%s: IsBranch = %v, want %v", c.op, got, c.branch)
+		}
+		if got := c.op.IsControl(); got != c.ctl {
+			t.Errorf("%s: IsControl = %v, want %v", c.op, got, c.ctl)
+		}
+		if got := c.op.IsFloat(); got != c.float {
+			t.Errorf("%s: IsFloat = %v, want %v", c.op, got, c.float)
+		}
+		if got := c.op.AccessSize(); got != c.size {
+			t.Errorf("%s: AccessSize = %d, want %d", c.op, got, c.size)
+		}
+	}
+}
+
+func TestOpcodeNamesComplete(t *testing.T) {
+	for op := Opcode(0); op < numOpcodes; op++ {
+		s := op.String()
+		if s == "" || strings.HasPrefix(s, "op(") {
+			t.Errorf("opcode %d has no mnemonic", op)
+		}
+	}
+}
+
+func TestInstString(t *testing.T) {
+	cases := []struct {
+		in   Inst
+		want string
+	}{
+		{Inst{Op: Li, Rd: 3, Imm: 42}, "li r3, 42"},
+		{Inst{Op: Add, Rd: 1, Rs1: 2, Rs2: 3}, "add r1, r2, r3"},
+		{Inst{Op: Addi, Rd: 1, Rs1: 2, Imm: -8}, "addi r1, r2, -8"},
+		{Inst{Op: Ld8, Rd: 4, Rs1: 5, Imm: 16}, "ld8 r4, [r5+16]"},
+		{Inst{Op: St4, Rd: 4, Rs1: 5, Imm: -4}, "st4 [r5-4], r4"},
+		{Inst{Op: FLd8, Rd: 2, Rs1: 7, Imm: 0}, "fld8 f2, [r7+0]"},
+		{Inst{Op: FSt8, Rd: 2, Rs1: 7, Imm: 8}, "fst8 [r7+8], f2"},
+		{Inst{Op: FAdd, Rd: 1, Rs1: 2, Rs2: 3}, "fadd f1, f2, f3"},
+		{Inst{Op: Beq, Rs1: 1, Rs2: 2, Target: 7}, "beq r1, r2, B7"},
+		{Inst{Op: Jmp, Target: 3}, "jmp B3"},
+		{Inst{Op: Halt}, "halt"},
+		{Inst{Op: CvtIF, Rd: 1, Rs1: 2}, "cvtif f1, r2"},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("String() = %q, want %q", got, c.want)
+		}
+	}
+}

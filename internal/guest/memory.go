@@ -1,0 +1,108 @@
+package guest
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Memory is the flat little-endian byte-addressable guest memory.
+//
+// Out-of-range accesses return a MemFault rather than panicking: in the
+// dynamic optimization system a guest fault inside an atomic region must be
+// catchable so the region can roll back (Figure 1 of the paper routes all
+// exceptions through the runtime module).
+type Memory struct {
+	data []byte
+}
+
+// MemFault describes an out-of-bounds guest memory access.
+type MemFault struct {
+	Addr uint64
+	Size int
+	Len  uint64
+}
+
+func (f *MemFault) Error() string {
+	return fmt.Sprintf("guest: memory fault: %d-byte access at 0x%x, memory size 0x%x", f.Size, f.Addr, f.Len)
+}
+
+// NewMemory allocates a zeroed guest memory of the given size in bytes.
+func NewMemory(size int) *Memory {
+	return &Memory{data: make([]byte, size)}
+}
+
+// Size returns the memory size in bytes.
+func (m *Memory) Size() int { return len(m.data) }
+
+func (m *Memory) check(addr uint64, size int) error {
+	if addr+uint64(size) > uint64(len(m.data)) || addr+uint64(size) < addr {
+		return &MemFault{Addr: addr, Size: size, Len: uint64(len(m.data))}
+	}
+	return nil
+}
+
+// Load reads size bytes (1, 2, 4 or 8) at addr, zero-extended to 64 bits.
+func (m *Memory) Load(addr uint64, size int) (uint64, error) {
+	if err := m.check(addr, size); err != nil {
+		return 0, err
+	}
+	switch size {
+	case 1:
+		return uint64(m.data[addr]), nil
+	case 2:
+		return uint64(binary.LittleEndian.Uint16(m.data[addr:])), nil
+	case 4:
+		return uint64(binary.LittleEndian.Uint32(m.data[addr:])), nil
+	case 8:
+		return binary.LittleEndian.Uint64(m.data[addr:]), nil
+	}
+	return 0, fmt.Errorf("guest: invalid load size %d", size)
+}
+
+// Store writes the low size bytes (1, 2, 4 or 8) of val at addr.
+func (m *Memory) Store(addr uint64, size int, val uint64) error {
+	if err := m.check(addr, size); err != nil {
+		return err
+	}
+	switch size {
+	case 1:
+		m.data[addr] = byte(val)
+	case 2:
+		binary.LittleEndian.PutUint16(m.data[addr:], uint16(val))
+	case 4:
+		binary.LittleEndian.PutUint32(m.data[addr:], uint32(val))
+	case 8:
+		binary.LittleEndian.PutUint64(m.data[addr:], val)
+	default:
+		return fmt.Errorf("guest: invalid store size %d", size)
+	}
+	return nil
+}
+
+// LoadF64 reads a float64 at addr.
+func (m *Memory) LoadF64(addr uint64) (float64, error) {
+	bits, err := m.Load(addr, 8)
+	if err != nil {
+		return 0, err
+	}
+	return math.Float64frombits(bits), nil
+}
+
+// StoreF64 writes a float64 at addr.
+func (m *Memory) StoreF64(addr uint64, v float64) error {
+	return m.Store(addr, 8, math.Float64bits(v))
+}
+
+// State is the guest architectural register state: 32 integer and 32
+// floating-point registers. The zero value is a reset machine.
+type State struct {
+	R [NumRegs]int64
+	F [NumRegs]float64
+}
+
+// Clone returns a copy of the state. Used for atomic-region checkpoints.
+func (s *State) Clone() *State {
+	c := *s
+	return &c
+}

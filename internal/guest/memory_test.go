@@ -1,0 +1,112 @@
+package guest
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestMemoryRoundTrip(t *testing.T) {
+	m := NewMemory(64)
+	for _, size := range []int{1, 2, 4, 8} {
+		want := uint64(0x1122334455667788) & (1<<(8*size) - 1)
+		if size == 8 {
+			want = 0x1122334455667788
+		}
+		if err := m.Store(8, size, 0x1122334455667788); err != nil {
+			t.Fatalf("Store size %d: %v", size, err)
+		}
+		got, err := m.Load(8, size)
+		if err != nil {
+			t.Fatalf("Load size %d: %v", size, err)
+		}
+		if got != want {
+			t.Errorf("size %d: got %#x, want %#x", size, got, want)
+		}
+	}
+}
+
+func TestMemoryLittleEndian(t *testing.T) {
+	m := NewMemory(16)
+	if err := m.Store(0, 4, 0x0A0B0C0D); err != nil {
+		t.Fatal(err)
+	}
+	b0, _ := m.Load(0, 1)
+	b3, _ := m.Load(3, 1)
+	if b0 != 0x0D || b3 != 0x0A {
+		t.Errorf("little-endian layout wrong: byte0=%#x byte3=%#x", b0, b3)
+	}
+}
+
+func TestMemoryFault(t *testing.T) {
+	m := NewMemory(16)
+	_, err := m.Load(16, 1)
+	var mf *MemFault
+	if !errors.As(err, &mf) {
+		t.Fatalf("Load(16,1) err = %v, want MemFault", err)
+	}
+	if _, err := m.Load(13, 4); err == nil {
+		t.Error("Load straddling end did not fault")
+	}
+	if err := m.Store(^uint64(0), 8, 1); err == nil {
+		t.Error("Store with wrapping address did not fault")
+	}
+	if _, err := m.Load(0, 3); err == nil {
+		t.Error("Load with invalid size did not fail")
+	}
+}
+
+func TestMemoryF64(t *testing.T) {
+	m := NewMemory(32)
+	for _, v := range []float64{0, 1.5, -math.Pi, math.Inf(1)} {
+		if err := m.StoreF64(16, v); err != nil {
+			t.Fatal(err)
+		}
+		got, err := m.LoadF64(16)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != v {
+			t.Errorf("F64 round trip: got %v, want %v", got, v)
+		}
+	}
+}
+
+// Property: any store followed by a load of the same size and address
+// returns the stored value truncated to the access size.
+func TestMemoryStoreLoadProperty(t *testing.T) {
+	m := NewMemory(4096)
+	sizes := []int{1, 2, 4, 8}
+	f := func(addr uint16, sizeIdx uint8, val uint64) bool {
+		size := sizes[int(sizeIdx)%len(sizes)]
+		a := uint64(addr) % uint64(4096-size)
+		if err := m.Store(a, size, val); err != nil {
+			return false
+		}
+		got, err := m.Load(a, size)
+		if err != nil {
+			return false
+		}
+		want := val
+		if size < 8 {
+			want = val & (1<<(8*size) - 1)
+		}
+		return got == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStateClone(t *testing.T) {
+	var s State
+	s.R[5] = 99
+	s.F[7] = 2.5
+	c := s.Clone()
+	c.R[5] = 1
+	c.F[7] = 0
+	if s.R[5] != 99 || s.F[7] != 2.5 {
+		t.Error("Clone aliases original state")
+	}
+}

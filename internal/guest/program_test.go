@@ -1,0 +1,144 @@
+package guest
+
+import (
+	"strings"
+	"testing"
+)
+
+func twoBlockProgram() *Program {
+	b := NewBuilder()
+	b.NewBlock()
+	b.Li(1, 5)
+	b.Blt(1, 2, 0)
+	b.NewBlock()
+	b.Halt()
+	return b.MustProgram()
+}
+
+func TestValidateOK(t *testing.T) {
+	p := twoBlockProgram()
+	if err := p.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+}
+
+func TestValidateErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		prog *Program
+		want string
+	}{
+		{
+			name: "empty",
+			prog: &Program{},
+			want: "no blocks",
+		},
+		{
+			name: "bad entry",
+			prog: &Program{Blocks: []*Block{{ID: 0, Insts: []Inst{{Op: Halt}}}}, Entry: 3},
+			want: "entry block",
+		},
+		{
+			name: "mismatched ID",
+			prog: &Program{Blocks: []*Block{{ID: 1, Insts: []Inst{{Op: Halt}}}}},
+			want: "has ID",
+		},
+		{
+			name: "control mid-block",
+			prog: &Program{Blocks: []*Block{{ID: 0, Insts: []Inst{{Op: Halt}, {Op: Nop}}}}},
+			want: "not at block end",
+		},
+		{
+			name: "branch out of range",
+			prog: &Program{Blocks: []*Block{{ID: 0, Insts: []Inst{{Op: Jmp, Target: 9}}}}},
+			want: "out of range",
+		},
+		{
+			name: "register out of range",
+			prog: &Program{Blocks: []*Block{{ID: 0, Insts: []Inst{{Op: Add, Rd: 40}, {Op: Halt}}}}},
+			want: "register out of range",
+		},
+		{
+			name: "fall off the end",
+			prog: &Program{Blocks: []*Block{{ID: 0, Insts: []Inst{{Op: Nop}}}}},
+			want: "falls off",
+		},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			err := c.prog.Validate()
+			if err == nil {
+				t.Fatal("Validate succeeded, want error")
+			}
+			if !strings.Contains(err.Error(), c.want) {
+				t.Errorf("error %q does not contain %q", err, c.want)
+			}
+		})
+	}
+}
+
+func TestSuccessors(t *testing.T) {
+	p := twoBlockProgram()
+	got := p.Blocks[0].Successors()
+	if len(got) != 2 || got[0] != 1 || got[1] != 0 {
+		t.Errorf("branch successors = %v, want [1 0]", got)
+	}
+	if s := p.Blocks[1].Successors(); s != nil {
+		t.Errorf("halt successors = %v, want nil", s)
+	}
+
+	b := NewBuilder()
+	b.NewBlock()
+	b.Nop() // falls through
+	b.NewBlock()
+	b.Jmp(0)
+	p2 := b.MustProgram()
+	if s := p2.Blocks[0].Successors(); len(s) != 1 || s[0] != 1 {
+		t.Errorf("fallthrough successors = %v, want [1]", s)
+	}
+	if s := p2.Blocks[1].Successors(); len(s) != 1 || s[0] != 0 {
+		t.Errorf("jmp successors = %v, want [0]", s)
+	}
+}
+
+func TestProgramString(t *testing.T) {
+	p := twoBlockProgram()
+	s := p.String()
+	for _, want := range []string{"B0:", "B1:", "li r1, 5", "halt"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestNumInsts(t *testing.T) {
+	if got := twoBlockProgram().NumInsts(); got != 3 {
+		t.Errorf("NumInsts = %d, want 3", got)
+	}
+}
+
+func TestBuilderReserveAndAt(t *testing.T) {
+	b := NewBuilder()
+	b.NewBlock()
+	exit := b.Reserve(1)
+	b.Jmp(exit)
+	b.At(exit)
+	b.Halt()
+	p := b.MustProgram()
+	if len(p.Blocks) != 2 {
+		t.Fatalf("blocks = %d, want 2", len(p.Blocks))
+	}
+	if p.Blocks[1].Insts[0].Op != Halt {
+		t.Error("reserved block not filled by At")
+	}
+}
+
+func TestBlockLookup(t *testing.T) {
+	p := twoBlockProgram()
+	if p.Block(0) == nil || p.Block(1) == nil {
+		t.Error("Block lookup failed for valid IDs")
+	}
+	if p.Block(-1) != nil || p.Block(2) != nil {
+		t.Error("Block lookup returned non-nil for invalid IDs")
+	}
+}

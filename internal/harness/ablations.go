@@ -1,0 +1,130 @@
+package harness
+
+import (
+	"fmt"
+
+	"smarq/internal/dynopt"
+)
+
+// AblationData measures the contribution of each SMARQ design element by
+// disabling it and re-running the suite (the ablation studies listed in
+// DESIGN.md). Everything is relative to the full SMARQ-64 configuration.
+type AblationData struct {
+	Benches []string
+	// Slowdown[ablation][bench] = cycles(ablated)/cycles(full) - 1,
+	// where "full" is SMARQ-64 except for the rotation ablation, which is
+	// measured at 16 registers against SMARQ-16 (rotation's value is
+	// register reuse, invisible with a large file).
+	Slowdown map[string]map[string]float64
+	// MeanSlowdown per ablation (geomean - 1).
+	MeanSlowdown map[string]float64
+	// FalsePositives counts alias exceptions under the no-anti ablation
+	// minus those under full SMARQ — the §4.2 effect made measurable.
+	FalsePositives map[string]int64
+	// WorkingSetNoRotation/WorkingSetFull: mean per-region working set
+	// with and without rotation (the §3.2 effect).
+	WorkingSetNoRotation, WorkingSetFull map[string]float64
+}
+
+// Ablation configuration names.
+const (
+	AblNoAnti     = "no-anti"
+	AblNoRotation = "no-rotation"
+	AblNoElim     = "no-elim"
+)
+
+// Ablations runs the three ablations against full SMARQ-64.
+func (r *Runner) Ablations() (*AblationData, error) {
+	mk := func(ab dynopt.Ablation) dynopt.Config {
+		c := dynopt.ConfigSMARQ(64)
+		c.Ablation = ab
+		return c
+	}
+	r.AddConfig(AblNoAnti, mk(dynopt.Ablation{Anti: true}))
+	// Rotation only matters under register scarcity (with 64 registers
+	// almost nothing overflows), so its ablation runs at 16 registers and
+	// is compared against plain SMARQ-16.
+	noRot := dynopt.ConfigSMARQ(16)
+	noRot.Ablation = dynopt.Ablation{Rotation: true}
+	r.AddConfig(AblNoRotation, noRot)
+	r.AddConfig(AblNoElim, mk(dynopt.Ablation{Elim: true}))
+
+	d := &AblationData{
+		Benches:              r.benchNames(),
+		Slowdown:             map[string]map[string]float64{},
+		MeanSlowdown:         map[string]float64{},
+		FalsePositives:       map[string]int64{},
+		WorkingSetNoRotation: map[string]float64{},
+		WorkingSetFull:       map[string]float64{},
+	}
+	for _, abl := range []string{AblNoAnti, AblNoRotation, AblNoElim} {
+		d.Slowdown[abl] = map[string]float64{}
+		var ratios []float64
+		baseCfg := CfgSMARQ64
+		if abl == AblNoRotation {
+			baseCfg = CfgSMARQ16
+		}
+		for _, bench := range d.Benches {
+			full, err := r.Run(bench, baseCfg)
+			if err != nil {
+				return nil, err
+			}
+			ab, err := r.Run(bench, abl)
+			if err != nil {
+				return nil, err
+			}
+			ratio := float64(ab.TotalCycles) / float64(full.TotalCycles)
+			d.Slowdown[abl][bench] = ratio - 1
+			ratios = append(ratios, ratio)
+
+			switch abl {
+			case AblNoAnti:
+				d.FalsePositives[bench] = ab.AliasExceptions - full.AliasExceptions
+			case AblNoRotation:
+				d.WorkingSetNoRotation[bench] = meanWorkingSet(ab)
+				d.WorkingSetFull[bench] = meanWorkingSet(full)
+			}
+		}
+		d.MeanSlowdown[abl] = geomean(ratios) - 1
+	}
+	return d, nil
+}
+
+func meanWorkingSet(st *dynopt.Stats) float64 {
+	total, n := 0, 0
+	for _, reg := range st.Regions {
+		if reg.Alloc.PBits > 0 {
+			total += reg.Alloc.WorkingSet
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return float64(total) / float64(n)
+}
+
+// Render formats the ablation study.
+func (d *AblationData) Render() string {
+	rows := make([][]string, 0, len(d.Benches)+1)
+	for _, b := range d.Benches {
+		rows = append(rows, []string{
+			b,
+			fmt.Sprintf("%+.2f%%", 100*d.Slowdown[AblNoAnti][b]),
+			fmt.Sprintf("%d", d.FalsePositives[b]),
+			fmt.Sprintf("%+.2f%%", 100*d.Slowdown[AblNoRotation][b]),
+			fmt.Sprintf("%.1f/%.1f", d.WorkingSetNoRotation[b], d.WorkingSetFull[b]),
+			fmt.Sprintf("%+.2f%%", 100*d.Slowdown[AblNoElim][b]),
+		})
+	}
+	rows = append(rows, []string{
+		"geomean",
+		fmt.Sprintf("%+.2f%%", 100*d.MeanSlowdown[AblNoAnti]),
+		"",
+		fmt.Sprintf("%+.2f%%", 100*d.MeanSlowdown[AblNoRotation]),
+		"",
+		fmt.Sprintf("%+.2f%%", 100*d.MeanSlowdown[AblNoElim]),
+	})
+	return "Ablations: slowdown from disabling each SMARQ design element (vs full SMARQ-64)\n" +
+		table([]string{"benchmark", "no-anti", "false-pos", "no-rotation", "ws no-rot/full", "no-elim"}, rows)
+}

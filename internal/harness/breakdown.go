@@ -1,0 +1,62 @@
+package harness
+
+import "fmt"
+
+// BreakdownData decomposes each benchmark's cycles under SMARQ-64 into
+// the runtime's cost centers — translated-region execution, interpretation,
+// rollback penalties, and the optimizer itself. It explains *where* the
+// remaining time goes and makes dilution effects (warm-up, side exits)
+// visible next to the headline speedups.
+type BreakdownData struct {
+	Benches []string
+	// Fractions of total cycles per benchmark.
+	Region, Interp, Rollback, Opt map[string]float64
+	// CoveragePct is the share of guest instructions retired in
+	// translated regions.
+	CoveragePct map[string]float64
+}
+
+// Breakdown computes the decomposition from the SMARQ-64 runs.
+func (r *Runner) Breakdown() (*BreakdownData, error) {
+	d := &BreakdownData{
+		Benches: r.benchNames(),
+		Region:  map[string]float64{}, Interp: map[string]float64{},
+		Rollback: map[string]float64{}, Opt: map[string]float64{},
+		CoveragePct: map[string]float64{},
+	}
+	for _, bench := range d.Benches {
+		st, err := r.Run(bench, CfgSMARQ64)
+		if err != nil {
+			return nil, err
+		}
+		total := float64(st.TotalCycles)
+		if total == 0 {
+			continue
+		}
+		d.Region[bench] = float64(st.RegionCycles) / total
+		d.Interp[bench] = float64(st.InterpCycles) / total
+		d.Rollback[bench] = float64(st.RollbackCycles) / total
+		d.Opt[bench] = float64(st.OptCycles+st.SchedCycles) / total
+		if st.GuestInsts > 0 {
+			d.CoveragePct[bench] = 100 * float64(st.GuestInsts-st.InterpretedInsts) / float64(st.GuestInsts)
+		}
+	}
+	return d, nil
+}
+
+// Render formats the breakdown.
+func (d *BreakdownData) Render() string {
+	rows := make([][]string, 0, len(d.Benches))
+	for _, b := range d.Benches {
+		rows = append(rows, []string{
+			b,
+			fmt.Sprintf("%.1f%%", 100*d.Region[b]),
+			fmt.Sprintf("%.1f%%", 100*d.Interp[b]),
+			fmt.Sprintf("%.1f%%", 100*d.Rollback[b]),
+			fmt.Sprintf("%.1f%%", 100*d.Opt[b]),
+			fmt.Sprintf("%.1f%%", d.CoveragePct[b]),
+		})
+	}
+	return "Cycle breakdown under SMARQ-64 (and translated-code coverage)\n" +
+		table([]string{"benchmark", "regions", "interpreter", "rollbacks", "optimizer", "coverage"}, rows)
+}

@@ -1,0 +1,83 @@
+package harness
+
+import (
+	"fmt"
+
+	"smarq/internal/dynopt"
+)
+
+// EfficeonData compares the *true* bit-mask hardware (named registers,
+// explicit check masks, hard 15-register encoding cap — §2.2) against the
+// paper's SMARQ-16 approximation and full SMARQ-64.
+type EfficeonData struct {
+	Benches []string
+	// Speedup[bench][config] over the no-HW baseline for
+	// efficeon / smarq16 / smarq64.
+	Speedup map[string]map[string]float64
+	Mean    map[string]float64
+	// Overflows counts compile-time bitmask allocation failures across
+	// the suite (regions that had to retreat to less speculation because
+	// 15 named registers were not enough — the encoding wall).
+	Overflows int
+}
+
+// CfgEfficeon is the configuration name of the true bit-mask model.
+const CfgEfficeon = "efficeon"
+
+// Efficeon runs the comparison.
+func (r *Runner) Efficeon() (*EfficeonData, error) {
+	r.AddConfig(CfgEfficeon, dynopt.ConfigEfficeon())
+	configs := []string{CfgEfficeon, CfgSMARQ16, CfgSMARQ64}
+	d := &EfficeonData{
+		Benches: r.benchNames(),
+		Speedup: map[string]map[string]float64{},
+		Mean:    map[string]float64{},
+	}
+	per := map[string][]float64{}
+	for _, bench := range d.Benches {
+		base, err := r.Run(bench, CfgNoHW)
+		if err != nil {
+			return nil, err
+		}
+		d.Speedup[bench] = map[string]float64{}
+		for _, cfg := range configs {
+			st, err := r.Run(bench, cfg)
+			if err != nil {
+				return nil, err
+			}
+			sp := float64(base.TotalCycles) / float64(st.TotalCycles)
+			d.Speedup[bench][cfg] = sp
+			per[cfg] = append(per[cfg], sp)
+			if cfg == CfgEfficeon {
+				d.Overflows += st.OverflowRetries
+			}
+		}
+	}
+	for cfg, sps := range per {
+		d.Mean[cfg] = geomean(sps)
+	}
+	return d, nil
+}
+
+// Render formats the comparison.
+func (d *EfficeonData) Render() string {
+	rows := make([][]string, 0, len(d.Benches)+1)
+	for _, b := range d.Benches {
+		rows = append(rows, []string{
+			b,
+			fmt.Sprintf("%.3f", d.Speedup[b][CfgEfficeon]),
+			fmt.Sprintf("%.3f", d.Speedup[b][CfgSMARQ16]),
+			fmt.Sprintf("%.3f", d.Speedup[b][CfgSMARQ64]),
+		})
+	}
+	rows = append(rows, []string{
+		"geomean",
+		fmt.Sprintf("%.3f", d.Mean[CfgEfficeon]),
+		fmt.Sprintf("%.3f", d.Mean[CfgSMARQ16]),
+		fmt.Sprintf("%.3f", d.Mean[CfgSMARQ64]),
+	})
+	out := "Efficeon comparison: true bit-mask (15 named registers) vs SMARQ\n" +
+		table([]string{"benchmark", "Efficeon(15)", "SMARQ16", "SMARQ(64)"}, rows)
+	out += fmt.Sprintf("bitmask encoding-cap retreats during compilation: %d\n", d.Overflows)
+	return out
+}

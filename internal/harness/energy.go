@@ -1,0 +1,71 @@
+package harness
+
+import (
+	"fmt"
+
+	"smarq/internal/dynopt"
+)
+
+// EnergyData quantifies §2.4's energy argument: how many register
+// comparisons each detection scheme performs per thousand retired guest
+// instructions. The ordered queue with SMARQ's precise windows (and
+// anti-constraints suppressing unnecessary checks) should examine far
+// fewer registers than the Itanium-like ALAT, whose every store scans
+// every live advanced load.
+type EnergyData struct {
+	Benches []string
+	// ChecksPerKInst[bench][config] — register comparisons per 1000
+	// retired guest instructions.
+	ChecksPerKInst map[string]map[string]float64
+	Mean           map[string]float64
+}
+
+// Energy measures the comparison counts under SMARQ-64, the true bit-mask
+// model and the Itanium-like ALAT.
+func (r *Runner) Energy() (*EnergyData, error) {
+	r.AddConfig(CfgEfficeon, dynopt.ConfigEfficeon())
+	configs := []string{CfgSMARQ64, CfgEfficeon, CfgALAT}
+	d := &EnergyData{
+		Benches:        r.benchNames(),
+		ChecksPerKInst: map[string]map[string]float64{},
+		Mean:           map[string]float64{},
+	}
+	sums := map[string][]float64{}
+	for _, bench := range d.Benches {
+		d.ChecksPerKInst[bench] = map[string]float64{}
+		for _, cfg := range configs {
+			st, err := r.Run(bench, cfg)
+			if err != nil {
+				return nil, err
+			}
+			v := 1000 * float64(st.HWChecks) / float64(st.GuestInsts)
+			d.ChecksPerKInst[bench][cfg] = v
+			sums[cfg] = append(sums[cfg], v)
+		}
+	}
+	for cfg, vs := range sums {
+		d.Mean[cfg] = mean(vs)
+	}
+	return d, nil
+}
+
+// Render formats the comparison.
+func (d *EnergyData) Render() string {
+	rows := make([][]string, 0, len(d.Benches)+1)
+	for _, b := range d.Benches {
+		rows = append(rows, []string{
+			b,
+			fmt.Sprintf("%.1f", d.ChecksPerKInst[b][CfgSMARQ64]),
+			fmt.Sprintf("%.1f", d.ChecksPerKInst[b][CfgEfficeon]),
+			fmt.Sprintf("%.1f", d.ChecksPerKInst[b][CfgALAT]),
+		})
+	}
+	rows = append(rows, []string{
+		"mean",
+		fmt.Sprintf("%.1f", d.Mean[CfgSMARQ64]),
+		fmt.Sprintf("%.1f", d.Mean[CfgEfficeon]),
+		fmt.Sprintf("%.1f", d.Mean[CfgALAT]),
+	})
+	return "Runtime alias checks per 1000 guest instructions (the §2.4 energy proxy)\n" +
+		table([]string{"benchmark", "SMARQ(64)", "Efficeon(15)", "Itanium-like"}, rows)
+}

@@ -1,0 +1,182 @@
+// Package harness regenerates the paper's tables and figures: it runs the
+// benchmark suite under the alias-hardware configurations of §6 and
+// derives each reported statistic. Each FigureN/TableN function returns a
+// data structure with a Render method producing the text table.
+package harness
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"smarq/internal/dynopt"
+	"smarq/internal/guest"
+	"smarq/internal/workload"
+)
+
+// Runner executes benchmark×configuration cells on demand and caches the
+// results, so the figures share runs.
+type Runner struct {
+	Suite   []workload.Benchmark
+	byName  map[string]workload.Benchmark
+	configs map[string]dynopt.Config
+	cache   map[[2]string]*dynopt.Stats
+	// Verbose, when set, prints each cell as it completes.
+	Verbose func(bench, config string, stats *dynopt.Stats)
+}
+
+// Standard configuration names.
+const (
+	CfgSMARQ64 = "smarq64"
+	CfgSMARQ16 = "smarq16"
+	CfgALAT    = "alat"
+	CfgNoHW    = "nohw"
+	CfgNoStRe  = "nostorereorder"
+)
+
+// NewRunner returns a Runner over the given suite (nil means the full
+// suite).
+func NewRunner(suite []workload.Benchmark) *Runner {
+	if suite == nil {
+		suite = workload.Suite()
+	}
+	byName := make(map[string]workload.Benchmark, len(suite))
+	for _, bm := range suite {
+		byName[bm.Name] = bm
+	}
+	return &Runner{
+		Suite:  suite,
+		byName: byName,
+		configs: map[string]dynopt.Config{
+			CfgSMARQ64: dynopt.ConfigSMARQ(64),
+			CfgSMARQ16: dynopt.ConfigSMARQ(16),
+			CfgALAT:    dynopt.ConfigALAT(),
+			CfgNoHW:    dynopt.ConfigNoHW(),
+			CfgNoStRe:  dynopt.ConfigNoStoreReorder(),
+		},
+		cache: make(map[[2]string]*dynopt.Stats),
+	}
+}
+
+// AddConfig registers a custom configuration (used by the scaling sweep
+// and the ablations).
+func (r *Runner) AddConfig(name string, cfg dynopt.Config) { r.configs[name] = cfg }
+
+// Run returns the stats for one benchmark under one configuration,
+// executing it on first use.
+func (r *Runner) Run(bench, config string) (*dynopt.Stats, error) {
+	key := [2]string{bench, config}
+	if st, ok := r.cache[key]; ok {
+		return st, nil
+	}
+	bm, ok := r.byName[bench]
+	if !ok {
+		return nil, fmt.Errorf("harness: no benchmark %q in this runner's suite", bench)
+	}
+	cfg, ok := r.configs[config]
+	if !ok {
+		return nil, fmt.Errorf("harness: no configuration %q", config)
+	}
+	sys := dynopt.New(bm.Build(), &guest.State{}, guest.NewMemory(bm.MemSize), cfg)
+	halted, err := sys.Run(bm.MaxInsts)
+	if err != nil {
+		return nil, fmt.Errorf("harness: %s/%s: %w", bench, config, err)
+	}
+	if !halted {
+		return nil, fmt.Errorf("harness: %s/%s did not halt", bench, config)
+	}
+	r.cache[key] = &sys.Stats
+	if r.Verbose != nil {
+		r.Verbose(bench, config, &sys.Stats)
+	}
+	return &sys.Stats, nil
+}
+
+// geomean of a slice (1.0 for empty).
+func geomean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 1
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += math.Log(x)
+	}
+	return math.Exp(s / float64(len(xs)))
+}
+
+// table renders a simple fixed-width text table.
+func table(header []string, rows [][]string) string {
+	width := make([]int, len(header))
+	for i, h := range header {
+		width[i] = len(h)
+	}
+	for _, row := range rows {
+		for i, c := range row {
+			if len(c) > width[i] {
+				width[i] = len(c)
+			}
+		}
+	}
+	var sb strings.Builder
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			fmt.Fprintf(&sb, "%-*s", width[i], c)
+		}
+		sb.WriteString("\n")
+	}
+	line(header)
+	for i, w := range width {
+		if i > 0 {
+			sb.WriteString("  ")
+		}
+		sb.WriteString(strings.Repeat("-", w))
+	}
+	sb.WriteString("\n")
+	for _, row := range rows {
+		line(row)
+	}
+	return sb.String()
+}
+
+// benchNames returns the runner's suite names in order.
+func (r *Runner) benchNames() []string {
+	names := make([]string, len(r.Suite))
+	for i, b := range r.Suite {
+		names[i] = b.Name
+	}
+	return names
+}
+
+// sortedKeys is a helper for deterministic map iteration.
+func sortedKeys(m map[string]float64) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// ParseConfig resolves a configuration name — smarq<N>, alat, efficeon,
+// nohw, nostorereorder — to its dynopt.Config. CLI tools share it.
+func ParseConfig(name string) (dynopt.Config, error) {
+	switch name {
+	case "alat":
+		return dynopt.ConfigALAT(), nil
+	case "efficeon":
+		return dynopt.ConfigEfficeon(), nil
+	case "nohw":
+		return dynopt.ConfigNoHW(), nil
+	case "nostorereorder":
+		return dynopt.ConfigNoStoreReorder(), nil
+	}
+	var n int
+	if _, err := fmt.Sscanf(name, "smarq%d", &n); err == nil && n > 0 {
+		return dynopt.ConfigSMARQ(n), nil
+	}
+	return dynopt.Config{}, fmt.Errorf("harness: unknown configuration %q", name)
+}

@@ -1,0 +1,412 @@
+package harness
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"smarq/internal/workload"
+)
+
+// smallSuite keeps unit tests fast; the shape tests use the full suite.
+func smallSuite() []workload.Benchmark {
+	var out []workload.Benchmark
+	for _, name := range []string{"wupwise", "mesa", "ammp"} {
+		bm, _ := workload.ByName(name)
+		out = append(out, bm)
+	}
+	return out
+}
+
+func TestRunnerCaches(t *testing.T) {
+	r := NewRunner(smallSuite())
+	a, err := r.Run("wupwise", CfgSMARQ64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := r.Run("wupwise", CfgSMARQ64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Error("second Run did not return the cached stats")
+	}
+}
+
+func TestRunnerErrors(t *testing.T) {
+	r := NewRunner(smallSuite())
+	if _, err := r.Run("nonesuch", CfgSMARQ64); err == nil {
+		t.Error("unknown benchmark accepted")
+	}
+	if _, err := r.Run("wupwise", "nonesuch"); err == nil {
+		t.Error("unknown config accepted")
+	}
+}
+
+func TestTable1(t *testing.T) {
+	d, err := Table1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := d.Render()
+	for _, want := range []string{"bit-mask", "ALAT", "ordered queue", "false positives", "store-store"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("Table 1 missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestTable2(t *testing.T) {
+	s := Table2().Render()
+	for _, want := range []string{"issue width", "alias registers", "64"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("Table 2 missing %q:\n%s", want, s)
+		}
+	}
+}
+
+// TestFigure15Shape asserts the headline result on a representative
+// subset: SMARQ-64 > SMARQ-16 > 1.0 and SMARQ-64 > Itanium-like, with
+// ammp the most register-count-sensitive benchmark.
+func TestFigure15Shape(t *testing.T) {
+	r := NewRunner(smallSuite())
+	d, err := r.Figure15()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(d.Mean[CfgSMARQ64] > d.Mean[CfgSMARQ16]) {
+		t.Errorf("SMARQ64 mean %.3f not above SMARQ16 %.3f", d.Mean[CfgSMARQ64], d.Mean[CfgSMARQ16])
+	}
+	if !(d.Mean[CfgSMARQ64] > d.Mean[CfgALAT]) {
+		t.Errorf("SMARQ64 mean %.3f not above Itanium-like %.3f", d.Mean[CfgSMARQ64], d.Mean[CfgALAT])
+	}
+	if !(d.Mean[CfgSMARQ64] > 1.2) {
+		t.Errorf("SMARQ64 mean speedup %.3f too small", d.Mean[CfgSMARQ64])
+	}
+	// ammp: the 16-register file costs it dearly (§2.2: 30%).
+	gap := d.Speedup["ammp"][CfgSMARQ64] / d.Speedup["ammp"][CfgSMARQ16]
+	if gap < 1.15 {
+		t.Errorf("ammp 64-vs-16 register gap = %.3f, want > 1.15", gap)
+	}
+	if !strings.Contains(d.Render(), "geomean") {
+		t.Error("render missing summary row")
+	}
+}
+
+// TestFigure16Shape: mesa is the store-reordering benchmark.
+func TestFigure16Shape(t *testing.T) {
+	r := NewRunner(smallSuite())
+	d, err := r.Figure16()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Impact["mesa"] < 0.04 {
+		t.Errorf("mesa store-reordering impact = %.3f, want > 4%%", d.Impact["mesa"])
+	}
+	for _, b := range d.Benches {
+		if b != "mesa" && d.Impact[b] > d.Impact["mesa"] {
+			t.Errorf("%s impact %.3f exceeds mesa's %.3f", b, d.Impact[b], d.Impact["mesa"])
+		}
+	}
+}
+
+// TestFigure17Shape: prog-order ≥ P-bit-only ≥ SMARQ ≥ lower bound, and
+// SMARQ reduces the working set by more than half.
+func TestFigure17Shape(t *testing.T) {
+	r := NewRunner(smallSuite())
+	d, err := r.Figure17()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.MeanSMARQ > d.MeanPBitOnly+1e-9 {
+		t.Errorf("SMARQ %.3f above P-bit-only %.3f", d.MeanSMARQ, d.MeanPBitOnly)
+	}
+	if d.MeanLowerBound > d.MeanSMARQ+1e-9 {
+		t.Errorf("lower bound %.3f above SMARQ %.3f — impossible", d.MeanLowerBound, d.MeanSMARQ)
+	}
+	if d.MeanSMARQ > 0.5 {
+		t.Errorf("SMARQ working set %.3f of program order, want < 0.5", d.MeanSMARQ)
+	}
+	for _, b := range d.Benches {
+		if d.SMARQ[b] > 1 {
+			t.Errorf("%s: SMARQ working set above the program-order normalizer", b)
+		}
+	}
+}
+
+func TestFigure18Shape(t *testing.T) {
+	r := NewRunner(smallSuite())
+	d, err := r.Figure18()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.MeanOptPct <= 0 || d.MeanOptPct > 0.5 {
+		t.Errorf("overhead fraction %.4f implausible", d.MeanOptPct)
+	}
+	if d.MeanAmortized >= d.MeanOptPct {
+		t.Error("amortized overhead not below measured")
+	}
+	// Roughly half the optimizer time is scheduling (the paper: "around
+	// half of time is spent in the scheduling").
+	if d.MeanSchedShare < 0.3 || d.MeanSchedShare > 0.7 {
+		t.Errorf("scheduling share %.3f outside [0.3, 0.7]", d.MeanSchedShare)
+	}
+}
+
+// TestFigure19Shape: the constraint graph is sparse — O(1) constraints per
+// memory operation, with checks well above antis.
+func TestFigure19Shape(t *testing.T) {
+	r := NewRunner(smallSuite())
+	d, err := r.Figure19()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.MeanChecks <= 0 || d.MeanChecks > 4 {
+		t.Errorf("checks per mem op %.2f implausible", d.MeanChecks)
+	}
+	if d.MeanAntis > d.MeanChecks {
+		t.Errorf("antis %.2f exceed checks %.2f", d.MeanAntis, d.MeanChecks)
+	}
+	if d.MeanAntis > 1 {
+		t.Errorf("antis per mem op %.2f, want < 1 (sparse)", d.MeanAntis)
+	}
+}
+
+// TestScalingShape: speedup is monotone non-decreasing in the register
+// count (within tolerance — blacklist timing can wobble slightly).
+func TestScalingShape(t *testing.T) {
+	r := NewRunner(smallSuite())
+	d, err := r.ScalingSweep([]int{8, 16, 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Mean[64] < d.Mean[16]*0.99 || d.Mean[16] < d.Mean[8]*0.99 {
+		t.Errorf("scaling not monotone: 8:%.3f 16:%.3f 64:%.3f", d.Mean[8], d.Mean[16], d.Mean[64])
+	}
+	if !strings.Contains(d.Render(), "64 regs") {
+		t.Error("render missing register column")
+	}
+}
+
+func TestFigure14Shape(t *testing.T) {
+	r := NewRunner(smallSuite())
+	d, err := r.Figure14()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Max["ammp"] < 30 {
+		t.Errorf("ammp max mem ops %d, want >= 30", d.Max["ammp"])
+	}
+	for _, b := range d.Benches {
+		if d.Avg[b] <= 0 {
+			t.Errorf("%s: no memory ops recorded", b)
+		}
+	}
+}
+
+func TestSummaryLine(t *testing.T) {
+	r := NewRunner(smallSuite())
+	st, err := r.Run("mesa", CfgSMARQ64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	line := SummaryLine(st)
+	if !strings.Contains(line, "cycles=") || !strings.Contains(line, "commits=") {
+		t.Errorf("summary line malformed: %s", line)
+	}
+}
+
+// TestAblationsShape: removing anti-constraints costs performance through
+// false positives; removing rotation grows the working set; removing
+// eliminations costs performance. All ablated systems remain correct
+// (covered by the differential tests) — these assertions are about cost.
+func TestAblationsShape(t *testing.T) {
+	r := NewRunner(smallSuite())
+	d, err := r.Ablations()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.MeanSlowdown[AblNoAnti] <= 0 {
+		t.Errorf("no-anti ablation did not slow down (%.3f)", d.MeanSlowdown[AblNoAnti])
+	}
+	fp := int64(0)
+	for _, n := range d.FalsePositives {
+		fp += n
+	}
+	if fp <= 0 {
+		t.Error("no-anti ablation produced no false positives")
+	}
+	// Rotation: the no-rotation working set is never smaller.
+	for _, b := range d.Benches {
+		if d.WorkingSetNoRotation[b]+1e-9 < d.WorkingSetFull[b] {
+			t.Errorf("%s: no-rotation working set %.1f below full %.1f",
+				b, d.WorkingSetNoRotation[b], d.WorkingSetFull[b])
+		}
+	}
+	if d.MeanSlowdown[AblNoElim] < 0 {
+		t.Errorf("no-elim ablation sped things up (%.3f)", d.MeanSlowdown[AblNoElim])
+	}
+	if !strings.Contains(d.Render(), "no-anti") {
+		t.Error("render missing ablation columns")
+	}
+}
+
+// TestUnrollSweepShape: moderate unrolling helps (larger regions, more
+// speculation freedom) and multiplies the alias register working set —
+// the §6.1/§8 "larger regions" direction.
+func TestUnrollSweepShape(t *testing.T) {
+	r := NewRunner(smallSuite())
+	d, err := r.UnrollSweep([]int{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.MaxWS[2] <= d.MaxWS[1] {
+		t.Errorf("working set did not grow with unrolling: %d vs %d", d.MaxWS[1], d.MaxWS[2])
+	}
+	if d.Mean[2] < d.Mean[1]*0.9 {
+		t.Errorf("unroll x2 collapsed the speedup: %.3f vs %.3f", d.Mean[2], d.Mean[1])
+	}
+	if !strings.Contains(d.Render(), "unroll x2") {
+		t.Error("render missing factor column")
+	}
+}
+
+// TestEfficeonShape: the true bit-mask model lands in the same band as
+// the paper's SMARQ-16 approximation, and both trail SMARQ-64.
+func TestEfficeonShape(t *testing.T) {
+	r := NewRunner(smallSuite())
+	d, err := r.Efficeon()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Mean[CfgEfficeon] <= 1 {
+		t.Errorf("Efficeon mean %.3f not above baseline", d.Mean[CfgEfficeon])
+	}
+	if d.Mean[CfgSMARQ64] <= d.Mean[CfgEfficeon]*0.98 {
+		t.Errorf("SMARQ-64 (%.3f) not clearly above Efficeon-15 (%.3f)",
+			d.Mean[CfgSMARQ64], d.Mean[CfgEfficeon])
+	}
+	// The approximation claim: Efficeon and SMARQ16 within 15%.
+	ratio := d.Mean[CfgEfficeon] / d.Mean[CfgSMARQ16]
+	if ratio < 0.85 || ratio > 1.15 {
+		t.Errorf("Efficeon/SMARQ16 ratio %.3f outside [0.85,1.15] — the paper's approximation would be invalid here", ratio)
+	}
+	if !strings.Contains(d.Render(), "Efficeon(15)") {
+		t.Error("render missing column")
+	}
+}
+
+func TestBreakdownSumsToOne(t *testing.T) {
+	r := NewRunner(smallSuite())
+	d, err := r.Breakdown()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range d.Benches {
+		sum := d.Region[b] + d.Interp[b] + d.Rollback[b] + d.Opt[b]
+		if sum < 0.999 || sum > 1.001 {
+			t.Errorf("%s: breakdown sums to %.4f", b, sum)
+		}
+		if d.CoveragePct[b] <= 0 || d.CoveragePct[b] > 100 {
+			t.Errorf("%s: coverage %.1f%% implausible", b, d.CoveragePct[b])
+		}
+	}
+	if !strings.Contains(d.Render(), "coverage") {
+		t.Error("render missing coverage column")
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	out := table([]string{"a", "bb"}, [][]string{{"xxx", "y"}, {"z", "wwww"}})
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("got %d lines, want 4", len(lines))
+	}
+	// Column widths consistent across all rows.
+	w := len(lines[0])
+	for _, l := range lines[1:] {
+		if len(l) != w && len(strings.TrimRight(l, " ")) > w {
+			t.Errorf("ragged table:\n%s", out)
+		}
+	}
+}
+
+func TestGeomean(t *testing.T) {
+	if g := geomean(nil); g != 1 {
+		t.Errorf("geomean(nil) = %v, want 1", g)
+	}
+	if g := geomean([]float64{2, 8}); g < 3.99 || g > 4.01 {
+		t.Errorf("geomean(2,8) = %v, want 4", g)
+	}
+}
+
+func TestParseConfig(t *testing.T) {
+	cases := map[string]bool{
+		"smarq64": true, "smarq16": true, "smarq1": true,
+		"alat": true, "efficeon": true, "nohw": true, "nostorereorder": true,
+		"smarq0": false, "smarqx": false, "itanium": false, "": false,
+	}
+	for name, ok := range cases {
+		_, err := ParseConfig(name)
+		if ok && err != nil {
+			t.Errorf("ParseConfig(%q): %v", name, err)
+		}
+		if !ok && err == nil {
+			t.Errorf("ParseConfig(%q) accepted", name)
+		}
+	}
+	if cfg, _ := ParseConfig("smarq24"); cfg.NumAliasRegs != 24 {
+		t.Error("register count not parsed")
+	}
+}
+
+// TestResultsMarshalToJSON: every harness data structure serializes (the
+// smarq-bench -json path).
+func TestResultsMarshalToJSON(t *testing.T) {
+	r := NewRunner(smallSuite())
+	f15, err := r.Figure15()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sw, err := r.ScalingSweep([]int{16, 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t1, err := Table1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, v := range map[string]interface{}{
+		"fig15": f15, "scaling": sw, "table1": t1, "table2": Table2(),
+	} {
+		data, err := json.Marshal(v)
+		if err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+		if len(data) < 10 {
+			t.Errorf("%s: implausibly small JSON", name)
+		}
+	}
+}
+
+// TestEnergyShape: §2.4's energy argument — the imprecise ALAT performs
+// more register comparisons than the precisely-windowed ordered queue,
+// and the exact-mask bitmask performs no more than the queue.
+func TestEnergyShape(t *testing.T) {
+	r := NewRunner(smallSuite())
+	d, err := r.Energy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Mean[CfgALAT] <= d.Mean[CfgSMARQ64] {
+		t.Errorf("ALAT checks/kinst %.1f not above SMARQ %.1f",
+			d.Mean[CfgALAT], d.Mean[CfgSMARQ64])
+	}
+	if d.Mean[CfgEfficeon] > d.Mean[CfgSMARQ64]*1.05 {
+		t.Errorf("bitmask checks/kinst %.1f above SMARQ %.1f — exact masks should not over-check",
+			d.Mean[CfgEfficeon], d.Mean[CfgSMARQ64])
+	}
+	if !strings.Contains(d.Render(), "energy") {
+		t.Error("render missing title")
+	}
+}

@@ -1,0 +1,118 @@
+// Package interp interprets guest programs and collects the execution
+// profile the dynamic optimization system uses to find hot code.
+//
+// In the paper's framework (Figure 1) guest code "is first executed through
+// interpretation" while the system "profiles the execution for hot basic
+// blocks"; when a block's execution count crosses the hotness threshold the
+// optimizer forms a superblock region along the hot path. The interpreter
+// therefore counts block entries and control-flow edges (the edge counts
+// steer region formation toward the most likely successor).
+package interp
+
+import (
+	"fmt"
+
+	"smarq/internal/guest"
+)
+
+// Edge is one observed control transfer between guest blocks.
+type Edge struct {
+	From, To int
+}
+
+// Profile accumulates execution counts during interpretation.
+type Profile struct {
+	BlockCounts []uint64        // indexed by block ID
+	EdgeCounts  map[Edge]uint64 // taken control transfers
+}
+
+// NewProfile returns an empty profile for a program with numBlocks blocks.
+func NewProfile(numBlocks int) *Profile {
+	return &Profile{
+		BlockCounts: make([]uint64, numBlocks),
+		EdgeCounts:  make(map[Edge]uint64),
+	}
+}
+
+// Hot reports whether block id has reached the hotness threshold.
+func (p *Profile) Hot(id int, threshold uint64) bool {
+	return id >= 0 && id < len(p.BlockCounts) && p.BlockCounts[id] >= threshold
+}
+
+// HottestSuccessor returns the successor of block id with the highest edge
+// count among candidates, and that count. It returns -1 when no candidate
+// has been observed.
+func (p *Profile) HottestSuccessor(id int, candidates []int) (int, uint64) {
+	best, bestCount := -1, uint64(0)
+	for _, c := range candidates {
+		if n := p.EdgeCounts[Edge{id, c}]; n > bestCount {
+			best, bestCount = c, n
+		}
+	}
+	return best, bestCount
+}
+
+// Interpreter executes a guest program one basic block at a time, updating
+// the profile as it goes.
+type Interpreter struct {
+	Prog *guest.Program
+	St   *guest.State
+	Mem  *guest.Memory
+	Prof *Profile
+
+	// DynInsts counts guest instructions retired by the interpreter.
+	DynInsts uint64
+}
+
+// New returns an interpreter over prog with the given architectural state.
+func New(prog *guest.Program, st *guest.State, mem *guest.Memory) *Interpreter {
+	return &Interpreter{Prog: prog, St: st, Mem: mem, Prof: NewProfile(len(prog.Blocks))}
+}
+
+// HaltID is the pseudo block ID RunBlock returns when the guest halts.
+const HaltID = -1
+
+// RunBlock interprets block id to completion and returns the ID of the next
+// block, or HaltID when the program halted. The block's entry and the
+// outgoing edge are recorded in the profile.
+func (it *Interpreter) RunBlock(id int) (int, error) {
+	b := it.Prog.Block(id)
+	if b == nil {
+		return HaltID, fmt.Errorf("interp: no block %d", id)
+	}
+	it.Prof.BlockCounts[id]++
+	next := id + 1 // fallthrough unless a control instruction says otherwise
+	for _, in := range b.Insts {
+		ctl, err := guest.Exec(in, it.St, it.Mem)
+		if err != nil {
+			return HaltID, fmt.Errorf("interp: B%d %s: %w", id, in, err)
+		}
+		it.DynInsts++
+		switch ctl {
+		case guest.CtlBranch:
+			next = in.Target
+		case guest.CtlHalt:
+			return HaltID, nil
+		}
+	}
+	it.Prof.EdgeCounts[Edge{id, next}]++
+	return next, nil
+}
+
+// Run interprets from the entry block until the guest halts or maxInsts
+// guest instructions have retired. It reports whether the guest halted.
+// Used for reference runs; the dynamic optimization system drives RunBlock
+// itself so it can switch between interpretation and translated regions.
+func (it *Interpreter) Run(entry int, maxInsts uint64) (halted bool, err error) {
+	id := entry
+	for id != HaltID {
+		if it.DynInsts >= maxInsts {
+			return false, nil
+		}
+		id, err = it.RunBlock(id)
+		if err != nil {
+			return false, err
+		}
+	}
+	return true, nil
+}

@@ -1,0 +1,132 @@
+package interp
+
+import (
+	"testing"
+
+	"smarq/internal/guest"
+)
+
+// countdownProgram builds: r1 = n; loop: [r2] += 1; r1 -= 1; if r1 != r0 goto loop; halt.
+func countdownProgram(n int64) *guest.Program {
+	b := guest.NewBuilder()
+	b.NewBlock() // B0: init
+	b.Li(1, n)
+	b.Li(2, 64) // base address
+	loop := b.NewBlock()
+	b.Ld8(3, 2, 0)
+	b.Addi(3, 3, 1)
+	b.St8(2, 0, 3)
+	b.Addi(1, 1, -1)
+	b.Bne(1, 0, loop)
+	b.NewBlock()
+	b.Halt()
+	return b.MustProgram()
+}
+
+func TestRunCountdown(t *testing.T) {
+	prog := countdownProgram(10)
+	st := &guest.State{}
+	mem := guest.NewMemory(256)
+	it := New(prog, st, mem)
+	halted, err := it.Run(0, 1_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !halted {
+		t.Fatal("program did not halt")
+	}
+	v, _ := mem.Load(64, 8)
+	if v != 10 {
+		t.Errorf("counter = %d, want 10", v)
+	}
+	if st.R[1] != 0 {
+		t.Errorf("r1 = %d, want 0", st.R[1])
+	}
+}
+
+func TestProfileCounts(t *testing.T) {
+	prog := countdownProgram(5)
+	it := New(prog, &guest.State{}, guest.NewMemory(256))
+	if _, err := it.Run(0, 1_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if got := it.Prof.BlockCounts[1]; got != 5 {
+		t.Errorf("loop block count = %d, want 5", got)
+	}
+	if got := it.Prof.BlockCounts[0]; got != 1 {
+		t.Errorf("entry block count = %d, want 1", got)
+	}
+	if got := it.Prof.EdgeCounts[Edge{1, 1}]; got != 4 {
+		t.Errorf("back edge count = %d, want 4", got)
+	}
+	if got := it.Prof.EdgeCounts[Edge{1, 2}]; got != 1 {
+		t.Errorf("exit edge count = %d, want 1", got)
+	}
+	if !it.Prof.Hot(1, 5) {
+		t.Error("loop block not hot at threshold 5")
+	}
+	if it.Prof.Hot(0, 5) {
+		t.Error("entry block hot at threshold 5")
+	}
+}
+
+func TestHottestSuccessor(t *testing.T) {
+	p := NewProfile(3)
+	p.EdgeCounts[Edge{0, 1}] = 10
+	p.EdgeCounts[Edge{0, 2}] = 3
+	got, n := p.HottestSuccessor(0, []int{1, 2})
+	if got != 1 || n != 10 {
+		t.Errorf("HottestSuccessor = (%d,%d), want (1,10)", got, n)
+	}
+	got, _ = p.HottestSuccessor(2, []int{0})
+	if got != -1 {
+		t.Errorf("HottestSuccessor with no observations = %d, want -1", got)
+	}
+}
+
+func TestRunBudget(t *testing.T) {
+	prog := countdownProgram(1_000_000)
+	it := New(prog, &guest.State{}, guest.NewMemory(256))
+	halted, err := it.Run(0, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if halted {
+		t.Error("halted despite budget")
+	}
+	if it.DynInsts < 100 || it.DynInsts > 110 {
+		t.Errorf("DynInsts = %d, want ~100", it.DynInsts)
+	}
+}
+
+func TestRunBlockErrors(t *testing.T) {
+	prog := countdownProgram(1)
+	it := New(prog, &guest.State{}, guest.NewMemory(256))
+	if _, err := it.RunBlock(99); err == nil {
+		t.Error("RunBlock(99) did not fail")
+	}
+
+	// A memory fault inside a block must surface as an error.
+	b := guest.NewBuilder()
+	b.NewBlock()
+	b.Li(1, 1<<40)
+	b.Ld8(2, 1, 0)
+	b.Halt()
+	bad := b.MustProgram()
+	it2 := New(bad, &guest.State{}, guest.NewMemory(64))
+	if _, err := it2.RunBlock(0); err == nil {
+		t.Error("memory fault not propagated")
+	}
+}
+
+func TestHaltID(t *testing.T) {
+	prog := countdownProgram(1)
+	it := New(prog, &guest.State{}, guest.NewMemory(256))
+	next, err := it.RunBlock(2) // the halt block
+	if err != nil {
+		t.Fatal(err)
+	}
+	if next != HaltID {
+		t.Errorf("halt block returned next=%d, want HaltID", next)
+	}
+}

@@ -1,0 +1,229 @@
+// Package ir defines the optimizer's intermediate representation.
+//
+// A translated superblock becomes a Region: a list of Ops in original
+// program order, fully renamed into virtual registers (so only true data
+// dependences remain), with memory operations carrying the address
+// information the alias analysis and the SMARQ constraint analysis consume.
+package ir
+
+import (
+	"fmt"
+
+	"smarq/internal/guest"
+)
+
+// VReg is a virtual register. Translation renames every guest-register
+// definition to a fresh VReg; integer and floating-point values share one
+// numbering space (the Op records which file it reads and writes).
+type VReg int32
+
+// NoVReg marks an absent register operand.
+const NoVReg VReg = -1
+
+// Kind classifies an Op for scheduling and execution.
+type Kind uint8
+
+const (
+	// Arith is any register-to-register computation, including constants
+	// and conversions.
+	Arith Kind = iota
+	// Load reads guest memory.
+	Load
+	// Store writes guest memory.
+	Store
+	// Guard asserts a superblock's on-trace branch direction; a failed
+	// guard aborts the atomic region.
+	Guard
+	// Copy moves one virtual register to another. Speculative load
+	// elimination replaces the eliminated load with a Copy from the
+	// forwarding source.
+	Copy
+	// Rotate advances the alias register queue BASE pointer. Inserted by
+	// the alias register allocator (§3.2).
+	Rotate
+	// AMov moves or clears an alias register (§3.3). Inserted by the
+	// allocator to break constraint cycles and prevent false positives.
+	AMov
+)
+
+var kindNames = map[Kind]string{
+	Arith: "arith", Load: "load", Store: "store", Guard: "guard",
+	Copy: "copy", Rotate: "rotate", AMov: "amov",
+}
+
+// String returns the kind name.
+func (k Kind) String() string { return kindNames[k] }
+
+// MemInfo describes one memory access: the dynamic base register plus a
+// static displacement, and the canonical form the alias analysis derived.
+type MemInfo struct {
+	// Base and Off give the effective address Base+Off at runtime.
+	Base VReg
+	Off  int64
+	// Size is the access width in bytes.
+	Size int
+
+	// Canonical address: either Abs (address is RootOff exactly) or an
+	// offset RootOff from the canonical root register Root. Two accesses
+	// with the same Root (or both Abs) can be disambiguated exactly.
+	Root    VReg
+	RootOff int64
+	Abs     bool
+}
+
+// Op is one IR operation.
+type Op struct {
+	// ID is the op's index in Region.Ops and its original program order.
+	ID int
+	// Kind drives scheduling and execution.
+	Kind Kind
+	// GOp is the guest opcode the op was translated from; it selects the
+	// exact ALU/compare semantics. Rotate/AMov/Copy ops leave it as Nop.
+	GOp guest.Opcode
+
+	// Dst is the defined virtual register (NoVReg if none).
+	Dst VReg
+	// Srcs are the used virtual registers, in guest operand order. For
+	// stores, Srcs[0] is the value and Srcs[1] the address base. For
+	// guards, Srcs are the two compared registers.
+	Srcs []VReg
+	// DstFloat and SrcFloat record which register file each operand
+	// belongs to (parallel to Dst/Srcs).
+	DstFloat bool
+	SrcFloat []bool
+
+	Imm  int64
+	FImm float64
+
+	// Mem is set for Load and Store ops.
+	Mem *MemInfo
+
+	// Guard fields (Kind == Guard).
+	OnTraceTaken bool
+	OffTrace     int // guest block to resume at when the guard fails
+
+	// Alias register annotations, filled in by the allocator.
+	// AROffset is the alias register offset at execution (-1 if none);
+	// P and C are the protection and check bits of §3.1. Under the
+	// Efficeon-like bit-mask hardware AROffset names the register a P op
+	// sets and ARMask selects the registers a C op checks (§2.2).
+	AROffset int
+	ARMask   uint16
+	P, C     bool
+
+	// Rotate amount (Kind == Rotate).
+	Amount int
+	// AMov source and destination offsets (Kind == AMov). SrcOff == DstOff
+	// encodes the cleanup form that only clears the source register.
+	SrcOff, DstOff int
+}
+
+// IsMem reports whether the op accesses memory.
+func (o *Op) IsMem() bool { return o.Kind == Load || o.Kind == Store }
+
+// String renders the op compactly for traces.
+func (o *Op) String() string {
+	switch o.Kind {
+	case Load:
+		return fmt.Sprintf("[%d] %s v%d = mem[v%d%+d]:%d", o.ID, o.GOp, o.Dst, o.Mem.Base, o.Mem.Off, o.Mem.Size)
+	case Store:
+		return fmt.Sprintf("[%d] %s mem[v%d%+d]:%d = v%d", o.ID, o.GOp, o.Mem.Base, o.Mem.Off, o.Mem.Size, o.Srcs[0])
+	case Guard:
+		dir := "fall"
+		if o.OnTraceTaken {
+			dir = "take"
+		}
+		return fmt.Sprintf("[%d] guard.%s %s v%d, v%d (off-trace B%d)", o.ID, dir, o.GOp, o.Srcs[0], o.Srcs[1], o.OffTrace)
+	case Copy:
+		return fmt.Sprintf("[%d] copy v%d = v%d", o.ID, o.Dst, o.Srcs[0])
+	case Rotate:
+		return fmt.Sprintf("[%d] rotate %d", o.ID, o.Amount)
+	case AMov:
+		if o.SrcOff == o.DstOff {
+			return fmt.Sprintf("[%d] amov clear %d", o.ID, o.SrcOff)
+		}
+		return fmt.Sprintf("[%d] amov %d -> %d", o.ID, o.SrcOff, o.DstOff)
+	default:
+		if o.Dst == NoVReg {
+			return fmt.Sprintf("[%d] %s %v", o.ID, o.GOp, o.Srcs)
+		}
+		return fmt.Sprintf("[%d] %s v%d = %v imm=%d", o.ID, o.GOp, o.Dst, o.Srcs, o.Imm)
+	}
+}
+
+// Region is a translated superblock in IR form.
+type Region struct {
+	// Ops in original program order; Ops[i].ID == i.
+	Ops []*Op
+	// NumVRegs is the number of virtual registers in use; vregs
+	// [0,2*guest.NumRegs) are the region's live-in guest registers
+	// (integer file first, then float).
+	NumVRegs int
+	// IntOut and FloatOut map each guest register to the vreg holding its
+	// value when the region completes; used at commit.
+	IntOut   [guest.NumRegs]VReg
+	FloatOut [guest.NumRegs]VReg
+	// Entry is the guest block the region starts at; FinalTarget is where
+	// control continues after a committed execution (interp.HaltID for a
+	// halt).
+	Entry       int
+	FinalTarget int
+}
+
+// LiveInInt returns the vreg carrying guest integer register r at entry.
+func LiveInInt(r guest.Reg) VReg { return VReg(r) }
+
+// LiveInFloat returns the vreg carrying guest float register r at entry.
+func LiveInFloat(r guest.Reg) VReg { return VReg(guest.NumRegs) + VReg(r) }
+
+// MemOps returns the region's memory operations in program order.
+func (r *Region) MemOps() []*Op {
+	var out []*Op
+	for _, o := range r.Ops {
+		if o.IsMem() {
+			out = append(out, o)
+		}
+	}
+	return out
+}
+
+// String renders the region for traces.
+func (r *Region) String() string {
+	out := fmt.Sprintf("region: entry B%d, final B%d, %d vregs\n", r.Entry, r.FinalTarget, r.NumVRegs)
+	for _, o := range r.Ops {
+		out += "  " + o.String() + "\n"
+	}
+	return out
+}
+
+// Validate checks internal consistency: IDs match indices, operand counts
+// fit the kind, and vregs are in range. The optimizer calls it between
+// passes in tests.
+func (r *Region) Validate() error {
+	for i, o := range r.Ops {
+		if o.ID != i {
+			return fmt.Errorf("ir: op at index %d has ID %d", i, o.ID)
+		}
+		if len(o.Srcs) != len(o.SrcFloat) {
+			return fmt.Errorf("ir: op %d: %d srcs but %d src-float flags", i, len(o.Srcs), len(o.SrcFloat))
+		}
+		for _, s := range o.Srcs {
+			if s != NoVReg && (s < 0 || int(s) >= r.NumVRegs) {
+				return fmt.Errorf("ir: op %d: source v%d out of range", i, s)
+			}
+		}
+		if o.Dst != NoVReg && int(o.Dst) >= r.NumVRegs {
+			return fmt.Errorf("ir: op %d: dst v%d out of range", i, o.Dst)
+		}
+		if o.IsMem() && o.Mem == nil {
+			return fmt.Errorf("ir: op %d: memory op without MemInfo", i)
+		}
+		if o.IsMem() && o.Mem.Size == 0 {
+			return fmt.Errorf("ir: op %d: memory op with zero size", i)
+		}
+		if o.Kind == Guard && len(o.Srcs) != 2 {
+			return fmt.Errorf("ir: op %d: guard with %d operands", i, len(o.Srcs))
+		}
+	}
+	return nil
+}

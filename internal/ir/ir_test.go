@@ -1,0 +1,111 @@
+package ir
+
+import (
+	"strings"
+	"testing"
+
+	"smarq/internal/guest"
+)
+
+func validRegion() *Region {
+	r := &Region{NumVRegs: 70, Entry: 0, FinalTarget: 1}
+	r.Ops = []*Op{
+		{ID: 0, Kind: Arith, GOp: guest.Addi, Dst: 64, Srcs: []VReg{0}, SrcFloat: []bool{false}, Imm: 4, AROffset: -1},
+		{ID: 1, Kind: Load, GOp: guest.Ld8, Dst: 65, Srcs: []VReg{64}, SrcFloat: []bool{false},
+			Mem: &MemInfo{Base: 64, Off: 0, Size: 8, Root: 0, RootOff: 4}, AROffset: -1},
+		{ID: 2, Kind: Store, GOp: guest.St8, Dst: NoVReg, Srcs: []VReg{65, 64}, SrcFloat: []bool{false, false},
+			Mem: &MemInfo{Base: 64, Off: 8, Size: 8, Root: 0, RootOff: 12}, AROffset: -1},
+		{ID: 3, Kind: Guard, GOp: guest.Bne, Dst: NoVReg, Srcs: []VReg{65, 1}, SrcFloat: []bool{false, false},
+			OnTraceTaken: true, OffTrace: 5, AROffset: -1},
+	}
+	return r
+}
+
+func TestValidateOK(t *testing.T) {
+	if err := validRegion().Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+}
+
+func TestValidateCatchesErrors(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*Region)
+		want   string
+	}{
+		{"bad ID", func(r *Region) { r.Ops[1].ID = 7 }, "has ID"},
+		{"srcfloat mismatch", func(r *Region) { r.Ops[0].SrcFloat = nil }, "src-float"},
+		{"src out of range", func(r *Region) { r.Ops[0].Srcs[0] = 99 }, "out of range"},
+		{"dst out of range", func(r *Region) { r.Ops[0].Dst = 1000 }, "out of range"},
+		{"mem without info", func(r *Region) { r.Ops[1].Mem = nil }, "without MemInfo"},
+		{"mem zero size", func(r *Region) { r.Ops[1].Mem.Size = 0 }, "zero size"},
+		{"guard operands", func(r *Region) { r.Ops[3].Srcs = r.Ops[3].Srcs[:1]; r.Ops[3].SrcFloat = r.Ops[3].SrcFloat[:1] }, "guard with"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			r := validRegion()
+			c.mutate(r)
+			err := r.Validate()
+			if err == nil {
+				t.Fatal("Validate passed, want error")
+			}
+			if !strings.Contains(err.Error(), c.want) {
+				t.Errorf("error %q does not contain %q", err, c.want)
+			}
+		})
+	}
+}
+
+func TestMemOps(t *testing.T) {
+	r := validRegion()
+	mem := r.MemOps()
+	if len(mem) != 2 || mem[0].ID != 1 || mem[1].ID != 2 {
+		t.Errorf("MemOps IDs = %v, want [1 2]", []int{mem[0].ID, mem[1].ID})
+	}
+}
+
+func TestLiveInMapping(t *testing.T) {
+	if LiveInInt(0) != 0 || LiveInInt(31) != 31 {
+		t.Error("integer live-in vregs must be 0..31")
+	}
+	if LiveInFloat(0) != 32 || LiveInFloat(31) != 63 {
+		t.Error("float live-in vregs must be 32..63")
+	}
+}
+
+func TestOpStrings(t *testing.T) {
+	r := validRegion()
+	for _, o := range r.Ops {
+		if o.String() == "" {
+			t.Errorf("op %d: empty String()", o.ID)
+		}
+	}
+	rot := &Op{ID: 9, Kind: Rotate, Amount: 2}
+	if !strings.Contains(rot.String(), "rotate 2") {
+		t.Errorf("rotate string = %q", rot.String())
+	}
+	am := &Op{ID: 10, Kind: AMov, SrcOff: 3, DstOff: 1}
+	if !strings.Contains(am.String(), "3 -> 1") {
+		t.Errorf("amov string = %q", am.String())
+	}
+	clr := &Op{ID: 11, Kind: AMov, SrcOff: 2, DstOff: 2}
+	if !strings.Contains(clr.String(), "clear") {
+		t.Errorf("amov clear string = %q", clr.String())
+	}
+	cp := &Op{ID: 12, Kind: Copy, Dst: 5, Srcs: []VReg{6}}
+	if !strings.Contains(cp.String(), "copy") {
+		t.Errorf("copy string = %q", cp.String())
+	}
+	if s := r.String(); !strings.Contains(s, "region:") {
+		t.Errorf("region string = %q", s)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	for k, want := range map[Kind]string{Arith: "arith", Load: "load", Store: "store",
+		Guard: "guard", Copy: "copy", Rotate: "rotate", AMov: "amov"} {
+		if k.String() != want {
+			t.Errorf("Kind(%d).String() = %q, want %q", k, k.String(), want)
+		}
+	}
+}

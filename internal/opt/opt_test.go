@@ -1,0 +1,298 @@
+package opt
+
+import (
+	"testing"
+
+	"smarq/internal/alias"
+	"smarq/internal/deps"
+	"smarq/internal/guest"
+	"smarq/internal/ir"
+)
+
+// spec describes one op for the test region builder.
+type spec struct {
+	kind  ir.Kind
+	root  ir.VReg
+	off   int64
+	size  int
+	float bool
+}
+
+func buildRegion(specs []spec) *ir.Region {
+	r := &ir.Region{NumVRegs: 256}
+	next := ir.VReg(100)
+	for i, s := range specs {
+		o := &ir.Op{ID: i, Dst: ir.NoVReg, AROffset: -1}
+		switch s.kind {
+		case ir.Load:
+			o.Kind = ir.Load
+			o.GOp = guest.Ld8
+			if s.float {
+				o.GOp = guest.FLd8
+			}
+			o.Dst = next
+			next++
+			o.DstFloat = s.float
+			o.Srcs = []ir.VReg{ir.VReg(s.root)}
+			o.SrcFloat = []bool{false}
+			o.Mem = &ir.MemInfo{Base: s.root, Off: s.off, Size: s.size, Root: s.root, RootOff: s.off}
+		case ir.Store:
+			o.Kind = ir.Store
+			o.GOp = guest.St8
+			if s.float {
+				o.GOp = guest.FSt8
+			}
+			val := next
+			next++
+			o.Srcs = []ir.VReg{val, ir.VReg(s.root)}
+			o.SrcFloat = []bool{s.float, false}
+			o.Mem = &ir.MemInfo{Base: s.root, Off: s.off, Size: s.size, Root: s.root, RootOff: s.off}
+		default:
+			o.Kind = ir.Arith
+		}
+		r.Ops = append(r.Ops, o)
+	}
+	return r
+}
+
+func TestLoadElimFromStore(t *testing.T) {
+	// st [v1+0]; ld [v1+0] -> copy from the stored value.
+	reg := buildRegion([]spec{
+		{ir.Store, 1, 0, 8, false},
+		{ir.Load, 1, 0, 8, false},
+	})
+	tbl := alias.BuildTable(reg, nil)
+	storedVal := reg.Ops[0].Srcs[0]
+	res := Run(reg, tbl, Config{LoadElim: true, Speculative: true})
+	if res.LoadsRemoved != 1 {
+		t.Fatalf("loads removed = %d, want 1", res.LoadsRemoved)
+	}
+	cp := reg.Ops[1]
+	if cp.Kind != ir.Copy || cp.Srcs[0] != storedVal {
+		t.Errorf("eliminated load = %v, want copy from v%d", cp, storedVal)
+	}
+	if res.LoadElimSource[1] != 0 {
+		t.Errorf("source map = %v, want {1:0}", res.LoadElimSource)
+	}
+}
+
+func TestLoadElimFromLoad(t *testing.T) {
+	reg := buildRegion([]spec{
+		{ir.Load, 1, 8, 8, false},
+		{ir.Load, 1, 8, 8, false},
+	})
+	tbl := alias.BuildTable(reg, nil)
+	first := reg.Ops[0].Dst
+	res := Run(reg, tbl, Config{LoadElim: true, Speculative: true})
+	if res.LoadsRemoved != 1 {
+		t.Fatalf("loads removed = %d, want 1", res.LoadsRemoved)
+	}
+	if reg.Ops[1].Srcs[0] != first {
+		t.Error("second load not forwarded from the first")
+	}
+}
+
+func TestLoadElimBlockedByDefiniteStore(t *testing.T) {
+	// st [v1]; st [v1+4] partial-alias with the 8-byte slot? Use a
+	// definite clobber: ld [v1]; st [v1] (must); ld [v1] — the second load
+	// must forward from the STORE, not the first load.
+	reg := buildRegion([]spec{
+		{ir.Load, 1, 0, 8, false},
+		{ir.Store, 1, 0, 8, false},
+		{ir.Load, 1, 0, 8, false},
+	})
+	tbl := alias.BuildTable(reg, nil)
+	res := Run(reg, tbl, Config{LoadElim: true, Speculative: true})
+	if res.LoadsRemoved != 1 {
+		t.Fatalf("loads removed = %d, want 1", res.LoadsRemoved)
+	}
+	if res.LoadElimSource[2] != 1 {
+		t.Errorf("load 2 forwarded from %d, want the intervening store 1", res.LoadElimSource[2])
+	}
+}
+
+func TestLoadElimSpeculatesPastMayAliasStore(t *testing.T) {
+	reg := buildRegion([]spec{
+		{ir.Load, 1, 0, 8, false},
+		{ir.Store, 2, 0, 8, false}, // may alias
+		{ir.Load, 1, 0, 8, false},
+	})
+	tbl := alias.BuildTable(reg, nil)
+
+	res := Run(reg, tbl, Config{LoadElim: true, Speculative: true})
+	if res.LoadsRemoved != 1 || res.LoadElimSource[2] != 0 {
+		t.Errorf("speculative elimination failed: %+v", res)
+	}
+
+	// Non-speculative: the may-alias store blocks it.
+	reg2 := buildRegion([]spec{
+		{ir.Load, 1, 0, 8, false},
+		{ir.Store, 2, 0, 8, false},
+		{ir.Load, 1, 0, 8, false},
+	})
+	tbl2 := alias.BuildTable(reg2, nil)
+	res2 := Run(reg2, tbl2, Config{LoadElim: true, Speculative: false})
+	if res2.LoadsRemoved != 0 {
+		t.Errorf("non-speculative elimination crossed a may-alias store")
+	}
+}
+
+func TestLoadElimNarrowStoreBlocked(t *testing.T) {
+	reg := buildRegion([]spec{
+		{ir.Store, 1, 0, 4, false},
+		{ir.Load, 1, 0, 4, false},
+	})
+	tbl := alias.BuildTable(reg, nil)
+	res := Run(reg, tbl, Config{LoadElim: true, Speculative: true})
+	if res.LoadsRemoved != 0 {
+		t.Error("narrow store-to-load forwarding must be rejected (truncation/zero-extension mismatch)")
+	}
+}
+
+func TestLoadElimFileMismatchBlocked(t *testing.T) {
+	reg := buildRegion([]spec{
+		{ir.Store, 1, 0, 8, false}, // integer store
+		{ir.Load, 1, 0, 8, true},   // float load of the same slot
+	})
+	tbl := alias.BuildTable(reg, nil)
+	res := Run(reg, tbl, Config{LoadElim: true, Speculative: true})
+	if res.LoadsRemoved != 0 {
+		t.Error("cross-file forwarding must be rejected")
+	}
+}
+
+func TestStoreElimBasic(t *testing.T) {
+	reg := buildRegion([]spec{
+		{ir.Store, 1, 0, 8, false},
+		{ir.Store, 1, 0, 8, false},
+	})
+	tbl := alias.BuildTable(reg, nil)
+	res := Run(reg, tbl, Config{StoreElim: true, Speculative: true})
+	if res.StoresRemoved != 1 {
+		t.Fatalf("stores removed = %d, want 1", res.StoresRemoved)
+	}
+	if reg.Ops[0].Kind != ir.Arith || reg.Ops[0].GOp != guest.Nop {
+		t.Error("eliminated store not converted to nop")
+	}
+	if reg.Ops[1].Kind != ir.Store {
+		t.Error("surviving store was modified")
+	}
+	if res.Elims[0].X != 0 || res.Elims[0].Z != 1 {
+		t.Errorf("elim record = %+v, want X=0 Z=1", res.Elims[0])
+	}
+}
+
+func TestStoreElimChainUsesSurvivor(t *testing.T) {
+	// Three must-alias stores: 0 and 1 both eliminated, and 0's
+	// overwriter must be the SURVIVOR (2), not the eliminated 1.
+	reg := buildRegion([]spec{
+		{ir.Store, 1, 0, 8, false},
+		{ir.Store, 1, 0, 8, false},
+		{ir.Store, 1, 0, 8, false},
+	})
+	tbl := alias.BuildTable(reg, nil)
+	res := Run(reg, tbl, Config{StoreElim: true, Speculative: true})
+	if res.StoresRemoved != 2 {
+		t.Fatalf("stores removed = %d, want 2", res.StoresRemoved)
+	}
+	for _, e := range res.Elims {
+		if e.Z != 2 {
+			t.Errorf("elim %+v overwriter is not the survivor 2", e)
+		}
+	}
+}
+
+func TestStoreElimBlockedByDefiniteLoad(t *testing.T) {
+	reg := buildRegion([]spec{
+		{ir.Store, 1, 0, 8, false},
+		{ir.Load, 1, 0, 8, false}, // certainly reads the stored value
+		{ir.Store, 1, 0, 8, false},
+	})
+	tbl := alias.BuildTable(reg, nil)
+	res := Run(reg, tbl, Config{StoreElim: true, Speculative: true})
+	if res.StoresRemoved != 0 {
+		t.Error("store elimination crossed a definite-alias load")
+	}
+}
+
+func TestStoreElimSpeculatesPastMayAliasLoad(t *testing.T) {
+	mk := func() (*ir.Region, *alias.Table) {
+		reg := buildRegion([]spec{
+			{ir.Store, 1, 0, 8, false},
+			{ir.Load, 2, 0, 8, false}, // may alias
+			{ir.Store, 1, 0, 8, false},
+		})
+		return reg, alias.BuildTable(reg, nil)
+	}
+	reg, tbl := mk()
+	res := Run(reg, tbl, Config{StoreElim: true, Speculative: true})
+	if res.StoresRemoved != 1 {
+		t.Error("speculative store elimination failed")
+	}
+	reg2, tbl2 := mk()
+	res2 := Run(reg2, tbl2, Config{StoreElim: true, Speculative: false})
+	if res2.StoresRemoved != 0 {
+		t.Error("non-speculative store elimination crossed a may-alias load")
+	}
+}
+
+func TestStoreElimNotBlockedByOtherStores(t *testing.T) {
+	// "we do not enforce the alias detection between [stores]... as the
+	// aliases between them do not affect the correctness" — and they do
+	// not block the elimination either.
+	reg := buildRegion([]spec{
+		{ir.Store, 1, 0, 8, false},
+		{ir.Store, 2, 0, 8, false}, // may-alias store between
+		{ir.Store, 1, 0, 8, false},
+	})
+	tbl := alias.BuildTable(reg, nil)
+	res := Run(reg, tbl, Config{StoreElim: true, Speculative: false})
+	if res.StoresRemoved != 1 {
+		t.Error("intervening store wrongly blocked store elimination")
+	}
+}
+
+func TestRunOrderStoreElimFirst(t *testing.T) {
+	// A load must never forward from a store that store elimination
+	// removed: st[v1]; st[v1]; ld[v1] — load forwards from the SURVIVING
+	// store 1, and store 0 is eliminated.
+	reg := buildRegion([]spec{
+		{ir.Store, 1, 0, 8, false},
+		{ir.Store, 1, 0, 8, false},
+		{ir.Load, 1, 0, 8, false},
+	})
+	tbl := alias.BuildTable(reg, nil)
+	res := Run(reg, tbl, Config{LoadElim: true, StoreElim: true, Speculative: true})
+	if res.StoresRemoved != 1 || res.LoadsRemoved != 1 {
+		t.Fatalf("removed = (%d,%d), want (1,1)", res.StoresRemoved, res.LoadsRemoved)
+	}
+	if res.LoadElimSource[2] != 1 {
+		t.Errorf("load forwarded from %d, want surviving store 1", res.LoadElimSource[2])
+	}
+}
+
+func TestAddExtendedDeps(t *testing.T) {
+	// Load elim with an intervening may-alias store, store elim with an
+	// intervening may-alias load: both extended deps appear.
+	reg := buildRegion([]spec{
+		{ir.Load, 1, 0, 8, false},  // 0: source for load elim
+		{ir.Store, 2, 0, 8, false}, // 1: intervening may-alias store
+		{ir.Load, 1, 0, 8, false},  // 2: eliminated load
+		{ir.Store, 3, 0, 8, false}, // 3: store elim X
+		{ir.Load, 4, 0, 8, false},  // 4: intervening may-alias load
+		{ir.Store, 3, 0, 8, false}, // 5: store elim Z
+	})
+	tbl := alias.BuildTable(reg, nil)
+	res := Run(reg, tbl, Config{LoadElim: true, StoreElim: true, Speculative: true})
+	if res.LoadsRemoved != 1 || res.StoresRemoved != 1 {
+		t.Fatalf("removed = (%d,%d), want (1,1)", res.LoadsRemoved, res.StoresRemoved)
+	}
+	ds := deps.NewSet()
+	AddExtendedDeps(ds, reg, tbl, res)
+	if !ds.Has(1, 0) {
+		t.Error("missing ED1 edge 1->0 (store checks forwarding source)")
+	}
+	if !ds.Has(5, 4) {
+		t.Error("missing ED2 edge 5->4 (overwriter checks intervening load)")
+	}
+}

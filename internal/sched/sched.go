@@ -1,0 +1,455 @@
+// Package sched implements the list scheduler the SMARQ allocator is
+// embedded in (§5.3): instruction scheduling and alias register allocation
+// run as a single pass, and the scheduler switches between a speculation
+// mode (memory operations reorder freely, watched by the alias hardware)
+// and a non-speculation mode (original memory order, no new alias
+// registers) based on the allocator's overflow estimate.
+package sched
+
+import (
+	"container/heap"
+	"fmt"
+
+	"smarq/internal/alias"
+	"smarq/internal/aliashw"
+	"smarq/internal/core"
+	"smarq/internal/deps"
+	"smarq/internal/guest"
+	"smarq/internal/ir"
+	"smarq/internal/vliw"
+)
+
+// HWMode selects the alias-detection hardware the schedule targets.
+type HWMode uint8
+
+const (
+	// HWNone: no alias hardware — every dependence is a hard scheduling
+	// edge (the paper's no-alias-HW baseline).
+	HWNone HWMode = iota
+	// HWOrdered: the order-based alias register queue (SMARQ, and the
+	// Efficeon-like 16-register variant).
+	HWOrdered
+	// HWALAT: Itanium-like — only loads may hoist above stores (advanced
+	// loads); stores cannot reorder with anything they may alias.
+	HWALAT
+	// HWBitmask: Efficeon-like — named registers with explicit per-
+	// instruction check masks. As precise and store-capable as the
+	// ordered queue, but capped at aliashw.MaxBitmaskRegs registers by
+	// the encoding (§2.2).
+	HWBitmask
+)
+
+// Config controls scheduling.
+type Config struct {
+	Mode HWMode
+	// NumAliasRegs is the physical alias register file size.
+	NumAliasRegs int
+	// StoreReorder allows speculatively reordering may-alias stores
+	// (Figure 16 disables it).
+	StoreReorder bool
+	// ForceNonSpec pins the scheduler in non-speculation mode: memory
+	// operations stay in original order. Used as the fallback after an
+	// alias register overflow.
+	ForceNonSpec bool
+	// PinnedOps are op IDs that must not be speculated on: every
+	// dependence touching them is a hard edge. The runtime pins loads
+	// whose ALAT entries keep raising false positives (a store checks
+	// *every* advanced load, so hardening one pair cannot stop the trap —
+	// the load must stop being advanced).
+	PinnedOps map[int]bool
+	// PressureMargin is subtracted from the register count before
+	// comparing against the overflow estimate.
+	PressureMargin int
+	// Machine provides latencies for the priority function.
+	Machine vliw.Config
+	// Alloc selects allocator ablations (zero value = full SMARQ).
+	Alloc core.Options
+}
+
+// Schedule is a finished schedule with its allocation.
+type Schedule struct {
+	// Seq is the linear instruction stream: scheduled ops plus the AMOVs
+	// and rotates the allocator inserted.
+	Seq []*ir.Op
+	// Alloc is the allocator's result (orders, constraints, stats).
+	Alloc *core.Result
+	// NonSpecCycles counts scheduling steps spent in non-speculation mode.
+	NonSpecCycles int
+}
+
+// breakable reports whether dependence d may be violated by reordering
+// under the configured hardware (the check will be performed at runtime).
+func (c Config) breakable(d deps.Dep) bool {
+	if d.Rel.Definite() {
+		return false
+	}
+	if c.PinnedOps[d.Src] || c.PinnedOps[d.Dst] {
+		return false
+	}
+	switch c.Mode {
+	case HWNone:
+		return false
+	case HWALAT:
+		// Only a genuine load hoist above an earlier store is checkable.
+		return d.Src < d.Dst && d.SrcIsStore && !d.DstIsStore
+	default: // HWOrdered and HWBitmask: fully precise detection
+		if !c.StoreReorder && d.SrcIsStore && d.DstIsStore {
+			return false
+		}
+		return true
+	}
+}
+
+// allocSink abstracts the per-mode allocation machinery the scheduling
+// loop drives: the integrated ordered-queue allocator, or the lightweight
+// live-count tracker of the bit-mask mode (whose actual register
+// assignment is a post-pass).
+type allocSink interface {
+	Schedule(op *ir.Op) []*ir.Op
+	Pressure(futureP int) int
+}
+
+// bitmaskSink records the schedule and tracks how many protected live
+// ranges are simultaneously open, which is exactly the register demand of
+// the bit-mask file.
+type bitmaskSink struct {
+	ds        *deps.Set
+	bySrc     map[int][]int
+	scheduled map[int]bool
+	pending   map[int]int // checkee -> unscheduled checkers
+	live      int
+	seq       []*ir.Op
+}
+
+func newBitmaskSink(ds *deps.Set) *bitmaskSink {
+	s := &bitmaskSink{
+		ds:        ds,
+		bySrc:     make(map[int][]int),
+		scheduled: make(map[int]bool),
+		pending:   make(map[int]int),
+	}
+	for _, d := range ds.All {
+		s.bySrc[d.Src] = append(s.bySrc[d.Src], d.Dst)
+	}
+	return s
+}
+
+// Schedule implements allocSink.
+func (s *bitmaskSink) Schedule(op *ir.Op) []*ir.Op {
+	s.scheduled[op.ID] = true
+	s.seq = append(s.seq, op)
+	if op.IsMem() {
+		// op becomes a checkee for every dependence whose source is
+		// still unscheduled.
+		for _, d := range s.ds.ByDst(op.ID) {
+			if !s.scheduled[d.Src] {
+				if s.pending[op.ID] == 0 {
+					s.live++
+				}
+				s.pending[op.ID]++
+			}
+		}
+		// op may close live ranges it was the pending checker of.
+		for _, dst := range s.bySrc[op.ID] {
+			if s.scheduled[dst] && s.pending[dst] > 0 {
+				s.pending[dst]--
+				if s.pending[dst] == 0 {
+					s.live--
+				}
+			}
+		}
+	}
+	return []*ir.Op{op}
+}
+
+// Pressure implements allocSink.
+func (s *bitmaskSink) Pressure(futureP int) int { return s.live + futureP }
+
+type node struct {
+	op       *ir.Op
+	succs    []int // successor op IDs (data + hard edges)
+	preds    int   // unscheduled predecessor count
+	height   int   // critical-path priority
+	memIndex int   // position among memory ops, -1 for non-memory
+}
+
+// item is a heap entry.
+type item struct {
+	id     int
+	height int
+	origID int
+}
+
+type readyHeap []item
+
+func (h readyHeap) Len() int { return len(h) }
+func (h readyHeap) Less(i, j int) bool {
+	if h[i].height != h[j].height {
+		return h[i].height > h[j].height
+	}
+	return h[i].origID < h[j].origID
+}
+func (h readyHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *readyHeap) Push(x interface{}) { *h = append(*h, x.(item)) }
+func (h *readyHeap) Pop() interface{} {
+	old := *h
+	x := old[len(old)-1]
+	*h = old[:len(old)-1]
+	return x
+}
+
+// Run schedules the region and allocates alias registers. The dependence
+// set must already include extended dependences. On alias register
+// overflow it returns an error; the caller should retry with ForceNonSpec
+// or with speculation disabled in the optimizer.
+func Run(reg *ir.Region, tbl *alias.Table, ds *deps.Set, cfg Config) (*Schedule, error) {
+	n := len(reg.Ops)
+	nodes := make([]*node, n)
+	defOf := make(map[ir.VReg]int) // vreg -> defining op
+	memSeq := 0
+	for i, op := range reg.Ops {
+		nd := &node{op: op, memIndex: -1}
+		if op.IsMem() {
+			nd.memIndex = memSeq
+			memSeq++
+		}
+		nodes[i] = nd
+		if op.Dst != ir.NoVReg {
+			defOf[op.Dst] = i
+		}
+	}
+
+	addEdge := func(from, to int) {
+		if from == to {
+			return
+		}
+		nodes[from].succs = append(nodes[from].succs, to)
+		nodes[to].preds++
+	}
+
+	// Data edges (SSA: defs always precede uses in original order).
+	for i, op := range reg.Ops {
+		for _, s := range op.Srcs {
+			if d, ok := defOf[s]; ok && d != i {
+				addEdge(d, i)
+			}
+		}
+	}
+	// Hard memory-order edges for unbreakable dependences, in original
+	// program order.
+	for _, d := range ds.All {
+		if cfg.ForceNonSpec || !cfg.breakable(d) {
+			lo, hi := d.Src, d.Dst
+			if lo > hi {
+				lo, hi = hi, lo
+			}
+			addEdge(lo, hi)
+		}
+	}
+
+	// Heights: longest path to a leaf, weighted by latency.
+	for i := n - 1; i >= 0; i-- {
+		nd := nodes[i]
+		h := 0
+		for _, s := range nd.succs {
+			if nodes[s].height > h {
+				h = nodes[s].height
+			}
+		}
+		nd.height = h + cfg.Machine.Latency(nd.op)
+	}
+
+	// forcedP: memory ops that will set an alias register even in
+	// non-speculation mode — destinations of backward (extended)
+	// dependences (Figure 13 line 24's future-usage term).
+	forcedP := make(map[int]bool)
+	for _, d := range ds.All {
+		if d.Src > d.Dst && cfg.breakable(d) {
+			forcedP[d.Dst] = true
+		}
+	}
+	futureP := len(forcedP)
+
+	var alloc allocSink
+	var ordered *core.Allocator
+	var bitmask *bitmaskSink
+	numRegs := cfg.NumAliasRegs
+	if cfg.Mode == HWBitmask {
+		if numRegs > aliashw.MaxBitmaskRegs {
+			numRegs = aliashw.MaxBitmaskRegs
+		}
+		bitmask = newBitmaskSink(ds)
+		alloc = bitmask
+	} else {
+		ordered = core.NewAllocatorOpts(n, ds, numRegs, cfg.Alloc)
+		alloc = ordered
+	}
+	ready := &readyHeap{}
+	for i, nd := range nodes {
+		if nd.preds == 0 {
+			heap.Push(ready, item{id: i, height: nd.height, origID: i})
+		}
+	}
+
+	sc := &Schedule{}
+	nextMem := 0 // lowest memIndex not yet scheduled (non-spec order rule)
+	memScheduled := make([]bool, memSeq)
+
+	// Cycle-driven list scheduling: an op is pickable when its operands
+	// are ready at the current clock and a slot of its class remains in
+	// the current cycle. This is what makes speculation profitable to the
+	// scheduler — a load whose operands are ready hoists into the stall
+	// cycles an in-order machine would otherwise waste.
+	readyTime := make([]int, n)
+	clock, aluUsed, memUsed := 0, 0, 0
+	advance := func(to int) {
+		if to <= clock {
+			to = clock + 1
+		}
+		clock = to
+		aluUsed, memUsed = 0, 0
+	}
+	charge := func(op *ir.Op) {
+		if aluUsed >= cfg.Machine.IssueWidth ||
+			(op.IsMem() && memUsed >= cfg.Machine.MemPorts) {
+			advance(clock + 1)
+		}
+		aluUsed++
+		if op.IsMem() {
+			memUsed++
+		}
+	}
+
+	var deferred []item // ready mem ops held back by non-spec mode
+	scheduledCount := 0
+	for scheduledCount < n {
+		pressure := alloc.Pressure(futureP)
+		nonSpec := cfg.ForceNonSpec || pressure >= numRegs-cfg.PressureMargin
+		if nonSpec {
+			sc.NonSpecCycles++
+		}
+
+		// Re-arm deferred ops that are now permitted.
+		if len(deferred) > 0 {
+			keep := deferred[:0]
+			for _, it := range deferred {
+				if !nonSpec || nodes[it.id].memIndex == nextMem {
+					heap.Push(ready, it)
+				} else {
+					keep = append(keep, it)
+				}
+			}
+			deferred = keep
+		}
+
+		var picked item
+		found := false
+		var stash []item // time- or resource-blocked this cycle
+		for ready.Len() > 0 {
+			it := heap.Pop(ready).(item)
+			nd := nodes[it.id]
+			if nonSpec && nd.memIndex >= 0 && nd.memIndex != nextMem {
+				deferred = append(deferred, it)
+				continue
+			}
+			if readyTime[it.id] > clock ||
+				aluUsed >= cfg.Machine.IssueWidth ||
+				(nd.op.IsMem() && memUsed >= cfg.Machine.MemPorts) {
+				stash = append(stash, it)
+				continue
+			}
+			picked = it
+			found = true
+			break
+		}
+		for _, it := range stash {
+			heap.Push(ready, it)
+		}
+
+		if !found {
+			if ready.Len() > 0 {
+				// Nothing issues this cycle: advance to the earliest time
+				// a stalled op becomes ready.
+				min := int(^uint(0) >> 1)
+				for _, it := range *ready {
+					if rt := readyTime[it.id]; rt < min {
+						min = rt
+					}
+				}
+				advance(min)
+				continue
+			}
+			// Only mode-deferred ops remain: schedule the next in-order
+			// memory op (progress guarantee — see package comment).
+			idx := -1
+			for i, it := range deferred {
+				if nodes[it.id].memIndex == nextMem {
+					idx = i
+					break
+				}
+			}
+			if idx == -1 {
+				return nil, fmt.Errorf("sched: stuck with %d deferred ops at %d/%d scheduled", len(deferred), scheduledCount, n)
+			}
+			picked = deferred[idx]
+			deferred = append(deferred[:idx], deferred[idx+1:]...)
+			if readyTime[picked.id] > clock {
+				advance(readyTime[picked.id])
+			}
+		}
+
+		nd := nodes[picked.id]
+		if isDeadPlaceholder(nd.op) {
+			// Placeholder of an eliminated store: occupies no slot and
+			// emits nothing, but still releases its successors.
+		} else {
+			for _, em := range alloc.Schedule(nd.op) {
+				charge(em)
+			}
+		}
+		scheduledCount++
+		finish := clock + cfg.Machine.Latency(nd.op)
+		if nd.memIndex >= 0 {
+			memScheduled[nd.memIndex] = true
+			for nextMem < memSeq && memScheduled[nextMem] {
+				nextMem++
+			}
+			if forcedP[nd.op.ID] {
+				futureP--
+			}
+		}
+		for _, s := range nd.succs {
+			if finish > readyTime[s] {
+				readyTime[s] = finish
+			}
+			nodes[s].preds--
+			if nodes[s].preds == 0 {
+				heap.Push(ready, item{id: s, height: nodes[s].height, origID: s})
+			}
+		}
+	}
+
+	if bitmask != nil {
+		res, err := core.AllocateBitmask(bitmask.seq, ds, numRegs)
+		if err != nil {
+			return nil, err
+		}
+		sc.Seq = res.Seq
+		sc.Alloc = res
+		return sc, nil
+	}
+	res, err := ordered.Finish()
+	if err != nil {
+		return nil, err
+	}
+	sc.Seq = res.Seq
+	sc.Alloc = res
+	return sc, nil
+}
+
+// isDeadPlaceholder recognizes the no-op left behind by an eliminated
+// store.
+func isDeadPlaceholder(op *ir.Op) bool {
+	return op.Kind == ir.Arith && op.GOp == guest.Nop &&
+		op.Dst == ir.NoVReg && len(op.Srcs) == 0
+}

@@ -1,0 +1,303 @@
+// Package xlate translates superblocks into optimizer IR.
+//
+// Translation renames every guest register definition into a fresh virtual
+// register, which removes all register anti- and output-dependences inside
+// the region (only true dependences and memory dependences remain — the
+// freedom the paper's speculative scheduler exploits). It also performs the
+// lightweight symbolic address analysis the binary-level alias analysis
+// relies on: each memory operation is canonicalized to root-register +
+// constant displacement (or an absolute address) by folding copies, adds
+// with constants, and constant loads.
+package xlate
+
+import (
+	"fmt"
+
+	"smarq/internal/guest"
+	"smarq/internal/ir"
+	"smarq/internal/region"
+)
+
+type canonAddr struct {
+	root ir.VReg // NoVReg when abs
+	off  int64
+	abs  bool
+}
+
+type translator struct {
+	reg      *ir.Region
+	curInt   [guest.NumRegs]ir.VReg
+	curFloat [guest.NumRegs]ir.VReg
+	next     ir.VReg
+	consts   map[ir.VReg]int64 // vregs with statically known values
+	canon    map[ir.VReg]canonAddr
+}
+
+// Translate converts a superblock into an IR region.
+func Translate(sb *region.Superblock) (*ir.Region, error) {
+	t := &translator{
+		reg: &ir.Region{
+			Entry:       sb.Entry,
+			FinalTarget: sb.FinalTarget,
+		},
+		consts: make(map[ir.VReg]int64),
+		canon:  make(map[ir.VReg]canonAddr),
+	}
+	for r := 0; r < guest.NumRegs; r++ {
+		t.curInt[r] = ir.LiveInInt(guest.Reg(r))
+		t.curFloat[r] = ir.LiveInFloat(guest.Reg(r))
+	}
+	t.next = ir.VReg(2 * guest.NumRegs)
+	// Live-in vregs are their own canonical roots.
+	for v := ir.VReg(0); v < t.next; v++ {
+		t.canon[v] = canonAddr{root: v}
+	}
+
+	for _, in := range sb.Insts {
+		if err := t.translateInst(in); err != nil {
+			return nil, err
+		}
+	}
+
+	t.reg.NumVRegs = int(t.next)
+	t.reg.IntOut = t.curInt
+	t.reg.FloatOut = t.curFloat
+	return t.reg, nil
+}
+
+func (t *translator) fresh() ir.VReg {
+	v := t.next
+	t.next++
+	return v
+}
+
+func (t *translator) emit(o *ir.Op) *ir.Op {
+	o.ID = len(t.reg.Ops)
+	o.AROffset = -1
+	t.reg.Ops = append(t.reg.Ops, o)
+	return o
+}
+
+// defInt creates a fresh vreg for a guest integer register definition.
+func (t *translator) defInt(r guest.Reg) ir.VReg {
+	v := t.fresh()
+	t.curInt[r] = v
+	return v
+}
+
+func (t *translator) defFloat(r guest.Reg) ir.VReg {
+	v := t.fresh()
+	t.curFloat[r] = v
+	return v
+}
+
+func (t *translator) canonOf(v ir.VReg) canonAddr {
+	if c, ok := t.canon[v]; ok {
+		return c
+	}
+	return canonAddr{root: v}
+}
+
+func (t *translator) translateInst(ri region.Inst) error {
+	in := ri.Inst
+	op := in.Op
+	switch {
+	case op == guest.Nop, op == guest.Jmp, op == guest.Halt:
+		// Jmp and Halt carry no region-level semantics: the region's
+		// FinalTarget already encodes where control goes on completion.
+		return nil
+
+	case op.IsBranch():
+		if !ri.IsGuard {
+			return nil // both directions stay on trace
+		}
+		o := &ir.Op{
+			Kind:         ir.Guard,
+			GOp:          op,
+			Dst:          ir.NoVReg,
+			Srcs:         []ir.VReg{t.curInt[in.Rs1], t.curInt[in.Rs2]},
+			SrcFloat:     []bool{false, false},
+			OnTraceTaken: ri.OnTraceTaken,
+			OffTrace:     ri.OffTrace,
+		}
+		t.emit(o)
+		return nil
+
+	case op.IsLoad():
+		base := t.curInt[in.Rs1]
+		var dst ir.VReg
+		if op.IsFloat() {
+			dst = t.defFloat(in.Rd)
+		} else {
+			dst = t.defInt(in.Rd)
+		}
+		c := t.canonOf(base)
+		o := &ir.Op{
+			Kind:     ir.Load,
+			GOp:      op,
+			Dst:      dst,
+			DstFloat: op.IsFloat(),
+			Srcs:     []ir.VReg{base},
+			SrcFloat: []bool{false},
+			Imm:      in.Imm,
+			Mem: &ir.MemInfo{
+				Base: base, Off: in.Imm, Size: op.AccessSize(),
+				Root: c.root, RootOff: c.off + in.Imm, Abs: c.abs,
+			},
+		}
+		t.emit(o)
+		return nil
+
+	case op.IsStore():
+		base := t.curInt[in.Rs1]
+		var val ir.VReg
+		valFloat := op.IsFloat()
+		if valFloat {
+			val = t.curFloat[in.Rd]
+		} else {
+			val = t.curInt[in.Rd]
+		}
+		c := t.canonOf(base)
+		o := &ir.Op{
+			Kind:     ir.Store,
+			GOp:      op,
+			Dst:      ir.NoVReg,
+			Srcs:     []ir.VReg{val, base},
+			SrcFloat: []bool{valFloat, false},
+			Imm:      in.Imm,
+			Mem: &ir.MemInfo{
+				Base: base, Off: in.Imm, Size: op.AccessSize(),
+				Root: c.root, RootOff: c.off + in.Imm, Abs: c.abs,
+			},
+		}
+		t.emit(o)
+		return nil
+
+	case op.IsFloat():
+		// Float ALU: sources from the float file except CvtIF.
+		var srcs []ir.VReg
+		var sf []bool
+		switch op {
+		case guest.FLi:
+			// no sources
+		case guest.CvtIF:
+			srcs = []ir.VReg{t.curInt[in.Rs1]}
+			sf = []bool{false}
+		case guest.FMov, guest.FNeg, guest.FAbs, guest.FSqrt:
+			srcs = []ir.VReg{t.curFloat[in.Rs1]}
+			sf = []bool{true}
+		default:
+			srcs = []ir.VReg{t.curFloat[in.Rs1], t.curFloat[in.Rs2]}
+			sf = []bool{true, true}
+		}
+		o := &ir.Op{
+			Kind: ir.Arith, GOp: op,
+			Dst: t.defFloat(in.Rd), DstFloat: true,
+			Srcs: srcs, SrcFloat: sf,
+			FImm: in.FImm,
+		}
+		t.emit(o)
+		return nil
+
+	case op == guest.CvtFI:
+		o := &ir.Op{
+			Kind: ir.Arith, GOp: op,
+			Dst:  t.defInt(in.Rd),
+			Srcs: []ir.VReg{t.curFloat[in.Rs1]}, SrcFloat: []bool{true},
+		}
+		t.emit(o)
+		return nil
+
+	default:
+		return t.translateIntALU(in)
+	}
+}
+
+func (t *translator) translateIntALU(in guest.Inst) error {
+	op := in.Op
+	var srcs []ir.VReg
+	switch op {
+	case guest.Li:
+		// no sources
+	case guest.Mov:
+		srcs = []ir.VReg{t.curInt[in.Rs1]}
+	case guest.Addi, guest.Muli:
+		srcs = []ir.VReg{t.curInt[in.Rs1]}
+	case guest.Add, guest.Sub, guest.Mul, guest.Div, guest.And, guest.Or,
+		guest.Xor, guest.Shl, guest.Shr, guest.Slt:
+		srcs = []ir.VReg{t.curInt[in.Rs1], t.curInt[in.Rs2]}
+	default:
+		return fmt.Errorf("xlate: unhandled opcode %s", op)
+	}
+	dst := t.defInt(in.Rd)
+	sf := make([]bool, len(srcs))
+	o := &ir.Op{
+		Kind: ir.Arith, GOp: op,
+		Dst: dst, Srcs: srcs, SrcFloat: sf, Imm: in.Imm,
+	}
+	t.emit(o)
+	t.propagate(op, dst, srcs, in.Imm)
+	return nil
+}
+
+// propagate maintains the constant and canonical-address views used for
+// memory disambiguation. Only patterns a binary-level analysis can see
+// cheaply are folded: constant loads, copies, and additions of constants
+// (§7 cites [13,14]: binary alias analysis must be simple to be usable in
+// a dynamic optimizer).
+func (t *translator) propagate(op guest.Opcode, dst ir.VReg, srcs []ir.VReg, imm int64) {
+	switch op {
+	case guest.Li:
+		t.consts[dst] = imm
+		t.canon[dst] = canonAddr{root: ir.NoVReg, off: imm, abs: true}
+	case guest.Mov:
+		if c, ok := t.consts[srcs[0]]; ok {
+			t.consts[dst] = c
+		}
+		t.canon[dst] = t.canonOf(srcs[0])
+	case guest.Addi:
+		if c, ok := t.consts[srcs[0]]; ok {
+			t.consts[dst] = c + imm
+		}
+		ca := t.canonOf(srcs[0])
+		ca.off += imm
+		t.canon[dst] = ca
+	case guest.Add:
+		c0, ok0 := t.consts[srcs[0]]
+		c1, ok1 := t.consts[srcs[1]]
+		switch {
+		case ok0 && ok1:
+			t.consts[dst] = c0 + c1
+			t.canon[dst] = canonAddr{root: ir.NoVReg, off: c0 + c1, abs: true}
+		case ok1:
+			ca := t.canonOf(srcs[0])
+			ca.off += c1
+			t.canon[dst] = ca
+		case ok0:
+			ca := t.canonOf(srcs[1])
+			ca.off += c0
+			t.canon[dst] = ca
+		}
+	case guest.Sub:
+		if c1, ok := t.consts[srcs[1]]; ok {
+			if c0, ok0 := t.consts[srcs[0]]; ok0 {
+				t.consts[dst] = c0 - c1
+				t.canon[dst] = canonAddr{root: ir.NoVReg, off: c0 - c1, abs: true}
+			} else {
+				ca := t.canonOf(srcs[0])
+				ca.off -= c1
+				t.canon[dst] = ca
+			}
+		}
+	case guest.Muli:
+		if c, ok := t.consts[srcs[0]]; ok {
+			t.consts[dst] = c * imm
+		}
+	case guest.Mul:
+		if c0, ok0 := t.consts[srcs[0]]; ok0 {
+			if c1, ok1 := t.consts[srcs[1]]; ok1 {
+				t.consts[dst] = c0 * c1
+			}
+		}
+	}
+}

@@ -1,0 +1,80 @@
+package smarq_test
+
+import (
+	"testing"
+
+	"smarq"
+)
+
+// TestPublicAPIQuickstart exercises the facade exactly as the package doc
+// advertises.
+func TestPublicAPIQuickstart(t *testing.T) {
+	b := smarq.NewBuilder()
+	b.NewBlock()
+	b.Li(1, 1024)
+	b.Li(2, 0)
+	b.Li(3, 500)
+	loop := b.NewBlock()
+	b.St8(1, 0, 2)
+	b.Ld8(4, 1, 0)
+	b.Add(2, 2, 4)
+	b.Addi(1, 1, 8)
+	b.Addi(2, 2, 1)
+	b.Blt(2, 3, loop)
+	b.NewBlock()
+	b.Halt()
+	prog, err := b.Program()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	sys := smarq.NewSystem(prog, &smarq.State{}, smarq.NewMemory(1<<16), smarq.ConfigSMARQ(64))
+	halted, err := sys.Run(1_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !halted {
+		t.Fatal("program did not halt")
+	}
+	if sys.Stats.TotalCycles == 0 {
+		t.Error("no cycles accounted")
+	}
+}
+
+func TestPublicAPISuite(t *testing.T) {
+	if len(smarq.Suite()) != 14 {
+		t.Errorf("suite has %d benchmarks, want 14", len(smarq.Suite()))
+	}
+	bm, ok := smarq.BenchmarkByName("ammp")
+	if !ok {
+		t.Fatal("ammp missing")
+	}
+	if bm.Build() == nil {
+		t.Error("benchmark Build returned nil")
+	}
+}
+
+func TestPublicAPIConfigs(t *testing.T) {
+	if smarq.ConfigSMARQ(16).NumAliasRegs != 16 {
+		t.Error("ConfigSMARQ register count wrong")
+	}
+	if smarq.ConfigNoStoreReorder().StoreReorder {
+		t.Error("ConfigNoStoreReorder still reorders stores")
+	}
+	// ALAT and NoHW must at least differ in mode.
+	if smarq.ConfigALAT().Mode == smarq.ConfigNoHW().Mode {
+		t.Error("ALAT and NoHW configs identical")
+	}
+}
+
+func TestPublicAPIRunner(t *testing.T) {
+	bm, _ := smarq.BenchmarkByName("mesa")
+	r := smarq.NewRunner([]smarq.Benchmark{bm})
+	st, err := r.Run("mesa", "smarq64")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Commits == 0 {
+		t.Error("no commits recorded")
+	}
+}
