@@ -1,8 +1,11 @@
 # SMARQ — build, test, and experiment targets.
 
 GO ?= go
+# Worker-pool bound for the figure harness (0 = GOMAXPROCS).
+PARALLEL ?= 0
 
-.PHONY: all build test race bench figures examples clean
+.PHONY: all build test race bench figures examples clean \
+	ci fmt-check bench-smoke fuzz-smoke
 
 all: build test
 
@@ -16,17 +19,43 @@ test:
 race:
 	$(GO) test -race ./...
 
+# Everything CI gates on, runnable locally in one shot.
+ci: build test fmt-check bench-smoke
+
+# Fail if any file needs gofmt.
+fmt-check:
+	@files=$$(gofmt -l .); \
+	if [ -n "$$files" ]; then \
+		echo "gofmt required for:"; echo "$$files"; exit 1; \
+	fi; echo "gofmt clean"
+
+# Regenerate a small, fast artifact subset and compare it against the
+# checked-in golden (tolerant numeric compare) — the figure regression
+# gate. Refresh the golden with:
+#   go run ./cmd/smarq-bench -only table1,fig15 -bench swim,mgrid -json \
+#     > testdata/bench-smoke.golden.json
+bench-smoke:
+	$(GO) run ./cmd/smarq-bench -only table1,fig15 -bench swim,mgrid -json \
+		-parallel $(PARALLEL) \
+		| $(GO) run ./cmd/smarq-golden -golden testdata/bench-smoke.golden.json -got -
+
+# Short differential fuzz of the dynopt pipeline (seed corpus also runs
+# under plain `go test`).
+fuzz-smoke:
+	$(GO) test -run='^FuzzDynopt$$' -fuzz='^FuzzDynopt$$' -fuzztime=10s ./internal/dynopt
+
 # One testing.B benchmark per table/figure plus micro-benchmarks.
 bench:
 	$(GO) test -bench=. -benchmem ./...
 
 # Regenerate every table and figure of the paper (plus the ablation,
-# unrolling and Efficeon extensions).
+# unrolling and Efficeon extensions). Cells fan out over PARALLEL
+# workers; output is byte-identical at any parallelism.
 figures:
-	$(GO) run ./cmd/smarq-bench
+	$(GO) run ./cmd/smarq-bench -parallel $(PARALLEL)
 
 figures-json:
-	$(GO) run ./cmd/smarq-bench -json
+	$(GO) run ./cmd/smarq-bench -json -parallel $(PARALLEL)
 
 examples:
 	$(GO) run ./examples/quickstart

@@ -2,10 +2,16 @@
 //
 // Usage:
 //
-//	smarq-bench                 # everything
-//	smarq-bench -only fig15     # one artifact: table1 table2 fig14..fig19 scaling
-//	smarq-bench -bench ammp     # restrict the suite
-//	smarq-bench -v              # per-run summaries
+//	smarq-bench                       # everything
+//	smarq-bench -only fig15           # one artifact: table1 table2 fig14..fig19 scaling
+//	smarq-bench -only table1,fig15    # an artifact subset
+//	smarq-bench -bench ammp           # restrict the suite
+//	smarq-bench -parallel 8           # bound the worker pool (0 = GOMAXPROCS)
+//	smarq-bench -v                    # per-run summaries
+//
+// Benchmark×configuration cells fan out over a bounded worker pool; the
+// artifacts themselves are rendered in a fixed order from the shared
+// result cache, so stdout is byte-identical at every parallelism level.
 package main
 
 import (
@@ -13,7 +19,9 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
+	"time"
 
 	"smarq/internal/dynopt"
 	"smarq/internal/harness"
@@ -21,12 +29,20 @@ import (
 )
 
 func main() {
-	only := flag.String("only", "", "emit only this artifact (table1, table2, fig14, fig15, fig16, fig17, fig18, fig19, scaling, ablations, unroll, efficeon, breakdown, energy)")
+	only := flag.String("only", "", "comma-separated artifact subset (table1, table2, fig14, fig15, fig16, fig17, fig18, fig19, scaling, ablations, unroll, efficeon, breakdown, energy)")
 	benches := flag.String("bench", "", "comma-separated benchmark subset (default: full suite)")
 	verbose := flag.Bool("v", false, "print a summary line per completed run")
 	asJSON := flag.Bool("json", false, "emit all results as one JSON document")
 	scale := flag.Int64("scale", 1, "multiply every benchmark's main loop count (longer runs amortize translation cost)")
+	parallel := flag.Int("parallel", 0, "max concurrent benchmark runs (0 = GOMAXPROCS)")
 	flag.Parse()
+
+	selected := map[string]bool{}
+	if *only != "" {
+		for _, name := range strings.Split(*only, ",") {
+			selected[strings.TrimSpace(name)] = true
+		}
+	}
 
 	suite := workload.SuiteScaled(*scale)
 	if *benches != "" {
@@ -42,15 +58,18 @@ func main() {
 	}
 
 	r := harness.NewRunner(suite)
+	r.Parallelism = *parallel
 	if *verbose {
 		r.Verbose = func(bench, config string, st *dynopt.Stats) {
 			fmt.Fprintf(os.Stderr, "# %s/%s: %s\n", bench, config, harness.SummaryLine(st))
 		}
 	}
 
+	start := time.Now()
+	artifacts := 0
 	results := map[string]interface{}{}
 	emit := func(name string, render func() (string, error)) {
-		if *only != "" && *only != name {
+		if len(selected) > 0 && !selected[name] {
 			return
 		}
 		out, err := render()
@@ -58,6 +77,7 @@ func main() {
 			fmt.Fprintf(os.Stderr, "smarq-bench: %s: %v\n", name, err)
 			os.Exit(1)
 		}
+		artifacts++
 		if !*asJSON {
 			fmt.Println(out)
 		}
@@ -188,4 +208,11 @@ func main() {
 			os.Exit(1)
 		}
 	}
+
+	workers := *parallel
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	fmt.Fprintf(os.Stderr, "# smarq-bench: %d artifact(s) in %s (parallelism=%d)\n",
+		artifacts, time.Since(start).Round(time.Millisecond), workers)
 }

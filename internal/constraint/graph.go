@@ -12,7 +12,10 @@
 // the allocator inserting an AMOV (§5.2).
 package constraint
 
-import "fmt"
+import (
+	"fmt"
+	"sort"
+)
 
 // Kind distinguishes the two constraint types.
 type Kind uint8
@@ -145,7 +148,9 @@ func (g *Graph) HasEdge(src, dst int) (Kind, bool) {
 
 // RemoveOut deletes all constraints whose source is src (performed when src
 // is allocated, Figure 13 lines 66-67) and returns the destinations whose
-// in-degree dropped to zero.
+// in-degree dropped to zero, in ascending ID order. The order feeds the
+// allocator's drain FIFO and therefore the final register offsets; sorting
+// keeps allocation deterministic across runs (Go randomizes map iteration).
 func (g *Graph) RemoveOut(src int) []int {
 	var freed []int
 	for dst := range g.out[src] {
@@ -155,6 +160,7 @@ func (g *Graph) RemoveOut(src int) []int {
 		}
 	}
 	delete(g.out, src)
+	sort.Ints(freed)
 	return freed
 }
 
@@ -167,9 +173,14 @@ func (g *Graph) RemoveOut(src int) []int {
 // therefore have no incoming constraints. It returns the sources whose
 // edges moved.
 func (g *Graph) RetargetIncomingChecks(old, newDst int, shouldMove func(src int) bool) []int {
+	srcs := make([]int, 0, len(g.in[old]))
+	for src := range g.in[old] {
+		srcs = append(srcs, src)
+	}
+	sort.Ints(srcs) // deterministic retarget order regardless of map layout
 	var moved []int
-	for src, k := range g.in[old] {
-		if k != Check || !shouldMove(src) {
+	for _, src := range srcs {
+		if g.in[old][src] != Check || !shouldMove(src) {
 			continue
 		}
 		delete(g.in[old], src)

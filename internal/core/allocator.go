@@ -26,6 +26,7 @@ package core
 
 import (
 	"fmt"
+	"sort"
 
 	"smarq/internal/constraint"
 	"smarq/internal/deps"
@@ -393,6 +394,13 @@ func (a *Allocator) Finish() (*Result, error) {
 	for pair := range a.liveChecks {
 		res.Checks = append(res.Checks, pair)
 	}
+	// Deterministic constraint listing regardless of map iteration order.
+	sort.Slice(res.Checks, func(i, j int) bool {
+		if res.Checks[i][0] != res.Checks[j][0] {
+			return res.Checks[i][0] < res.Checks[j][0]
+		}
+		return res.Checks[i][1] < res.Checks[j][1]
+	})
 	res.Antis = a.liveAntis
 	if a.overflow {
 		return res, fmt.Errorf("core: alias register overflow (working set %d > %d registers)", ws, a.numRegs)

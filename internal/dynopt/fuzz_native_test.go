@@ -1,0 +1,72 @@
+package dynopt
+
+import (
+	"math/rand"
+	"testing"
+
+	"smarq/internal/guest"
+	"smarq/internal/interp"
+)
+
+// FuzzDynopt is the native fuzzing entry point (go test -fuzz=FuzzDynopt):
+// the seed selects a structured random guest program (see randomProgram),
+// which runs under the speculating configurations and must reproduce the
+// interpreter's architectural state bit-for-bit. The seed corpus below
+// also runs as a regression test on every plain `go test`.
+func FuzzDynopt(f *testing.F) {
+	for _, seed := range []int64{1, 42, 1000, 31337} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, seed int64) {
+		const memSize = 1 << 14
+		const maxInsts = 3_000_000
+		build := func() *guest.Program {
+			return randomProgram(rand.New(rand.NewSource(seed)))
+		}
+
+		ref := interp.New(build(), &guest.State{}, guest.NewMemory(memSize))
+		halted, err := ref.Run(0, maxInsts)
+		if err != nil {
+			t.Fatalf("seed %d: reference interpreter: %v", seed, err)
+		}
+		if !halted {
+			t.Fatalf("seed %d: reference did not halt", seed)
+		}
+
+		configs := map[string]Config{
+			"smarq64":  ConfigSMARQ(64),
+			"smarq6":   ConfigSMARQ(6), // tiny file: exercises overflow throttling
+			"alat":     ConfigALAT(),
+			"efficeon": ConfigEfficeon(),
+		}
+		for cname, cfg := range configs {
+			cfg.HotThreshold = 20 // compile eagerly to stress the pipeline
+			sys := New(build(), &guest.State{}, guest.NewMemory(memSize), cfg)
+			halted, err := sys.Run(maxInsts)
+			if err != nil {
+				t.Fatalf("seed %d/%s: %v", seed, cname, err)
+			}
+			if !halted {
+				t.Fatalf("seed %d/%s: did not halt", seed, cname)
+			}
+			for r := 0; r < guest.NumRegs; r++ {
+				if sys.State().R[r] != ref.St.R[r] {
+					t.Fatalf("seed %d/%s: r%d = %d, interpreter got %d",
+						seed, cname, r, sys.State().R[r], ref.St.R[r])
+				}
+				if sys.State().F[r] != ref.St.F[r] {
+					t.Fatalf("seed %d/%s: f%d = %v, interpreter got %v",
+						seed, cname, r, sys.State().F[r], ref.St.F[r])
+				}
+			}
+			for a := 0; a < memSize; a += 8 {
+				got, _ := sys.Mem().Load(uint64(a), 8)
+				want, _ := ref.Mem.Load(uint64(a), 8)
+				if got != want {
+					t.Fatalf("seed %d/%s: mem[%#x] = %#x, interpreter got %#x",
+						seed, cname, a, got, want)
+				}
+			}
+		}
+	})
+}

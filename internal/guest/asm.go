@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strconv"
 	"strings"
+	"sync"
 )
 
 // Assemble parses guest assembly text into a program. The syntax is the
@@ -352,15 +353,20 @@ func (a *assembler) parseTarget(s string) (int, error) {
 	return 0, fmt.Errorf("unknown branch target %q", s)
 }
 
-var nameToOp map[string]Opcode
+var (
+	nameToOpOnce sync.Once
+	nameToOp     map[string]Opcode
+)
 
+// opByName resolves a mnemonic; the reverse map is built once, safely
+// under concurrent assembly.
 func opByName(name string) (Opcode, bool) {
-	if nameToOp == nil {
+	nameToOpOnce.Do(func() {
 		nameToOp = make(map[string]Opcode, int(numOpcodes))
 		for op := Opcode(0); op < numOpcodes; op++ {
 			nameToOp[op.String()] = op
 		}
-	}
+	})
 	op, ok := nameToOp[name]
 	return op, ok
 }

@@ -57,6 +57,8 @@ func (r *Runner) Ablations() (*AblationData, error) {
 		WorkingSetNoRotation: map[string]float64{},
 		WorkingSetFull:       map[string]float64{},
 	}
+	r.Warm(crossCells(d.Benches,
+		[]string{CfgSMARQ64, CfgSMARQ16, AblNoAnti, AblNoRotation, AblNoElim}))
 	for _, abl := range []string{AblNoAnti, AblNoRotation, AblNoElim} {
 		d.Slowdown[abl] = map[string]float64{}
 		var ratios []float64

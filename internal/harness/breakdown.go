@@ -24,6 +24,7 @@ func (r *Runner) Breakdown() (*BreakdownData, error) {
 		Rollback: map[string]float64{}, Opt: map[string]float64{},
 		CoveragePct: map[string]float64{},
 	}
+	r.Warm(crossCells(d.Benches, []string{CfgSMARQ64}))
 	for _, bench := range d.Benches {
 		st, err := r.Run(bench, CfgSMARQ64)
 		if err != nil {

@@ -33,6 +33,7 @@ func (r *Runner) Efficeon() (*EfficeonData, error) {
 		Speedup: map[string]map[string]float64{},
 		Mean:    map[string]float64{},
 	}
+	r.Warm(crossCells(d.Benches, append([]string{CfgNoHW}, configs...)))
 	per := map[string][]float64{}
 	for _, bench := range d.Benches {
 		base, err := r.Run(bench, CfgNoHW)

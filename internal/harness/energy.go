@@ -30,6 +30,7 @@ func (r *Runner) Energy() (*EnergyData, error) {
 		ChecksPerKInst: map[string]map[string]float64{},
 		Mean:           map[string]float64{},
 	}
+	r.Warm(crossCells(d.Benches, configs))
 	sums := map[string][]float64{}
 	for _, bench := range d.Benches {
 		d.ChecksPerKInst[bench] = map[string]float64{}

@@ -25,6 +25,7 @@ func (r *Runner) Figure15() (*Figure15Data, error) {
 		Speedup: make(map[string]map[string]float64),
 		Mean:    make(map[string]float64),
 	}
+	r.Warm(crossCells(d.Benches, append([]string{CfgNoHW}, configs...)))
 	perCfg := map[string][]float64{}
 	for _, bench := range d.Benches {
 		base, err := r.Run(bench, CfgNoHW)
@@ -82,6 +83,7 @@ type Figure16Data struct {
 // Figure16 measures store-reordering impact.
 func (r *Runner) Figure16() (*Figure16Data, error) {
 	d := &Figure16Data{Benches: r.benchNames(), Impact: map[string]float64{}}
+	r.Warm(crossCells(d.Benches, []string{CfgSMARQ64, CfgNoStRe}))
 	var ratios []float64
 	for _, bench := range d.Benches {
 		with, err := r.Run(bench, CfgSMARQ64)
@@ -122,6 +124,7 @@ type Figure14Data struct {
 // Figure14 collects superblock sizes from the SMARQ-64 runs.
 func (r *Runner) Figure14() (*Figure14Data, error) {
 	d := &Figure14Data{Benches: r.benchNames(), Avg: map[string]float64{}, Max: map[string]int{}}
+	r.Warm(crossCells(d.Benches, []string{CfgSMARQ64}))
 	for _, bench := range d.Benches {
 		st, err := r.Run(bench, CfgSMARQ64)
 		if err != nil {
@@ -173,6 +176,7 @@ func (r *Runner) Figure17() (*Figure17Data, error) {
 		Benches:  r.benchNames(),
 		PBitOnly: map[string]float64{}, SMARQ: map[string]float64{}, LowerBound: map[string]float64{},
 	}
+	r.Warm(crossCells(d.Benches, []string{CfgSMARQ64}))
 	var allP, allS, allL []float64
 	for _, bench := range d.Benches {
 		st, err := r.Run(bench, CfgSMARQ64)
@@ -255,6 +259,7 @@ type Figure18Data struct {
 func (r *Runner) Figure18() (*Figure18Data, error) {
 	d := &Figure18Data{Benches: r.benchNames(), OptPct: map[string]float64{},
 		SchedShare: map[string]float64{}, Amortized100: map[string]float64{}}
+	r.Warm(crossCells(d.Benches, []string{CfgSMARQ64}))
 	var allPct, allShare, allAmort []float64
 	for _, bench := range d.Benches {
 		st, err := r.Run(bench, CfgSMARQ64)
@@ -315,6 +320,7 @@ type Figure19Data struct {
 // Figure19 aggregates constraint counts from the SMARQ-64 runs.
 func (r *Runner) Figure19() (*Figure19Data, error) {
 	d := &Figure19Data{Benches: r.benchNames(), ChecksPerMem: map[string]float64{}, AntisPerMem: map[string]float64{}}
+	r.Warm(crossCells(d.Benches, []string{CfgSMARQ64}))
 	var allC, allA []float64
 	for _, bench := range d.Benches {
 		st, err := r.Run(bench, CfgSMARQ64)
@@ -385,9 +391,15 @@ func (r *Runner) ScalingSweep(regs []int) (*ScalingData, error) {
 	}
 	d := &ScalingData{Regs: regs, Benches: r.benchNames(),
 		Speedup: map[int]map[string]float64{}, Mean: map[int]float64{}}
+	sweep := []string{CfgNoHW}
 	for _, n := range regs {
 		name := fmt.Sprintf("smarq%d", n)
 		r.AddConfig(name, dynopt.ConfigSMARQ(n))
+		sweep = append(sweep, name)
+	}
+	r.Warm(crossCells(d.Benches, sweep))
+	for _, n := range regs {
+		name := fmt.Sprintf("smarq%d", n)
 		d.Speedup[n] = map[string]float64{}
 		var sps []float64
 		for _, bench := range d.Benches {

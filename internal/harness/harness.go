@@ -7,8 +7,10 @@ package harness
 import (
 	"fmt"
 	"math"
+	"runtime"
 	"sort"
 	"strings"
+	"sync"
 
 	"smarq/internal/dynopt"
 	"smarq/internal/guest"
@@ -16,14 +18,39 @@ import (
 )
 
 // Runner executes benchmark×configuration cells on demand and caches the
-// results, so the figures share runs.
+// results, so the figures share runs. It is safe for concurrent use: each
+// cell is a single-flight slot, so two figures requesting the same cell
+// share one run, and Warm fans a cell set out over a bounded worker pool.
 type Runner struct {
-	Suite   []workload.Benchmark
-	byName  map[string]workload.Benchmark
-	configs map[string]dynopt.Config
-	cache   map[[2]string]*dynopt.Stats
-	// Verbose, when set, prints each cell as it completes.
+	Suite []workload.Benchmark
+	// Parallelism bounds how many cells Warm executes concurrently.
+	// Zero or negative means runtime.GOMAXPROCS(0).
+	Parallelism int
+	// Verbose, when set, receives each cell as it completes. The runner
+	// serializes calls, so the hook needs no locking of its own; under
+	// parallel execution the completion *order* is nondeterministic.
 	Verbose func(bench, config string, stats *dynopt.Stats)
+
+	byName map[string]workload.Benchmark
+
+	mu        sync.Mutex // guards configs and cache
+	configs   map[string]dynopt.Config
+	cache     map[Cell]*cellResult
+	verboseMu sync.Mutex
+}
+
+// Cell names one benchmark×configuration run.
+type Cell struct {
+	Bench, Config string
+}
+
+// cellResult is the single-flight slot for one cell: the first goroutine
+// to need it executes the run inside once; everyone else blocks on
+// once.Do and shares the outcome (including errors).
+type cellResult struct {
+	once  sync.Once
+	stats *dynopt.Stats
+	err   error
 }
 
 // Standard configuration names.
@@ -55,26 +82,60 @@ func NewRunner(suite []workload.Benchmark) *Runner {
 			CfgNoHW:    dynopt.ConfigNoHW(),
 			CfgNoStRe:  dynopt.ConfigNoStoreReorder(),
 		},
-		cache: make(map[[2]string]*dynopt.Stats),
+		cache: make(map[Cell]*cellResult),
 	}
 }
 
 // AddConfig registers a custom configuration (used by the scaling sweep
 // and the ablations).
-func (r *Runner) AddConfig(name string, cfg dynopt.Config) { r.configs[name] = cfg }
+func (r *Runner) AddConfig(name string, cfg dynopt.Config) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.configs[name] = cfg
+}
+
+// parallelism resolves the effective worker count.
+func (r *Runner) parallelism() int {
+	if r.Parallelism > 0 {
+		return r.Parallelism
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// cell returns the single-flight slot for a cell, creating it on first
+// request.
+func (r *Runner) cell(bench, config string) *cellResult {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	key := Cell{bench, config}
+	c, ok := r.cache[key]
+	if !ok {
+		c = &cellResult{}
+		r.cache[key] = c
+	}
+	return c
+}
 
 // Run returns the stats for one benchmark under one configuration,
-// executing it on first use.
+// executing it on first use. Concurrent calls for the same cell share a
+// single execution; errors are cached alongside results so every caller
+// observes the same outcome.
 func (r *Runner) Run(bench, config string) (*dynopt.Stats, error) {
-	key := [2]string{bench, config}
-	if st, ok := r.cache[key]; ok {
-		return st, nil
-	}
+	c := r.cell(bench, config)
+	c.once.Do(func() { c.stats, c.err = r.execute(bench, config) })
+	return c.stats, c.err
+}
+
+// execute performs one benchmark×configuration run. Each run owns a
+// fresh Program, State and Memory, so runs never share mutable state.
+func (r *Runner) execute(bench, config string) (*dynopt.Stats, error) {
 	bm, ok := r.byName[bench]
 	if !ok {
 		return nil, fmt.Errorf("harness: no benchmark %q in this runner's suite", bench)
 	}
+	r.mu.Lock()
 	cfg, ok := r.configs[config]
+	r.mu.Unlock()
 	if !ok {
 		return nil, fmt.Errorf("harness: no configuration %q", config)
 	}
@@ -86,11 +147,57 @@ func (r *Runner) Run(bench, config string) (*dynopt.Stats, error) {
 	if !halted {
 		return nil, fmt.Errorf("harness: %s/%s did not halt", bench, config)
 	}
-	r.cache[key] = &sys.Stats
 	if r.Verbose != nil {
+		r.verboseMu.Lock()
 		r.Verbose(bench, config, &sys.Stats)
+		r.verboseMu.Unlock()
 	}
 	return &sys.Stats, nil
+}
+
+// Warm executes the given cells concurrently, bounded by Parallelism,
+// and blocks until all have completed. Results (and errors) land in the
+// single-flight cache, so a figure can Warm its cell set and then
+// aggregate with serial Run calls in a fixed order — which is what keeps
+// parallel and serial artifact output byte-identical. Errors are not
+// returned here: the aggregation loop re-surfaces the cached error of
+// the first failing cell in its own deterministic order.
+func (r *Runner) Warm(cells []Cell) {
+	n := r.parallelism()
+	if n > len(cells) {
+		n = len(cells)
+	}
+	if n <= 1 {
+		return // Run executes cells on demand; nothing to pre-warm.
+	}
+	work := make(chan Cell)
+	var wg sync.WaitGroup
+	wg.Add(n)
+	for i := 0; i < n; i++ {
+		go func() {
+			defer wg.Done()
+			for c := range work {
+				r.Run(c.Bench, c.Config)
+			}
+		}()
+	}
+	for _, c := range cells {
+		work <- c
+	}
+	close(work)
+	wg.Wait()
+}
+
+// crossCells builds the bench×config cross product in row-major order —
+// the cell set a figure's aggregation loop will visit.
+func crossCells(benches, configs []string) []Cell {
+	cells := make([]Cell, 0, len(benches)*len(configs))
+	for _, b := range benches {
+		for _, c := range configs {
+			cells = append(cells, Cell{b, c})
+		}
+	}
+	return cells
 }
 
 // geomean of a slice (1.0 for empty).

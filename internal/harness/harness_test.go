@@ -18,8 +18,17 @@ func smallSuite() []workload.Benchmark {
 	return out
 }
 
-func TestRunnerCaches(t *testing.T) {
+// parallelRunner returns a small-suite Runner with a worker pool, so the
+// ordinary shape tests also exercise the parallel path (and trip the race
+// detector if a run ever shares mutable state).
+func parallelRunner() *Runner {
 	r := NewRunner(smallSuite())
+	r.Parallelism = 4
+	return r
+}
+
+func TestRunnerCaches(t *testing.T) {
+	r := parallelRunner()
 	a, err := r.Run("wupwise", CfgSMARQ64)
 	if err != nil {
 		t.Fatal(err)
@@ -34,7 +43,7 @@ func TestRunnerCaches(t *testing.T) {
 }
 
 func TestRunnerErrors(t *testing.T) {
-	r := NewRunner(smallSuite())
+	r := parallelRunner()
 	if _, err := r.Run("nonesuch", CfgSMARQ64); err == nil {
 		t.Error("unknown benchmark accepted")
 	}
@@ -69,7 +78,7 @@ func TestTable2(t *testing.T) {
 // subset: SMARQ-64 > SMARQ-16 > 1.0 and SMARQ-64 > Itanium-like, with
 // ammp the most register-count-sensitive benchmark.
 func TestFigure15Shape(t *testing.T) {
-	r := NewRunner(smallSuite())
+	r := parallelRunner()
 	d, err := r.Figure15()
 	if err != nil {
 		t.Fatal(err)
@@ -95,7 +104,7 @@ func TestFigure15Shape(t *testing.T) {
 
 // TestFigure16Shape: mesa is the store-reordering benchmark.
 func TestFigure16Shape(t *testing.T) {
-	r := NewRunner(smallSuite())
+	r := parallelRunner()
 	d, err := r.Figure16()
 	if err != nil {
 		t.Fatal(err)
@@ -113,7 +122,7 @@ func TestFigure16Shape(t *testing.T) {
 // TestFigure17Shape: prog-order ≥ P-bit-only ≥ SMARQ ≥ lower bound, and
 // SMARQ reduces the working set by more than half.
 func TestFigure17Shape(t *testing.T) {
-	r := NewRunner(smallSuite())
+	r := parallelRunner()
 	d, err := r.Figure17()
 	if err != nil {
 		t.Fatal(err)
@@ -135,7 +144,7 @@ func TestFigure17Shape(t *testing.T) {
 }
 
 func TestFigure18Shape(t *testing.T) {
-	r := NewRunner(smallSuite())
+	r := parallelRunner()
 	d, err := r.Figure18()
 	if err != nil {
 		t.Fatal(err)
@@ -156,7 +165,7 @@ func TestFigure18Shape(t *testing.T) {
 // TestFigure19Shape: the constraint graph is sparse — O(1) constraints per
 // memory operation, with checks well above antis.
 func TestFigure19Shape(t *testing.T) {
-	r := NewRunner(smallSuite())
+	r := parallelRunner()
 	d, err := r.Figure19()
 	if err != nil {
 		t.Fatal(err)
@@ -175,7 +184,7 @@ func TestFigure19Shape(t *testing.T) {
 // TestScalingShape: speedup is monotone non-decreasing in the register
 // count (within tolerance — blacklist timing can wobble slightly).
 func TestScalingShape(t *testing.T) {
-	r := NewRunner(smallSuite())
+	r := parallelRunner()
 	d, err := r.ScalingSweep([]int{8, 16, 64})
 	if err != nil {
 		t.Fatal(err)
@@ -189,7 +198,7 @@ func TestScalingShape(t *testing.T) {
 }
 
 func TestFigure14Shape(t *testing.T) {
-	r := NewRunner(smallSuite())
+	r := parallelRunner()
 	d, err := r.Figure14()
 	if err != nil {
 		t.Fatal(err)
@@ -205,7 +214,7 @@ func TestFigure14Shape(t *testing.T) {
 }
 
 func TestSummaryLine(t *testing.T) {
-	r := NewRunner(smallSuite())
+	r := parallelRunner()
 	st, err := r.Run("mesa", CfgSMARQ64)
 	if err != nil {
 		t.Fatal(err)
@@ -221,7 +230,7 @@ func TestSummaryLine(t *testing.T) {
 // eliminations costs performance. All ablated systems remain correct
 // (covered by the differential tests) — these assertions are about cost.
 func TestAblationsShape(t *testing.T) {
-	r := NewRunner(smallSuite())
+	r := parallelRunner()
 	d, err := r.Ablations()
 	if err != nil {
 		t.Fatal(err)
@@ -255,7 +264,7 @@ func TestAblationsShape(t *testing.T) {
 // speculation freedom) and multiplies the alias register working set —
 // the §6.1/§8 "larger regions" direction.
 func TestUnrollSweepShape(t *testing.T) {
-	r := NewRunner(smallSuite())
+	r := parallelRunner()
 	d, err := r.UnrollSweep([]int{1, 2})
 	if err != nil {
 		t.Fatal(err)
@@ -274,7 +283,7 @@ func TestUnrollSweepShape(t *testing.T) {
 // TestEfficeonShape: the true bit-mask model lands in the same band as
 // the paper's SMARQ-16 approximation, and both trail SMARQ-64.
 func TestEfficeonShape(t *testing.T) {
-	r := NewRunner(smallSuite())
+	r := parallelRunner()
 	d, err := r.Efficeon()
 	if err != nil {
 		t.Fatal(err)
@@ -297,7 +306,7 @@ func TestEfficeonShape(t *testing.T) {
 }
 
 func TestBreakdownSumsToOne(t *testing.T) {
-	r := NewRunner(smallSuite())
+	r := parallelRunner()
 	d, err := r.Breakdown()
 	if err != nil {
 		t.Fatal(err)
@@ -363,7 +372,7 @@ func TestParseConfig(t *testing.T) {
 // TestResultsMarshalToJSON: every harness data structure serializes (the
 // smarq-bench -json path).
 func TestResultsMarshalToJSON(t *testing.T) {
-	r := NewRunner(smallSuite())
+	r := parallelRunner()
 	f15, err := r.Figure15()
 	if err != nil {
 		t.Fatal(err)
@@ -393,7 +402,7 @@ func TestResultsMarshalToJSON(t *testing.T) {
 // more register comparisons than the precisely-windowed ordered queue,
 // and the exact-mask bitmask performs no more than the queue.
 func TestEnergyShape(t *testing.T) {
-	r := NewRunner(smallSuite())
+	r := parallelRunner()
 	d, err := r.Energy()
 	if err != nil {
 		t.Fatal(err)

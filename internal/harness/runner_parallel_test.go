@@ -1,0 +1,215 @@
+package harness
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"smarq/internal/dynopt"
+)
+
+// TestRunSingleFlight: many goroutines requesting the same cell share
+// exactly one execution and the same *Stats.
+func TestRunSingleFlight(t *testing.T) {
+	r := NewRunner(smallSuite())
+	r.Parallelism = 8
+	var executions int64
+	r.Verbose = func(bench, config string, st *dynopt.Stats) {
+		atomic.AddInt64(&executions, 1)
+	}
+
+	const goroutines = 32
+	stats := make([]*dynopt.Stats, goroutines)
+	errs := make([]error, goroutines)
+	var wg sync.WaitGroup
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			stats[i], errs[i] = r.Run("wupwise", CfgSMARQ64)
+		}(i)
+	}
+	wg.Wait()
+
+	for i := 0; i < goroutines; i++ {
+		if errs[i] != nil {
+			t.Fatalf("goroutine %d: %v", i, errs[i])
+		}
+		if stats[i] != stats[0] {
+			t.Fatalf("goroutine %d got a different *Stats — cell ran more than once", i)
+		}
+	}
+	if n := atomic.LoadInt64(&executions); n != 1 {
+		t.Errorf("cell executed %d times, want exactly 1", n)
+	}
+}
+
+// TestWarmSharesCells: Warm over overlapping cell lists executes each
+// distinct cell once, and subsequent Run calls hit the cache.
+func TestWarmSharesCells(t *testing.T) {
+	r := NewRunner(smallSuite())
+	r.Parallelism = 4
+	var executions int64
+	r.Verbose = func(bench, config string, st *dynopt.Stats) {
+		atomic.AddInt64(&executions, 1)
+	}
+
+	cells := crossCells([]string{"wupwise", "mesa"}, []string{CfgSMARQ64, CfgNoHW})
+	// Duplicate every cell: single-flight must still run each once.
+	r.Warm(append(append([]Cell{}, cells...), cells...))
+	if n := atomic.LoadInt64(&executions); n != int64(len(cells)) {
+		t.Errorf("%d executions after Warm, want %d", n, len(cells))
+	}
+	for _, c := range cells {
+		if _, err := r.Run(c.Bench, c.Config); err != nil {
+			t.Fatalf("%s/%s: %v", c.Bench, c.Config, err)
+		}
+	}
+	if n := atomic.LoadInt64(&executions); n != int64(len(cells)) {
+		t.Errorf("%d executions after cached re-Runs, want %d", n, len(cells))
+	}
+}
+
+// TestWarmCachesErrors: a failing cell caches its error, and Warm
+// neither panics nor hides it from the serial aggregation pass.
+func TestWarmCachesErrors(t *testing.T) {
+	r := NewRunner(smallSuite())
+	r.Parallelism = 4
+	r.Warm([]Cell{{"wupwise", "nonesuch"}, {"nonesuch", CfgSMARQ64}})
+	if _, err := r.Run("wupwise", "nonesuch"); err == nil {
+		t.Error("unknown config error not cached")
+	}
+	if _, err := r.Run("nonesuch", CfgSMARQ64); err == nil {
+		t.Error("unknown benchmark error not cached")
+	}
+}
+
+// TestParallelMatchesSerial: every artifact renders byte-identically at
+// parallelism 1 and parallelism 8.
+func TestParallelMatchesSerial(t *testing.T) {
+	serial := NewRunner(smallSuite())
+	serial.Parallelism = 1
+	parallel := NewRunner(smallSuite())
+	parallel.Parallelism = 8
+
+	type renderer func(r *Runner) (string, error)
+	artifacts := map[string]renderer{
+		"fig14": func(r *Runner) (string, error) {
+			d, err := r.Figure14()
+			if err != nil {
+				return "", err
+			}
+			return d.Render(), nil
+		},
+		"fig15": func(r *Runner) (string, error) {
+			d, err := r.Figure15()
+			if err != nil {
+				return "", err
+			}
+			return d.Render(), nil
+		},
+		"fig16": func(r *Runner) (string, error) {
+			d, err := r.Figure16()
+			if err != nil {
+				return "", err
+			}
+			return d.Render(), nil
+		},
+		"scaling": func(r *Runner) (string, error) {
+			d, err := r.ScalingSweep([]int{8, 64})
+			if err != nil {
+				return "", err
+			}
+			return d.Render(), nil
+		},
+		"energy": func(r *Runner) (string, error) {
+			d, err := r.Energy()
+			if err != nil {
+				return "", err
+			}
+			return d.Render(), nil
+		},
+		"breakdown": func(r *Runner) (string, error) {
+			d, err := r.Breakdown()
+			if err != nil {
+				return "", err
+			}
+			return d.Render(), nil
+		},
+	}
+	for name, render := range artifacts {
+		want, err := render(serial)
+		if err != nil {
+			t.Fatalf("%s serial: %v", name, err)
+		}
+		got, err := render(parallel)
+		if err != nil {
+			t.Fatalf("%s parallel: %v", name, err)
+		}
+		if got != want {
+			t.Errorf("%s: parallel output differs from serial:\n--- serial ---\n%s--- parallel ---\n%s", name, want, got)
+		}
+	}
+}
+
+// TestConcurrentFigures: distinct figures sharing cells may run
+// concurrently against one Runner (the smarq-bench usage under -race).
+func TestConcurrentFigures(t *testing.T) {
+	r := NewRunner(smallSuite())
+	r.Parallelism = 4
+	var wg sync.WaitGroup
+	errCh := make(chan error, 3)
+	wg.Add(3)
+	go func() { defer wg.Done(); _, err := r.Figure15(); errCh <- err }()
+	go func() { defer wg.Done(); _, err := r.Figure14(); errCh <- err }()
+	go func() { defer wg.Done(); _, err := r.Energy(); errCh <- err }()
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestVerboseSerialized: the Verbose hook is never invoked concurrently.
+func TestVerboseSerialized(t *testing.T) {
+	r := NewRunner(smallSuite())
+	r.Parallelism = 8
+	var inHook int64
+	r.Verbose = func(bench, config string, st *dynopt.Stats) {
+		if atomic.AddInt64(&inHook, 1) != 1 {
+			t.Error("Verbose invoked concurrently")
+		}
+		atomic.AddInt64(&inHook, -1)
+	}
+	r.Warm(crossCells([]string{"wupwise", "mesa", "ammp"},
+		[]string{CfgSMARQ64, CfgSMARQ16, CfgALAT, CfgNoHW}))
+}
+
+// TestParallelismDefault: zero and negative Parallelism resolve to a
+// positive worker count.
+func TestParallelismDefault(t *testing.T) {
+	r := NewRunner(smallSuite())
+	if n := r.parallelism(); n < 1 {
+		t.Errorf("default parallelism %d, want >= 1", n)
+	}
+	r.Parallelism = -3
+	if n := r.parallelism(); n < 1 {
+		t.Errorf("negative Parallelism resolved to %d, want >= 1", n)
+	}
+	r.Parallelism = 5
+	if n := r.parallelism(); n != 5 {
+		t.Errorf("explicit Parallelism resolved to %d, want 5", n)
+	}
+}
+
+// TestCrossCells: row-major order and completeness.
+func TestCrossCells(t *testing.T) {
+	cells := crossCells([]string{"a", "b"}, []string{"x", "y"})
+	want := []Cell{{"a", "x"}, {"a", "y"}, {"b", "x"}, {"b", "y"}}
+	if fmt.Sprint(cells) != fmt.Sprint(want) {
+		t.Errorf("crossCells = %v, want %v", cells, want)
+	}
+}

@@ -35,16 +35,20 @@ func (r *Runner) UnrollSweep(factors []int) (*UnrollData, error) {
 		Mean:    map[int]float64{},
 		MaxWS:   map[int]int{},
 	}
+	var sweep []string
+	for _, u := range factors {
+		cfg := dynopt.ConfigSMARQ(64)
+		cfg.Region.Unroll = u
+		r.AddConfig(fmt.Sprintf("smarq64-u%d", u), cfg)
+		base := dynopt.ConfigNoHW()
+		base.Region.Unroll = u
+		r.AddConfig(fmt.Sprintf("nohw-u%d", u), base)
+		sweep = append(sweep, fmt.Sprintf("smarq64-u%d", u), fmt.Sprintf("nohw-u%d", u))
+	}
+	r.Warm(crossCells(d.Benches, sweep))
 	for _, u := range factors {
 		smarqName := fmt.Sprintf("smarq64-u%d", u)
 		baseName := fmt.Sprintf("nohw-u%d", u)
-		cfg := dynopt.ConfigSMARQ(64)
-		cfg.Region.Unroll = u
-		r.AddConfig(smarqName, cfg)
-		base := dynopt.ConfigNoHW()
-		base.Region.Unroll = u
-		r.AddConfig(baseName, base)
-
 		d.Speedup[u] = map[string]float64{}
 		var sps []float64
 		for _, bench := range d.Benches {
