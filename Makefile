@@ -5,7 +5,7 @@ GO ?= go
 PARALLEL ?= 0
 
 .PHONY: all build test race bench figures examples clean \
-	ci fmt-check bench-smoke fuzz-smoke
+	ci fmt-check bench-smoke fuzz-smoke chaos-smoke
 
 all: build test
 
@@ -43,6 +43,16 @@ bench-smoke:
 # under plain `go test`).
 fuzz-smoke:
 	$(GO) test -run='^FuzzDynopt$$' -fuzz='^FuzzDynopt$$' -fuzztime=10s ./internal/dynopt
+
+# Chaos gate: the seeded fault-injection soak (spurious alias exceptions,
+# guard-fail storms, compile failures) with the rollback invariant checker
+# on, plus a CLI replay smoke. SMARQ_CHAOS_FULL=1 widens to the full suite.
+chaos-smoke:
+	$(GO) test -count=1 ./internal/faultinject
+	$(GO) test -run='^TestChaos|^TestInvariantChecker|^TestSpuriousAlias|^TestCompileFail|^TestGuardFailInjection' \
+		-count=1 ./internal/dynopt
+	$(GO) run ./cmd/smarq-run -bench equake -chaos-seed 7 -check-invariants >/dev/null
+	@echo "chaos-smoke: ok"
 
 # One testing.B benchmark per table/figure plus micro-benchmarks.
 bench:

@@ -5,6 +5,7 @@
 //
 //	smarq-run -bench ammp -config smarq64
 //	smarq-run -bench mesa -config nostorereorder -regions
+//	smarq-run -bench equake -chaos-seed 7 -check-invariants
 //	smarq-run -list
 package main
 
@@ -15,6 +16,7 @@ import (
 	"strings"
 
 	"smarq/internal/dynopt"
+	"smarq/internal/faultinject"
 	"smarq/internal/guest"
 	"smarq/internal/harness"
 	"smarq/internal/workload"
@@ -29,6 +31,12 @@ func main() {
 	list := flag.Bool("list", false, "list benchmarks and exit")
 	memSize := flag.Int("mem", 1<<20, "guest memory size for -file runs")
 	maxInsts := flag.Uint64("maxinsts", 100_000_000, "instruction budget for -file runs")
+	chaosSeed := flag.Int64("chaos-seed", 0, "enable deterministic fault injection with this seed (default chaos mix)")
+	aliasRate := flag.Float64("chaos-alias-rate", -1, "override the spurious-alias injection rate (with -chaos-seed)")
+	guardRate := flag.Float64("chaos-guard-rate", -1, "override the guard-fail injection rate (with -chaos-seed)")
+	compileRate := flag.Float64("chaos-compile-rate", -1, "override the compile-fail injection rate (with -chaos-seed)")
+	corruptRate := flag.Float64("chaos-corrupt-rate", -1, "override the post-rollback corruption rate (with -chaos-seed)")
+	checkInv := flag.Bool("check-invariants", false, "verify every rollback restores the exact checkpoint (slow)")
 	flag.Parse()
 
 	if *list {
@@ -65,6 +73,28 @@ func main() {
 		fmt.Fprintln(os.Stderr, "smarq-run:", err)
 		os.Exit(2)
 	}
+	chaos := *chaosSeed != 0
+	if chaos {
+		cfg.Chaos = faultinject.Default(*chaosSeed)
+		for _, o := range []struct {
+			v   float64
+			dst *float64
+		}{
+			{*aliasRate, &cfg.Chaos.SpuriousAliasRate},
+			{*guardRate, &cfg.Chaos.GuardFailRate},
+			{*compileRate, &cfg.Chaos.CompileFailRate},
+			{*corruptRate, &cfg.Chaos.CorruptRate},
+		} {
+			if o.v >= 0 {
+				*o.dst = o.v
+			}
+		}
+	}
+	cfg.CheckInvariants = *checkInv
+	if err := cfg.Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, "smarq-run:", err)
+		os.Exit(2)
+	}
 	if *traceEvents {
 		cfg.Trace = func(format string, args ...interface{}) {
 			fmt.Fprintf(os.Stderr, "trace: "+format+"\n", args...)
@@ -84,13 +114,17 @@ func main() {
 		st.GuestInsts, st.InterpretedInsts,
 		100*float64(st.InterpretedInsts)/float64(st.GuestInsts))
 	fmt.Printf("  cycles/inst: %.3f\n", float64(st.TotalCycles)/float64(st.GuestInsts))
+	fmt.Println("  recovery:", harness.RecoveryLine(st))
+	if chaos {
+		fmt.Printf("  injected (seed %d): %s\n", *chaosSeed, harness.InjectedLine(st))
+	}
 	if *regions {
 		fmt.Println("  regions:")
 		for _, r := range st.Regions {
-			fmt.Printf("    B%-3d insts=%-3d mem=%-3d seq=%-3d cycles=%-4d P=%-3d C=%-3d checks=%-3d antis=%-2d amovs=%-2d ws=%d\n",
+			fmt.Printf("    B%-3d insts=%-3d mem=%-3d seq=%-3d cycles=%-4d P=%-3d C=%-3d checks=%-3d antis=%-2d amovs=%-2d ws=%d tier=%s dem=%d prom=%d sticky=%v\n",
 				r.Entry, r.GuestInsts, r.MemOps, r.SeqLen, r.Cycles,
 				r.Alloc.PBits, r.Alloc.CBits, r.Alloc.Checks, r.Alloc.Antis, r.Alloc.AMovs,
-				r.Alloc.WorkingSet)
+				r.Alloc.WorkingSet, r.Tier, r.Demotions, r.Promotions, r.Sticky)
 		}
 	}
 }

@@ -8,9 +8,22 @@
 // hoisted above a store sees the old value, which is exactly the
 // speculation the alias hardware polices. Rollback replays the undo log in
 // reverse and restores the register checkpoint.
+//
+// A Region is single-use: Commit or Rollback finishes it. Reuse would be
+// a runtime bug (a store after commit would append to a dead undo log
+// with no checkpoint to recover to), so a finished region fails loudly —
+// Store returns ErrFinished and Commit/Rollback panic.
 package atomic
 
-import "smarq/internal/guest"
+import (
+	"errors"
+
+	"smarq/internal/guest"
+)
+
+// ErrFinished reports a Store on a region that has already committed or
+// rolled back.
+var ErrFinished = errors.New("atomic: store on a finished region")
 
 type undoRec struct {
 	addr uint64
@@ -24,6 +37,7 @@ type Region struct {
 	mem        *guest.Memory
 	checkpoint *guest.State
 	undo       []undoRec
+	finished   bool
 }
 
 // Begin opens an atomic region: the register state is checkpointed now.
@@ -31,9 +45,16 @@ func Begin(st *guest.State, mem *guest.Memory) *Region {
 	return &Region{st: st, mem: mem, checkpoint: st.Clone()}
 }
 
+// Finished reports whether the region has committed or rolled back.
+func (r *Region) Finished() bool { return r.finished }
+
 // Store performs a speculative store: the old bytes are logged, then the
-// new value is written through.
+// new value is written through. On a finished region it writes nothing
+// and returns ErrFinished.
 func (r *Region) Store(addr uint64, size int, val uint64) error {
+	if r.finished {
+		return ErrFinished
+	}
 	old, err := r.mem.Load(addr, size)
 	if err != nil {
 		return err
@@ -49,15 +70,25 @@ func (r *Region) Store(addr uint64, size int, val uint64) error {
 // stats).
 func (r *Region) StoreBytes() int { return len(r.undo) }
 
-// Commit makes the region's effects permanent and invalidates the region.
+// Commit makes the region's effects permanent and finishes the region.
+// Committing a finished region is a runtime bug and panics.
 func (r *Region) Commit() {
+	if r.finished {
+		panic("atomic: Commit on a finished region")
+	}
+	r.finished = true
 	r.undo = nil
 	r.checkpoint = nil
 }
 
-// Rollback undoes every store in reverse order and restores the register
-// checkpoint.
+// Rollback undoes every store in reverse order, restores the register
+// checkpoint, and finishes the region. Rolling back a finished region is
+// a runtime bug and panics.
 func (r *Region) Rollback() {
+	if r.finished {
+		panic("atomic: Rollback on a finished region")
+	}
+	r.finished = true
 	for i := len(r.undo) - 1; i >= 0; i-- {
 		u := r.undo[i]
 		// The undo write cannot fail: the original store succeeded.

@@ -101,3 +101,95 @@ func TestStoreFaultDoesNotLog(t *testing.T) {
 	}
 	r.Rollback()
 }
+
+func TestMixedSizeStoresRollBack(t *testing.T) {
+	// Overlapping stores of different widths: the byte-exact undo must
+	// restore the original contents even when a narrow store punched into
+	// the middle of a wide one.
+	st := &guest.State{}
+	mem := guest.NewMemory(64)
+	if err := mem.Store(0, 8, 0x1122334455667788); err != nil {
+		t.Fatal(err)
+	}
+	r := Begin(st, mem)
+	_ = r.Store(0, 8, 0xaaaaaaaaaaaaaaaa)
+	_ = r.Store(2, 2, 0xbeef)
+	_ = r.Store(3, 1, 0x7)
+	_ = r.Store(0, 4, 0xcafef00d)
+	r.Rollback()
+	v, _ := mem.Load(0, 8)
+	if v != 0x1122334455667788 {
+		t.Errorf("memory = %#x after mixed-size rollback, want 0x1122334455667788", v)
+	}
+}
+
+func TestStoreErrorMidRegionThenRollback(t *testing.T) {
+	// A faulting store mid-region must leave earlier stores rollbackable
+	// and the failed address untouched.
+	st := &guest.State{}
+	mem := guest.NewMemory(32)
+	if err := mem.Store(0, 8, 5); err != nil {
+		t.Fatal(err)
+	}
+	r := Begin(st, mem)
+	if err := r.Store(0, 8, 6); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Store(100, 8, 7); err == nil {
+		t.Fatal("out-of-range store succeeded")
+	}
+	if r.StoreBytes() != 1 {
+		t.Fatalf("undo log holds %d records after one good + one failed store, want 1", r.StoreBytes())
+	}
+	r.Rollback()
+	v, _ := mem.Load(0, 8)
+	if v != 5 {
+		t.Errorf("memory = %d after rollback, want 5", v)
+	}
+}
+
+func TestStoreAfterFinishFailsLoudly(t *testing.T) {
+	st := &guest.State{}
+	mem := guest.NewMemory(64)
+
+	r := Begin(st, mem)
+	r.Commit()
+	if !r.Finished() {
+		t.Fatal("committed region not Finished")
+	}
+	if err := r.Store(0, 8, 1); err != ErrFinished {
+		t.Errorf("Store after Commit = %v, want ErrFinished", err)
+	}
+	if v, _ := mem.Load(0, 8); v != 0 {
+		t.Error("Store after Commit wrote memory")
+	}
+
+	r = Begin(st, mem)
+	r.Rollback()
+	if err := r.Store(0, 8, 1); err != ErrFinished {
+		t.Errorf("Store after Rollback = %v, want ErrFinished", err)
+	}
+}
+
+func TestReusedRegionPanics(t *testing.T) {
+	expectPanic := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s on a finished region did not panic", name)
+			}
+		}()
+		f()
+	}
+	st := &guest.State{}
+	mem := guest.NewMemory(64)
+
+	r := Begin(st, mem)
+	r.Commit()
+	expectPanic("Commit", r.Commit)
+	expectPanic("Rollback", r.Rollback)
+
+	r = Begin(st, mem)
+	r.Rollback()
+	expectPanic("Rollback", r.Rollback)
+	expectPanic("Commit", r.Commit)
+}

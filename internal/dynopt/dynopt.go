@@ -5,6 +5,14 @@
 // regions execute inside atomic regions on the VLIW model; alias
 // exceptions roll back and trigger conservative re-optimization with the
 // offending pair blacklisted, exactly as the paper's runtime module does.
+//
+// Recovery is tiered rather than all-or-nothing: each region sits on a
+// speculation ladder (full → no store reordering → no eliminations →
+// fully conservative → interpreter-pinned) driven by a per-region
+// controller that watches the rollback rate over a sliding window of
+// entries, demotes one rung at a time with exponential promotion backoff,
+// and re-promotes after a sustained run of clean commits. See recovery.go
+// and DESIGN.md ("Recovery ladder and chaos harness").
 package dynopt
 
 import (
@@ -14,6 +22,7 @@ import (
 	"smarq/internal/aliashw"
 	"smarq/internal/core"
 	"smarq/internal/deps"
+	"smarq/internal/faultinject"
 	"smarq/internal/guest"
 	"smarq/internal/interp"
 	"smarq/internal/ir"
@@ -38,6 +47,17 @@ type Config struct {
 	// MaxGuardFails drops a region from the cache after this many
 	// consecutive off-trace exits.
 	MaxGuardFails int
+	// Recovery tunes the tiered deoptimization controller and the code
+	// cache bound. The zero value means DefaultRecoveryConfig().
+	Recovery RecoveryConfig
+	// Chaos configures the deterministic fault injector (zero = off).
+	Chaos faultinject.Config
+	// CheckInvariants verifies after every rollback that the
+	// architectural state and memory digest match the region-entry
+	// checkpoint, surfacing a fatal error on divergence. The chaos and
+	// differential tests keep it on; it digests all of guest memory per
+	// region entry, so production-shaped runs leave it off.
+	CheckInvariants bool
 	// Region controls superblock formation.
 	Region region.Config
 	// Machine is the VLIW model.
@@ -46,8 +66,8 @@ type Config struct {
 	// ablation studies (zero value = the full system).
 	Ablation Ablation
 	// Trace, when non-nil, receives one line per runtime event
-	// (compilation, alias exception, region drop) — the observability
-	// hook for debugging translated workloads.
+	// (compilation, alias exception, tier change, eviction) — the
+	// observability hook for debugging translated workloads.
 	Trace func(format string, args ...interface{})
 }
 
@@ -62,35 +82,77 @@ type Ablation struct {
 	Elim bool
 }
 
+// withDefaults fills zero-valued sub-configurations.
+func (c Config) withDefaults() Config {
+	if c.Recovery == (RecoveryConfig{}) {
+		c.Recovery = DefaultRecoveryConfig()
+	}
+	return c
+}
+
+// Validate rejects nonsensical configurations: an ordered queue or bit
+// mask needs at least 2 alias registers, thresholds must be positive, and
+// chaos rates must be probabilities. New panics on an invalid Config, so
+// call Validate first when the values come from user input.
+func (c Config) Validate() error {
+	switch c.Mode {
+	case sched.HWOrdered, sched.HWBitmask:
+		if c.NumAliasRegs < 2 {
+			return fmt.Errorf("dynopt: NumAliasRegs %d with %v hardware, want >= 2", c.NumAliasRegs, c.Mode)
+		}
+	}
+	if c.HotThreshold == 0 {
+		return fmt.Errorf("dynopt: HotThreshold 0, want > 0")
+	}
+	if c.MaxGuardFails <= 0 {
+		return fmt.Errorf("dynopt: MaxGuardFails %d, want > 0", c.MaxGuardFails)
+	}
+	if err := c.withDefaults().Recovery.Validate(); err != nil {
+		return err
+	}
+	return c.Chaos.Validate()
+}
+
+// mustValid backs the preset constructors: they only assemble constants,
+// so a failure is a programming error.
+func mustValid(c Config) Config {
+	if err := c.Validate(); err != nil {
+		panic("dynopt: invalid preset: " + err.Error())
+	}
+	return c
+}
+
 // DefaultConfig returns the paper's primary configuration: SMARQ with 64
 // alias registers.
 func DefaultConfig() Config {
-	return Config{
+	return mustValid(Config{
 		Mode:          sched.HWOrdered,
 		NumAliasRegs:  64,
 		StoreReorder:  true,
 		HotThreshold:  50,
 		MaxGuardFails: 8,
+		Recovery:      DefaultRecoveryConfig(),
 		Region:        region.DefaultConfig(),
 		Machine:       vliw.DefaultConfig(),
-	}
+	})
 }
 
 // Named preset configurations for the paper's comparisons (Figure 15/16).
 
 // ConfigSMARQ is SMARQ with n ordered alias registers (n=64 reproduces the
-// paper's SMARQ bar, n=16 the Efficeon-like SMARQ16 bar).
+// paper's SMARQ bar, n=16 the Efficeon-like SMARQ16 bar). It panics for
+// n < 2 (see Config.Validate).
 func ConfigSMARQ(n int) Config {
 	c := DefaultConfig()
 	c.NumAliasRegs = n
-	return c
+	return mustValid(c)
 }
 
 // ConfigALAT is the Itanium-like model.
 func ConfigALAT() Config {
 	c := DefaultConfig()
 	c.Mode = sched.HWALAT
-	return c
+	return mustValid(c)
 }
 
 // ConfigEfficeon is the true bit-mask model: precise named-register
@@ -102,14 +164,14 @@ func ConfigEfficeon() Config {
 	c := DefaultConfig()
 	c.Mode = sched.HWBitmask
 	c.NumAliasRegs = 15
-	return c
+	return mustValid(c)
 }
 
 // ConfigNoHW disables alias hardware entirely.
 func ConfigNoHW() Config {
 	c := DefaultConfig()
 	c.Mode = sched.HWNone
-	return c
+	return mustValid(c)
 }
 
 // ConfigNoStoreReorder is SMARQ-64 with store reordering disabled
@@ -117,11 +179,12 @@ func ConfigNoHW() Config {
 func ConfigNoStoreReorder() Config {
 	c := DefaultConfig()
 	c.StoreReorder = false
-	return c
+	return mustValid(c)
 }
 
 // RegionStats aggregates the static per-superblock statistics the paper's
-// Figures 14, 17 and 19 report.
+// Figures 14, 17 and 19 report, plus the region's recovery-ladder state
+// at the end of the run.
 type RegionStats struct {
 	Entry      int
 	GuestInsts int
@@ -130,6 +193,14 @@ type RegionStats struct {
 	Working    core.WorkingSets
 	SeqLen     int
 	Cycles     int64
+
+	// Tier is the region's final rung on the speculation ladder;
+	// Demotions/Promotions count its lifetime ladder moves and Sticky
+	// reports whether its backoff is exhausted (stable forever).
+	Tier       Tier
+	Demotions  int
+	Promotions int
+	Sticky     bool
 }
 
 // Stats is the run-wide accounting.
@@ -152,6 +223,14 @@ type Stats struct {
 	RegionsDropped  int
 	OverflowRetries int
 
+	// Recovery is the tiered-deoptimization controller's accounting:
+	// per-tier dispatches and residency, demotions/promotions, and code
+	// cache evictions.
+	Recovery RecoveryStats
+	// Injected reports which chaos faults actually fired (zero without
+	// Config.Chaos).
+	Injected faultinject.Counts
+
 	// Retirement.
 	GuestInsts       int64
 	InterpretedInsts int64
@@ -165,14 +244,12 @@ type Stats struct {
 	Regions []RegionStats
 }
 
-// maxExceptionsPerRegion bounds trap-recompile churn: a region that keeps
-// raising alias exceptions after this many conservative re-optimizations
-// is pinned to non-speculative code.
-const maxExceptionsPerRegion = 24
-
 type compiled struct {
 	cr         *vliw.CompiledRegion
 	failStreak int
+	// lastUse is the dispatch sequence number of the region's most
+	// recent execution — the code cache eviction clock.
+	lastUse int64
 }
 
 // System is one guest program under the dynamic optimization system.
@@ -183,34 +260,45 @@ type System struct {
 	mem  *guest.Memory
 	it   *interp.Interpreter
 	det  aliashw.Detector
+	inj  *faultinject.Injector
 
 	cache     map[int]*compiled
 	sbCache   map[int]*region.Superblock
 	blacklist map[int]alias.Blacklist
 	cooldown  map[int]uint64 // entry -> block count required to recompile
 	regionIdx map[int]int    // entry -> index into Stats.Regions
+	// recovery holds each region's ladder controller (created at first
+	// compilation, kept across drops and evictions so a region's history
+	// survives its code).
+	recovery map[int]*regionRecovery
 	// pinnedLoads collects, per region entry, ops that must no longer be
 	// speculated on. Under ALAT a store checks *every* advanced load, so
 	// a false positive can only be silenced by not advancing the load at
 	// all; hardening the pair is not enough.
 	pinnedLoads map[int]map[int]bool
-	// pinnedNonSpec marks regions whose speculation keeps trapping even
-	// with loads pinned; they are recompiled without speculation.
-	pinnedNonSpec map[int]bool
 	// fatalErr records a genuine guest fault hit while interpreting after
-	// a rollback; Run surfaces it.
+	// a rollback, or a rollback invariant violation; Run surfaces it.
 	fatalErr error
 	// exceptions counts alias exceptions per region entry; past
-	// maxExceptionsPerRegion the region is pinned non-speculative (a
-	// guard against pathological trap-recompile churn, e.g. when the
-	// anti-constraint ablation floods a region with false positives).
+	// Recovery.MaxExceptionsPerRegion the region jumps to
+	// TierConservative and stops promoting (a guard against pathological
+	// trap-recompile churn, e.g. when the anti-constraint ablation floods
+	// a region with false positives).
 	exceptions map[int]int
+	// entrySeq numbers region dispatches — the eviction clock source.
+	entrySeq int64
 
 	Stats Stats
 }
 
 // New creates a system over prog with the given initial state and memory.
+// It panics when cfg fails Validate; use Config.Validate first for
+// configurations assembled from user input.
 func New(prog *guest.Program, st *guest.State, mem *guest.Memory, cfg Config) *System {
+	cfg = cfg.withDefaults()
+	if err := cfg.Validate(); err != nil {
+		panic("dynopt: invalid config: " + err.Error())
+	}
 	var det aliashw.Detector
 	switch cfg.Mode {
 	case sched.HWOrdered:
@@ -222,37 +310,61 @@ func New(prog *guest.Program, st *guest.State, mem *guest.Memory, cfg Config) *S
 	default:
 		det = aliashw.None{}
 	}
+	var inj *faultinject.Injector
+	if cfg.Chaos.Enabled() {
+		inj = faultinject.New(cfg.Chaos)
+	}
 	return &System{
-		cfg:           cfg,
-		prog:          prog,
-		st:            st,
-		mem:           mem,
-		it:            interp.New(prog, st, mem),
-		det:           det,
-		cache:         make(map[int]*compiled),
-		sbCache:       make(map[int]*region.Superblock),
-		blacklist:     make(map[int]alias.Blacklist),
-		cooldown:      make(map[int]uint64),
-		regionIdx:     make(map[int]int),
-		pinnedLoads:   make(map[int]map[int]bool),
-		pinnedNonSpec: make(map[int]bool),
-		exceptions:    make(map[int]int),
+		cfg:         cfg,
+		prog:        prog,
+		st:          st,
+		mem:         mem,
+		it:          interp.New(prog, st, mem),
+		det:         det,
+		inj:         inj,
+		cache:       make(map[int]*compiled),
+		sbCache:     make(map[int]*region.Superblock),
+		blacklist:   make(map[int]alias.Blacklist),
+		cooldown:    make(map[int]uint64),
+		regionIdx:   make(map[int]int),
+		recovery:    make(map[int]*regionRecovery),
+		pinnedLoads: make(map[int]map[int]bool),
+		exceptions:  make(map[int]int),
 	}
 }
 
+// recoveryOf returns the region's ladder controller, creating it at
+// TierFull on first use.
+func (s *System) recoveryOf(entry int) *regionRecovery {
+	rr, ok := s.recovery[entry]
+	if !ok {
+		rr = newRegionRecovery(s.cfg.Recovery)
+		s.recovery[entry] = rr
+	}
+	return rr
+}
+
+// tierOf returns the region's current ladder rung (TierFull before its
+// first compilation).
+func (s *System) tierOf(entry int) Tier {
+	if rr, ok := s.recovery[entry]; ok {
+		return rr.tier
+	}
+	return TierFull
+}
+
 // optConfig derives the optimization pass configuration from the hardware
-// mode: SMARQ speculates through eliminations; ALAT supports neither
-// (§7: the ALAT "cannot be used for ... store load forwarding"); without
-// hardware only provably safe eliminations run.
+// mode and the region's ladder rung: SMARQ speculates through
+// eliminations; ALAT supports neither (§7: the ALAT "cannot be used for
+// ... store load forwarding"); without hardware only provably safe
+// eliminations run; at TierNoElim and below speculative eliminations stay
+// off regardless (their checks would still allocate alias registers even
+// in program order).
 func (s *System) optConfig(entry int) opt.Config {
 	if s.cfg.Ablation.Elim {
 		return opt.Config{}
 	}
-	if s.pinnedNonSpec[entry] {
-		// Fully conservative re-optimization: speculative eliminations
-		// would still allocate alias registers (their checks exist even
-		// in program order), so a region pinned for chronic exceptions
-		// keeps only the provably safe eliminations.
+	if s.tierOf(entry) >= TierNoElim {
 		return opt.Config{LoadElim: true, StoreElim: true, Speculative: false}
 	}
 	switch s.cfg.Mode {
@@ -269,9 +381,14 @@ func (s *System) optConfig(entry int) opt.Config {
 }
 
 // compile translates, optimizes, schedules and installs the region rooted
-// at entry. The superblock is pinned on first compilation so op IDs stay
-// stable across conservative re-optimizations.
+// at entry, honouring the region's current ladder rung. The superblock is
+// pinned on first compilation so op IDs stay stable across conservative
+// re-optimizations.
 func (s *System) compile(entry int) error {
+	if s.inj != nil && s.inj.CompileFail() {
+		s.trace("injected compile failure for B%d", entry)
+		return fmt.Errorf("faultinject: simulated compile failure for B%d", entry)
+	}
 	sb, ok := s.sbCache[entry]
 	if !ok {
 		var err error
@@ -281,6 +398,7 @@ func (s *System) compile(entry int) error {
 		}
 		s.sbCache[entry] = sb
 	}
+	rr := s.recoveryOf(entry)
 
 	reg, err := xlate.Translate(sb)
 	if err != nil {
@@ -294,8 +412,8 @@ func (s *System) compile(entry int) error {
 	scfg := sched.Config{
 		Mode:           s.cfg.Mode,
 		NumAliasRegs:   s.cfg.NumAliasRegs,
-		StoreReorder:   s.cfg.StoreReorder,
-		ForceNonSpec:   s.pinnedNonSpec[entry],
+		StoreReorder:   s.cfg.StoreReorder && rr.tier < TierNoStoreReorder,
+		ForceNonSpec:   rr.tier >= TierConservative,
 		PinnedOps:      s.pinnedLoads[entry],
 		PressureMargin: 4,
 		Machine:        s.cfg.Machine,
@@ -336,14 +454,15 @@ func (s *System) compile(entry int) error {
 	cr := s.cfg.Machine.Compile(sc.Seq, reg, len(sb.Insts))
 	if old, ok := s.cache[entry]; ok && old != nil {
 		s.Stats.Recompiles++
-		s.trace("recompile B%d: %d ops, %d cycles, nonspec=%v", entry, len(sc.Seq), cr.Cycles, s.pinnedNonSpec[entry])
+		s.trace("recompile B%d: %d ops, %d cycles, tier=%s", entry, len(sc.Seq), cr.Cycles, rr.tier)
 	} else {
+		s.evictForCapacity(entry)
 		s.Stats.RegionsCompiled++
 		s.trace("compile B%d: %d guest insts -> %d ops, %d cycles, %d mem ops, P=%d C=%d ws=%d",
 			entry, len(sb.Insts), len(sc.Seq), cr.Cycles, sb.NumMemOps(),
 			sc.Alloc.Stats.PBits, sc.Alloc.Stats.CBits, sc.Alloc.Stats.WorkingSet)
 	}
-	s.cache[entry] = &compiled{cr: cr}
+	s.cache[entry] = &compiled{cr: cr, lastUse: s.entrySeq}
 
 	rs := RegionStats{
 		Entry:      entry,
@@ -353,6 +472,7 @@ func (s *System) compile(entry int) error {
 		Working:    core.MeasureWorkingSets(sc.Alloc, sb.NumMemOps()),
 		SeqLen:     len(sc.Seq),
 		Cycles:     cr.Cycles,
+		Tier:       rr.tier,
 	}
 	if idx, ok := s.regionIdx[entry]; ok {
 		s.Stats.Regions[idx] = rs
@@ -361,6 +481,31 @@ func (s *System) compile(entry int) error {
 		s.Stats.Regions = append(s.Stats.Regions, rs)
 	}
 	return nil
+}
+
+// evictForCapacity makes room for a new region when the code cache is at
+// capacity by evicting the least recently dispatched region (deterministic
+// lowest-entry tie break). The evicted region keeps its superblock,
+// blacklist and ladder state, so re-compilation resumes where it left off.
+func (s *System) evictForCapacity(entry int) {
+	cap := s.cfg.Recovery.CodeCacheCapacity
+	for len(s.cache) >= cap {
+		victim, oldest := -1, int64(0)
+		for e, c := range s.cache {
+			if e == entry {
+				continue
+			}
+			if victim == -1 || c.lastUse < oldest || (c.lastUse == oldest && e < victim) {
+				victim, oldest = e, c.lastUse
+			}
+		}
+		if victim == -1 {
+			return
+		}
+		delete(s.cache, victim)
+		s.Stats.Recovery.Evictions++
+		s.trace("evict B%d from the code cache (capacity %d)", victim, cap)
+	}
 }
 
 // trace emits a runtime event line when tracing is enabled.
@@ -407,7 +552,20 @@ func (s *System) Run(maxInsts uint64) (bool, error) {
 		s.Stats.GuestInsts += insts
 		s.Stats.InterpretedInsts += insts
 
+		if rr, ok := s.recovery[id]; ok && rr.tier == TierPinned {
+			// Interpreter-pinned region: count the clean entry; a long
+			// enough clean run re-promotes it to conservative compiled
+			// code (unless its backoff is exhausted).
+			s.Stats.Recovery.TierDispatches[TierPinned]++
+			if rr.recordPinnedEntry(s.cfg.Recovery) {
+				s.Stats.Recovery.Promotions++
+				s.cooldown[id] = 0
+				s.trace("promote B%d: %s -> %s after clean interpreted run", id, TierPinned, rr.tier)
+			}
+		}
+
 		if s.it.Prof.Hot(id, s.cfg.HotThreshold) && s.cache[id] == nil &&
+			s.tierOf(id) != TierPinned &&
 			s.it.Prof.BlockCounts[id] >= s.cooldown[id] {
 			if err := s.compile(id); err != nil {
 				// Unschedulable regions stay interpreted.
@@ -423,55 +581,138 @@ func (s *System) Run(maxInsts uint64) (bool, error) {
 	return true, nil
 }
 
+// executeRegion runs the compiled region, or synthesizes a rollback
+// outcome when the fault injector fires first. Injected outcomes skip
+// execution entirely, so the architectural state is untouched — exactly
+// what a region that trapped at its first instruction looks like. An
+// injected alias exception carries no Conflict (there is no real pair to
+// blacklist), mirroring an inexplicable hardware false positive.
+func (s *System) executeRegion(c *compiled) vliw.ExecResult {
+	if s.inj != nil {
+		if s.inj.SpuriousAlias() {
+			return vliw.ExecResult{Outcome: vliw.AliasException}
+		}
+		if s.inj.GuardFail() {
+			return vliw.ExecResult{Outcome: vliw.GuardFail}
+		}
+	}
+	return vliw.Execute(c.cr, s.st, s.mem, s.det)
+}
+
 // runRegion executes an installed region and handles its outcome,
 // returning the next block to dispatch.
 func (s *System) runRegion(entry int, c *compiled) int {
-	res := vliw.Execute(c.cr, s.st, s.mem, s.det)
+	s.entrySeq++
+	c.lastUse = s.entrySeq
+	rr := s.recoveryOf(entry)
+	s.Stats.Recovery.TierDispatches[rr.tier]++
+
+	var snap faultinject.Snapshot
+	if s.cfg.CheckInvariants {
+		snap = faultinject.Capture(s.st, s.mem)
+	}
+
+	res := s.executeRegion(c)
+
+	if res.Outcome != vliw.Commit {
+		// Every non-commit outcome rolled back (or never ran). Chaos may
+		// now model a broken restore; the invariant checker must catch
+		// either that or a genuine recovery bug.
+		if s.inj != nil && s.inj.CorruptState(s.st) {
+			s.trace("injected post-rollback state corruption in B%d", entry)
+		}
+		if s.cfg.CheckInvariants {
+			if err := snap.Verify(s.st, s.mem); err != nil {
+				s.Stats.Recovery.InvariantViolations++
+				s.fatalErr = fmt.Errorf("dynopt: rollback invariant violated in B%d: %w", entry, err)
+				return interp.HaltID
+			}
+		}
+	}
+
 	switch res.Outcome {
 	case vliw.Commit:
 		s.Stats.RegionCycles += c.cr.Cycles + int64(s.cfg.Machine.CommitCycles)
 		s.Stats.GuestInsts += int64(c.cr.GuestInsts)
 		s.Stats.Commits++
 		c.failStreak = 0
+		if rr.recordCommit(s.cfg.Recovery) {
+			s.Stats.Recovery.Promotions++
+			s.trace("promote B%d to %s after %d clean commits", entry, rr.tier, s.cfg.Recovery.PromoteAfter)
+			if err := s.compile(entry); err != nil {
+				delete(s.cache, entry)
+				s.Stats.RegionsDropped++
+			}
+		}
 		return res.NextBlock
 
 	case vliw.AliasException:
 		s.Stats.RegionCycles += c.cr.Cycles
 		s.Stats.RollbackCycles += int64(s.cfg.Machine.RollbackPenalty)
 		s.Stats.AliasExceptions++
+		s.exceptions[entry]++
 		// Conservative re-optimization (Figure 1). Under the ordered
 		// queue the check identifies exactly the speculated pair, so the
 		// pair is assumed to always alias from now on. Under ALAT the
 		// store that trapped checked *every* advanced load — hardening
 		// the pair cannot silence a false positive — so the load itself
-		// stops being advanced. If traps persist regardless, the region
-		// is pinned to non-speculative code.
-		bl := s.blacklist[entry]
-		if bl == nil {
-			bl = make(alias.Blacklist)
-			s.blacklist[entry] = bl
-		}
-		pair := alias.MakePair(res.Conflict.Checker, res.Conflict.Origin)
-		s.trace("alias exception in B%d: op %d checked op %d", entry, res.Conflict.Checker, res.Conflict.Origin)
-		s.exceptions[entry]++
-		if s.exceptions[entry] > maxExceptionsPerRegion {
-			s.pinnedNonSpec[entry] = true
-		}
-		if s.cfg.Mode == sched.HWALAT {
-			pins := s.pinnedLoads[entry]
-			if pins == nil {
-				pins = make(map[int]bool)
-				s.pinnedLoads[entry] = pins
+		// stops being advanced. If the same pair (or pinned load) traps
+		// again, pair-level hardening has provably failed and the region
+		// jumps to conservative code — unlike the noisy rate/storm
+		// signals below, which demote one rung at a time.
+		learned := false
+		if res.Conflict != nil {
+			bl := s.blacklist[entry]
+			if bl == nil {
+				bl = make(alias.Blacklist)
+				s.blacklist[entry] = bl
 			}
-			if pins[res.Conflict.Origin] {
-				s.pinnedNonSpec[entry] = true
+			pair := alias.MakePair(res.Conflict.Checker, res.Conflict.Origin)
+			s.trace("alias exception in B%d: op %d checked op %d", entry, res.Conflict.Checker, res.Conflict.Origin)
+			if s.cfg.Mode == sched.HWALAT {
+				pins := s.pinnedLoads[entry]
+				if pins == nil {
+					pins = make(map[int]bool)
+					s.pinnedLoads[entry] = pins
+				}
+				if pins[res.Conflict.Origin] {
+					s.demoteToConservative(entry, rr)
+				} else {
+					learned = true
+				}
+				pins[res.Conflict.Origin] = true
+			} else if bl[pair] {
+				s.demoteToConservative(entry, rr)
+			} else {
+				learned = true
 			}
-			pins[res.Conflict.Origin] = true
-		} else if bl[pair] {
-			s.pinnedNonSpec[entry] = true
+			bl[pair] = true
+		} else {
+			s.trace("spurious alias exception in B%d (injected)", entry)
 		}
-		bl[pair] = true
-		if err := s.compile(entry); err != nil {
+		// Chronic offender: jump straight to conservative code and stop
+		// promoting (the old one-shot pin, now the ladder's hard cap).
+		if s.exceptions[entry] > s.cfg.Recovery.MaxExceptionsPerRegion &&
+			rr.tier < TierConservative {
+			before := rr.demotions
+			if rr.demoteTo(s.cfg.Recovery, TierConservative) {
+				s.Stats.Recovery.Demotions += int64(rr.demotions - before)
+				s.trace("pin B%d conservative after %d alias exceptions", entry, s.exceptions[entry])
+			}
+			rr.sticky = true
+		}
+		if learned {
+			// A fresh pair was hardened: productive learning, not a
+			// storm — only the clean-commit run resets.
+			rr.recordHardeningRollback()
+		} else if rr.recordRollback(s.cfg.Recovery) {
+			s.Stats.Recovery.Demotions++
+			s.trace("demote B%d to %s (rollback rate)", entry, rr.tier)
+		}
+		if rr.tier == TierPinned {
+			delete(s.cache, entry)
+			s.trace("pin B%d to the interpreter", entry)
+		} else if err := s.compile(entry); err != nil {
 			delete(s.cache, entry)
 			s.Stats.RegionsDropped++
 		}
@@ -498,7 +739,33 @@ func (s *System) runRegion(entry int, c *compiled) int {
 		s.Stats.RegionCycles += c.cr.Cycles
 		s.Stats.RollbackCycles += int64(s.cfg.Machine.RollbackPenalty)
 		s.Stats.Faults++
+		// Speculation-induced faults are misspeculation too: a region
+		// whose hoisted loads keep faulting steps down the ladder until
+		// the faults stop (TierConservative hoists nothing).
+		if rr.recordRollback(s.cfg.Recovery) {
+			s.Stats.Recovery.Demotions++
+			s.trace("demote B%d to %s (fault storm)", entry, rr.tier)
+			if rr.tier == TierPinned {
+				delete(s.cache, entry)
+				s.trace("pin B%d to the interpreter", entry)
+			} else if err := s.compile(entry); err != nil {
+				delete(s.cache, entry)
+				s.Stats.RegionsDropped++
+			}
+		}
 		return s.interpretOne(entry)
+	}
+}
+
+// demoteToConservative jumps a region to TierConservative after
+// pair-level hardening failed (a repeated blacklisted pair or re-pinned
+// ALAT load): the precise fix did not hold, so speculation as a whole is
+// wrong for this region. Re-promotion stays possible, under backoff.
+func (s *System) demoteToConservative(entry int, rr *regionRecovery) {
+	before := rr.demotions
+	if rr.demoteTo(s.cfg.Recovery, TierConservative) {
+		s.Stats.Recovery.Demotions += int64(rr.demotions - before)
+		s.trace("demote B%d to %s (pair hardening failed)", entry, rr.tier)
 	}
 }
 
@@ -524,6 +791,29 @@ func (s *System) finalize() {
 	s.Stats.TotalCycles = s.Stats.InterpCycles + s.Stats.RegionCycles +
 		s.Stats.RollbackCycles + s.Stats.OptCycles + s.Stats.SchedCycles
 	s.Stats.HWChecks = s.det.Checked()
+	if s.inj != nil {
+		s.Stats.Injected = s.inj.Counts()
+	}
+	// End-of-run ladder residency, and per-region recovery history.
+	rec := &s.Stats.Recovery
+	rec.PinnedRegions, rec.StickyRegions = 0, 0
+	rec.TierRegions = [NumTiers]int{}
+	for entry, rr := range s.recovery {
+		rec.TierRegions[rr.tier]++
+		if rr.tier == TierPinned {
+			rec.PinnedRegions++
+		}
+		if rr.sticky {
+			rec.StickyRegions++
+		}
+		if idx, ok := s.regionIdx[entry]; ok {
+			rs := &s.Stats.Regions[idx]
+			rs.Tier = rr.tier
+			rs.Demotions = rr.demotions
+			rs.Promotions = rr.promotions
+			rs.Sticky = rr.sticky
+		}
+	}
 }
 
 // State and Mem expose the architectural state for verification.

@@ -1,0 +1,173 @@
+package faultinject
+
+import (
+	"math"
+	"testing"
+
+	"smarq/internal/guest"
+)
+
+// drawSequence records which probes fire over n rounds of all four draws.
+func drawSequence(in *Injector, st *guest.State, n int) []bool {
+	var seq []bool
+	for i := 0; i < n; i++ {
+		seq = append(seq, in.SpuriousAlias(), in.GuardFail(), in.CompileFail(), in.CorruptState(st))
+	}
+	return seq
+}
+
+// TestDeterministicPerSeed: equal seeds replay the exact injection
+// pattern; a different seed diverges. This is the property `smarq-run
+// -chaos-seed` relies on to reproduce CI chaos failures.
+func TestDeterministicPerSeed(t *testing.T) {
+	cfg := Default(42)
+	cfg.CorruptRate = 0.1
+	a := drawSequence(New(cfg), &guest.State{}, 500)
+	b := drawSequence(New(cfg), &guest.State{}, 500)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at draw %d", i)
+		}
+	}
+	cfg.Seed = 43
+	c := drawSequence(New(cfg), &guest.State{}, 500)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical 2000-draw sequences")
+	}
+}
+
+func TestZeroConfigNeverFires(t *testing.T) {
+	var cfg Config
+	if cfg.Enabled() {
+		t.Fatal("zero Config reports Enabled")
+	}
+	in := New(cfg)
+	st := &guest.State{}
+	for _, fired := range drawSequence(in, st, 200) {
+		if fired {
+			t.Fatal("zero-rate injector fired")
+		}
+	}
+	if in.Counts() != (Counts{}) {
+		t.Errorf("counts = %+v, want zero", in.Counts())
+	}
+	if *st != (guest.State{}) {
+		t.Error("zero-rate injector touched the state")
+	}
+}
+
+func TestCountsMatchFirings(t *testing.T) {
+	cfg := Config{Seed: 7, SpuriousAliasRate: 0.5, GuardFailRate: 0.5, CompileFailRate: 0.5, CorruptRate: 0.5}
+	in := New(cfg)
+	st := &guest.State{}
+	var want Counts
+	for i := 0; i < 400; i++ {
+		if in.SpuriousAlias() {
+			want.SpuriousAliases++
+		}
+		if in.GuardFail() {
+			want.GuardFails++
+		}
+		if in.CompileFail() {
+			want.CompileFails++
+		}
+		if in.CorruptState(st) {
+			want.Corruptions++
+		}
+	}
+	if got := in.Counts(); got != want {
+		t.Errorf("Counts() = %+v, want %+v", got, want)
+	}
+	if want.SpuriousAliases == 0 || want.Corruptions == 0 {
+		t.Error("rate-0.5 injector never fired in 400 rounds")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	good := []Config{{}, Default(1), {SpuriousAliasRate: 1, GuardFailRate: 1, CompileFailRate: 1, CorruptRate: 1}}
+	for _, c := range good {
+		if err := c.Validate(); err != nil {
+			t.Errorf("Validate(%+v) = %v, want nil", c, err)
+		}
+	}
+	bad := []Config{
+		{SpuriousAliasRate: -0.1},
+		{GuardFailRate: 1.5},
+		{CompileFailRate: math.NaN()},
+		{CorruptRate: math.Inf(1)},
+	}
+	for _, c := range bad {
+		if c.Validate() == nil {
+			t.Errorf("Validate(%+v) accepted", c)
+		}
+	}
+}
+
+func TestCorruptStatePerturbsOneRegister(t *testing.T) {
+	in := New(Config{Seed: 3, CorruptRate: 1})
+	st := &guest.State{}
+	if !in.CorruptState(st) {
+		t.Fatal("rate-1 CorruptState did not fire")
+	}
+	changed := 0
+	for r := 0; r < guest.NumRegs; r++ {
+		if st.R[r] != 0 {
+			changed++
+		}
+	}
+	if changed != 1 {
+		t.Errorf("corruption changed %d registers, want exactly 1", changed)
+	}
+}
+
+func TestSnapshotVerifyCleanRoundTrip(t *testing.T) {
+	st := &guest.State{}
+	st.R[3] = 17
+	st.F[4] = math.NaN() // bit-pattern comparison must tolerate NaN
+	mem := guest.NewMemory(128)
+	_ = mem.Store(16, 8, 99)
+	snap := Capture(st, mem)
+	if err := snap.Verify(st, mem); err != nil {
+		t.Errorf("clean Verify: %v", err)
+	}
+}
+
+func TestSnapshotVerifyCatchesDivergence(t *testing.T) {
+	mkState := func() (*guest.State, *guest.Memory) {
+		st := &guest.State{}
+		st.R[2] = 5
+		st.F[1] = 2.5
+		mem := guest.NewMemory(64)
+		_ = mem.Store(0, 8, 7)
+		return st, mem
+	}
+
+	st, mem := mkState()
+	snap := Capture(st, mem)
+
+	st.R[2] = 6
+	if snap.Verify(st, mem) == nil {
+		t.Error("integer register divergence not caught")
+	}
+
+	st, mem = mkState()
+	snap = Capture(st, mem)
+	st.F[1] = -2.5
+	if snap.Verify(st, mem) == nil {
+		t.Error("float register divergence not caught")
+	}
+
+	st, mem = mkState()
+	snap = Capture(st, mem)
+	_ = mem.Store(32, 1, 1)
+	if snap.Verify(st, mem) == nil {
+		t.Error("memory divergence not caught")
+	}
+}

@@ -80,6 +80,22 @@ func (m *Memory) Store(addr uint64, size int, val uint64) error {
 	return nil
 }
 
+// Digest returns a 64-bit FNV-1a hash of the full memory contents — a
+// cheap fingerprint the rollback invariant checker compares across an
+// atomic region's checkpoint/restore cycle.
+func (m *Memory) Digest() uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for _, b := range m.data {
+		h ^= uint64(b)
+		h *= prime64
+	}
+	return h
+}
+
 // LoadF64 reads a float64 at addr.
 func (m *Memory) LoadF64(addr uint64) (float64, error) {
 	bits, err := m.Load(addr, 8)

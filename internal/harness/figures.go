@@ -2,6 +2,7 @@ package harness
 
 import (
 	"fmt"
+	"strings"
 
 	"smarq/internal/dynopt"
 )
@@ -448,4 +449,24 @@ func SummaryLine(st *dynopt.Stats) string {
 	return fmt.Sprintf("cycles=%d (interp=%d region=%d rollback=%d opt=%d) commits=%d guard-fails=%d alias-exc=%d regions=%d",
 		st.TotalCycles, st.InterpCycles, st.RegionCycles, st.RollbackCycles,
 		st.OptCycles+st.SchedCycles, st.Commits, st.GuardFails, st.AliasExceptions, st.RegionsCompiled)
+}
+
+// RecoveryLine renders the tiered-recovery controller's one-line summary:
+// ladder moves, cache evictions, and end-of-run residency per tier.
+func RecoveryLine(st *dynopt.Stats) string {
+	rec := &st.Recovery
+	tiers := make([]string, 0, dynopt.NumTiers)
+	for ti := 0; ti < dynopt.NumTiers; ti++ {
+		tiers = append(tiers, fmt.Sprintf("%s=%d", dynopt.Tier(ti), rec.TierRegions[ti]))
+	}
+	return fmt.Sprintf("demotions=%d promotions=%d evictions=%d sticky=%d tiers[%s]",
+		rec.Demotions, rec.Promotions, rec.Evictions, rec.StickyRegions,
+		strings.Join(tiers, " "))
+}
+
+// InjectedLine renders the chaos injector's fired-fault counters.
+func InjectedLine(st *dynopt.Stats) string {
+	in := st.Injected
+	return fmt.Sprintf("spurious-alias=%d guard-fail=%d compile-fail=%d corruptions=%d",
+		in.SpuriousAliases, in.GuardFails, in.CompileFails, in.Corruptions)
 }

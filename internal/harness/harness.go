@@ -282,7 +282,12 @@ func ParseConfig(name string) (dynopt.Config, error) {
 		return dynopt.ConfigNoStoreReorder(), nil
 	}
 	var n int
-	if _, err := fmt.Sscanf(name, "smarq%d", &n); err == nil && n > 0 {
+	if _, err := fmt.Sscanf(name, "smarq%d", &n); err == nil {
+		// ConfigSMARQ panics below 2 alias registers (Config.Validate);
+		// reject with an error instead so CLI typos fail cleanly.
+		if n < 2 {
+			return dynopt.Config{}, fmt.Errorf("harness: %q needs at least 2 alias registers", name)
+		}
 		return dynopt.ConfigSMARQ(n), nil
 	}
 	return dynopt.Config{}, fmt.Errorf("harness: unknown configuration %q", name)

@@ -351,9 +351,9 @@ func TestGeomean(t *testing.T) {
 
 func TestParseConfig(t *testing.T) {
 	cases := map[string]bool{
-		"smarq64": true, "smarq16": true, "smarq1": true,
+		"smarq64": true, "smarq16": true, "smarq2": true,
 		"alat": true, "efficeon": true, "nohw": true, "nostorereorder": true,
-		"smarq0": false, "smarqx": false, "itanium": false, "": false,
+		"smarq1": false, "smarq0": false, "smarqx": false, "itanium": false, "": false,
 	}
 	for name, ok := range cases {
 		_, err := ParseConfig(name)

@@ -41,6 +41,7 @@ package smarq
 
 import (
 	"smarq/internal/dynopt"
+	"smarq/internal/faultinject"
 	"smarq/internal/guest"
 	"smarq/internal/harness"
 	"smarq/internal/workload"
@@ -110,6 +111,30 @@ func ConfigNoHW() Config { return dynopt.ConfigNoHW() }
 // ConfigNoStoreReorder is SMARQ-64 without speculative store reordering
 // (the paper's Figure 16).
 func ConfigNoStoreReorder() Config { return dynopt.ConfigNoStoreReorder() }
+
+// Tiered recovery and fault injection.
+
+// Tier is one rung of the per-region speculation ladder (full speculation
+// down to interpreter-pinned).
+type Tier = dynopt.Tier
+
+// RecoveryConfig tunes the tiered deoptimization controller and the code
+// cache bound (Config.Recovery).
+type RecoveryConfig = dynopt.RecoveryConfig
+
+// DefaultRecoveryConfig returns the standard ladder tuning.
+func DefaultRecoveryConfig() RecoveryConfig { return dynopt.DefaultRecoveryConfig() }
+
+// RecoveryStats is the recovery controller's run-wide accounting
+// (Stats.Recovery).
+type RecoveryStats = dynopt.RecoveryStats
+
+// ChaosConfig selects deterministic fault-injection rates (Config.Chaos).
+// The zero value disables injection.
+type ChaosConfig = faultinject.Config
+
+// DefaultChaos returns the standard chaos mix for the given seed.
+func DefaultChaos(seed int64) ChaosConfig { return faultinject.Default(seed) }
 
 // Benchmarks and experiments.
 
