@@ -4,7 +4,7 @@ GO ?= go
 # Worker-pool bound for the figure harness (0 = GOMAXPROCS).
 PARALLEL ?= 0
 
-.PHONY: all build test race bench figures examples clean \
+.PHONY: all build test race bench bench-all bench-check figures examples clean \
 	ci fmt-check bench-smoke fuzz-smoke chaos-smoke
 
 all: build test
@@ -54,8 +54,31 @@ chaos-smoke:
 	$(GO) run ./cmd/smarq-run -bench equake -chaos-seed 7 -check-invariants >/dev/null
 	@echo "chaos-smoke: ok"
 
-# One testing.B benchmark per table/figure plus micro-benchmarks.
+# Execution-engine microbench suite → BENCH_exec.json. Fixed -benchtime
+# and -count keep runs comparable; the committed pre-change baseline is
+# merged in so the artifact records the before/after trajectory.
+BENCH_EXEC_RE = ^BenchmarkExecute$$|^BenchmarkRegionExecution$$|^BenchmarkDynopt$$
+
 bench:
+	$(GO) test -run '^$$' -bench '$(BENCH_EXEC_RE)' -benchmem -benchtime 2000x -count=1 . \
+		| $(GO) run ./cmd/smarq-benchjson -merge testdata/bench-exec.prechange.json \
+		> BENCH_exec.json
+	@cat BENCH_exec.json
+
+# Perf-regression smoke: rerun the exec benches and compare against the
+# committed baseline. Timing fields get a very generous tolerance (CI
+# machines vary wildly); allocation counts on the steady-state execute
+# paths must match exactly — an allocation regression fails even when the
+# timing noise would hide it.
+bench-check:
+	$(GO) test -run '^$$' -bench '$(BENCH_EXEC_RE)' -benchmem -benchtime 2000x -count=1 . \
+		| $(GO) run ./cmd/smarq-benchjson \
+		| $(GO) run ./cmd/smarq-golden -golden testdata/bench-exec.baseline.json -got - \
+			-rtol 9 -atol 1.5 -exact '(Execute/|RegionExecution).*allocs_per_op$$'
+
+# One testing.B benchmark per table/figure plus micro-benchmarks (the
+# full sweep; slow).
+bench-all:
 	$(GO) test -bench=. -benchmem ./...
 
 # Regenerate every table and figure of the paper (plus the ablation,

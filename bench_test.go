@@ -298,8 +298,10 @@ func BenchmarkTranslatePipeline(b *testing.B) {
 	}
 }
 
-// BenchmarkRegionExecution measures the VLIW execution engine.
-func BenchmarkRegionExecution(b *testing.B) {
+// benchLoopRegion compiles the store/load loop the execution benches run,
+// scheduled for the given hardware mode, and returns an entry-ready state.
+func benchLoopRegion(b *testing.B, mode sched.HWMode, nar int) (*vliw.CompiledRegion, *guest.State, *guest.Memory) {
+	b.Helper()
 	bb := smarq.NewBuilder()
 	bb.NewBlock()
 	bb.Li(1, 1024)
@@ -334,19 +336,73 @@ func BenchmarkRegionExecution(b *testing.B) {
 	ds := deps.Compute(reg, tbl)
 	machine := vliw.DefaultConfig()
 	sc, err := sched.Run(reg, tbl, ds, sched.Config{
-		Mode: sched.HWOrdered, NumAliasRegs: 64, StoreReorder: true,
+		Mode: mode, NumAliasRegs: nar, StoreReorder: true,
 		PressureMargin: 4, Machine: machine,
 	})
 	if err != nil {
 		b.Fatal(err)
 	}
-	cr := machine.Compile(sc.Seq, reg, len(sb.Insts))
+	return machine.Compile(sc.Seq, reg, len(sb.Insts)), st, mem
+}
+
+// BenchmarkRegionExecution measures the VLIW execution engine on the
+// SMARQ configuration — the headline region-throughput number the perf
+// regression gate tracks.
+func BenchmarkRegionExecution(b *testing.B) {
+	cr, st, mem := benchLoopRegion(b, sched.HWOrdered, 64)
 	det := aliashw.NewOrderedQueue(64)
+	var ctx vliw.ExecContext
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		res := vliw.Execute(cr, st, mem, det)
+		res := ctx.Execute(cr, st, mem, det)
 		if res.Outcome != vliw.Commit {
 			b.Fatalf("outcome %s", res.Outcome)
+		}
+	}
+}
+
+// BenchmarkExecute runs the same region entry under every alias-hardware
+// fast path of the devirtualized execute loop.
+func BenchmarkExecute(b *testing.B) {
+	cases := []struct {
+		name string
+		mode sched.HWMode
+		nar  int
+		det  func() aliashw.Detector
+	}{
+		{"ordered64", sched.HWOrdered, 64, func() aliashw.Detector { return aliashw.NewOrderedQueue(64) }},
+		{"alat", sched.HWALAT, 64, func() aliashw.Detector { return aliashw.NewALAT() }},
+		{"bitmask15", sched.HWBitmask, 15, func() aliashw.Detector { return aliashw.NewBitmask(15) }},
+		{"none", sched.HWNone, 64, func() aliashw.Detector { return aliashw.None{} }},
+	}
+	for _, c := range cases {
+		b.Run(c.name, func(b *testing.B) {
+			cr, st, mem := benchLoopRegion(b, c.mode, c.nar)
+			det := c.det()
+			var ctx vliw.ExecContext
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res := ctx.Execute(cr, st, mem, det)
+				if res.Outcome != vliw.Commit {
+					b.Fatalf("outcome %s", res.Outcome)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkDynopt measures a full dynamic-optimization system run — the
+// interpreter, translation pipeline, and pooled region execution together
+// — on a short swim slice.
+func BenchmarkDynopt(b *testing.B) {
+	bm, _ := workload.ByName("swim")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sys := dynopt.New(bm.Build(), &guest.State{}, guest.NewMemory(bm.MemSize), dynopt.ConfigSMARQ(64))
+		if _, err := sys.Run(100_000); err != nil {
+			b.Fatal(err)
 		}
 	}
 }

@@ -25,6 +25,7 @@ import (
 
 	"smarq/internal/dynopt"
 	"smarq/internal/harness"
+	"smarq/internal/profiledump"
 	"smarq/internal/workload"
 )
 
@@ -35,7 +36,15 @@ func main() {
 	asJSON := flag.Bool("json", false, "emit all results as one JSON document")
 	scale := flag.Int64("scale", 1, "multiply every benchmark's main loop count (longer runs amortize translation cost)")
 	parallel := flag.Int("parallel", 0, "max concurrent benchmark runs (0 = GOMAXPROCS)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the harness run to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
+
+	stopCPU, err := profiledump.StartCPU(*cpuprofile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "smarq-bench:", err)
+		os.Exit(1)
+	}
 
 	selected := map[string]bool{}
 	if *only != "" {
@@ -207,6 +216,12 @@ func main() {
 			fmt.Fprintln(os.Stderr, "smarq-bench:", err)
 			os.Exit(1)
 		}
+	}
+
+	stopCPU()
+	if err := profiledump.WriteHeap(*memprofile); err != nil {
+		fmt.Fprintln(os.Stderr, "smarq-bench:", err)
+		os.Exit(1)
 	}
 
 	workers := *parallel

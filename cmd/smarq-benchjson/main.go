@@ -1,0 +1,127 @@
+// Command smarq-benchjson converts `go test -bench` output into the JSON
+// document the perf-regression gate compares with smarq-golden.
+//
+// Usage:
+//
+//	go test -bench 'Execute' -benchmem -benchtime 2000x . | smarq-benchjson > BENCH_exec.json
+//
+// Each benchmark line becomes one object keyed by the benchmark name with
+// the "Benchmark" prefix and the -GOMAXPROCS suffix stripped. The standard
+// measurements map to ns_per_op / b_per_op / allocs_per_op; custom
+// b.ReportMetric units keep their own names. Lines that are not benchmark
+// results (the goos/pkg header, PASS, ok) pass through to stderr so a
+// piped run stays debuggable.
+//
+// -merge folds the top-level fields of another JSON object into the
+// output — used to carry the recorded pre-change baseline alongside the
+// fresh measurements in BENCH_exec.json.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// benchLine matches e.g.
+//
+//	BenchmarkExecute/ordered64-8   2000   173.0 ns/op   1 B/op   0 allocs/op
+var benchLine = regexp.MustCompile(`^Benchmark(\S+)\s+(\d+)\s+(.+)$`)
+
+// gomaxprocsSuffix strips the trailing -N the testing package appends.
+var gomaxprocsSuffix = regexp.MustCompile(`-\d+$`)
+
+func main() {
+	mergePath := flag.String("merge", "", "JSON file whose top-level fields are folded into the output")
+	flag.Parse()
+
+	benches := make(map[string]map[string]float64)
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		m := benchLine.FindStringSubmatch(line)
+		if m == nil {
+			fmt.Fprintln(os.Stderr, line)
+			continue
+		}
+		name := gomaxprocsSuffix.ReplaceAllString(m[1], "")
+		metrics, err := parseMetrics(m[3])
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "smarq-benchjson: %q: %v\n", line, err)
+			os.Exit(1)
+		}
+		iters, err := strconv.ParseFloat(m[2], 64)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "smarq-benchjson: %q: %v\n", line, err)
+			os.Exit(1)
+		}
+		metrics["iterations"] = iters
+		benches[name] = metrics
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "smarq-benchjson:", err)
+		os.Exit(1)
+	}
+	if len(benches) == 0 {
+		fmt.Fprintln(os.Stderr, "smarq-benchjson: no benchmark lines on stdin")
+		os.Exit(1)
+	}
+	doc := map[string]interface{}{}
+	if *mergePath != "" {
+		raw, err := os.ReadFile(*mergePath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "smarq-benchjson:", err)
+			os.Exit(1)
+		}
+		if err := json.Unmarshal(raw, &doc); err != nil {
+			fmt.Fprintf(os.Stderr, "smarq-benchjson: %s: %v\n", *mergePath, err)
+			os.Exit(1)
+		}
+	}
+	doc["benchmarks"] = benches
+	out, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "smarq-benchjson:", err)
+		os.Exit(1)
+	}
+	fmt.Println(string(out))
+}
+
+// parseMetrics splits "173.0 ns/op   1 B/op   0 allocs/op" into named
+// values.
+func parseMetrics(s string) (map[string]float64, error) {
+	fields := strings.Fields(s)
+	if len(fields)%2 != 0 {
+		return nil, fmt.Errorf("odd value/unit field count in %q", s)
+	}
+	metrics := make(map[string]float64, len(fields)/2)
+	for i := 0; i < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad value %q: %v", fields[i], err)
+		}
+		metrics[metricName(fields[i+1])] = v
+	}
+	return metrics, nil
+}
+
+// metricName maps a unit to a stable JSON key.
+func metricName(unit string) string {
+	switch unit {
+	case "ns/op":
+		return "ns_per_op"
+	case "B/op":
+		return "b_per_op"
+	case "allocs/op":
+		return "allocs_per_op"
+	case "MB/s":
+		return "mb_per_s"
+	}
+	return strings.NewReplacer("/", "_per_", "-", "_").Replace(unit)
+}

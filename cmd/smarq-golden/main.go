@@ -8,6 +8,10 @@
 //
 //	smarq-golden -golden testdata/bench-smoke.golden.json -got out.json
 //	smarq-bench -json ... | smarq-golden -golden golden.json -got -
+//
+// Fields whose JSON path matches -exact compare exactly even when a
+// tolerance is set — used by the bench gate, where timing fields get a
+// generous rtol but allocation counts must match to the byte.
 package main
 
 import (
@@ -17,6 +21,7 @@ import (
 	"io"
 	"math"
 	"os"
+	"regexp"
 	"sort"
 )
 
@@ -25,6 +30,7 @@ func main() {
 	gotPath := flag.String("got", "-", "path to the JSON to check ('-' = stdin)")
 	rtol := flag.Float64("rtol", 1e-9, "relative tolerance for numeric fields")
 	atol := flag.Float64("atol", 1e-12, "absolute tolerance for numeric fields")
+	exact := flag.String("exact", "", "regexp of JSON paths that must match exactly (no tolerance)")
 	flag.Parse()
 	if *goldenPath == "" {
 		fmt.Fprintln(os.Stderr, "smarq-golden: -golden is required")
@@ -42,7 +48,16 @@ func main() {
 		os.Exit(2)
 	}
 
-	diffs := compare("$", golden, got, *rtol, *atol)
+	cfg := cmpConfig{rtol: *rtol, atol: *atol}
+	if *exact != "" {
+		re, err := regexp.Compile(*exact)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "smarq-golden: -exact:", err)
+			os.Exit(2)
+		}
+		cfg.exact = re
+	}
+	diffs := compare("$", golden, got, cfg)
 	if len(diffs) > 0 {
 		fmt.Fprintf(os.Stderr, "smarq-golden: %d difference(s) against %s:\n", len(diffs), *goldenPath)
 		for _, d := range diffs {
@@ -74,9 +89,16 @@ func decode(path string) (interface{}, error) {
 	return v, nil
 }
 
+// cmpConfig carries the numeric tolerances and the set of paths exempted
+// from them.
+type cmpConfig struct {
+	rtol, atol float64
+	exact      *regexp.Regexp // paths matching this compare exactly
+}
+
 // compare walks both JSON trees and collects human-readable differences.
 // Having a full diff (rather than failing fast) makes CI logs actionable.
-func compare(path string, golden, got interface{}, rtol, atol float64) []string {
+func compare(path string, golden, got interface{}, cfg cmpConfig) []string {
 	switch g := golden.(type) {
 	case map[string]interface{}:
 		o, ok := got.(map[string]interface{})
@@ -93,7 +115,7 @@ func compare(path string, golden, got interface{}, rtol, atol float64) []string 
 			case !inG:
 				diffs = append(diffs, fmt.Sprintf("%s.%s: unexpected field (not in golden)", path, k))
 			default:
-				diffs = append(diffs, compare(path+"."+k, gv, ov, rtol, atol)...)
+				diffs = append(diffs, compare(path+"."+k, gv, ov, cfg)...)
 			}
 		}
 		return diffs
@@ -107,7 +129,7 @@ func compare(path string, golden, got interface{}, rtol, atol float64) []string 
 		}
 		var diffs []string
 		for i := range g {
-			diffs = append(diffs, compare(fmt.Sprintf("%s[%d]", path, i), g[i], o[i], rtol, atol)...)
+			diffs = append(diffs, compare(fmt.Sprintf("%s[%d]", path, i), g[i], o[i], cfg)...)
 		}
 		return diffs
 	case json.Number:
@@ -123,8 +145,14 @@ func compare(path string, golden, got interface{}, rtol, atol float64) []string 
 			}
 			return nil
 		}
-		if !closeEnough(gf, of, rtol, atol) {
-			return []string{fmt.Sprintf("%s: %v, golden %v (rtol=%g)", path, of, gf, rtol)}
+		if cfg.exact != nil && cfg.exact.MatchString(path) {
+			if gf != of {
+				return []string{fmt.Sprintf("%s: %v, golden %v (exact match required)", path, of, gf)}
+			}
+			return nil
+		}
+		if !closeEnough(gf, of, cfg.rtol, cfg.atol) {
+			return []string{fmt.Sprintf("%s: %v, golden %v (rtol=%g)", path, of, gf, cfg.rtol)}
 		}
 		return nil
 	default:

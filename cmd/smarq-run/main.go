@@ -19,6 +19,7 @@ import (
 	"smarq/internal/faultinject"
 	"smarq/internal/guest"
 	"smarq/internal/harness"
+	"smarq/internal/profiledump"
 	"smarq/internal/workload"
 )
 
@@ -37,6 +38,8 @@ func main() {
 	compileRate := flag.Float64("chaos-compile-rate", -1, "override the compile-fail injection rate (with -chaos-seed)")
 	corruptRate := flag.Float64("chaos-corrupt-rate", -1, "override the post-rollback corruption rate (with -chaos-seed)")
 	checkInv := flag.Bool("check-invariants", false, "verify every rollback restores the exact checkpoint (slow)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file after the run")
 	flag.Parse()
 
 	if *list {
@@ -101,9 +104,19 @@ func main() {
 		}
 	}
 
+	stopCPU, err := profiledump.StartCPU(*cpuprofile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "smarq-run:", err)
+		os.Exit(1)
+	}
 	sys := dynopt.New(bm.Build(), &guest.State{}, guest.NewMemory(bm.MemSize), cfg)
 	halted, err := sys.Run(bm.MaxInsts)
+	stopCPU()
 	if err != nil {
+		fmt.Fprintln(os.Stderr, "smarq-run:", err)
+		os.Exit(1)
+	}
+	if err := profiledump.WriteHeap(*memprofile); err != nil {
 		fmt.Fprintln(os.Stderr, "smarq-run:", err)
 		os.Exit(1)
 	}

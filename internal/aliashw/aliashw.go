@@ -55,8 +55,16 @@ func overlaps(aLo, aHi, bLo, bHi uint64) bool { return aLo < bHi && bLo < aHi }
 // every valid register whose order is not earlier than its own assigned
 // order; loads do not check registers set by loads.
 type OrderedQueue struct {
-	regs    []entry
-	base    int
+	regs []entry
+	base int
+	// top is an exclusive upper bound, relative to base, on the order of
+	// any valid in-window register: every valid entry e with
+	// e.order >= base satisfies e.order < base+top. A check scan can
+	// therefore stop at top instead of walking the whole file — scanning
+	// beyond it would only visit empty or stale slots, which contribute
+	// neither conflicts nor Checked() counts, so the early exit is
+	// invisible in the simulated statistics.
+	top     int
 	checked uint64
 }
 
@@ -75,12 +83,33 @@ func (q *OrderedQueue) slot(order int) *entry { return &q.regs[order%len(q.regs)
 
 // OnMem implements Detector.
 func (q *OrderedQueue) OnMem(opID int, isStore, p, c bool, offset int, _ uint16, lo, hi uint64) *Conflict {
+	conf, hit := q.OnMemV(opID, isStore, p, c, offset, lo, hi)
+	if !hit {
+		return nil
+	}
+	return &conf
+}
+
+// OnMemV is OnMem with the conflict returned by value: the no-conflict
+// path (the overwhelmingly common one) performs no allocation, and a
+// caller holding the concrete *OrderedQueue skips the interface dispatch
+// entirely. The boolean reports whether a conflict was detected.
+func (q *OrderedQueue) OnMemV(opID int, isStore, p, c bool, offset int, lo, hi uint64) (Conflict, bool) {
 	if (p || c) && (offset < 0 || offset >= len(q.regs)) {
 		panic(fmt.Sprintf("aliashw: op %d uses offset %d with %d registers", opID, offset, len(q.regs)))
 	}
-	if c {
-		for k := offset; k < len(q.regs); k++ {
-			e := q.slot(q.base + k)
+	if c && offset < q.top {
+		// Walk physical slots incrementally (one modulo before the loop,
+		// none inside) and stop at top, past which no valid in-window
+		// register can live.
+		n := len(q.regs)
+		s := (q.base + offset) % n
+		for k := offset; k < q.top; k++ {
+			e := &q.regs[s]
+			s++
+			if s == n {
+				s = 0
+			}
 			if !e.valid || e.order != q.base+k {
 				continue
 			}
@@ -89,7 +118,7 @@ func (q *OrderedQueue) OnMem(opID int, isStore, p, c bool, offset int, _ uint16,
 			}
 			q.checked++
 			if overlaps(lo, hi, e.lo, e.hi) {
-				return &Conflict{Checker: opID, Origin: e.origin}
+				return Conflict{Checker: opID, Origin: e.origin}, true
 			}
 		}
 	}
@@ -98,8 +127,11 @@ func (q *OrderedQueue) OnMem(opID int, isStore, p, c bool, offset int, _ uint16,
 			valid: true, lo: lo, hi: hi, byStore: isStore,
 			origin: opID, order: q.base + offset,
 		}
+		if offset+1 > q.top {
+			q.top = offset + 1
+		}
 	}
-	return nil
+	return Conflict{}, false
 }
 
 // Rotate implements Detector: the first n registers of the window are
@@ -109,6 +141,12 @@ func (q *OrderedQueue) Rotate(n int) {
 		*q.slot(q.base + i) = entry{}
 	}
 	q.base += n
+	// Orders are fixed at set time, so advancing BASE shifts every live
+	// register's relative position down by n.
+	q.top -= n
+	if q.top < 0 {
+		q.top = 0
+	}
 }
 
 // AMov implements Detector (§3.3): the access range at offset src moves to
@@ -122,6 +160,14 @@ func (q *OrderedQueue) AMov(src, dst int) {
 	}
 	e.order = q.base + dst
 	*q.slot(q.base + dst) = e
+	if dst+1 > q.top {
+		q.top = dst + 1
+	}
+	if q.top > len(q.regs) {
+		// An out-of-window dst wraps physically but its order can never
+		// match a scan position, exactly as before the top bound existed.
+		q.top = len(q.regs)
+	}
 }
 
 // Reset implements Detector.
@@ -130,6 +176,7 @@ func (q *OrderedQueue) Reset() {
 		q.regs[i] = entry{}
 	}
 	q.base = 0
+	q.top = 0
 }
 
 // Base exposes the BASE pointer for tests.
@@ -156,19 +203,29 @@ func (a *ALAT) Name() string { return "alat" }
 
 // OnMem implements Detector.
 func (a *ALAT) OnMem(opID int, isStore, p, c bool, offset int, _ uint16, lo, hi uint64) *Conflict {
+	conf, hit := a.OnMemV(opID, isStore, p, c, lo, hi)
+	if !hit {
+		return nil
+	}
+	return &conf
+}
+
+// OnMemV is the allocation-free concrete-type form of OnMem (see
+// OrderedQueue.OnMemV).
+func (a *ALAT) OnMemV(opID int, isStore, p, _ bool, lo, hi uint64) (Conflict, bool) {
 	if isStore {
 		for _, e := range a.entries {
 			a.checked++
 			if overlaps(lo, hi, e.lo, e.hi) {
-				return &Conflict{Checker: opID, Origin: e.origin}
+				return Conflict{Checker: opID, Origin: e.origin}, true
 			}
 		}
-		return nil
+		return Conflict{}, false
 	}
 	if p {
 		a.entries = append(a.entries, entry{valid: true, lo: lo, hi: hi, origin: opID})
 	}
-	return nil
+	return Conflict{}, false
 }
 
 // Rotate implements Detector (no-op: the ALAT is not an ordered queue).

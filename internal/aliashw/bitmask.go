@@ -42,20 +42,11 @@ func (b *Bitmask) Set(opID int, isStore bool, r int, lo, hi uint64) {
 // a conflict if any overlaps. Only the registers named in the mask are
 // examined — the precision Efficeon buys with encoding bits.
 func (b *Bitmask) Check(opID int, mask uint16, lo, hi uint64) *Conflict {
-	for r := 0; r < len(b.regs); r++ {
-		if mask&(1<<uint(r)) == 0 {
-			continue
-		}
-		e := b.regs[r]
-		if !e.valid {
-			continue
-		}
-		b.checked++
-		if overlaps(lo, hi, e.lo, e.hi) {
-			return &Conflict{Checker: opID, Origin: e.origin}
-		}
+	conf, hit := b.OnMemV(opID, false, false, true, 0, mask, lo, hi)
+	if !hit {
+		return nil
 	}
-	return nil
+	return &conf
 }
 
 // Reset clears all registers.
@@ -68,9 +59,29 @@ func (b *Bitmask) Reset() {
 // OnMem implements Detector: a C op checks the registers its mask names
 // (check before set), then a P op records its range in register offset.
 func (b *Bitmask) OnMem(opID int, isStore, p, c bool, offset int, mask uint16, lo, hi uint64) *Conflict {
+	conf, hit := b.OnMemV(opID, isStore, p, c, offset, mask, lo, hi)
+	if !hit {
+		return nil
+	}
+	return &conf
+}
+
+// OnMemV is the allocation-free concrete-type form of OnMem (see
+// OrderedQueue.OnMemV).
+func (b *Bitmask) OnMemV(opID int, isStore, p, c bool, offset int, mask uint16, lo, hi uint64) (Conflict, bool) {
 	if c {
-		if conf := b.Check(opID, mask, lo, hi); conf != nil {
-			return conf
+		for r := 0; r < len(b.regs); r++ {
+			if mask&(1<<uint(r)) == 0 {
+				continue
+			}
+			e := b.regs[r]
+			if !e.valid {
+				continue
+			}
+			b.checked++
+			if overlaps(lo, hi, e.lo, e.hi) {
+				return Conflict{Checker: opID, Origin: e.origin}, true
+			}
 		}
 	}
 	if p {
@@ -79,7 +90,7 @@ func (b *Bitmask) OnMem(opID int, isStore, p, c bool, offset int, mask uint16, l
 		}
 		b.Set(opID, isStore, offset, lo, hi)
 	}
-	return nil
+	return Conflict{}, false
 }
 
 // Rotate implements Detector (no-op: the bit-mask file does not rotate).

@@ -13,6 +13,13 @@
 // a runtime bug (a store after commit would append to a dead undo log
 // with no checkpoint to recover to), so a finished region fails loudly —
 // Store returns ErrFinished and Commit/Rollback panic.
+//
+// A finished Region may, however, be re-armed with Begin: the runtime
+// keeps one Region per system and recycles its undo-log storage and
+// checkpoint across region entries, so the steady-state execute path
+// allocates nothing. Re-arming does not weaken the single-use contract —
+// between one Begin and the next Commit/Rollback the region behaves
+// exactly like a freshly allocated one.
 package atomic
 
 import (
@@ -31,28 +38,51 @@ type undoRec struct {
 	old  uint64
 }
 
-// Region is one active atomic region.
+// Region is one active atomic region. The zero value is a finished region;
+// arm it with Begin.
 type Region struct {
-	st         *guest.State
-	mem        *guest.Memory
-	checkpoint *guest.State
+	st  *guest.State
+	mem *guest.Memory
+	// checkpoint is held by value so re-arming a pooled Region does not
+	// allocate a fresh guest.State per entry.
+	checkpoint guest.State
 	undo       []undoRec
 	finished   bool
 }
 
-// Begin opens an atomic region: the register state is checkpointed now.
+// Begin opens a new atomic region: the register state is checkpointed now.
+// The returned region is heap-allocated; the runtime's pooled path re-arms
+// an existing Region with (*Region).Begin instead.
 func Begin(st *guest.State, mem *guest.Memory) *Region {
-	return &Region{st: st, mem: mem, checkpoint: st.Clone()}
+	r := &Region{}
+	r.Begin(st, mem)
+	return r
 }
 
-// Finished reports whether the region has committed or rolled back.
-func (r *Region) Finished() bool { return r.finished }
+// Begin (re-)arms r over st and mem, checkpointing the register state.
+// The previous transaction must be finished (or r never used); re-arming
+// an active region would silently discard its undo log, so it panics.
+// Undo-log capacity from earlier transactions is retained.
+func (r *Region) Begin(st *guest.State, mem *guest.Memory) {
+	if r.st != nil && !r.finished {
+		panic("atomic: Begin on an active region")
+	}
+	r.st = st
+	r.mem = mem
+	r.checkpoint = *st
+	r.undo = r.undo[:0]
+	r.finished = false
+}
+
+// Finished reports whether the region has committed or rolled back. The
+// zero Region is finished.
+func (r *Region) Finished() bool { return r.st == nil || r.finished }
 
 // Store performs a speculative store: the old bytes are logged, then the
 // new value is written through. On a finished region it writes nothing
 // and returns ErrFinished.
 func (r *Region) Store(addr uint64, size int, val uint64) error {
-	if r.finished {
+	if r.Finished() {
 		return ErrFinished
 	}
 	old, err := r.mem.Load(addr, size)
@@ -66,26 +96,31 @@ func (r *Region) Store(addr uint64, size int, val uint64) error {
 	return nil
 }
 
-// StoreBytes reports how many stores the region has buffered (tests and
-// stats).
-func (r *Region) StoreBytes() int { return len(r.undo) }
+// StoreCount reports how many store records the region's undo log has
+// buffered (tests and stats).
+func (r *Region) StoreCount() int { return len(r.undo) }
+
+// StoreBytes is the old, misleading name for StoreCount — it never counted
+// bytes.
+//
+// Deprecated: use StoreCount.
+func (r *Region) StoreBytes() int { return r.StoreCount() }
 
 // Commit makes the region's effects permanent and finishes the region.
 // Committing a finished region is a runtime bug and panics.
 func (r *Region) Commit() {
-	if r.finished {
+	if r.Finished() {
 		panic("atomic: Commit on a finished region")
 	}
 	r.finished = true
-	r.undo = nil
-	r.checkpoint = nil
+	r.undo = r.undo[:0]
 }
 
 // Rollback undoes every store in reverse order, restores the register
 // checkpoint, and finishes the region. Rolling back a finished region is
 // a runtime bug and panics.
 func (r *Region) Rollback() {
-	if r.finished {
+	if r.Finished() {
 		panic("atomic: Rollback on a finished region")
 	}
 	r.finished = true
@@ -96,7 +131,6 @@ func (r *Region) Rollback() {
 			panic("atomic: undo of a committed store failed: " + err.Error())
 		}
 	}
-	r.undo = nil
-	*r.st = *r.checkpoint
-	r.checkpoint = nil
+	r.undo = r.undo[:0]
+	*r.st = r.checkpoint
 }

@@ -96,7 +96,7 @@ func TestStoreFaultDoesNotLog(t *testing.T) {
 	if err := r.Store(100, 8, 1); err == nil {
 		t.Fatal("out-of-range store succeeded")
 	}
-	if r.StoreBytes() != 0 {
+	if r.StoreCount() != 0 {
 		t.Error("failed store left an undo record")
 	}
 	r.Rollback()
@@ -138,8 +138,8 @@ func TestStoreErrorMidRegionThenRollback(t *testing.T) {
 	if err := r.Store(100, 8, 7); err == nil {
 		t.Fatal("out-of-range store succeeded")
 	}
-	if r.StoreBytes() != 1 {
-		t.Fatalf("undo log holds %d records after one good + one failed store, want 1", r.StoreBytes())
+	if r.StoreCount() != 1 {
+		t.Fatalf("undo log holds %d records after one good + one failed store, want 1", r.StoreCount())
 	}
 	r.Rollback()
 	v, _ := mem.Load(0, 8)
@@ -169,6 +169,111 @@ func TestStoreAfterFinishFailsLoudly(t *testing.T) {
 	if err := r.Store(0, 8, 1); err != ErrFinished {
 		t.Errorf("Store after Rollback = %v, want ErrFinished", err)
 	}
+}
+
+func TestBeginReArmReuse(t *testing.T) {
+	// A pooled Region re-armed with (*Region).Begin must behave exactly
+	// like a fresh one across commit and rollback cycles.
+	st := &guest.State{}
+	mem := guest.NewMemory(64)
+	var r Region
+
+	// Cycle 1: commit.
+	st.R[1] = 7
+	r.Begin(st, mem)
+	if err := r.Store(8, 8, 42); err != nil {
+		t.Fatal(err)
+	}
+	st.R[1] = 9
+	r.Commit()
+	if v, _ := mem.Load(8, 8); v != 42 {
+		t.Errorf("memory = %d after commit, want 42", v)
+	}
+
+	// Cycle 2: rollback on the same Region value must restore the state
+	// at the second Begin, not the first.
+	st.R[1] = 20
+	st.F[3] = 2.5
+	r.Begin(st, mem)
+	st.R[1] = 21
+	st.F[3] = -1
+	if err := r.Store(8, 8, 99); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Store(16, 4, 5); err != nil {
+		t.Fatal(err)
+	}
+	r.Rollback()
+	if v, _ := mem.Load(8, 8); v != 42 {
+		t.Errorf("memory[8] = %d after re-armed rollback, want 42", v)
+	}
+	if v, _ := mem.Load(16, 4); v != 0 {
+		t.Errorf("memory[16] = %d after re-armed rollback, want 0", v)
+	}
+	if st.R[1] != 20 || st.F[3] != 2.5 {
+		t.Errorf("state after re-armed rollback = r1:%d f3:%v, want 20/2.5", st.R[1], st.F[3])
+	}
+
+	// Cycle 3: the single-use contract still holds after re-arming.
+	r.Begin(st, mem)
+	r.Commit()
+	if err := r.Store(0, 8, 1); err != ErrFinished {
+		t.Errorf("Store after re-armed Commit = %v, want ErrFinished", err)
+	}
+}
+
+func TestBeginOnActiveRegionPanics(t *testing.T) {
+	st := &guest.State{}
+	mem := guest.NewMemory(64)
+	var r Region
+	r.Begin(st, mem)
+	defer func() {
+		if recover() == nil {
+			t.Error("Begin on an active region did not panic")
+		}
+	}()
+	r.Begin(st, mem)
+}
+
+func TestPooledRegionCycleZeroAllocs(t *testing.T) {
+	// A warmed Begin/Store/Commit cycle on a pooled Region must not
+	// allocate: the checkpoint is held by value and the undo log's
+	// capacity is retained across Finish.
+	st := &guest.State{}
+	mem := guest.NewMemory(64)
+	var r Region
+	// Warm up: grow the undo log once.
+	r.Begin(st, mem)
+	for i := 0; i < 8; i++ {
+		_ = r.Store(uint64(i*8), 8, uint64(i))
+	}
+	r.Commit()
+
+	allocs := testing.AllocsPerRun(100, func() {
+		r.Begin(st, mem)
+		for i := 0; i < 8; i++ {
+			_ = r.Store(uint64(i*8), 8, uint64(i))
+		}
+		r.Commit()
+	})
+	if allocs != 0 {
+		t.Errorf("warmed Begin/Store/Commit cycle allocates %v times per run, want 0", allocs)
+	}
+}
+
+func TestStoreBytesDeprecatedAlias(t *testing.T) {
+	st := &guest.State{}
+	mem := guest.NewMemory(64)
+	r := Begin(st, mem)
+	_ = r.Store(0, 8, 1)
+	_ = r.Store(8, 4, 2)
+	if r.StoreBytes() != r.StoreCount() {
+		t.Errorf("StoreBytes() = %d, StoreCount() = %d; the deprecated alias must agree", r.StoreBytes(), r.StoreCount())
+	}
+	if r.StoreCount() != 2 {
+		t.Errorf("StoreCount() = %d after two stores, want 2", r.StoreCount())
+	}
+	r.Rollback()
 }
 
 func TestReusedRegionPanics(t *testing.T) {

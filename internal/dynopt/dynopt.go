@@ -287,6 +287,10 @@ type System struct {
 	exceptions map[int]int
 	// entrySeq numbers region dispatches — the eviction clock source.
 	entrySeq int64
+	// ectx is the reusable execution context: vreg files, checkpoint and
+	// undo log are pooled here so steady-state region entries allocate
+	// nothing.
+	ectx vliw.ExecContext
 
 	Stats Stats
 }
@@ -596,7 +600,7 @@ func (s *System) executeRegion(c *compiled) vliw.ExecResult {
 			return vliw.ExecResult{Outcome: vliw.GuardFail}
 		}
 	}
-	return vliw.Execute(c.cr, s.st, s.mem, s.det)
+	return s.ectx.Execute(c.cr, s.st, s.mem, s.det)
 }
 
 // runRegion executes an installed region and handles its outcome,

@@ -117,7 +117,9 @@ type State struct {
 	F [NumRegs]float64
 }
 
-// Clone returns a copy of the state. Used for atomic-region checkpoints.
+// Clone returns a heap copy of the state. The atomic-region checkpoint
+// now holds a State by value to stay allocation-free; Clone remains for
+// callers that want an owned snapshot (reference runs, tests).
 func (s *State) Clone() *State {
 	c := *s
 	return &c

@@ -82,19 +82,27 @@ func (it *Interpreter) RunBlock(id int) (int, error) {
 	}
 	it.Prof.BlockCounts[id]++
 	next := id + 1 // fallthrough unless a control instruction says otherwise
-	for _, in := range b.Insts {
-		ctl, err := guest.Exec(in, it.St, it.Mem)
+	// Hot loop: index the instruction slice (no per-iteration Inst copy
+	// from range) and batch the retired-instruction count into a local,
+	// folding it into DynInsts at every exit.
+	st, mem, insts := it.St, it.Mem, b.Insts
+	retired := uint64(0)
+	for i := range insts {
+		ctl, err := guest.Exec(insts[i], st, mem)
 		if err != nil {
-			return HaltID, fmt.Errorf("interp: B%d %s: %w", id, in, err)
+			it.DynInsts += retired
+			return HaltID, fmt.Errorf("interp: B%d %s: %w", id, insts[i], err)
 		}
-		it.DynInsts++
+		retired++
 		switch ctl {
 		case guest.CtlBranch:
-			next = in.Target
+			next = insts[i].Target
 		case guest.CtlHalt:
+			it.DynInsts += retired
 			return HaltID, nil
 		}
 	}
+	it.DynInsts += retired
 	it.Prof.EdgeCounts[Edge{id, next}]++
 	return next, nil
 }

@@ -1,0 +1,47 @@
+// Package profiledump wires the conventional -cpuprofile/-memprofile
+// flags into the CLI tools, so `go tool pprof` can be pointed at a full
+// smarq-run or smarq-bench invocation (the profiles that drove the
+// execution-engine optimization work).
+package profiledump
+
+import (
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// StartCPU begins CPU profiling into path and returns the stop function.
+// An empty path is a no-op (the returned stop is still safe to call).
+func StartCPU(path string) (stop func(), err error) {
+	if path == "" {
+		return func() {}, nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	if err := pprof.StartCPUProfile(f); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return func() {
+		pprof.StopCPUProfile()
+		f.Close()
+	}, nil
+}
+
+// WriteHeap dumps a heap profile to path, running a GC first so the
+// profile reflects live objects rather than collection timing. An empty
+// path is a no-op.
+func WriteHeap(path string) error {
+	if path == "" {
+		return nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	runtime.GC()
+	return pprof.WriteHeapProfile(f)
+}

@@ -1,0 +1,388 @@
+// The allocation-free region execution engine.
+//
+// Compile pre-decodes the scheduled []*ir.Op sequence into a flat array
+// of decOp value structs, so the steady-state execute loop walks
+// contiguous memory with no per-op pointer chasing. ExecContext owns the
+// reusable per-system state — the virtual register files and one pooled
+// atomic.Region — so a committed region entry performs zero heap
+// allocations. The detector is devirtualized once per entry: a type
+// switch picks a concrete fast path (OrderedQueue/ALAT/Bitmask/None) and
+// conflicts come back by value, so the no-conflict path never allocates
+// either. executeRef in machine.go preserves the original semantics;
+// differential tests hold the two engines bit-identical.
+
+package vliw
+
+import (
+	"fmt"
+	"math"
+
+	"smarq/internal/aliashw"
+	"smarq/internal/atomic"
+	"smarq/internal/guest"
+	"smarq/internal/ir"
+)
+
+// decOp is one pre-decoded operation: every field the execute loop needs,
+// flattened out of ir.Op (and its Srcs/SrcFloat slices and *MemInfo) into
+// a value struct.
+type decOp struct {
+	imm    int64
+	fimm   float64
+	memOff int64
+
+	id       int32 // original op ID — the alias-conflict identity
+	dst      int32
+	src0     int32
+	src1     int32
+	memBase  int32
+	arOffset int32
+	amount   int32 // Rotate amount
+	srcOff   int32 // AMov source offset
+	dstOff   int32 // AMov destination offset
+
+	arMask  uint16
+	memSize uint8
+
+	kind ir.Kind
+	gop  guest.Opcode
+
+	dstFloat     bool
+	srcFloat0    bool
+	p, c         bool
+	onTraceTaken bool
+}
+
+// decode flattens a scheduled sequence into the executable form. Unknown
+// kinds fail at compile time rather than execution time.
+func decode(seq []*ir.Op) []decOp {
+	dec := make([]decOp, len(seq))
+	for i, op := range seq {
+		d := &dec[i]
+		d.id = int32(op.ID)
+		d.kind = op.Kind
+		d.gop = op.GOp
+		d.dst = int32(op.Dst)
+		d.src0, d.src1 = int32(ir.NoVReg), int32(ir.NoVReg)
+		if len(op.Srcs) > 0 {
+			d.src0 = int32(op.Srcs[0])
+			d.srcFloat0 = op.SrcFloat[0]
+		}
+		if len(op.Srcs) > 1 {
+			d.src1 = int32(op.Srcs[1])
+		}
+		d.dstFloat = op.DstFloat
+		d.imm = op.Imm
+		d.fimm = op.FImm
+		if op.Mem != nil {
+			d.memBase = int32(op.Mem.Base)
+			d.memOff = op.Mem.Off
+			d.memSize = uint8(op.Mem.Size)
+		}
+		d.arOffset = int32(op.AROffset)
+		d.arMask = op.ARMask
+		d.p, d.c = op.P, op.C
+		d.onTraceTaken = op.OnTraceTaken
+		d.amount = int32(op.Amount)
+		d.srcOff, d.dstOff = int32(op.SrcOff), int32(op.DstOff)
+		switch op.Kind {
+		case ir.Arith, ir.Copy, ir.Load, ir.Store, ir.Guard, ir.Rotate, ir.AMov:
+		default:
+			panic(fmt.Sprintf("vliw: cannot decode op kind %v", op.Kind))
+		}
+	}
+	return dec
+}
+
+// detKind tags the concrete detector type resolved once per region entry.
+type detKind uint8
+
+const (
+	detGeneric detKind = iota
+	detOrdered
+	detALAT
+	detBitmask
+	detNone
+)
+
+// detDispatch routes OnMem to the concrete detector without interface
+// dispatch on the hot path; the generic arm keeps third-party Detector
+// implementations working.
+type detDispatch struct {
+	kind detKind
+	oq   *aliashw.OrderedQueue
+	al   *aliashw.ALAT
+	bm   *aliashw.Bitmask
+	det  aliashw.Detector
+}
+
+func dispatchFor(det aliashw.Detector) detDispatch {
+	switch d := det.(type) {
+	case *aliashw.OrderedQueue:
+		return detDispatch{kind: detOrdered, oq: d, det: det}
+	case *aliashw.ALAT:
+		return detDispatch{kind: detALAT, al: d, det: det}
+	case *aliashw.Bitmask:
+		return detDispatch{kind: detBitmask, bm: d, det: det}
+	case aliashw.None:
+		return detDispatch{kind: detNone, det: det}
+	default:
+		return detDispatch{kind: detGeneric, det: det}
+	}
+}
+
+// onMem performs the alias check/set for one memory op, returning the
+// conflict by value (hit=false on the common no-conflict path).
+func (dd *detDispatch) onMem(op *decOp, isStore bool, lo, hi uint64) (aliashw.Conflict, bool) {
+	switch dd.kind {
+	case detOrdered:
+		return dd.oq.OnMemV(int(op.id), isStore, op.p, op.c, int(op.arOffset), lo, hi)
+	case detALAT:
+		return dd.al.OnMemV(int(op.id), isStore, op.p, op.c, lo, hi)
+	case detBitmask:
+		return dd.bm.OnMemV(int(op.id), isStore, op.p, op.c, int(op.arOffset), op.arMask, lo, hi)
+	case detNone:
+		return aliashw.Conflict{}, false
+	default:
+		if cp := dd.det.OnMem(int(op.id), isStore, op.p, op.c, int(op.arOffset), op.arMask, lo, hi); cp != nil {
+			return *cp, true
+		}
+		return aliashw.Conflict{}, false
+	}
+}
+
+// rotate and amov are cold relative to OnMem but still devirtualized for
+// the ordered queue (the only hardware where they do anything).
+func (dd *detDispatch) rotate(n int) {
+	if dd.kind == detOrdered {
+		dd.oq.Rotate(n)
+		return
+	}
+	dd.det.Rotate(n)
+}
+
+func (dd *detDispatch) amov(src, dst int) {
+	if dd.kind == detOrdered {
+		dd.oq.AMov(src, dst)
+		return
+	}
+	dd.det.AMov(src, dst)
+}
+
+// ExecContext is the reusable per-system execution state: the virtual
+// register files and the pooled atomic region. A zero ExecContext is
+// ready to use; it must not be shared between concurrently executing
+// systems. Pooling preserves the atomic.Region single-use contract —
+// each entry re-arms the same region, and between Begin and
+// Commit/Rollback it behaves exactly like a fresh one.
+type ExecContext struct {
+	vri []int64
+	vrf []float64
+	ar  atomic.Region
+}
+
+// Execute runs a compiled region against the guest state, memory, and
+// alias detector, inside an atomic region. On anything but Commit the
+// architectural state is rolled back to the region entry and the detector
+// reset. The steady-state commit path performs zero heap allocations.
+func (ctx *ExecContext) Execute(cr *CompiledRegion, st *guest.State, mem *guest.Memory, det aliashw.Detector) ExecResult {
+	reg := cr.Region
+	nv := reg.NumVRegs
+	if cap(ctx.vri) < nv {
+		ctx.vri = make([]int64, nv)
+		ctx.vrf = make([]float64, nv)
+	}
+	vri := ctx.vri[:nv]
+	vrf := ctx.vrf[:nv]
+	// Live-ins occupy fixed ranges (ir.Region: vregs [0, 2*NumRegs) are
+	// the live-in guest registers, integer file first): vri[0:NumRegs]
+	// holds the integer live-ins and vrf[NumRegs:2*NumRegs] the float
+	// ones. Bulk-copy those and zero only the complement, matching the
+	// fresh-slices semantics of the reference executor without clearing
+	// words that are about to be overwritten.
+	const nr = guest.NumRegs
+	copy(vri[:nr], st.R[:])
+	copy(vrf[nr:2*nr], st.F[:])
+	clear(vri[nr:])
+	clear(vrf[:nr])
+	clear(vrf[2*nr:])
+
+	dd := dispatchFor(det)
+	dec := cr.dec
+	if dec == nil {
+		// Hand-assembled CompiledRegion (tests): decode on the fly
+		// without caching, so shared regions stay immutable here.
+		dec = decode(cr.Seq)
+	}
+
+	ctx.ar.Begin(st, mem)
+	abort := func(out Outcome, conf *aliashw.Conflict, n int) ExecResult {
+		ctx.ar.Rollback()
+		det.Reset()
+		return ExecResult{Outcome: out, Conflict: conf, OpsExecuted: n}
+	}
+
+	for n := range dec {
+		op := &dec[n]
+		switch op.kind {
+		case ir.Arith:
+			execArithDec(op, vri, vrf)
+
+		case ir.Copy:
+			if op.dstFloat {
+				vrf[op.dst] = vrf[op.src0]
+			} else {
+				vri[op.dst] = vri[op.src0]
+			}
+
+		case ir.Load:
+			addr := uint64(vri[op.memBase] + op.memOff)
+			size := int(op.memSize)
+			if conf, hit := dd.onMem(op, false, addr, addr+uint64(size)); hit {
+				c := conf
+				return abort(AliasException, &c, n)
+			}
+			bits, err := mem.Load(addr, size)
+			if err != nil {
+				return abort(Fault, nil, n)
+			}
+			if op.dstFloat {
+				vrf[op.dst] = math.Float64frombits(bits)
+			} else {
+				vri[op.dst] = int64(bits)
+			}
+
+		case ir.Store:
+			addr := uint64(vri[op.memBase] + op.memOff)
+			size := int(op.memSize)
+			if conf, hit := dd.onMem(op, true, addr, addr+uint64(size)); hit {
+				c := conf
+				return abort(AliasException, &c, n)
+			}
+			var bits uint64
+			if op.srcFloat0 {
+				bits = math.Float64bits(vrf[op.src0])
+			} else {
+				bits = uint64(vri[op.src0])
+			}
+			if err := ctx.ar.Store(addr, size, bits); err != nil {
+				return abort(Fault, nil, n)
+			}
+
+		case ir.Guard:
+			if evalGuardDec(op, vri) != op.onTraceTaken {
+				return abort(GuardFail, nil, n)
+			}
+
+		case ir.Rotate:
+			dd.rotate(int(op.amount))
+
+		default: // ir.AMov — decode rejects anything else
+			dd.amov(int(op.srcOff), int(op.dstOff))
+		}
+	}
+
+	// Commit: write the live-out virtual registers back to the guest
+	// state, make the stores permanent, clear the detector.
+	for r := 0; r < guest.NumRegs; r++ {
+		st.R[r] = vri[reg.IntOut[r]]
+		st.F[r] = vrf[reg.FloatOut[r]]
+	}
+	ctx.ar.Commit()
+	det.Reset()
+	return ExecResult{Outcome: Commit, NextBlock: reg.FinalTarget, OpsExecuted: len(dec)}
+}
+
+// Execute is the context-free convenience entry point: it runs the region
+// through a fresh ExecContext. Long-running callers (the dynopt runtime)
+// hold one ExecContext per system and call its Execute method instead, so
+// the vreg files, checkpoint and undo log are recycled across entries.
+func Execute(cr *CompiledRegion, st *guest.State, mem *guest.Memory, det aliashw.Detector) ExecResult {
+	var ctx ExecContext
+	return ctx.Execute(cr, st, mem, det)
+}
+
+// execArithDec evaluates a register-to-register op on the vreg files,
+// mirroring guest.Exec semantics (and execArith in machine.go exactly).
+func execArithDec(op *decOp, i []int64, f []float64) {
+	switch op.gop {
+	case guest.Nop:
+	case guest.Li:
+		i[op.dst] = op.imm
+	case guest.Mov:
+		i[op.dst] = i[op.src0]
+	case guest.Add:
+		i[op.dst] = i[op.src0] + i[op.src1]
+	case guest.Sub:
+		i[op.dst] = i[op.src0] - i[op.src1]
+	case guest.Mul:
+		i[op.dst] = i[op.src0] * i[op.src1]
+	case guest.Div:
+		if i[op.src1] == 0 {
+			i[op.dst] = 0
+		} else {
+			i[op.dst] = i[op.src0] / i[op.src1]
+		}
+	case guest.And:
+		i[op.dst] = i[op.src0] & i[op.src1]
+	case guest.Or:
+		i[op.dst] = i[op.src0] | i[op.src1]
+	case guest.Xor:
+		i[op.dst] = i[op.src0] ^ i[op.src1]
+	case guest.Shl:
+		i[op.dst] = i[op.src0] << (uint64(i[op.src1]) & 63)
+	case guest.Shr:
+		i[op.dst] = i[op.src0] >> (uint64(i[op.src1]) & 63)
+	case guest.Addi:
+		i[op.dst] = i[op.src0] + op.imm
+	case guest.Muli:
+		i[op.dst] = i[op.src0] * op.imm
+	case guest.Slt:
+		if i[op.src0] < i[op.src1] {
+			i[op.dst] = 1
+		} else {
+			i[op.dst] = 0
+		}
+	case guest.FLi:
+		f[op.dst] = op.fimm
+	case guest.FMov:
+		f[op.dst] = f[op.src0]
+	case guest.FAdd:
+		f[op.dst] = f[op.src0] + f[op.src1]
+	case guest.FSub:
+		f[op.dst] = f[op.src0] - f[op.src1]
+	case guest.FMul:
+		f[op.dst] = f[op.src0] * f[op.src1]
+	case guest.FDiv:
+		f[op.dst] = f[op.src0] / f[op.src1]
+	case guest.FNeg:
+		f[op.dst] = -f[op.src0]
+	case guest.FAbs:
+		f[op.dst] = math.Abs(f[op.src0])
+	case guest.FSqrt:
+		f[op.dst] = math.Sqrt(f[op.src0])
+	case guest.CvtIF:
+		f[op.dst] = float64(i[op.src0])
+	case guest.CvtFI:
+		i[op.dst] = int64(f[op.src0])
+	default:
+		panic(fmt.Sprintf("vliw: cannot execute arith op %s", op.gop))
+	}
+}
+
+// evalGuardDec evaluates a guard's branch condition: true means "taken".
+func evalGuardDec(op *decOp, i []int64) bool {
+	a, b := i[op.src0], i[op.src1]
+	switch op.gop {
+	case guest.Beq:
+		return a == b
+	case guest.Bne:
+		return a != b
+	case guest.Blt:
+		return a < b
+	case guest.Bge:
+		return a >= b
+	default:
+		panic(fmt.Sprintf("vliw: guard with opcode %s", op.gop))
+	}
+}

@@ -49,8 +49,8 @@ type ExecResult struct {
 }
 
 // CompiledRegion is an installed translation: the scheduled sequence, its
-// source region, and the precomputed static cycle cost of one complete
-// execution.
+// source region, the precomputed static cycle cost of one complete
+// execution, and the pre-decoded flat op stream the executor consumes.
 type CompiledRegion struct {
 	Seq    []*ir.Op
 	Region *ir.Region
@@ -59,16 +59,21 @@ type CompiledRegion struct {
 	// GuestInsts is the number of guest instructions a committed
 	// execution retires.
 	GuestInsts int
+	// dec is Seq pre-decoded into a flat array of value structs so the
+	// execute loop walks contiguous memory instead of chasing *ir.Op
+	// pointers (see exec.go).
+	dec []decOp
 }
 
 // Compile packages a scheduled sequence for execution, computing its
-// static cycle cost.
+// static cycle cost and pre-decoding the op stream.
 func (c Config) Compile(seq []*ir.Op, reg *ir.Region, guestInsts int) *CompiledRegion {
 	return &CompiledRegion{
 		Seq:        seq,
 		Region:     reg,
 		Cycles:     c.CycleCount(seq, reg.NumVRegs),
 		GuestInsts: guestInsts,
+		dec:        decode(seq),
 	}
 }
 
@@ -91,11 +96,12 @@ type vregFile struct {
 	f []float64
 }
 
-// Execute runs a compiled region against the guest state, memory, and
-// alias detector, inside an atomic region. On anything but Commit the
-// architectural state is rolled back to the region entry and the detector
-// reset.
-func Execute(cr *CompiledRegion, st *guest.State, mem *guest.Memory, det aliashw.Detector) ExecResult {
+// executeRef is the original *ir.Op-walking executor, kept verbatim as
+// the reference semantics for the pre-decoded engine in exec.go: the
+// differential tests drive both on the same programs and require
+// bit-identical outcomes. It allocates per entry (vreg files, checkpoint,
+// undo log); the production path is ExecContext.Execute.
+func executeRef(cr *CompiledRegion, st *guest.State, mem *guest.Memory, det aliashw.Detector) ExecResult {
 	reg := cr.Region
 	vr := vregFile{i: make([]int64, reg.NumVRegs), f: make([]float64, reg.NumVRegs)}
 	for r := 0; r < guest.NumRegs; r++ {
