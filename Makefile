@@ -5,7 +5,7 @@ GO ?= go
 PARALLEL ?= 0
 
 .PHONY: all build test race bench bench-all bench-check figures examples clean \
-	ci fmt-check bench-smoke fuzz-smoke chaos-smoke
+	ci fmt-check bench-smoke fuzz-smoke chaos-smoke trace-smoke
 
 all: build test
 
@@ -20,7 +20,7 @@ race:
 	$(GO) test -race ./...
 
 # Everything CI gates on, runnable locally in one shot.
-ci: build test fmt-check bench-smoke
+ci: build test fmt-check bench-smoke trace-smoke
 
 # Fail if any file needs gofmt.
 fmt-check:
@@ -38,6 +38,24 @@ bench-smoke:
 	$(GO) run ./cmd/smarq-bench -only table1,fig15 -bench swim,mgrid -json \
 		-parallel $(PARALLEL) \
 		| $(GO) run ./cmd/smarq-golden -golden testdata/bench-smoke.golden.json -got -
+
+# Telemetry trace gate: re-trace a small committed workload and compare
+# the Perfetto (Chrome trace-event) JSON and the metrics snapshot against
+# the checked-in goldens. Traces are stamped with the simulated cycle
+# clock, so the run is deterministic and the compare is effectively
+# exact. Refresh the goldens with:
+#   go run ./cmd/smarq-run -file testdata/trace-smoke.s \
+#     -trace testdata/trace-smoke.golden.json -trace-format chrome \
+#     -metrics testdata/trace-smoke.metrics.golden.json >/dev/null
+trace-smoke:
+	$(GO) run ./cmd/smarq-run -file testdata/trace-smoke.s \
+		-trace /tmp/trace-smoke.json -trace-format chrome \
+		-metrics /tmp/trace-smoke.metrics.json >/dev/null
+	$(GO) run ./cmd/smarq-golden -golden testdata/trace-smoke.golden.json \
+		-got /tmp/trace-smoke.json
+	$(GO) run ./cmd/smarq-golden -golden testdata/trace-smoke.metrics.golden.json \
+		-got /tmp/trace-smoke.metrics.json
+	@echo "trace-smoke: ok"
 
 # Short differential fuzz of the dynopt pipeline (seed corpus also runs
 # under plain `go test`).

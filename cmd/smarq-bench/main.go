@@ -8,10 +8,19 @@
 //	smarq-bench -bench ammp           # restrict the suite
 //	smarq-bench -parallel 8           # bound the worker pool (0 = GOMAXPROCS)
 //	smarq-bench -v                    # per-run summaries
+//	smarq-bench -trace all.trace.json -trace-format chrome
+//	smarq-bench -metrics all.metrics.json
 //
 // Benchmark×configuration cells fan out over a bounded worker pool; the
 // artifacts themselves are rendered in a fixed order from the shared
 // result cache, so stdout is byte-identical at every parallelism level.
+//
+// -trace streams every cell's cycle-stamped events into one file: each
+// cell gets its own run ID (the trace "process", labelled bench/config),
+// so a Perfetto view shows all runs side by side. Batches from concurrent
+// cells interleave in completion order — pass -parallel 1 when the trace
+// bytes themselves must be deterministic. -metrics aggregates one shared
+// registry across all cells.
 package main
 
 import (
@@ -21,11 +30,12 @@ import (
 	"os"
 	"runtime"
 	"strings"
+	"sync/atomic"
 	"time"
 
-	"smarq/internal/dynopt"
 	"smarq/internal/harness"
 	"smarq/internal/profiledump"
+	"smarq/internal/telemetry"
 	"smarq/internal/workload"
 )
 
@@ -36,6 +46,9 @@ func main() {
 	asJSON := flag.Bool("json", false, "emit all results as one JSON document")
 	scale := flag.Int64("scale", 1, "multiply every benchmark's main loop count (longer runs amortize translation cost)")
 	parallel := flag.Int("parallel", 0, "max concurrent benchmark runs (0 = GOMAXPROCS)")
+	traceFile := flag.String("trace", "", "write a cycle-stamped event trace of every run to this file")
+	traceFormat := flag.String("trace-format", "jsonl", "trace encoding: jsonl or chrome (Perfetto-loadable)")
+	metricsFile := flag.String("metrics", "", "write a JSON metrics snapshot aggregated across all runs")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the harness run to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
@@ -69,8 +82,46 @@ func main() {
 	r := harness.NewRunner(suite)
 	r.Parallelism = *parallel
 	if *verbose {
-		r.Verbose = func(bench, config string, st *dynopt.Stats) {
-			fmt.Fprintf(os.Stderr, "# %s/%s: %s\n", bench, config, harness.SummaryLine(st))
+		r.Verbose = telemetry.NewLineSink(os.Stderr)
+	}
+
+	// Shared telemetry across all cells: one sink (serialized), one
+	// registry; each cell's tracer gets a distinct run ID and a meta
+	// event naming it bench/config.
+	var traceSink *telemetry.SyncSink
+	var traceOut *os.File
+	var registry *telemetry.Registry
+	if *traceFile != "" {
+		f, err := os.Create(*traceFile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "smarq-bench:", err)
+			os.Exit(1)
+		}
+		traceOut = f
+		sink, err := telemetry.NewFormatSink(f, *traceFormat)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "smarq-bench:", err)
+			os.Exit(2)
+		}
+		traceSink = telemetry.NewSyncSink(sink)
+	}
+	if *metricsFile != "" {
+		registry = telemetry.NewRegistry()
+	}
+	if traceSink != nil || registry != nil {
+		var runID atomic.Int32
+		r.Telemetry = func(bench, config string) *telemetry.Telemetry {
+			tel := &telemetry.Telemetry{Metrics: registry}
+			if traceSink != nil {
+				tr := telemetry.NewTracer(0, traceSink)
+				tr.Run = runID.Add(1)
+				tr.Emit(telemetry.Event{
+					Kind: telemetry.KindMeta, Region: -1, Tier: -1, To: -1,
+					Name: bench + "/" + config,
+				})
+				tel.Events = tr
+			}
+			return tel
 		}
 	}
 
@@ -222,6 +273,32 @@ func main() {
 	if err := profiledump.WriteHeap(*memprofile); err != nil {
 		fmt.Fprintln(os.Stderr, "smarq-bench:", err)
 		os.Exit(1)
+	}
+
+	if traceSink != nil {
+		// Per-cell tracers only Flush (the runner does it as each run
+		// completes); the shared sink is closed exactly once here.
+		err := traceSink.Close()
+		if cerr := traceOut.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "smarq-bench: trace:", err)
+			os.Exit(1)
+		}
+	}
+	if registry != nil {
+		f, err := os.Create(*metricsFile)
+		if err == nil {
+			err = registry.WriteJSON(f)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "smarq-bench:", err)
+			os.Exit(1)
+		}
 	}
 
 	workers := *parallel

@@ -6,12 +6,21 @@
 //	smarq-run -bench ammp -config smarq64
 //	smarq-run -bench mesa -config nostorereorder -regions
 //	smarq-run -bench equake -chaos-seed 7 -check-invariants
+//	smarq-run -bench swim -trace swim.trace.json -trace-format chrome
+//	smarq-run -bench swim -metrics swim.metrics.json
 //	smarq-run -list
+//
+// -trace streams cycle-stamped runtime events to a file (jsonl for
+// diffable line-oriented output, chrome for a Perfetto-loadable
+// timeline); -metrics snapshots the aggregate counters and histograms to
+// JSON after the run; -listen serves the live metrics snapshot over HTTP
+// for long chaos soaks. See DESIGN.md ("Telemetry").
 package main
 
 import (
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"strings"
 
@@ -20,6 +29,7 @@ import (
 	"smarq/internal/guest"
 	"smarq/internal/harness"
 	"smarq/internal/profiledump"
+	"smarq/internal/telemetry"
 	"smarq/internal/workload"
 )
 
@@ -28,10 +38,14 @@ func main() {
 	file := flag.String("file", "", "run a guest assembly (.s) or binary (.bin) file instead of a benchmark")
 	config := flag.String("config", "smarq64", "configuration: smarq<N>, alat, efficeon, nohw, nostorereorder")
 	regions := flag.Bool("regions", false, "print per-region statistics")
-	traceEvents := flag.Bool("trace", false, "print runtime events (compiles, exceptions, drops)")
+	events := flag.Bool("events", false, "print runtime events as text lines (compiles, exceptions, drops)")
+	traceFile := flag.String("trace", "", "write a cycle-stamped event trace to this file")
+	traceFormat := flag.String("trace-format", "jsonl", "trace encoding: jsonl or chrome (Perfetto-loadable)")
+	metricsFile := flag.String("metrics", "", "write a JSON metrics snapshot (counters + histograms) to this file")
+	listen := flag.String("listen", "", "serve the live metrics snapshot over HTTP at this address (e.g. :8080)")
 	list := flag.Bool("list", false, "list benchmarks and exit")
 	memSize := flag.Int("mem", 1<<20, "guest memory size for -file runs")
-	maxInsts := flag.Uint64("maxinsts", 100_000_000, "instruction budget for -file runs")
+	maxInsts := flag.Uint64("maxinsts", 0, "instruction budget (0 = benchmark default; -file runs default to 100M)")
 	chaosSeed := flag.Int64("chaos-seed", 0, "enable deterministic fault injection with this seed (default chaos mix)")
 	aliasRate := flag.Float64("chaos-alias-rate", -1, "override the spurious-alias injection rate (with -chaos-seed)")
 	guardRate := flag.Float64("chaos-guard-rate", -1, "override the guard-fail injection rate (with -chaos-seed)")
@@ -60,7 +74,7 @@ func main() {
 			Name:        *file,
 			Description: "user program",
 			MemSize:     *memSize,
-			MaxInsts:    *maxInsts,
+			MaxInsts:    100_000_000,
 			Build:       func() *guest.Program { return prog },
 		}
 	} else {
@@ -70,6 +84,9 @@ func main() {
 			fmt.Fprintf(os.Stderr, "smarq-run: unknown benchmark %q (try -list)\n", *bench)
 			os.Exit(2)
 		}
+	}
+	if *maxInsts != 0 {
+		bm.MaxInsts = *maxInsts
 	}
 	cfg, err := harness.ParseConfig(*config)
 	if err != nil {
@@ -98,10 +115,44 @@ func main() {
 		fmt.Fprintln(os.Stderr, "smarq-run:", err)
 		os.Exit(2)
 	}
-	if *traceEvents {
+	if *events {
 		cfg.Trace = func(format string, args ...interface{}) {
 			fmt.Fprintf(os.Stderr, "trace: "+format+"\n", args...)
 		}
+	}
+
+	// Telemetry wiring: each enabled surface is independent; both off
+	// leaves cfg.Telemetry nil and the whole layer a dead nil check.
+	tel := &telemetry.Telemetry{}
+	var tracer *telemetry.Tracer
+	var traceOut *os.File
+	if *traceFile != "" {
+		f, err := os.Create(*traceFile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "smarq-run:", err)
+			os.Exit(1)
+		}
+		traceOut = f
+		sink, err := telemetry.NewFormatSink(f, *traceFormat)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "smarq-run:", err)
+			os.Exit(2)
+		}
+		tracer = telemetry.NewTracer(0, sink)
+		tel.Events = tracer
+	}
+	if *metricsFile != "" || *listen != "" {
+		tel.Metrics = telemetry.NewRegistry()
+	}
+	if tel.Events != nil || tel.Metrics != nil {
+		cfg.Telemetry = tel
+	}
+	if *listen != "" {
+		go func() {
+			if err := http.ListenAndServe(*listen, tel.Metrics.Handler()); err != nil {
+				fmt.Fprintln(os.Stderr, "smarq-run: -listen:", err)
+			}
+		}()
 	}
 
 	stopCPU, err := profiledump.StartCPU(*cpuprofile)
@@ -112,9 +163,30 @@ func main() {
 	sys := dynopt.New(bm.Build(), &guest.State{}, guest.NewMemory(bm.MemSize), cfg)
 	halted, err := sys.Run(bm.MaxInsts)
 	stopCPU()
+	if cerr := tracer.Close(); cerr != nil && err == nil {
+		err = fmt.Errorf("trace: %w", cerr)
+	}
+	if traceOut != nil {
+		if cerr := traceOut.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "smarq-run:", err)
 		os.Exit(1)
+	}
+	if *metricsFile != "" {
+		f, err := os.Create(*metricsFile)
+		if err == nil {
+			err = tel.Metrics.WriteJSON(f)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "smarq-run:", err)
+			os.Exit(1)
+		}
 	}
 	if err := profiledump.WriteHeap(*memprofile); err != nil {
 		fmt.Fprintln(os.Stderr, "smarq-run:", err)

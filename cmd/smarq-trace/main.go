@@ -8,6 +8,11 @@
 //	smarq-trace -bench ammp             # hottest region
 //	smarq-trace -bench mesa -all        # every compiled region
 //	smarq-trace -bench swim -regs 16    # with a 16-register file
+//	smarq-trace -bench swim -all -json  # machine-readable compile events
+//
+// -json replaces the text dump with one telemetry compile event per
+// region (the same JSONL schema `smarq-run -trace` emits at runtime), so
+// static dumps and runtime traces share one encoding.
 package main
 
 import (
@@ -22,16 +27,22 @@ import (
 	"smarq/internal/opt"
 	"smarq/internal/region"
 	"smarq/internal/sched"
+	"smarq/internal/telemetry"
 	"smarq/internal/vliw"
 	"smarq/internal/workload"
 	"smarq/internal/xlate"
 )
+
+// Force the dynopt tier-name hook so -json tier labels match runtime
+// traces (ladder names, not t<N> numbers).
+import _ "smarq/internal/dynopt"
 
 func main() {
 	bench := flag.String("bench", "swim", "benchmark name")
 	all := flag.Bool("all", false, "trace every hot region, not just the hottest")
 	regs := flag.Int("regs", 64, "alias register count")
 	storeReorder := flag.Bool("storereorder", true, "allow speculative store reordering")
+	asJSON := flag.Bool("json", false, "emit one telemetry compile event per region (JSONL) instead of the text dump")
 	flag.Parse()
 
 	bm, ok := workload.ByName(*bench)
@@ -74,14 +85,27 @@ func main() {
 	}
 
 	machine := vliw.DefaultConfig()
+	var jsonSink *telemetry.JSONLSink
+	if *asJSON {
+		jsonSink = telemetry.NewJSONLSink(os.Stdout)
+		if err := jsonSink.WriteEvents([]telemetry.Event{{
+			Kind: telemetry.KindMeta, Region: -1, Tier: -1, To: -1,
+			Name: bm.Name,
+		}}); err != nil {
+			fmt.Fprintln(os.Stderr, "smarq-trace:", err)
+			os.Exit(1)
+		}
+	}
 	for _, h := range hots {
 		sb, err := region.Form(prog, it.Prof, h.id, region.DefaultConfig())
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "smarq-trace:", err)
 			os.Exit(1)
 		}
-		fmt.Printf("=== %s: block B%d (executed %d times) ===\n", bm.Name, h.id, h.count)
-		fmt.Print(sb)
+		if !*asJSON {
+			fmt.Printf("=== %s: block B%d (executed %d times) ===\n", bm.Name, h.id, h.count)
+			fmt.Print(sb)
+		}
 
 		reg, err := xlate.Translate(sb)
 		if err != nil {
@@ -93,12 +117,14 @@ func main() {
 		ds := deps.Compute(reg, tbl)
 		opt.AddExtendedDeps(ds, reg, tbl, optRes)
 
-		fmt.Printf("\neliminations: %d loads forwarded, %d stores removed\n",
-			optRes.LoadsRemoved, optRes.StoresRemoved)
-		base, ext := ds.Counts()
-		fmt.Printf("dependences: %d base, %d extended\n", base, ext)
-		for _, d := range ds.Sorted() {
-			fmt.Println("  ", d)
+		if !*asJSON {
+			fmt.Printf("\neliminations: %d loads forwarded, %d stores removed\n",
+				optRes.LoadsRemoved, optRes.StoresRemoved)
+			base, ext := ds.Counts()
+			fmt.Printf("dependences: %d base, %d extended\n", base, ext)
+			for _, d := range ds.Sorted() {
+				fmt.Println("  ", d)
+			}
 		}
 
 		sc, err := sched.Run(reg, tbl, ds, sched.Config{
@@ -108,6 +134,23 @@ func main() {
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "smarq-trace: schedule:", err)
 			os.Exit(1)
+		}
+
+		if *asJSON {
+			// One compile event per region: the same shape the runtime
+			// emits when it installs this region (Cycle 0: a static dump
+			// has no clock).
+			if err := jsonSink.WriteEvents([]telemetry.Event{{
+				Kind: telemetry.KindCompile, Region: int32(h.id),
+				Tier: 0, To: -1,
+				Cost: machine.CycleCount(sc.Seq, reg.NumVRegs),
+				A:    int64(len(sc.Seq)), B: int64(len(sb.Insts)),
+				C: int64(sb.NumMemOps()), D: int64(sc.Alloc.Stats.WorkingSet),
+			}}); err != nil {
+				fmt.Fprintln(os.Stderr, "smarq-trace:", err)
+				os.Exit(1)
+			}
+			continue
 		}
 
 		cycles := machine.IssueCycles(sc.Seq, reg.NumVRegs)
@@ -138,5 +181,11 @@ func main() {
 		fmt.Printf("\nallocation: P=%d C=%d checks=%d antis=%d amovs=%d (cleanups=%d) rotates=%d working-set=%d\n\n",
 			st.PBits, st.CBits, st.Checks, st.Antis, st.AMovs, st.AMovCleanups,
 			st.Rotates, st.WorkingSet)
+	}
+	if jsonSink != nil {
+		if err := jsonSink.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "smarq-trace:", err)
+			os.Exit(1)
+		}
 	}
 }

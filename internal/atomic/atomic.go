@@ -100,12 +100,6 @@ func (r *Region) Store(addr uint64, size int, val uint64) error {
 // buffered (tests and stats).
 func (r *Region) StoreCount() int { return len(r.undo) }
 
-// StoreBytes is the old, misleading name for StoreCount — it never counted
-// bytes.
-//
-// Deprecated: use StoreCount.
-func (r *Region) StoreBytes() int { return r.StoreCount() }
-
 // Commit makes the region's effects permanent and finishes the region.
 // Committing a finished region is a runtime bug and panics.
 func (r *Region) Commit() {

@@ -261,15 +261,12 @@ func TestPooledRegionCycleZeroAllocs(t *testing.T) {
 	}
 }
 
-func TestStoreBytesDeprecatedAlias(t *testing.T) {
+func TestStoreCount(t *testing.T) {
 	st := &guest.State{}
 	mem := guest.NewMemory(64)
 	r := Begin(st, mem)
 	_ = r.Store(0, 8, 1)
 	_ = r.Store(8, 4, 2)
-	if r.StoreBytes() != r.StoreCount() {
-		t.Errorf("StoreBytes() = %d, StoreCount() = %d; the deprecated alias must agree", r.StoreBytes(), r.StoreCount())
-	}
 	if r.StoreCount() != 2 {
 		t.Errorf("StoreCount() = %d after two stores, want 2", r.StoreCount())
 	}

@@ -29,6 +29,7 @@ import (
 	"smarq/internal/opt"
 	"smarq/internal/region"
 	"smarq/internal/sched"
+	"smarq/internal/telemetry"
 	"smarq/internal/vliw"
 	"smarq/internal/xlate"
 )
@@ -69,6 +70,12 @@ type Config struct {
 	// (compilation, alias exception, tier change, eviction) — the
 	// observability hook for debugging translated workloads.
 	Trace func(format string, args ...interface{})
+	// Telemetry, when non-nil, enables the structured observability
+	// layer: cycle-stamped events into Telemetry.Events and aggregate
+	// counters/histograms into Telemetry.Metrics (either may be nil to
+	// enable just one surface). Unlike Trace this path never formats and
+	// never allocates on the hot path; see internal/telemetry.
+	Telemetry *telemetry.Telemetry
 }
 
 // Ablation selects design elements to disable.
@@ -291,6 +298,9 @@ type System struct {
 	// undo log are pooled here so steady-state region entries allocate
 	// nothing.
 	ectx vliw.ExecContext
+	// tel is the resolved telemetry view (nil when Config.Telemetry is
+	// unset); every emit helper nil-checks it.
+	tel *systemTelemetry
 
 	Stats Stats
 }
@@ -318,7 +328,7 @@ func New(prog *guest.Program, st *guest.State, mem *guest.Memory, cfg Config) *S
 	if cfg.Chaos.Enabled() {
 		inj = faultinject.New(cfg.Chaos)
 	}
-	return &System{
+	s := &System{
 		cfg:         cfg,
 		prog:        prog,
 		st:          st,
@@ -334,7 +344,12 @@ func New(prog *guest.Program, st *guest.State, mem *guest.Memory, cfg Config) *S
 		recovery:    make(map[int]*regionRecovery),
 		pinnedLoads: make(map[int]map[int]bool),
 		exceptions:  make(map[int]int),
+		tel:         newSystemTelemetry(cfg.Telemetry),
 	}
+	if s.tel != nil {
+		s.it.Insts = cfg.Telemetry.Registry().Counter(mInterpInsts)
+	}
+	return s
 }
 
 // recoveryOf returns the region's ladder controller, creating it at
@@ -391,6 +406,7 @@ func (s *System) optConfig(entry int) opt.Config {
 func (s *System) compile(entry int) error {
 	if s.inj != nil && s.inj.CompileFail() {
 		s.trace("injected compile failure for B%d", entry)
+		s.tel.chaosInjected(s.now(), entry, s.tierOf(entry), telemetry.CauseCompileFail)
 		return fmt.Errorf("faultinject: simulated compile failure for B%d", entry)
 	}
 	sb, ok := s.sbCache[entry]
@@ -456,7 +472,8 @@ func (s *System) compile(entry int) error {
 	s.Stats.SchedCycles += n * int64(s.cfg.Machine.SchedCyclesPerOp)
 
 	cr := s.cfg.Machine.Compile(sc.Seq, reg, len(sb.Insts))
-	if old, ok := s.cache[entry]; ok && old != nil {
+	_, recompile := s.cache[entry]
+	if recompile {
 		s.Stats.Recompiles++
 		s.trace("recompile B%d: %d ops, %d cycles, tier=%s", entry, len(sc.Seq), cr.Cycles, rr.tier)
 	} else {
@@ -484,6 +501,7 @@ func (s *System) compile(entry int) error {
 		s.regionIdx[entry] = len(s.Stats.Regions)
 		s.Stats.Regions = append(s.Stats.Regions, rs)
 	}
+	s.tel.regionCompile(s.now(), entry, rr.tier, recompile, &rs)
 	return nil
 }
 
@@ -508,6 +526,7 @@ func (s *System) evictForCapacity(entry int) {
 		}
 		delete(s.cache, victim)
 		s.Stats.Recovery.Evictions++
+		s.tel.evict(s.now(), victim, s.tierOf(victim))
 		s.trace("evict B%d from the code cache (capacity %d)", victim, cap)
 	}
 }
@@ -564,6 +583,7 @@ func (s *System) Run(maxInsts uint64) (bool, error) {
 			if rr.recordPinnedEntry(s.cfg.Recovery) {
 				s.Stats.Recovery.Promotions++
 				s.cooldown[id] = 0
+				s.tel.tierMove(s.now(), id, TierPinned, rr.tier, telemetry.CauseNone)
 				s.trace("promote B%d: %s -> %s after clean interpreted run", id, TierPinned, rr.tier)
 			}
 		}
@@ -591,16 +611,20 @@ func (s *System) Run(maxInsts uint64) (bool, error) {
 // what a region that trapped at its first instruction looks like. An
 // injected alias exception carries no Conflict (there is no real pair to
 // blacklist), mirroring an inexplicable hardware false positive.
-func (s *System) executeRegion(c *compiled) vliw.ExecResult {
+// The second return distinguishes injected outcomes (CauseInjectedAlias /
+// CauseInjectedGuard) from real execution (CauseNone) for telemetry.
+func (s *System) executeRegion(entry int, tier Tier, c *compiled) (vliw.ExecResult, telemetry.Cause) {
 	if s.inj != nil {
 		if s.inj.SpuriousAlias() {
-			return vliw.ExecResult{Outcome: vliw.AliasException}
+			s.tel.chaosInjected(s.now(), entry, tier, telemetry.CauseInjectedAlias)
+			return vliw.ExecResult{Outcome: vliw.AliasException}, telemetry.CauseInjectedAlias
 		}
 		if s.inj.GuardFail() {
-			return vliw.ExecResult{Outcome: vliw.GuardFail}
+			s.tel.chaosInjected(s.now(), entry, tier, telemetry.CauseInjectedGuard)
+			return vliw.ExecResult{Outcome: vliw.GuardFail}, telemetry.CauseInjectedGuard
 		}
 	}
-	return s.ectx.Execute(c.cr, s.st, s.mem, s.det)
+	return s.ectx.Execute(c.cr, s.st, s.mem, s.det), telemetry.CauseNone
 }
 
 // runRegion executes an installed region and handles its outcome,
@@ -610,19 +634,21 @@ func (s *System) runRegion(entry int, c *compiled) int {
 	c.lastUse = s.entrySeq
 	rr := s.recoveryOf(entry)
 	s.Stats.Recovery.TierDispatches[rr.tier]++
+	s.tel.dispatch(s.now(), entry, rr.tier)
 
 	var snap faultinject.Snapshot
 	if s.cfg.CheckInvariants {
 		snap = faultinject.Capture(s.st, s.mem)
 	}
 
-	res := s.executeRegion(c)
+	res, injected := s.executeRegion(entry, rr.tier, c)
 
 	if res.Outcome != vliw.Commit {
 		// Every non-commit outcome rolled back (or never ran). Chaos may
 		// now model a broken restore; the invariant checker must catch
 		// either that or a genuine recovery bug.
 		if s.inj != nil && s.inj.CorruptState(s.st) {
+			s.tel.chaosInjected(s.now(), entry, rr.tier, telemetry.CauseCorrupt)
 			s.trace("injected post-rollback state corruption in B%d", entry)
 		}
 		if s.cfg.CheckInvariants {
@@ -636,16 +662,20 @@ func (s *System) runRegion(entry int, c *compiled) int {
 
 	switch res.Outcome {
 	case vliw.Commit:
-		s.Stats.RegionCycles += c.cr.Cycles + int64(s.cfg.Machine.CommitCycles)
+		cost := c.cr.Cycles + int64(s.cfg.Machine.CommitCycles)
+		s.Stats.RegionCycles += cost
 		s.Stats.GuestInsts += int64(c.cr.GuestInsts)
 		s.Stats.Commits++
 		c.failStreak = 0
+		s.tel.commit(s.now(), entry, rr.tier, cost, res.ARHighWater, res.StoresBuffered)
 		if rr.recordCommit(s.cfg.Recovery) {
 			s.Stats.Recovery.Promotions++
+			s.tel.tierMove(s.now(), entry, rr.tier+1, rr.tier, telemetry.CauseNone)
 			s.trace("promote B%d to %s after %d clean commits", entry, rr.tier, s.cfg.Recovery.PromoteAfter)
 			if err := s.compile(entry); err != nil {
 				delete(s.cache, entry)
 				s.Stats.RegionsDropped++
+				s.tel.drop(s.now(), entry, rr.tier, telemetry.CauseCompileFail)
 			}
 		}
 		return res.NextBlock
@@ -655,6 +685,17 @@ func (s *System) runRegion(entry int, c *compiled) int {
 		s.Stats.RollbackCycles += int64(s.cfg.Machine.RollbackPenalty)
 		s.Stats.AliasExceptions++
 		s.exceptions[entry]++
+		if s.tel != nil {
+			cause, checker, origin := telemetry.CauseAlias, -1, -1
+			if injected != telemetry.CauseNone {
+				cause = injected
+			}
+			if res.Conflict != nil {
+				checker, origin = res.Conflict.Checker, res.Conflict.Origin
+			}
+			cost := c.cr.Cycles + int64(s.cfg.Machine.RollbackPenalty)
+			s.tel.aliasRollback(s.now(), entry, rr.tier, cause, cost, res.OpsExecuted, checker, origin)
+		}
 		// Conservative re-optimization (Figure 1). Under the ordered
 		// queue the check identifies exactly the speculated pair, so the
 		// pair is assumed to always alias from now on. Under ALAT the
@@ -698,9 +739,10 @@ func (s *System) runRegion(entry int, c *compiled) int {
 		// promoting (the old one-shot pin, now the ladder's hard cap).
 		if s.exceptions[entry] > s.cfg.Recovery.MaxExceptionsPerRegion &&
 			rr.tier < TierConservative {
-			before := rr.demotions
+			before, from := rr.demotions, rr.tier
 			if rr.demoteTo(s.cfg.Recovery, TierConservative) {
 				s.Stats.Recovery.Demotions += int64(rr.demotions - before)
+				s.tel.tierMove(s.now(), entry, from, rr.tier, telemetry.CauseChronic)
 				s.trace("pin B%d conservative after %d alias exceptions", entry, s.exceptions[entry])
 			}
 			rr.sticky = true
@@ -711,6 +753,7 @@ func (s *System) runRegion(entry int, c *compiled) int {
 			rr.recordHardeningRollback()
 		} else if rr.recordRollback(s.cfg.Recovery) {
 			s.Stats.Recovery.Demotions++
+			s.tel.tierMove(s.now(), entry, rr.tier-1, rr.tier, telemetry.CauseRate)
 			s.trace("demote B%d to %s (rollback rate)", entry, rr.tier)
 		}
 		if rr.tier == TierPinned {
@@ -719,6 +762,7 @@ func (s *System) runRegion(entry int, c *compiled) int {
 		} else if err := s.compile(entry); err != nil {
 			delete(s.cache, entry)
 			s.Stats.RegionsDropped++
+			s.tel.drop(s.now(), entry, rr.tier, telemetry.CauseCompileFail)
 		}
 		// Make forward progress in the interpreter before re-dispatching.
 		return s.interpretOne(entry)
@@ -728,6 +772,14 @@ func (s *System) runRegion(entry int, c *compiled) int {
 		s.Stats.RollbackCycles += int64(s.cfg.Machine.RollbackPenalty)
 		s.Stats.GuardFails++
 		c.failStreak++
+		if s.tel != nil {
+			cause := telemetry.CauseGuard
+			if injected != telemetry.CauseNone {
+				cause = injected
+			}
+			cost := c.cr.Cycles + int64(s.cfg.Machine.RollbackPenalty)
+			s.tel.guardRollback(s.now(), entry, rr.tier, cause, cost, res.OpsExecuted, c.failStreak)
+		}
 		if c.failStreak >= s.cfg.MaxGuardFails {
 			// The trace no longer matches behaviour: drop it and require
 			// twice the heat before re-forming.
@@ -736,6 +788,7 @@ func (s *System) runRegion(entry int, c *compiled) int {
 			delete(s.sbCache, entry)
 			s.cooldown[entry] = s.it.Prof.BlockCounts[entry] * 2
 			s.Stats.RegionsDropped++
+			s.tel.drop(s.now(), entry, rr.tier, telemetry.CauseGuard)
 		}
 		return s.interpretOne(entry)
 
@@ -743,11 +796,14 @@ func (s *System) runRegion(entry int, c *compiled) int {
 		s.Stats.RegionCycles += c.cr.Cycles
 		s.Stats.RollbackCycles += int64(s.cfg.Machine.RollbackPenalty)
 		s.Stats.Faults++
+		s.tel.faultRollback(s.now(), entry, rr.tier,
+			c.cr.Cycles+int64(s.cfg.Machine.RollbackPenalty), res.OpsExecuted)
 		// Speculation-induced faults are misspeculation too: a region
 		// whose hoisted loads keep faulting steps down the ladder until
 		// the faults stop (TierConservative hoists nothing).
 		if rr.recordRollback(s.cfg.Recovery) {
 			s.Stats.Recovery.Demotions++
+			s.tel.tierMove(s.now(), entry, rr.tier-1, rr.tier, telemetry.CauseFaultStorm)
 			s.trace("demote B%d to %s (fault storm)", entry, rr.tier)
 			if rr.tier == TierPinned {
 				delete(s.cache, entry)
@@ -755,6 +811,7 @@ func (s *System) runRegion(entry int, c *compiled) int {
 			} else if err := s.compile(entry); err != nil {
 				delete(s.cache, entry)
 				s.Stats.RegionsDropped++
+				s.tel.drop(s.now(), entry, rr.tier, telemetry.CauseCompileFail)
 			}
 		}
 		return s.interpretOne(entry)
@@ -766,9 +823,10 @@ func (s *System) runRegion(entry int, c *compiled) int {
 // ALAT load): the precise fix did not hold, so speculation as a whole is
 // wrong for this region. Re-promotion stays possible, under backoff.
 func (s *System) demoteToConservative(entry int, rr *regionRecovery) {
-	before := rr.demotions
+	before, from := rr.demotions, rr.tier
 	if rr.demoteTo(s.cfg.Recovery, TierConservative) {
 		s.Stats.Recovery.Demotions += int64(rr.demotions - before)
+		s.tel.tierMove(s.now(), entry, from, rr.tier, telemetry.CausePairRepeat)
 		s.trace("demote B%d to %s (pair hardening failed)", entry, rr.tier)
 	}
 }

@@ -1,0 +1,266 @@
+// Telemetry integration: the systemTelemetry helper owns the System's
+// tracer handle and pre-registered metrics instruments, and every emit
+// helper below is nil-receiver safe, so a run without telemetry costs one
+// pointer check per event site and the enabled hot path costs one ring
+// copy plus a few atomic adds — no formatting, no allocation (see the
+// TestRunRegionZeroAllocs pins).
+package dynopt
+
+import "smarq/internal/telemetry"
+
+// init teaches the telemetry encoders the ladder's rung names without
+// making the telemetry package depend on dynopt.
+func init() {
+	telemetry.TierName = func(t int) string {
+		return Tier(t).String()
+	}
+}
+
+// Metric instrument names, as they appear in the -metrics JSON snapshot.
+const (
+	mCommits         = "dynopt_commits"
+	mRollbacks       = "dynopt_rollbacks"
+	mAliasExceptions = "dynopt_alias_exceptions"
+	mGuardFails      = "dynopt_guard_fails"
+	mFaults          = "dynopt_faults"
+	mCompiles        = "dynopt_compiles"
+	mRecompiles      = "dynopt_recompiles"
+	mEvictions       = "dynopt_evictions"
+	mDemotions       = "dynopt_demotions"
+	mPromotions      = "dynopt_promotions"
+	mDrops           = "dynopt_drops"
+	mChaos           = "dynopt_chaos_injected"
+	mDispatches      = "dynopt_dispatches"
+	mInterpInsts     = "interp_insts"
+
+	hRollbackCost = "rollback_cost_cycles"
+	hRegionSize   = "region_size_ops"
+	hAliasRegs    = "alias_regs_working_set"
+	hOccupancy    = "queue_occupancy"
+	hCompile      = "compile_cycles"
+)
+
+// systemTelemetry is the per-System view of an enabled telemetry bundle:
+// the tracer plus every instrument resolved once at construction so the
+// hot path never touches the registry.
+type systemTelemetry struct {
+	tr *telemetry.Tracer
+
+	commits         *telemetry.Counter
+	rollbacks       *telemetry.Counter
+	aliasExceptions *telemetry.Counter
+	guardFails      *telemetry.Counter
+	faults          *telemetry.Counter
+	compiles        *telemetry.Counter
+	recompiles      *telemetry.Counter
+	evictions       *telemetry.Counter
+	demotions       *telemetry.Counter
+	promotions      *telemetry.Counter
+	drops           *telemetry.Counter
+	chaos           *telemetry.Counter
+	dispatches      *telemetry.Counter
+
+	rollbackCost *telemetry.Histogram
+	regionSize   *telemetry.Histogram
+	aliasRegs    *telemetry.Histogram
+	occupancy    *telemetry.Histogram
+	compileCost  *telemetry.Histogram
+}
+
+// newSystemTelemetry resolves instruments against the bundle. Returns nil
+// when the bundle is nil or empty, so System.tel stays a single nil check.
+func newSystemTelemetry(t *telemetry.Telemetry) *systemTelemetry {
+	if t == nil || (t.Events == nil && t.Metrics == nil) {
+		return nil
+	}
+	reg := t.Metrics // nil Registry hands out nil (inert) instruments
+	return &systemTelemetry{
+		tr: t.Events,
+
+		commits:         reg.Counter(mCommits),
+		rollbacks:       reg.Counter(mRollbacks),
+		aliasExceptions: reg.Counter(mAliasExceptions),
+		guardFails:      reg.Counter(mGuardFails),
+		faults:          reg.Counter(mFaults),
+		compiles:        reg.Counter(mCompiles),
+		recompiles:      reg.Counter(mRecompiles),
+		evictions:       reg.Counter(mEvictions),
+		demotions:       reg.Counter(mDemotions),
+		promotions:      reg.Counter(mPromotions),
+		drops:           reg.Counter(mDrops),
+		chaos:           reg.Counter(mChaos),
+		dispatches:      reg.Counter(mDispatches),
+
+		rollbackCost: reg.Histogram(hRollbackCost, telemetry.Pow2Bounds(16, 1024)),
+		regionSize:   reg.Histogram(hRegionSize, telemetry.Pow2Bounds(4, 256)),
+		aliasRegs:    reg.Histogram(hAliasRegs, telemetry.Pow2Bounds(1, 64)),
+		occupancy:    reg.Histogram(hOccupancy, telemetry.Pow2Bounds(1, 64)),
+		compileCost:  reg.Histogram(hCompile, telemetry.Pow2Bounds(64, 4096)),
+	}
+}
+
+// now is the simulated cycle clock events are stamped with: the sum of
+// the per-category cycle accounts, which only ever grows as the run
+// proceeds (TotalCycles itself is derived once in finalize).
+func (s *System) now() int64 {
+	st := &s.Stats
+	return st.InterpCycles + st.RegionCycles + st.RollbackCycles +
+		st.OptCycles + st.SchedCycles
+}
+
+func (st *systemTelemetry) regionCompile(cycle int64, entry int, tier Tier, recompile bool, rs *RegionStats) {
+	if st == nil {
+		return
+	}
+	if recompile {
+		st.recompiles.Add(1)
+	} else {
+		st.compiles.Add(1)
+	}
+	st.regionSize.Observe(int64(rs.SeqLen))
+	st.aliasRegs.Observe(int64(rs.Alloc.WorkingSet))
+	st.compileCost.Observe(rs.Cycles)
+	st.tr.Emit(telemetry.Event{
+		Cycle: cycle, Kind: telemetry.KindCompile,
+		Region: int32(entry), Tier: int8(tier), To: -1,
+		Cost: rs.Cycles,
+		A:    int64(rs.SeqLen), B: int64(rs.GuestInsts),
+		C: int64(rs.MemOps), D: int64(rs.Alloc.WorkingSet),
+	})
+}
+
+func (st *systemTelemetry) dispatch(cycle int64, entry int, tier Tier) {
+	if st == nil {
+		return
+	}
+	st.dispatches.Add(1)
+	st.tr.Emit(telemetry.Event{
+		Cycle: cycle, Kind: telemetry.KindDispatch,
+		Region: int32(entry), Tier: int8(tier), To: -1,
+	})
+}
+
+func (st *systemTelemetry) commit(cycle int64, entry int, tier Tier, cost int64, arHighWater, storesBuffered int) {
+	if st == nil {
+		return
+	}
+	st.commits.Add(1)
+	st.occupancy.Observe(int64(arHighWater))
+	st.tr.Emit(telemetry.Event{
+		Cycle: cycle, Kind: telemetry.KindCommit,
+		Region: int32(entry), Tier: int8(tier), To: -1,
+		Cost: cost,
+		A:    int64(arHighWater), B: int64(storesBuffered),
+	})
+}
+
+// rollback is the shared non-commit bookkeeping: every alias, guard and
+// fault outcome routes through it.
+func (st *systemTelemetry) rollback(cycle int64, entry int, tier Tier, cause telemetry.Cause, cost int64, opsExecuted int) {
+	st.rollbacks.Add(1)
+	st.rollbackCost.Observe(cost)
+	st.tr.Emit(telemetry.Event{
+		Cycle: cycle, Kind: telemetry.KindRollback,
+		Region: int32(entry), Tier: int8(tier), To: -1,
+		Cause: cause, Cost: cost, A: int64(opsExecuted),
+	})
+}
+
+// aliasRollback records an alias-exception outcome (cause distinguishes
+// genuine from injected); checker/origin identify the violated pair, or
+// -1/-1 when there is none (injected exceptions carry no pair).
+func (st *systemTelemetry) aliasRollback(cycle int64, entry int, tier Tier, cause telemetry.Cause, cost int64, opsExecuted, checker, origin int) {
+	if st == nil {
+		return
+	}
+	st.aliasExceptions.Add(1)
+	st.rollback(cycle, entry, tier, cause, cost, opsExecuted)
+	if checker >= 0 {
+		st.tr.Emit(telemetry.Event{
+			Cycle: cycle, Kind: telemetry.KindAliasException,
+			Region: int32(entry), Tier: int8(tier), To: -1,
+			A: int64(checker), B: int64(origin),
+		})
+	}
+}
+
+// guardRollback records an off-trace side exit and its fail streak.
+func (st *systemTelemetry) guardRollback(cycle int64, entry int, tier Tier, cause telemetry.Cause, cost int64, opsExecuted, streak int) {
+	if st == nil {
+		return
+	}
+	st.guardFails.Add(1)
+	st.rollback(cycle, entry, tier, cause, cost, opsExecuted)
+	st.tr.Emit(telemetry.Event{
+		Cycle: cycle, Kind: telemetry.KindGuardFail,
+		Region: int32(entry), Tier: int8(tier), To: -1,
+		A: int64(streak),
+	})
+}
+
+// faultRollback records a speculation-induced guest fault.
+func (st *systemTelemetry) faultRollback(cycle int64, entry int, tier Tier, cost int64, opsExecuted int) {
+	if st == nil {
+		return
+	}
+	st.faults.Add(1)
+	st.rollback(cycle, entry, tier, telemetry.CauseFault, cost, opsExecuted)
+}
+
+// tierMove emits one ladder move. from/to are the rungs on either side;
+// cause qualifies demotions (CauseNone for promotions). Demotions may
+// jump several rungs (the chronic cap); the counter tracks rungs moved so
+// it matches Stats.Recovery.Demotions, while promotions are always single
+// steps.
+func (st *systemTelemetry) tierMove(cycle int64, entry int, from, to Tier, cause telemetry.Cause) {
+	if st == nil || from == to {
+		return
+	}
+	kind := telemetry.KindDemote
+	if to < from {
+		kind = telemetry.KindPromote
+		st.promotions.Add(1)
+	} else {
+		st.demotions.Add(int64(to - from))
+	}
+	st.tr.Emit(telemetry.Event{
+		Cycle: cycle, Kind: kind,
+		Region: int32(entry), Tier: int8(from), To: int8(to),
+		Cause: cause,
+	})
+}
+
+func (st *systemTelemetry) evict(cycle int64, entry int, tier Tier) {
+	if st == nil {
+		return
+	}
+	st.evictions.Add(1)
+	st.tr.Emit(telemetry.Event{
+		Cycle: cycle, Kind: telemetry.KindEvict,
+		Region: int32(entry), Tier: int8(tier), To: -1,
+	})
+}
+
+func (st *systemTelemetry) drop(cycle int64, entry int, tier Tier, cause telemetry.Cause) {
+	if st == nil {
+		return
+	}
+	st.drops.Add(1)
+	st.tr.Emit(telemetry.Event{
+		Cycle: cycle, Kind: telemetry.KindDrop,
+		Region: int32(entry), Tier: int8(tier), To: -1,
+		Cause: cause,
+	})
+}
+
+func (st *systemTelemetry) chaosInjected(cycle int64, entry int, tier Tier, cause telemetry.Cause) {
+	if st == nil {
+		return
+	}
+	st.chaos.Add(1)
+	st.tr.Emit(telemetry.Event{
+		Cycle: cycle, Kind: telemetry.KindChaos,
+		Region: int32(entry), Tier: int8(tier), To: -1,
+		Cause: cause,
+	})
+}

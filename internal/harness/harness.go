@@ -14,6 +14,7 @@ import (
 
 	"smarq/internal/dynopt"
 	"smarq/internal/guest"
+	"smarq/internal/telemetry"
 	"smarq/internal/workload"
 )
 
@@ -26,17 +27,23 @@ type Runner struct {
 	// Parallelism bounds how many cells Warm executes concurrently.
 	// Zero or negative means runtime.GOMAXPROCS(0).
 	Parallelism int
-	// Verbose, when set, receives each cell as it completes. The runner
-	// serializes calls, so the hook needs no locking of its own; under
-	// parallel execution the completion *order* is nondeterministic.
-	Verbose func(bench, config string, stats *dynopt.Stats)
+	// Verbose, when set, receives one summary line per completed cell.
+	// The sink serializes concurrent writers, so lines never interleave;
+	// under parallel execution the completion *order* is nondeterministic
+	// (the artifact stream on stdout stays byte-identical regardless —
+	// only this progress stream reorders).
+	Verbose *telemetry.LineSink
+	// Telemetry, when set, builds the telemetry bundle for each cell
+	// before it runs (return nil to leave a cell untraced). The runner
+	// flushes the cell's tracer when the run completes; closing sinks is
+	// the caller's job.
+	Telemetry func(bench, config string) *telemetry.Telemetry
 
 	byName map[string]workload.Benchmark
 
-	mu        sync.Mutex // guards configs and cache
-	configs   map[string]dynopt.Config
-	cache     map[Cell]*cellResult
-	verboseMu sync.Mutex
+	mu      sync.Mutex // guards configs and cache
+	configs map[string]dynopt.Config
+	cache   map[Cell]*cellResult
 }
 
 // Cell names one benchmark×configuration run.
@@ -139,8 +146,14 @@ func (r *Runner) execute(bench, config string) (*dynopt.Stats, error) {
 	if !ok {
 		return nil, fmt.Errorf("harness: no configuration %q", config)
 	}
+	if r.Telemetry != nil {
+		cfg.Telemetry = r.Telemetry(bench, config)
+	}
 	sys := dynopt.New(bm.Build(), &guest.State{}, guest.NewMemory(bm.MemSize), cfg)
 	halted, err := sys.Run(bm.MaxInsts)
+	if ferr := cfg.Telemetry.Tracer().Flush(); ferr != nil && err == nil {
+		err = ferr
+	}
 	if err != nil {
 		return nil, fmt.Errorf("harness: %s/%s: %w", bench, config, err)
 	}
@@ -148,9 +161,7 @@ func (r *Runner) execute(bench, config string) (*dynopt.Stats, error) {
 		return nil, fmt.Errorf("harness: %s/%s did not halt", bench, config)
 	}
 	if r.Verbose != nil {
-		r.verboseMu.Lock()
-		r.Verbose(bench, config, &sys.Stats)
-		r.verboseMu.Unlock()
+		r.Verbose.Emitf("# %s/%s: %s", bench, config, SummaryLine(&sys.Stats))
 	}
 	return &sys.Stats, nil
 }

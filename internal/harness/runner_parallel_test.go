@@ -7,17 +7,31 @@ import (
 	"testing"
 
 	"smarq/internal/dynopt"
+	"smarq/internal/telemetry"
 )
+
+// lineCounter counts completed Verbose lines (each Emitf writes exactly
+// one '\n'); the LineSink serializes writers, so the count is exact.
+type lineCounter struct {
+	lines atomic.Int64
+}
+
+func (c *lineCounter) Write(p []byte) (int, error) {
+	for _, b := range p {
+		if b == '\n' {
+			c.lines.Add(1)
+		}
+	}
+	return len(p), nil
+}
 
 // TestRunSingleFlight: many goroutines requesting the same cell share
 // exactly one execution and the same *Stats.
 func TestRunSingleFlight(t *testing.T) {
 	r := NewRunner(smallSuite())
 	r.Parallelism = 8
-	var executions int64
-	r.Verbose = func(bench, config string, st *dynopt.Stats) {
-		atomic.AddInt64(&executions, 1)
-	}
+	var executions lineCounter
+	r.Verbose = telemetry.NewLineSink(&executions)
 
 	const goroutines = 32
 	stats := make([]*dynopt.Stats, goroutines)
@@ -40,7 +54,7 @@ func TestRunSingleFlight(t *testing.T) {
 			t.Fatalf("goroutine %d got a different *Stats — cell ran more than once", i)
 		}
 	}
-	if n := atomic.LoadInt64(&executions); n != 1 {
+	if n := executions.lines.Load(); n != 1 {
 		t.Errorf("cell executed %d times, want exactly 1", n)
 	}
 }
@@ -50,15 +64,13 @@ func TestRunSingleFlight(t *testing.T) {
 func TestWarmSharesCells(t *testing.T) {
 	r := NewRunner(smallSuite())
 	r.Parallelism = 4
-	var executions int64
-	r.Verbose = func(bench, config string, st *dynopt.Stats) {
-		atomic.AddInt64(&executions, 1)
-	}
+	var executions lineCounter
+	r.Verbose = telemetry.NewLineSink(&executions)
 
 	cells := crossCells([]string{"wupwise", "mesa"}, []string{CfgSMARQ64, CfgNoHW})
 	// Duplicate every cell: single-flight must still run each once.
 	r.Warm(append(append([]Cell{}, cells...), cells...))
-	if n := atomic.LoadInt64(&executions); n != int64(len(cells)) {
+	if n := executions.lines.Load(); n != int64(len(cells)) {
 		t.Errorf("%d executions after Warm, want %d", n, len(cells))
 	}
 	for _, c := range cells {
@@ -66,7 +78,7 @@ func TestWarmSharesCells(t *testing.T) {
 			t.Fatalf("%s/%s: %v", c.Bench, c.Config, err)
 		}
 	}
-	if n := atomic.LoadInt64(&executions); n != int64(len(cells)) {
+	if n := executions.lines.Load(); n != int64(len(cells)) {
 		t.Errorf("%d executions after cached re-Runs, want %d", n, len(cells))
 	}
 }
@@ -173,19 +185,40 @@ func TestConcurrentFigures(t *testing.T) {
 	}
 }
 
-// TestVerboseSerialized: the Verbose hook is never invoked concurrently.
+// nonReentrantWriter fails the test if two Write calls overlap — the
+// LineSink must serialize concurrent Verbose emitters.
+type nonReentrantWriter struct {
+	t      *testing.T
+	inside atomic.Int64
+	lines  atomic.Int64
+}
+
+func (w *nonReentrantWriter) Write(p []byte) (int, error) {
+	if w.inside.Add(1) != 1 {
+		w.t.Error("Verbose sink written concurrently")
+	}
+	for _, b := range p {
+		if b == '\n' {
+			w.lines.Add(1)
+		}
+	}
+	w.inside.Add(-1)
+	return len(p), nil
+}
+
+// TestVerboseSerialized: the Verbose sink is never written concurrently,
+// and every completed cell emits exactly one line.
 func TestVerboseSerialized(t *testing.T) {
 	r := NewRunner(smallSuite())
 	r.Parallelism = 8
-	var inHook int64
-	r.Verbose = func(bench, config string, st *dynopt.Stats) {
-		if atomic.AddInt64(&inHook, 1) != 1 {
-			t.Error("Verbose invoked concurrently")
-		}
-		atomic.AddInt64(&inHook, -1)
+	w := &nonReentrantWriter{t: t}
+	r.Verbose = telemetry.NewLineSink(w)
+	cells := crossCells([]string{"wupwise", "mesa", "ammp"},
+		[]string{CfgSMARQ64, CfgSMARQ16, CfgALAT, CfgNoHW})
+	r.Warm(cells)
+	if n := w.lines.Load(); n != int64(len(cells)) {
+		t.Errorf("%d verbose lines, want %d", n, len(cells))
 	}
-	r.Warm(crossCells([]string{"wupwise", "mesa", "ammp"},
-		[]string{CfgSMARQ64, CfgSMARQ16, CfgALAT, CfgNoHW}))
 }
 
 // TestParallelismDefault: zero and negative Parallelism resolve to a

@@ -12,6 +12,8 @@ package interp
 import (
 	"fmt"
 
+	"smarq/internal/telemetry"
+
 	"smarq/internal/guest"
 )
 
@@ -62,6 +64,11 @@ type Interpreter struct {
 
 	// DynInsts counts guest instructions retired by the interpreter.
 	DynInsts uint64
+
+	// Insts, when non-nil, mirrors DynInsts into a telemetry counter.
+	// Updated at block granularity so the per-instruction loop stays
+	// counter-free.
+	Insts *telemetry.Counter
 }
 
 // New returns an interpreter over prog with the given architectural state.
@@ -91,6 +98,7 @@ func (it *Interpreter) RunBlock(id int) (int, error) {
 		ctl, err := guest.Exec(insts[i], st, mem)
 		if err != nil {
 			it.DynInsts += retired
+			it.Insts.Add(int64(retired))
 			return HaltID, fmt.Errorf("interp: B%d %s: %w", id, insts[i], err)
 		}
 		retired++
@@ -99,10 +107,12 @@ func (it *Interpreter) RunBlock(id int) (int, error) {
 			next = insts[i].Target
 		case guest.CtlHalt:
 			it.DynInsts += retired
+			it.Insts.Add(int64(retired))
 			return HaltID, nil
 		}
 	}
 	it.DynInsts += retired
+	it.Insts.Add(int64(retired))
 	it.Prof.EdgeCounts[Edge{id, next}]++
 	return next, nil
 }

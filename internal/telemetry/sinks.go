@@ -1,0 +1,256 @@
+package telemetry
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// JSONLSink encodes events as one JSON object per line (the canonical
+// AppendJSON schema). Output is byte-deterministic for a given event
+// stream.
+type JSONLSink struct {
+	w   *bufio.Writer
+	buf []byte
+}
+
+// NewJSONLSink returns a sink writing JSONL to w. The caller keeps
+// ownership of w; Close flushes but does not close it.
+func NewJSONLSink(w io.Writer) *JSONLSink {
+	return &JSONLSink{w: bufio.NewWriterSize(w, 1<<16)}
+}
+
+// WriteEvents implements Sink.
+func (s *JSONLSink) WriteEvents(evs []Event) error {
+	for i := range evs {
+		s.buf = AppendJSON(s.buf[:0], &evs[i])
+		s.buf = append(s.buf, '\n')
+		if _, err := s.w.Write(s.buf); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Close implements Sink.
+func (s *JSONLSink) Close() error { return s.w.Flush() }
+
+// NewFormatSink resolves a -trace-format name ("jsonl" or "chrome") to a
+// sink over w — the shared CLI flag plumbing.
+func NewFormatSink(w io.Writer, format string) (Sink, error) {
+	switch format {
+	case "jsonl":
+		return NewJSONLSink(w), nil
+	case "chrome":
+		return NewChromeSink(w), nil
+	default:
+		return nil, fmt.Errorf("telemetry: unknown trace format %q (want jsonl or chrome)", format)
+	}
+}
+
+// ChromeSink encodes events as Chrome trace-event JSON ("JSON Object
+// Format"), loadable in Perfetto or chrome://tracing. The mapping puts
+// every region on its own thread of the cycle timeline:
+//
+//   - pid = the event's Run (one "process" per run in multi-run traces;
+//     a KindMeta event names it),
+//   - tid = region entry + 1 (tid 0 is the run-level "runtime" thread),
+//   - ts = the simulated cycle (so the viewer's microseconds read as
+//     cycles),
+//   - commits and rollbacks become complete ("X") slices spanning their
+//     cycle cost; compiles, tier moves, evictions, drops, alias
+//     exceptions, guard fails and chaos injections become instant ("i")
+//     events; dispatches are implied by the slices and are skipped.
+type ChromeSink struct {
+	w       *bufio.Writer
+	buf     []byte
+	started bool
+	wrote   bool
+	seen    map[chromeThread]bool
+}
+
+type chromeThread struct {
+	pid int32
+	tid int64
+}
+
+// NewChromeSink returns a sink writing a Chrome trace to w. The caller
+// keeps ownership of w; Close writes the trailer and flushes.
+func NewChromeSink(w io.Writer) *ChromeSink {
+	return &ChromeSink{
+		w:    bufio.NewWriterSize(w, 1<<16),
+		seen: make(map[chromeThread]bool),
+	}
+}
+
+// tid maps a region to its thread ID on the trace timeline.
+func chromeTid(region int32) int64 {
+	if region < 0 {
+		return 0
+	}
+	return int64(region) + 1
+}
+
+// header opens the JSON document on first write.
+func (s *ChromeSink) header() error {
+	if s.started {
+		return nil
+	}
+	s.started = true
+	_, err := s.w.WriteString("{\"traceEvents\":[\n")
+	return err
+}
+
+// record writes one trace record, separating it from the previous one.
+func (s *ChromeSink) record(body []byte) error {
+	if s.wrote {
+		if _, err := s.w.WriteString(",\n"); err != nil {
+			return err
+		}
+	}
+	s.wrote = true
+	_, err := s.w.Write(body)
+	return err
+}
+
+// metaRecord emits a thread/process name metadata event.
+func (s *ChromeSink) metaRecord(kind string, pid int32, tid int64, name string) error {
+	b := s.buf[:0]
+	b = append(b, `{"name":"`...)
+	b = append(b, kind...)
+	b = append(b, `","ph":"M","pid":`...)
+	b = strconv.AppendInt(b, int64(pid), 10)
+	b = append(b, `,"tid":`...)
+	b = strconv.AppendInt(b, tid, 10)
+	b = append(b, `,"args":{"name":`...)
+	b = strconv.AppendQuote(b, name)
+	b = append(b, `}}`...)
+	s.buf = b
+	return s.record(b)
+}
+
+// ensureThread names a (pid, tid) pair the first time it appears, so the
+// viewer shows "region B<N>" rows sorted by entry block.
+func (s *ChromeSink) ensureThread(pid, region int32) error {
+	tid := chromeTid(region)
+	key := chromeThread{pid, tid}
+	if s.seen[key] {
+		return nil
+	}
+	s.seen[key] = true
+	name := "runtime"
+	if region >= 0 {
+		name = "region B" + strconv.Itoa(int(region))
+	}
+	if err := s.metaRecord("thread_name", pid, tid, name); err != nil {
+		return err
+	}
+	// Sort threads by entry block, runtime first.
+	b := s.buf[:0]
+	b = append(b, `{"name":"thread_sort_index","ph":"M","pid":`...)
+	b = strconv.AppendInt(b, int64(pid), 10)
+	b = append(b, `,"tid":`...)
+	b = strconv.AppendInt(b, tid, 10)
+	b = append(b, `,"args":{"sort_index":`...)
+	b = strconv.AppendInt(b, tid, 10)
+	b = append(b, `}}`...)
+	s.buf = b
+	return s.record(b)
+}
+
+// WriteEvents implements Sink.
+func (s *ChromeSink) WriteEvents(evs []Event) error {
+	if err := s.header(); err != nil {
+		return err
+	}
+	for i := range evs {
+		e := &evs[i]
+		if e.Kind == KindDispatch {
+			continue // implied by the commit/rollback slices
+		}
+		if e.Kind == KindMeta {
+			if err := s.metaRecord("process_name", e.Run, 0, e.Name); err != nil {
+				return err
+			}
+			continue
+		}
+		if err := s.ensureThread(e.Run, e.Region); err != nil {
+			return err
+		}
+		if err := s.record(s.encode(e)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// encode renders one event into the reusable buffer.
+func (s *ChromeSink) encode(e *Event) []byte {
+	spec := &kindSpecs[e.Kind]
+	b := s.buf[:0]
+	b = append(b, `{"name":"`...)
+	b = append(b, spec.name...)
+	if e.Cause != CauseNone {
+		b = append(b, ':')
+		b = append(b, e.Cause.String()...)
+	}
+	if e.Kind == KindDemote || e.Kind == KindPromote {
+		b = append(b, "\\u2192"...) // → between the rungs
+		b = append(b, TierName(int(e.To))...)
+	}
+	b = append(b, '"')
+	durable := e.Kind == KindCommit || e.Kind == KindRollback
+	if durable {
+		b = append(b, `,"ph":"X","ts":`...)
+		b = strconv.AppendInt(b, e.Cycle-e.Cost, 10)
+		b = append(b, `,"dur":`...)
+		b = strconv.AppendInt(b, e.Cost, 10)
+	} else {
+		b = append(b, `,"ph":"i","s":"t","ts":`...)
+		b = strconv.AppendInt(b, e.Cycle, 10)
+	}
+	b = append(b, `,"pid":`...)
+	b = strconv.AppendInt(b, int64(e.Run), 10)
+	b = append(b, `,"tid":`...)
+	b = strconv.AppendInt(b, chromeTid(e.Region), 10)
+	b = append(b, `,"args":{`...)
+	firstArg := true
+	arg := func(name string, v int64) {
+		if name == "" {
+			return
+		}
+		if !firstArg {
+			b = append(b, ',')
+		}
+		firstArg = false
+		b = append(b, '"')
+		b = append(b, name...)
+		b = append(b, `":`...)
+		b = strconv.AppendInt(b, v, 10)
+	}
+	if e.Tier >= 0 {
+		b = append(b, `"tier":"`...)
+		b = append(b, TierName(int(e.Tier))...)
+		b = append(b, '"')
+		firstArg = false
+	}
+	arg(spec.aN, e.A)
+	arg(spec.bN, e.B)
+	arg(spec.cN, e.C)
+	arg(spec.dN, e.D)
+	b = append(b, `}}`...)
+	s.buf = b
+	return b
+}
+
+// Close writes the trailer and flushes.
+func (s *ChromeSink) Close() error {
+	if err := s.header(); err != nil {
+		return err
+	}
+	if _, err := s.w.WriteString("\n]}\n"); err != nil {
+		return err
+	}
+	return s.w.Flush()
+}

@@ -1,0 +1,192 @@
+package telemetry
+
+import "sync"
+
+// Sink consumes batches of events drained from a tracer's ring. Sinks are
+// only invoked off the hot path — when the ring fills, on Flush, and on
+// Close — so they may allocate, buffer and write freely.
+type Sink interface {
+	// WriteEvents consumes one ordered batch. The slice is only valid for
+	// the duration of the call.
+	WriteEvents([]Event) error
+	// Close finalizes the sink's output (trailers, buffered bytes). It
+	// does not close an underlying file the caller opened.
+	Close() error
+}
+
+// DefaultRingCapacity is the tracer ring size when NewTracer is given a
+// non-positive capacity: large enough that streaming drains stay rare,
+// small enough (a few MB of value structs) to sit in a long-lived soak.
+const DefaultRingCapacity = 1 << 15
+
+// Tracer is a fixed-capacity ring buffer of value-typed events.
+//
+// With a sink attached the tracer streams: a full ring drains to the sink
+// and recording continues, so no event is lost. Without a sink it is a
+// flight recorder: the ring keeps the most recent events, overwriting the
+// oldest and counting the overwritten in Dropped.
+//
+// Emit performs no heap allocation in either mode (sink drains allocate,
+// but only when the ring wraps — never per event). A Tracer is not safe
+// for concurrent use; each dynopt.System owns at most one. A nil *Tracer
+// is a valid disabled tracer: Emit, Flush and Close are no-ops.
+type Tracer struct {
+	// Run is stamped into every emitted event; the figure harness gives
+	// each concurrent run a distinct Run so one shared sink can tell the
+	// interleaved streams apart. Zero for single-run traces.
+	Run int32
+
+	ring    []Event
+	head, n int
+	sink    Sink
+	dropped int64
+	err     error
+}
+
+// NewTracer returns a tracer with the given ring capacity (non-positive
+// means DefaultRingCapacity) draining to sink (nil = flight recorder).
+func NewTracer(capacity int, sink Sink) *Tracer {
+	if capacity <= 0 {
+		capacity = DefaultRingCapacity
+	}
+	return &Tracer{ring: make([]Event, capacity), sink: sink}
+}
+
+// Emit records one event. Allocation-free; safe on a nil tracer.
+func (t *Tracer) Emit(e Event) {
+	if t == nil {
+		return
+	}
+	e.Run = t.Run
+	if t.n == len(t.ring) {
+		if t.sink == nil {
+			// Flight recorder: overwrite the oldest.
+			t.ring[t.head] = e
+			t.head++
+			if t.head == len(t.ring) {
+				t.head = 0
+			}
+			t.dropped++
+			return
+		}
+		t.drain()
+	}
+	i := t.head + t.n
+	if i >= len(t.ring) {
+		i -= len(t.ring)
+	}
+	t.ring[i] = e
+	t.n++
+}
+
+// drain writes the ring's contents to the sink in order and empties it.
+// Sink errors are sticky (Err/Flush/Close report the first one); tracing
+// continues so a failed disk write never aborts the simulated run.
+func (t *Tracer) drain() {
+	if t.n == 0 {
+		return
+	}
+	write := func(evs []Event) {
+		if t.sink == nil || len(evs) == 0 {
+			return
+		}
+		if err := t.sink.WriteEvents(evs); err != nil && t.err == nil {
+			t.err = err
+		}
+	}
+	if wrap := t.head + t.n - len(t.ring); wrap > 0 {
+		write(t.ring[t.head:])
+		write(t.ring[:wrap])
+	} else {
+		write(t.ring[t.head : t.head+t.n])
+	}
+	t.head, t.n = 0, 0
+}
+
+// Flush drains buffered events to the sink (no-op without one) and
+// returns the first sink error seen so far.
+func (t *Tracer) Flush() error {
+	if t == nil {
+		return nil
+	}
+	if t.sink != nil {
+		t.drain()
+	}
+	return t.err
+}
+
+// Close flushes and closes the sink. The tracer stays usable as a flight
+// recorder afterwards, but nothing further reaches the sink.
+func (t *Tracer) Close() error {
+	if t == nil {
+		return nil
+	}
+	err := t.Flush()
+	if t.sink != nil {
+		if cerr := t.sink.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+		t.sink = nil
+	}
+	return err
+}
+
+// Events returns the buffered events, oldest first (the flight-recorder
+// dump). The returned slice is freshly allocated.
+func (t *Tracer) Events() []Event {
+	if t == nil || t.n == 0 {
+		return nil
+	}
+	out := make([]Event, t.n)
+	for i := 0; i < t.n; i++ {
+		j := t.head + i
+		if j >= len(t.ring) {
+			j -= len(t.ring)
+		}
+		out[i] = t.ring[j]
+	}
+	return out
+}
+
+// Dropped reports how many events the flight recorder overwrote.
+func (t *Tracer) Dropped() int64 {
+	if t == nil {
+		return 0
+	}
+	return t.dropped
+}
+
+// Err returns the first sink error.
+func (t *Tracer) Err() error {
+	if t == nil {
+		return nil
+	}
+	return t.err
+}
+
+// SyncSink serializes concurrent tracers' drains onto one underlying
+// sink — the figure harness wraps its shared trace sink in one so every
+// per-run tracer can stream into the same file. Batches stay contiguous;
+// interleaving across batches follows completion order (deterministic
+// only at parallelism 1).
+type SyncSink struct {
+	mu   sync.Mutex
+	sink Sink
+}
+
+// NewSyncSink wraps sink for concurrent use.
+func NewSyncSink(sink Sink) *SyncSink { return &SyncSink{sink: sink} }
+
+// WriteEvents implements Sink.
+func (s *SyncSink) WriteEvents(evs []Event) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.sink.WriteEvents(evs)
+}
+
+// Close implements Sink. Safe to call once after all tracers closed.
+func (s *SyncSink) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.sink.Close()
+}

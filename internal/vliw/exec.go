@@ -216,10 +216,13 @@ func (ctx *ExecContext) Execute(cr *CompiledRegion, st *guest.State, mem *guest.
 	}
 
 	ctx.ar.Begin(st, mem)
+	arHW := int32(0) // alias-register occupancy high-water (telemetry)
 	abort := func(out Outcome, conf *aliashw.Conflict, n int) ExecResult {
+		buffered := ctx.ar.StoreCount()
 		ctx.ar.Rollback()
 		det.Reset()
-		return ExecResult{Outcome: out, Conflict: conf, OpsExecuted: n}
+		return ExecResult{Outcome: out, Conflict: conf, OpsExecuted: n,
+			ARHighWater: int(arHW), StoresBuffered: buffered}
 	}
 
 	for n := range dec {
@@ -238,6 +241,9 @@ func (ctx *ExecContext) Execute(cr *CompiledRegion, st *guest.State, mem *guest.
 		case ir.Load:
 			addr := uint64(vri[op.memBase] + op.memOff)
 			size := int(op.memSize)
+			if op.p && op.arOffset+1 > arHW {
+				arHW = op.arOffset + 1
+			}
 			if conf, hit := dd.onMem(op, false, addr, addr+uint64(size)); hit {
 				c := conf
 				return abort(AliasException, &c, n)
@@ -255,6 +261,9 @@ func (ctx *ExecContext) Execute(cr *CompiledRegion, st *guest.State, mem *guest.
 		case ir.Store:
 			addr := uint64(vri[op.memBase] + op.memOff)
 			size := int(op.memSize)
+			if op.p && op.arOffset+1 > arHW {
+				arHW = op.arOffset + 1
+			}
 			if conf, hit := dd.onMem(op, true, addr, addr+uint64(size)); hit {
 				c := conf
 				return abort(AliasException, &c, n)
@@ -288,9 +297,11 @@ func (ctx *ExecContext) Execute(cr *CompiledRegion, st *guest.State, mem *guest.
 		st.R[r] = vri[reg.IntOut[r]]
 		st.F[r] = vrf[reg.FloatOut[r]]
 	}
+	buffered := ctx.ar.StoreCount()
 	ctx.ar.Commit()
 	det.Reset()
-	return ExecResult{Outcome: Commit, NextBlock: reg.FinalTarget, OpsExecuted: len(dec)}
+	return ExecResult{Outcome: Commit, NextBlock: reg.FinalTarget, OpsExecuted: len(dec),
+		ARHighWater: int(arHW), StoresBuffered: buffered}
 }
 
 // Execute is the context-free convenience entry point: it runs the region

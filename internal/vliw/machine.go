@@ -46,6 +46,15 @@ type ExecResult struct {
 	Conflict *aliashw.Conflict
 	// OpsExecuted counts ops retired before the region ended (stats).
 	OpsExecuted int
+	// ARHighWater is the alias-register occupancy high-water mark of the
+	// execution: the highest queue slot (+1) an executed P-bit memory op
+	// claimed. Telemetry-only; filled by the decoded engine, left zero by
+	// the reference executor.
+	ARHighWater int
+	// StoresBuffered is how many stores the atomic region had buffered
+	// when the execution ended (committed or discarded). Telemetry-only;
+	// filled by the decoded engine, left zero by the reference executor.
+	StoresBuffered int
 }
 
 // CompiledRegion is an installed translation: the scheduled sequence, its

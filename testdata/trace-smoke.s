@@ -1,0 +1,36 @@
+; trace-smoke: a small two-phase workload for the telemetry CI gate.
+; Phase 1 fills A[i] = 3*i + 1; phase 2 streams A into a running sum,
+; storing partial sums to B and re-loading A[i] (load-elimination
+; fodder). Both loops clear the hot threshold, so the trace records two
+; region compiles followed by a steady run of commits — enough event
+; variety to pin the Chrome trace encoding, small enough to commit the
+; golden.
+start:
+        li   r1, 1024        ; A base
+        li   r2, 8192        ; B base
+        li   r3, 0           ; i
+        li   r4, 120         ; n
+fill:
+        muli r5, r3, 3
+        addi r5, r5, 1
+        muli r6, r3, 8
+        add  r7, r1, r6
+        st8  [r7+0], r5
+        addi r3, r3, 1
+        blt  r3, r4, fill
+mid:
+        li   r3, 0
+        li   r8, 0           ; sum
+sum:
+        muli r6, r3, 8
+        add  r7, r1, r6
+        ld8  r9, [r7+0]
+        add  r8, r8, r9
+        add  r10, r2, r6
+        st8  [r10+0], r8
+        ld8  r11, [r7+0]
+        add  r8, r8, r11
+        addi r3, r3, 1
+        blt  r3, r4, sum
+done:
+        halt
