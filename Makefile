@@ -75,7 +75,7 @@ chaos-smoke:
 # Execution-engine microbench suite → BENCH_exec.json. Fixed -benchtime
 # and -count keep runs comparable; the committed pre-change baseline is
 # merged in so the artifact records the before/after trajectory.
-BENCH_EXEC_RE = ^BenchmarkExecute$$|^BenchmarkRegionExecution$$|^BenchmarkDynopt$$
+BENCH_EXEC_RE = ^BenchmarkExecute$$|^BenchmarkRegionExecution$$|^BenchmarkDynopt$$|^BenchmarkCompile$$|^BenchmarkMemoHit$$
 
 bench:
 	$(GO) test -run '^$$' -bench '$(BENCH_EXEC_RE)' -benchmem -benchtime 2000x -count=1 . \

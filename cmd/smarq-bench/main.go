@@ -33,6 +33,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"smarq/internal/dynopt"
 	"smarq/internal/harness"
 	"smarq/internal/profiledump"
 	"smarq/internal/telemetry"
@@ -46,6 +47,8 @@ func main() {
 	asJSON := flag.Bool("json", false, "emit all results as one JSON document")
 	scale := flag.Int64("scale", 1, "multiply every benchmark's main loop count (longer runs amortize translation cost)")
 	parallel := flag.Int("parallel", 0, "max concurrent benchmark runs (0 = GOMAXPROCS)")
+	compileWorkers := flag.Int("compile-workers", 0, "background compile workers per run (0 = synchronous instant install; any N >= 1 is simulation-identical)")
+	compileMemoize := flag.Bool("compile-memoize", false, "memoize compiled regions by content hash")
 	traceFile := flag.String("trace", "", "write a cycle-stamped event trace of every run to this file")
 	traceFormat := flag.String("trace-format", "jsonl", "trace encoding: jsonl or chrome (Perfetto-loadable)")
 	metricsFile := flag.String("metrics", "", "write a JSON metrics snapshot aggregated across all runs")
@@ -81,6 +84,13 @@ func main() {
 
 	r := harness.NewRunner(suite)
 	r.Parallelism = *parallel
+	if *compileWorkers > 0 || *compileMemoize {
+		r.ConfigHook = func(cfg dynopt.Config) dynopt.Config {
+			cfg.Compile.Workers = *compileWorkers
+			cfg.Compile.Memoize = *compileMemoize
+			return cfg
+		}
+	}
 	if *verbose {
 		r.Verbose = telemetry.NewLineSink(os.Stderr)
 	}

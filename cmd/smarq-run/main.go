@@ -52,6 +52,10 @@ func main() {
 	compileRate := flag.Float64("chaos-compile-rate", -1, "override the compile-fail injection rate (with -chaos-seed)")
 	corruptRate := flag.Float64("chaos-corrupt-rate", -1, "override the post-rollback corruption rate (with -chaos-seed)")
 	checkInv := flag.Bool("check-invariants", false, "verify every rollback restores the exact checkpoint (slow)")
+	compileWorkers := flag.Int("compile-workers", 0, "background compile workers (0 = synchronous instant install; any N >= 1 is simulation-identical)")
+	compileMemoize := flag.Bool("compile-memoize", false, "memoize compiled regions by content hash")
+	compileCPI := flag.Int("compile-cycles-per-inst", -1, "override the compile-latency model's cycles per guest instruction (-1 = machine default)")
+	compileCPC := flag.Int("compile-cycles-per-check", -1, "override the compile-latency model's cycles per guest memory op (-1 = machine default)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file after the run")
 	flag.Parse()
@@ -111,6 +115,14 @@ func main() {
 		}
 	}
 	cfg.CheckInvariants = *checkInv
+	cfg.Compile.Workers = *compileWorkers
+	cfg.Compile.Memoize = *compileMemoize
+	if *compileCPI >= 0 {
+		cfg.Machine.CompileCyclesPerInst = *compileCPI
+	}
+	if *compileCPC >= 0 {
+		cfg.Machine.CompileCyclesPerCheck = *compileCPC
+	}
 	if err := cfg.Validate(); err != nil {
 		fmt.Fprintln(os.Stderr, "smarq-run:", err)
 		os.Exit(2)
@@ -200,6 +212,15 @@ func main() {
 		100*float64(st.InterpretedInsts)/float64(st.GuestInsts))
 	fmt.Printf("  cycles/inst: %.3f\n", float64(st.TotalCycles)/float64(st.GuestInsts))
 	fmt.Println("  recovery:", harness.RecoveryLine(st))
+	if cs := st.Compile; cs.Enqueued > 0 || cs.MemoHits+cs.MemoMisses > 0 {
+		avg := int64(0)
+		if cs.Installed > 0 {
+			avg = cs.LatencySum / cs.Installed
+		}
+		fmt.Printf("  compile: %d enqueued, %d installed, %d canceled, %d failed, avg latency %d cycles, peak depth %d, memo %d/%d hits\n",
+			cs.Enqueued, cs.Installed, cs.Canceled, cs.Failed, avg, cs.MaxQueueDepth,
+			cs.MemoHits, cs.MemoHits+cs.MemoMisses)
+	}
 	if chaos {
 		fmt.Printf("  injected (seed %d): %s\n", *chaosSeed, harness.InjectedLine(st))
 	}

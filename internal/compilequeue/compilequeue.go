@@ -1,0 +1,135 @@
+// Package compilequeue is the host-side machinery behind dynopt's
+// asynchronous background compilation: a bounded worker pool that runs
+// pure compile jobs off the dispatch path, and a content-hash memo table
+// keyed by the canonical bytes of a region's guest instructions plus the
+// configuration bits that affect its compilation.
+//
+// Determinism discipline: nothing in this package makes a *simulated*
+// decision. Workers execute pure functions whose inputs are snapshotted on
+// the simulation thread; every observable choice — what to enqueue, when a
+// result installs, memo lookups and inserts — happens on the simulation
+// thread at points fixed by the simulated clock. The worker count
+// therefore changes only host wall time, never a single simulated cycle,
+// stat, or telemetry byte.
+package compilequeue
+
+import "sync"
+
+// Pool is a bounded worker pool for background compile jobs. Jobs are
+// plain funcs; completion signalling (and any result hand-off) is the
+// job's own business — dynopt closes a per-job channel that the install
+// point blocks on.
+type Pool struct {
+	jobs chan func()
+	wg   sync.WaitGroup
+}
+
+// NewPool starts a pool with the given number of worker goroutines
+// (workers must be >= 1).
+func NewPool(workers int) *Pool {
+	if workers < 1 {
+		workers = 1
+	}
+	// The buffer only decouples the submitting thread from worker
+	// scheduling; queue *semantics* (ordering, install points) live in the
+	// caller's pending list, so its size is not observable.
+	p := &Pool{jobs: make(chan func(), 4*workers)}
+	for i := 0; i < workers; i++ {
+		p.wg.Add(1)
+		go p.worker()
+	}
+	return p
+}
+
+func (p *Pool) worker() {
+	defer p.wg.Done()
+	for fn := range p.jobs {
+		fn()
+	}
+}
+
+// Submit hands a job to the pool. It may block briefly when every worker
+// is busy and the submission buffer is full; it never drops a job.
+func (p *Pool) Submit(fn func()) {
+	p.jobs <- fn
+}
+
+// Close stops accepting jobs and waits for all submitted jobs to finish.
+func (p *Pool) Close() {
+	close(p.jobs)
+	p.wg.Wait()
+}
+
+// Key is a 64-bit FNV-1a content hash identifying a compilation input:
+// the superblock's instruction bytes plus every configuration bit that
+// changes the produced code (tier-derived flags, blacklist pairs, pinned
+// loads). Two enqueues with equal keys compile to interchangeable code.
+type Key uint64
+
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+// NewKey returns the hash seed.
+func NewKey() Key { return Key(fnvOffset64) }
+
+// Word folds one 64-bit word into the hash, byte by byte (FNV-1a).
+func (k Key) Word(v uint64) Key {
+	h := uint64(k)
+	for i := 0; i < 8; i++ {
+		h ^= v & 0xff
+		h *= fnvPrime64
+		v >>= 8
+	}
+	return Key(h)
+}
+
+// Int folds a signed word.
+func (k Key) Int(v int64) Key { return k.Word(uint64(v)) }
+
+// Bool folds a flag.
+func (k Key) Bool(b bool) Key {
+	if b {
+		return k.Word(1)
+	}
+	return k.Word(0)
+}
+
+// Memo is the content-hash memoization table. It is NOT concurrency-safe
+// by design: lookups happen at enqueue and inserts at install, both on
+// the simulation thread, so the table needs no lock and its hit/miss
+// order is deterministic.
+type Memo[V any] struct {
+	m      map[Key]V
+	hits   int64
+	misses int64
+}
+
+// NewMemo returns an empty memo table.
+func NewMemo[V any]() *Memo[V] {
+	return &Memo[V]{m: make(map[Key]V)}
+}
+
+// Get looks k up, counting a hit or a miss.
+func (m *Memo[V]) Get(k Key) (V, bool) {
+	v, ok := m.m[k]
+	if ok {
+		m.hits++
+	} else {
+		m.misses++
+	}
+	return v, ok
+}
+
+// Put records the compiled value for k.
+func (m *Memo[V]) Put(k Key, v V) { m.m[k] = v }
+
+// Hits returns the lookup hit count.
+func (m *Memo[V]) Hits() int64 { return m.hits }
+
+// Misses returns the lookup miss count.
+func (m *Memo[V]) Misses() int64 { return m.misses }
+
+// Len returns the number of memoized entries.
+func (m *Memo[V]) Len() int { return len(m.m) }

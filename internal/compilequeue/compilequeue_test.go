@@ -1,0 +1,96 @@
+package compilequeue
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestPoolRunsEveryJob(t *testing.T) {
+	for _, workers := range []int{1, 2, 8} {
+		p := NewPool(workers)
+		var ran atomic.Int64
+		var wg sync.WaitGroup
+		for i := 0; i < 100; i++ {
+			wg.Add(1)
+			p.Submit(func() {
+				ran.Add(1)
+				wg.Done()
+			})
+		}
+		wg.Wait()
+		p.Close()
+		if got := ran.Load(); got != 100 {
+			t.Errorf("workers=%d: ran %d jobs, want 100", workers, got)
+		}
+	}
+}
+
+func TestPoolCloseWaitsForInFlightJobs(t *testing.T) {
+	p := NewPool(2)
+	var ran atomic.Int64
+	for i := 0; i < 50; i++ {
+		p.Submit(func() { ran.Add(1) })
+	}
+	p.Close() // must not return before every submitted job has run
+	if got := ran.Load(); got != 50 {
+		t.Errorf("Close returned with %d/50 jobs run", got)
+	}
+}
+
+func TestPoolClampsWorkerCount(t *testing.T) {
+	p := NewPool(0) // degenerate request still yields a working pool
+	done := make(chan struct{})
+	p.Submit(func() { close(done) })
+	<-done
+	p.Close()
+}
+
+func TestKeyDeterministic(t *testing.T) {
+	build := func() Key {
+		return NewKey().Word(42).Int(-7).Bool(true).Bool(false).Int(1 << 40)
+	}
+	if build() != build() {
+		t.Error("identical fold sequences produced different keys")
+	}
+}
+
+func TestKeySensitiveToEveryFold(t *testing.T) {
+	base := NewKey().Word(1).Int(2).Bool(true)
+	variants := map[string]Key{
+		"word":       NewKey().Word(3).Int(2).Bool(true),
+		"int":        NewKey().Word(1).Int(3).Bool(true),
+		"bool":       NewKey().Word(1).Int(2).Bool(false),
+		"extra fold": NewKey().Word(1).Int(2).Bool(true).Int(0),
+		"reordered":  NewKey().Int(2).Word(1).Bool(true),
+	}
+	for name, k := range variants {
+		if k == base {
+			t.Errorf("%s variant collided with the base key", name)
+		}
+	}
+}
+
+func TestMemoCountsHitsAndMisses(t *testing.T) {
+	m := NewMemo[string]()
+	k1 := NewKey().Int(1)
+	k2 := NewKey().Int(2)
+
+	if _, ok := m.Get(k1); ok {
+		t.Fatal("empty memo reported a hit")
+	}
+	m.Put(k1, "one")
+	if v, ok := m.Get(k1); !ok || v != "one" {
+		t.Fatalf("Get(k1) = %q, %v after Put", v, ok)
+	}
+	if _, ok := m.Get(k2); ok {
+		t.Fatal("Get(k2) hit without a Put")
+	}
+
+	if m.Hits() != 1 || m.Misses() != 2 {
+		t.Errorf("hits/misses = %d/%d, want 1/2", m.Hits(), m.Misses())
+	}
+	if m.Len() != 1 {
+		t.Errorf("Len() = %d, want 1", m.Len())
+	}
+}

@@ -10,11 +10,17 @@
 // an anti-constraint insertion signals a potential cycle, resolved either
 // by shifting T of the reachable set or — when a true cycle exists — by
 // the allocator inserting an AMOV (§5.2).
+//
+// Storage is slice-indexed adjacency (node IDs are dense region op IDs
+// plus a few pseudo IDs), and graphs are reusable: Reset clears a graph
+// without freeing its adjacency storage, and Get/Put recycle graphs
+// through a pool so steady-state compilation allocates nothing here.
 package constraint
 
 import (
 	"fmt"
 	"sort"
+	"sync"
 )
 
 // Kind distinguishes the two constraint types.
@@ -36,12 +42,26 @@ func (k Kind) String() string {
 	return "check"
 }
 
+// edge is one adjacency entry; node is the far endpoint.
+type edge struct {
+	node int32
+	kind Kind
+}
+
 // Graph is the constraint graph. Node IDs are region op IDs plus any
 // pseudo-op IDs the allocator creates for AMOVs.
 type Graph struct {
-	t   map[int]int
-	out map[int]map[int]Kind
-	in  map[int]map[int]Kind
+	t   []int
+	out [][]edge
+	in  [][]edge
+
+	// Reachability scratch: mark[i] == epoch means node i was visited by
+	// the current traversal; bumping epoch invalidates all marks at once.
+	mark    []int64
+	epoch   int64
+	stack   []int32
+	visited []int32 // nodes marked by the last traversal, for T shifting
+	freed   []int   // RemoveOut's reused result buffer
 
 	// NumCheck and NumAnti count constraints ever added (Figure 19's
 	// statistic); retargeting moves edges without recounting.
@@ -49,34 +69,132 @@ type Graph struct {
 }
 
 // New returns an empty constraint graph.
-func New() *Graph {
-	return &Graph{
-		t:   make(map[int]int),
-		out: make(map[int]map[int]Kind),
-		in:  make(map[int]map[int]Kind),
+func New() *Graph { return &Graph{} }
+
+// pool recycles graphs across compilations (the compile path runs on
+// worker goroutines, so the pool must be concurrency-safe).
+var pool = sync.Pool{New: func() interface{} { return New() }}
+
+// Get returns a cleared graph from the pool with storage for at least
+// sizeHint nodes.
+func Get(sizeHint int) *Graph {
+	g := pool.Get().(*Graph)
+	g.Reset(sizeHint)
+	return g
+}
+
+// Put returns a graph to the pool. The caller must not use it afterwards.
+func Put(g *Graph) {
+	if g != nil {
+		pool.Put(g)
 	}
+}
+
+// Reset clears the graph for a new region while keeping its allocated
+// storage, growing it to cover at least sizeHint nodes.
+func (g *Graph) Reset(sizeHint int) {
+	// Clear the full capacity: stale T values or adjacency lists beyond
+	// the current length would otherwise resurface when the graph grows
+	// back into previously used storage.
+	g.t = g.t[:cap(g.t)]
+	for i := range g.t {
+		g.t[i] = 0
+	}
+	g.t = g.t[:0]
+	g.out = clearAdj(g.out)
+	g.in = clearAdj(g.in)
+	g.NumCheck, g.NumAnti = 0, 0
+	g.stack = g.stack[:0]
+	g.visited = g.visited[:0]
+	g.grow(sizeHint - 1)
+}
+
+func clearAdj(adj [][]edge) [][]edge {
+	adj = adj[:cap(adj)]
+	for i := range adj {
+		adj[i] = adj[i][:0]
+	}
+	return adj[:0]
+}
+
+// grow extends the node storage to include id.
+func (g *Graph) grow(id int) {
+	if id < len(g.t) {
+		return
+	}
+	for len(g.t) <= id {
+		g.t = append(g.t, 0)
+	}
+	g.out = growAdj(g.out, id)
+	g.in = growAdj(g.in, id)
+	for len(g.mark) <= id {
+		g.mark = append(g.mark, 0)
+	}
+}
+
+func growAdj(adj [][]edge, id int) [][]edge {
+	if id < cap(adj) {
+		// Re-expose recycled per-node lists (truncated, capacity kept).
+		return adj[:id+1]
+	}
+	n := make([][]edge, id+1, 2*(id+1))
+	copy(n, adj)
+	return n[:id+1]
 }
 
 // SetT initializes (or overrides) a node's partial order value. The
 // allocator initializes every op's T to its original program position
 // (Figure 13 line 2) and gives AMOV pseudo-ops explicit values.
-func (g *Graph) SetT(id, t int) { g.t[id] = t }
+func (g *Graph) SetT(id, t int) {
+	g.grow(id)
+	g.t[id] = t
+}
 
-// T returns a node's partial order value.
-func (g *Graph) T(id int) int { return g.t[id] }
+// T returns a node's partial order value (0 for untouched nodes).
+func (g *Graph) T(id int) int {
+	if id < len(g.t) {
+		return g.t[id]
+	}
+	return 0
+}
 
 func (g *Graph) addEdge(src, dst int, k Kind) {
 	if src == dst {
 		panic(fmt.Sprintf("constraint: self edge on op %d", src))
 	}
-	if g.out[src] == nil {
-		g.out[src] = make(map[int]Kind)
+	g.grow(src)
+	g.grow(dst)
+	// Map semantics: re-adding an existing edge overwrites its kind.
+	for i, e := range g.out[src] {
+		if int(e.node) == dst {
+			g.out[src][i].kind = k
+			for j, ie := range g.in[dst] {
+				if int(ie.node) == src {
+					g.in[dst][j].kind = k
+					break
+				}
+			}
+			return
+		}
 	}
-	if g.in[dst] == nil {
-		g.in[dst] = make(map[int]Kind)
+	g.out[src] = append(g.out[src], edge{node: int32(dst), kind: k})
+	g.in[dst] = append(g.in[dst], edge{node: int32(src), kind: k})
+}
+
+// removeEdge deletes src → dst from both adjacency lists (no-op when
+// absent), preserving insertion order.
+func (g *Graph) removeEdge(src, dst int) {
+	g.out[src] = spliceOut(g.out[src], dst)
+	g.in[dst] = spliceOut(g.in[dst], src)
+}
+
+func spliceOut(list []edge, node int) []edge {
+	for i, e := range list {
+		if int(e.node) == node {
+			return append(list[:i], list[i+1:]...)
+		}
 	}
-	g.out[src][dst] = k
-	g.in[dst][src] = k
+	return list
 }
 
 // AddCheck inserts the check-constraint src →check dst. When the
@@ -85,6 +203,8 @@ func (g *Graph) addEdge(src, dst int, k Kind) {
 // incoming constraints (§5.4.1: "Since X is not scheduled yet, there is no
 // constraint →check X or →anti X yet").
 func (g *Graph) AddCheck(src, dst int) {
+	g.grow(src)
+	g.grow(dst)
 	if g.t[src] >= g.t[dst] {
 		g.t[src] = g.t[dst] - 1
 	}
@@ -99,17 +219,19 @@ func (g *Graph) AddCheck(src, dst int) {
 // unchanged and TryAddAnti returns false — the allocator must break the
 // cycle with an AMOV.
 func (g *Graph) TryAddAnti(src, dst int) bool {
+	g.grow(src)
+	g.grow(dst)
 	if g.t[src] < g.t[dst] {
 		g.addEdge(src, dst, Anti)
 		g.NumAnti++
 		return true
 	}
-	h := g.Reachable(dst)
-	if h[src] {
+	g.traverse(dst)
+	if g.mark[src] == g.epoch {
 		return false
 	}
 	delta := g.t[src] - g.t[dst] + 1
-	for z := range h {
+	for _, z := range g.visited {
 		g.t[z] += delta
 	}
 	g.addEdge(src, dst, Anti)
@@ -117,50 +239,81 @@ func (g *Graph) TryAddAnti(src, dst int) bool {
 	return true
 }
 
+// traverse marks every node reachable from start (including start) with a
+// fresh epoch and records them in g.visited.
+func (g *Graph) traverse(start int) {
+	g.epoch++
+	g.mark[start] = g.epoch
+	g.visited = append(g.visited[:0], int32(start))
+	g.stack = append(g.stack[:0], int32(start))
+	for len(g.stack) > 0 {
+		n := g.stack[len(g.stack)-1]
+		g.stack = g.stack[:len(g.stack)-1]
+		for _, e := range g.out[n] {
+			if g.mark[e.node] != g.epoch {
+				g.mark[e.node] = g.epoch
+				g.visited = append(g.visited, e.node)
+				g.stack = append(g.stack, e.node)
+			}
+		}
+	}
+}
+
 // Reachable returns the set of nodes reachable from start by constraint
 // edges, including start itself (the paper's set H).
 func (g *Graph) Reachable(start int) map[int]bool {
-	h := map[int]bool{start: true}
-	stack := []int{start}
-	for len(stack) > 0 {
-		n := stack[len(stack)-1]
-		stack = stack[:len(stack)-1]
-		for m := range g.out[n] {
-			if !h[m] {
-				h[m] = true
-				stack = append(stack, m)
-			}
-		}
+	g.grow(start)
+	g.traverse(start)
+	h := make(map[int]bool, len(g.visited))
+	for _, z := range g.visited {
+		h[int(z)] = true
 	}
 	return h
 }
 
 // InDegree returns the number of constraints currently blocking id's
 // allocation.
-func (g *Graph) InDegree(id int) int { return len(g.in[id]) }
+func (g *Graph) InDegree(id int) int {
+	if id < len(g.in) {
+		return len(g.in[id])
+	}
+	return 0
+}
 
 // HasEdge reports whether the edge src → dst is currently present, and its
 // kind.
 func (g *Graph) HasEdge(src, dst int) (Kind, bool) {
-	k, ok := g.out[src][dst]
-	return k, ok
+	if src < len(g.out) {
+		for _, e := range g.out[src] {
+			if int(e.node) == dst {
+				return e.kind, true
+			}
+		}
+	}
+	return 0, false
 }
 
 // RemoveOut deletes all constraints whose source is src (performed when src
 // is allocated, Figure 13 lines 66-67) and returns the destinations whose
 // in-degree dropped to zero, in ascending ID order. The order feeds the
 // allocator's drain FIFO and therefore the final register offsets; sorting
-// keeps allocation deterministic across runs (Go randomizes map iteration).
+// keeps allocation deterministic across runs. The returned slice is reused
+// and only valid until the next RemoveOut call.
 func (g *Graph) RemoveOut(src int) []int {
-	var freed []int
-	for dst := range g.out[src] {
-		delete(g.in[dst], src)
+	if src >= len(g.out) {
+		return nil
+	}
+	freed := g.freed[:0]
+	for _, e := range g.out[src] {
+		dst := int(e.node)
+		g.in[dst] = spliceOut(g.in[dst], src)
 		if len(g.in[dst]) == 0 {
 			freed = append(freed, dst)
 		}
 	}
-	delete(g.out, src)
+	g.out[src] = g.out[src][:0]
 	sort.Ints(freed)
+	g.freed = freed
 	return freed
 }
 
@@ -173,18 +326,21 @@ func (g *Graph) RemoveOut(src int) []int {
 // therefore have no incoming constraints. It returns the sources whose
 // edges moved.
 func (g *Graph) RetargetIncomingChecks(old, newDst int, shouldMove func(src int) bool) []int {
+	g.grow(old)
+	g.grow(newDst)
 	srcs := make([]int, 0, len(g.in[old]))
-	for src := range g.in[old] {
-		srcs = append(srcs, src)
+	for _, e := range g.in[old] {
+		if e.kind == Check {
+			srcs = append(srcs, int(e.node))
+		}
 	}
-	sort.Ints(srcs) // deterministic retarget order regardless of map layout
+	sort.Ints(srcs) // deterministic retarget order regardless of storage layout
 	var moved []int
 	for _, src := range srcs {
-		if g.in[old][src] != Check || !shouldMove(src) {
+		if !shouldMove(src) {
 			continue
 		}
-		delete(g.in[old], src)
-		delete(g.out[src], old)
+		g.removeEdge(src, old)
 		if g.t[src] >= g.t[newDst] {
 			g.t[src] = g.t[newDst] - 1
 		}
@@ -197,10 +353,10 @@ func (g *Graph) RetargetIncomingChecks(old, newDst int, shouldMove func(src int)
 // CheckInvariance verifies T(src) < T(dst) for every edge; used by tests
 // and the allocator's internal assertions.
 func (g *Graph) CheckInvariance() error {
-	for src, m := range g.out {
-		for dst := range m {
-			if g.t[src] >= g.t[dst] {
-				return fmt.Errorf("constraint: invariance violated: T(%d)=%d >= T(%d)=%d", src, g.t[src], dst, g.t[dst])
+	for src := range g.out {
+		for _, e := range g.out[src] {
+			if g.t[src] >= g.t[e.node] {
+				return fmt.Errorf("constraint: invariance violated: T(%d)=%d >= T(%d)=%d", src, g.t[src], e.node, g.t[e.node])
 			}
 		}
 	}
@@ -216,12 +372,12 @@ func (g *Graph) Edges() []struct {
 		Src, Dst int
 		Kind     Kind
 	}
-	for src, m := range g.out {
-		for dst, k := range m {
+	for src := range g.out {
+		for _, e := range g.out[src] {
 			out = append(out, struct {
 				Src, Dst int
 				Kind     Kind
-			}{src, dst, k})
+			}{src, int(e.node), e.kind})
 		}
 	}
 	return out

@@ -299,3 +299,65 @@ func TestRejectedAntiLeavesGraphUsable(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestPooledGraphIsClean verifies Get returns a graph with no residue from
+// the previous user: stale T values, adjacency, or counters from a larger
+// earlier region must not resurface.
+func TestPooledGraphIsClean(t *testing.T) {
+	g := Get(8)
+	for i := 0; i < 8; i++ {
+		g.SetT(i, i)
+	}
+	g.AddCheck(5, 6)
+	if ok := g.TryAddAnti(1, 2); !ok {
+		t.Fatal("anti rejected on acyclic graph")
+	}
+	Put(g)
+
+	g2 := Get(4)
+	if g2.NumCheck != 0 || g2.NumAnti != 0 {
+		t.Fatalf("recycled graph has counters %d/%d", g2.NumCheck, g2.NumAnti)
+	}
+	for i := 0; i < 8; i++ {
+		if g2.T(i) != 0 {
+			t.Fatalf("recycled graph has stale T(%d)=%d", i, g2.T(i))
+		}
+	}
+	if _, ok := g2.HasEdge(5, 6); ok {
+		t.Fatal("recycled graph has stale edge")
+	}
+	if g2.InDegree(6) != 0 {
+		t.Fatal("recycled graph has stale in-degree")
+	}
+	Put(g2)
+}
+
+// TestGraphReuseAllocs pins the steady-state allocation count of the
+// pooled graph: once the adjacency storage has grown to the working size,
+// a full add/traverse/remove cycle must not allocate.
+func TestGraphReuseAllocs(t *testing.T) {
+	const nodes = 64
+	work := func() {
+		g := Get(nodes)
+		for i := 0; i < nodes; i++ {
+			g.SetT(i, i)
+		}
+		for i := 0; i+1 < nodes; i += 2 {
+			g.AddCheck(i+1, i)
+		}
+		for i := 0; i+2 < nodes; i++ {
+			if !g.TryAddAnti(i, i+2) {
+				t.Fatal("unexpected cycle")
+			}
+		}
+		for i := 0; i < nodes; i++ {
+			g.InDegree(i)
+		}
+		Put(g)
+	}
+	work() // warm the pool to working size
+	allocs := testing.AllocsPerRun(50, work)
+	if allocs > 0 {
+		t.Errorf("pooled graph reuse allocates %.1f times per compile, want 0", allocs)
+	}
+}

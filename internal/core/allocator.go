@@ -22,6 +22,11 @@
 // A → B means order(A) ≤ order(B) (strict for anti), and B's allocation is
 // blocked until A's. All edges are created pointing into the op being
 // scheduled, so unscheduled ops never have incoming edges.
+//
+// Per-op state lives in dense slices indexed by op ID (region ops first,
+// AMOV/rotate pseudo IDs after), and the constraint graph is pooled, so a
+// compilation's allocator cost is a handful of slice allocations rather
+// than per-op map traffic.
 package core
 
 import (
@@ -68,22 +73,35 @@ type amovInfo struct {
 
 // Allocator performs integrated alias register allocation. Create one per
 // region, call Schedule for every op in the scheduler's chosen order, then
-// Finish.
+// Finish (after which the allocator must not be reused — Finish returns
+// its pooled constraint graph).
 type Allocator struct {
 	ds      *deps.Set
 	numRegs int
 	g       *constraint.Graph
 	opts    Options
 
-	scheduled  map[int]bool
-	allocated  map[int]bool
-	pBit, cBit map[int]bool
-	order      map[int]int
-	base       map[int]int
-	pending    map[int]bool // scheduled, needs a register, not yet allocated
-	pendingP   int          // pending ops with P bit (overflow estimate term)
+	// Dense per-op state, indexed by op ID (pseudo IDs grow the slices).
+	scheduled  []bool
+	allocated  []bool
+	pBit, cBit []bool
+	order      []int32 // valid only where allocated
+	base       []int32 // valid only where scheduled
+	pending    []bool  // scheduled, needs a register, not yet allocated
+
+	// pendingIDs lists ops ever marked pending; entries whose pending
+	// flag has since cleared are skipped (lazy deletion). Pressure scans
+	// it for the minimum pinned base.
+	pendingIDs []int32
+	pendingP   int // pending ops with P bit (overflow estimate term)
 	nextOrder  int
-	ready      []int
+	// ready is a FIFO with an explicit head index; drain empties it and
+	// resets both so the backing array is reused for the whole region.
+	ready     []int
+	readyHead int
+	// emit accumulates one Schedule call's output; the returned slice is
+	// only valid until the next call.
+	emit []*ir.Op
 	// rangeChecked records (checker, original range owner) pairs: "checker
 	// performs an alias check covering owner's access range". Written once
 	// per check-constraint; AMOV retargeting moves the register but not
@@ -106,27 +124,45 @@ type Allocator struct {
 // given dependences, and numRegs physical alias registers. Every real op's
 // T is initialized to its original program order (op ID).
 func NewAllocator(numOps int, ds *deps.Set, numRegs int) *Allocator {
+	// The dense per-op state shares two backing slabs (three-index slicing
+	// keeps growTo's appends from clobbering a neighboring field).
+	bools := make([]bool, 5*numOps)
+	ints := make([]int32, 2*numOps)
 	a := &Allocator{
 		ds:           ds,
 		numRegs:      numRegs,
-		g:            constraint.New(),
-		scheduled:    make(map[int]bool),
-		allocated:    make(map[int]bool),
-		pBit:         make(map[int]bool),
-		cBit:         make(map[int]bool),
-		order:        make(map[int]int),
-		base:         make(map[int]int),
-		pending:      make(map[int]bool),
-		rangeChecked: make(map[[2]int]bool),
-		liveChecks:   make(map[[2]int]bool),
+		g:            constraint.Get(numOps),
+		scheduled:    bools[0*numOps : 1*numOps : 1*numOps],
+		allocated:    bools[1*numOps : 2*numOps : 2*numOps],
+		pBit:         bools[2*numOps : 3*numOps : 3*numOps],
+		cBit:         bools[3*numOps : 4*numOps : 4*numOps],
+		pending:      bools[4*numOps : 5*numOps : 5*numOps],
+		order:        ints[0*numOps : 1*numOps : 1*numOps],
+		base:         ints[1*numOps : 2*numOps : 2*numOps],
+		rangeChecked: make(map[[2]int]bool, numOps),
+		liveChecks:   make(map[[2]int]bool, numOps),
 		movedTo:      make(map[int]int),
 		amovs:        make(map[int]*amovInfo),
+		seq:          make([]*ir.Op, 0, numOps+8),
 		nextPseudo:   numOps,
 	}
 	for i := 0; i < numOps; i++ {
 		a.g.SetT(i, i)
 	}
 	return a
+}
+
+// growTo extends the per-op slices to include pseudo op id.
+func (a *Allocator) growTo(id int) {
+	for len(a.scheduled) <= id {
+		a.scheduled = append(a.scheduled, false)
+		a.allocated = append(a.allocated, false)
+		a.pBit = append(a.pBit, false)
+		a.cBit = append(a.cBit, false)
+		a.order = append(a.order, 0)
+		a.base = append(a.base, 0)
+		a.pending = append(a.pending, false)
+	}
 }
 
 // resolve follows AMOV moves to the op currently holding x's access range.
@@ -143,20 +179,22 @@ func (a *Allocator) resolve(x int) int {
 // Schedule informs the allocator that op y is the next instruction in the
 // schedule. It returns the ops to emit at this point, in order: any AMOVs
 // inserted to break cycles, then y itself, then a rotate when registers
-// were freed. The caller must place them exactly in that order.
+// were freed. The caller must place them exactly in that order. The
+// returned slice is reused and only valid until the next Schedule call.
 func (a *Allocator) Schedule(y *ir.Op) []*ir.Op {
+	a.growTo(y.ID)
 	if a.scheduled[y.ID] {
 		panic(fmt.Sprintf("core: op %d scheduled twice", y.ID))
 	}
 	a.scheduled[y.ID] = true
 	baseAtStart := a.nextOrder
-	a.base[y.ID] = baseAtStart
+	a.base[y.ID] = int32(baseAtStart)
 	if a.opts.DisableRotation {
 		// BASE never moves: offsets equal orders.
 		a.base[y.ID] = 0
 	}
 
-	var pre []*ir.Op
+	a.emit = a.emit[:0] // AMOVs first, then y, then a possible rotate
 	if y.IsMem() {
 		for _, d := range a.ds.ByDst(y.ID) {
 			x := d.Src
@@ -196,11 +234,11 @@ func (a *Allocator) Schedule(y *ir.Op) []*ir.Op {
 				continue
 			}
 			// True cycle: break it with an AMOV just before y (§5.2).
-			pre = append(pre, a.insertAMov(xr, y.ID))
+			a.emit = append(a.emit, a.insertAMov(xr, y.ID))
 		}
 	}
 
-	a.seq = append(a.seq, pre...)
+	a.seq = append(a.seq, a.emit...)
 	a.seq = append(a.seq, y)
 
 	if y.IsMem() && (a.pBit[y.ID] || a.cBit[y.ID]) {
@@ -212,6 +250,7 @@ func (a *Allocator) Schedule(y *ir.Op) []*ir.Op {
 			a.ready = append(a.ready, y.ID)
 		} else {
 			a.pending[y.ID] = true
+			a.pendingIDs = append(a.pendingIDs, int32(y.ID))
 			if a.pBit[y.ID] {
 				a.pendingP++
 			}
@@ -222,7 +261,7 @@ func (a *Allocator) Schedule(y *ir.Op) []*ir.Op {
 
 	a.drain()
 
-	out := append(pre, y)
+	a.emit = append(a.emit, y)
 	if a.nextOrder > baseAtStart && !a.opts.DisableRotation {
 		rot := &ir.Op{
 			ID:       a.nextPseudo,
@@ -233,11 +272,11 @@ func (a *Allocator) Schedule(y *ir.Op) []*ir.Op {
 		}
 		a.nextPseudo++
 		a.seq = append(a.seq, rot)
-		out = append(out, rot)
+		a.emit = append(a.emit, rot)
 		a.stats.Rotates++
 		a.stats.RotateTotal += rot.Amount
 	}
-	return out
+	return a.emit
 }
 
 // insertAMov creates the AMOV pseudo-op that moves (or clears) x's alias
@@ -247,6 +286,7 @@ func (a *Allocator) Schedule(y *ir.Op) []*ir.Op {
 func (a *Allocator) insertAMov(x, yID int) *ir.Op {
 	xp := a.nextPseudo
 	a.nextPseudo++
+	a.growTo(xp)
 	a.g.SetT(xp, a.g.T(yID)-1)
 
 	moved := a.g.RetargetIncomingChecks(x, xp, func(src int) bool {
@@ -256,7 +296,7 @@ func (a *Allocator) insertAMov(x, yID int) *ir.Op {
 	info := &amovInfo{op: op, srcID: x, hasTarget: len(moved) > 0}
 	a.amovs[xp] = info
 	a.scheduled[xp] = true
-	a.base[xp] = a.nextOrder
+	a.base[xp] = int32(a.nextOrder)
 	if a.opts.DisableRotation {
 		a.base[xp] = 0
 	}
@@ -281,6 +321,7 @@ func (a *Allocator) insertAMov(x, yID int) *ir.Op {
 		a.stats.Antis++
 		a.liveAntis = append(a.liveAntis, [2]int{xp, yID})
 		a.pending[xp] = true
+		a.pendingIDs = append(a.pendingIDs, int32(xp))
 		a.pendingP++
 	} else {
 		a.stats.AMovCleanups++
@@ -293,7 +334,7 @@ func (a *Allocator) insertAMov(x, yID int) *ir.Op {
 
 func (a *Allocator) maybeReady(x int) {
 	if a.pending[x] && a.g.InDegree(x) == 0 {
-		delete(a.pending, x)
+		a.pending[x] = false
 		if a.pBit[x] {
 			a.pendingP--
 		}
@@ -303,11 +344,11 @@ func (a *Allocator) maybeReady(x int) {
 
 // drain allocates every ready op in FIFO order (Figure 13 lines 62-70).
 func (a *Allocator) drain() {
-	for len(a.ready) > 0 {
-		x := a.ready[0]
-		a.ready = a.ready[1:]
-		a.order[x] = a.nextOrder
-		off := a.nextOrder - a.base[x]
+	for a.readyHead < len(a.ready) {
+		x := a.ready[a.readyHead]
+		a.readyHead++
+		a.order[x] = int32(a.nextOrder)
+		off := a.nextOrder - int(a.base[x])
 		if off >= a.numRegs {
 			a.overflow = true
 		}
@@ -319,6 +360,9 @@ func (a *Allocator) drain() {
 			a.maybeReady(z)
 		}
 	}
+	// Empty: rewind so the backing array is reused for the whole region.
+	a.ready = a.ready[:0]
+	a.readyHead = 0
 }
 
 // Pressure returns the conservative worst-case alias register demand if
@@ -330,42 +374,59 @@ func (a *Allocator) drain() {
 func (a *Allocator) Pressure(futureP int) int {
 	maxOrder := a.nextOrder + a.pendingP + futureP
 	minBase := a.nextOrder
-	for x := range a.pending {
-		if a.base[x] < minBase {
-			minBase = a.base[x]
+	live := a.pendingIDs[:0]
+	for _, x := range a.pendingIDs {
+		if !a.pending[x] {
+			continue // lazily drop entries that drained since
+		}
+		live = append(live, x)
+		if b := int(a.base[x]); b < minBase {
+			minBase = b
 		}
 	}
+	a.pendingIDs = live
 	return maxOrder - minBase
 }
 
 // NextOrder exposes the next order counter (tests and traces).
 func (a *Allocator) NextOrder() int { return a.nextOrder }
 
+// pendingCount counts ops still awaiting allocation (Finish's sanity
+// check).
+func (a *Allocator) pendingCount() int {
+	n := 0
+	for _, p := range a.pending {
+		if p {
+			n++
+		}
+	}
+	return n
+}
+
 // Finish completes the allocation: every op must have been scheduled. It
 // patches AROffset/P/C onto memory ops and SrcOff/DstOff onto AMOVs, and
 // returns the result. An error is returned when an offset overflowed the
 // physical register file — the caller must re-optimize less aggressively.
 func (a *Allocator) Finish() (*Result, error) {
-	if len(a.pending) != 0 || len(a.ready) != 0 {
-		return nil, fmt.Errorf("core: %d ops still pending at Finish (constraint cycle not broken?)", len(a.pending)+len(a.ready))
+	if n := a.pendingCount() + len(a.ready) - a.readyHead; n != 0 {
+		return nil, fmt.Errorf("core: %d ops still pending at Finish (constraint cycle not broken?)", n)
 	}
 	for _, op := range a.seq {
 		switch {
 		case op.IsMem():
-			if ord, ok := a.order[op.ID]; ok {
-				op.AROffset = ord - a.base[op.ID]
+			if a.allocated[op.ID] {
+				op.AROffset = int(a.order[op.ID] - a.base[op.ID])
 				op.P = a.pBit[op.ID]
 				op.C = a.cBit[op.ID]
 			}
 		case op.Kind == ir.AMov:
 			info := a.amovs[op.ID]
-			srcOrd, ok := a.order[info.srcID]
-			if !ok {
+			if !a.allocated[info.srcID] {
 				return nil, fmt.Errorf("core: AMOV %d source op %d never allocated", op.ID, info.srcID)
 			}
-			op.SrcOff = srcOrd - a.base[op.ID]
+			op.SrcOff = int(a.order[info.srcID] - a.base[op.ID])
 			if info.hasTarget {
-				op.DstOff = a.order[op.ID] - a.base[op.ID]
+				op.DstOff = int(a.order[op.ID] - a.base[op.ID])
 			} else {
 				op.DstOff = op.SrcOff
 			}
@@ -375,9 +436,17 @@ func (a *Allocator) Finish() (*Result, error) {
 		}
 	}
 	ws := 0
-	for id, ord := range a.order {
-		if off := ord - a.base[id]; off+1 > ws {
-			ws = off + 1
+	order := make(map[int]int, len(a.allocated))
+	base := make(map[int]int, len(a.scheduled))
+	for id := range a.scheduled {
+		if a.scheduled[id] {
+			base[id] = int(a.base[id])
+		}
+		if a.allocated[id] {
+			order[id] = int(a.order[id])
+			if off := int(a.order[id]-a.base[id]) + 1; off > ws {
+				ws = off
+			}
 		}
 	}
 	a.stats.WorkingSet = ws
@@ -385,12 +454,13 @@ func (a *Allocator) Finish() (*Result, error) {
 
 	res := &Result{
 		Seq:   a.seq,
-		Order: a.order,
-		Base:  a.base,
+		Order: order,
+		Base:  base,
 		Stats: a.stats,
 	}
 	res.Stats.Checks = a.g.NumCheck
 	res.Stats.Antis = a.g.NumAnti
+	res.Checks = make([][2]int, 0, len(a.liveChecks))
 	for pair := range a.liveChecks {
 		res.Checks = append(res.Checks, pair)
 	}
@@ -402,6 +472,9 @@ func (a *Allocator) Finish() (*Result, error) {
 		return res.Checks[i][1] < res.Checks[j][1]
 	})
 	res.Antis = a.liveAntis
+	// The constraint graph is pooled; it holds no state the Result needs.
+	constraint.Put(a.g)
+	a.g = nil
 	if a.overflow {
 		return res, fmt.Errorf("core: alias register overflow (working set %d > %d registers)", ws, a.numRegs)
 	}

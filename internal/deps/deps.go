@@ -47,41 +47,55 @@ func (d Dep) String() string {
 // Set holds a region's dependences with lookup by either endpoint.
 type Set struct {
 	All []Dep
-	// byDst indexes dependences by their Dst op: the constraint builder
-	// examines each dependence once, when its Dst is scheduled (Figure 13
-	// line 8).
-	byDst map[int][]int
-	seen  map[[2]int]bool
+	// byDst groups dependences by their Dst op (slice-indexed — op IDs are
+	// dense): the constraint builder examines each dependence once, when
+	// its Dst is scheduled (Figure 13 line 8). Duplicate suppression scans
+	// the per-dst group, which stays short (bounded by the region's memory
+	// ops), instead of keeping a separate hash set.
+	byDst [][]Dep
 }
 
 // NewSet returns an empty dependence set.
 func NewSet() *Set {
-	return &Set{byDst: make(map[int][]int), seen: make(map[[2]int]bool)}
+	return &Set{}
+}
+
+// newSetSized returns an empty set presized for numOps destination groups.
+func newSetSized(numOps int) *Set {
+	return &Set{byDst: make([][]Dep, numOps)}
 }
 
 // Add inserts a dependence, ignoring duplicates of the same direction.
 func (s *Set) Add(d Dep) {
-	key := [2]int{d.Src, d.Dst}
-	if d.Src == d.Dst || s.seen[key] {
+	if d.Src == d.Dst || s.Has(d.Src, d.Dst) {
 		return
 	}
-	s.seen[key] = true
-	s.byDst[d.Dst] = append(s.byDst[d.Dst], len(s.All))
+	for len(s.byDst) <= d.Dst {
+		s.byDst = append(s.byDst, nil)
+	}
+	s.byDst[d.Dst] = append(s.byDst[d.Dst], d)
 	s.All = append(s.All, d)
 }
 
-// ByDst returns the dependences whose Dst is the given op.
+// ByDst returns the dependences whose Dst is the given op. The returned
+// slice is the set's own grouping (not a copy) — callers must not mutate
+// it.
 func (s *Set) ByDst(op int) []Dep {
-	idx := s.byDst[op]
-	out := make([]Dep, len(idx))
-	for i, k := range idx {
-		out[i] = s.All[k]
+	if op >= 0 && op < len(s.byDst) {
+		return s.byDst[op]
 	}
-	return out
+	return nil
 }
 
 // Has reports whether the edge src →dep dst exists.
-func (s *Set) Has(src, dst int) bool { return s.seen[[2]int{src, dst}] }
+func (s *Set) Has(src, dst int) bool {
+	for _, d := range s.ByDst(dst) {
+		if d.Src == src {
+			return true
+		}
+	}
+	return false
+}
 
 // Counts returns (base, extended) dependence counts.
 func (s *Set) Counts() (base, extended int) {
@@ -100,7 +114,7 @@ func (s *Set) Counts() (base, extended int) {
 // carry no dependence — this is the "compiler can easily disambiguate
 // them" case of Figure 7 (c).
 func Compute(reg *ir.Region, tbl *alias.Table) *Set {
-	s := NewSet()
+	s := newSetSized(len(reg.Ops))
 	mem := reg.MemOps()
 	for i := 0; i < len(mem); i++ {
 		for j := i + 1; j < len(mem); j++ {
@@ -134,8 +148,19 @@ func Compute(reg *ir.Region, tbl *alias.Table) *Set {
 // what matters; we add the edge for intervening stores. Stores that
 // provably do not alias the location add nothing.
 func AddExtendedLoadElim(s *Set, reg *ir.Region, tbl *alias.Table, x, z int) {
-	for _, w := range reg.MemOps() {
-		if w.ID <= x || w.ID >= z || w.Kind != ir.Store {
+	// Walk the op range directly rather than materializing MemOps() — this
+	// runs once per eliminated load, so the temporary slice was a
+	// measurable share of compile-path allocations.
+	lo, hi := x+1, z
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > len(reg.Ops) {
+		hi = len(reg.Ops)
+	}
+	for id := lo; id < hi; id++ {
+		w := reg.Ops[id]
+		if w.Kind != ir.Store {
 			continue
 		}
 		if tbl.Rel(w.ID, x) == alias.NoAlias {

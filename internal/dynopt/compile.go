@@ -1,0 +1,591 @@
+// Asynchronous background compilation: the compile pipeline (xlate → opt
+// → constraint/deps → sched → alias allocation → vliw.Compile) extracted
+// into a pure function over snapshotted inputs, so it can run either
+// synchronously (the legacy instant-install path, Compile.Workers == 0)
+// or on a bounded host worker pool behind a deterministic simulated
+// compile-latency model.
+//
+// Determinism rule: a region's install point is a pure function of the
+// simulated clock — readyAt = enqueue-cycle + CompileCyclesPerInst ×
+// guest insts + CompileCyclesPerCheck × guest mem ops, both derived from
+// the superblock alone, never from the compile result or the wall clock.
+// Every simulated decision (chaos draws, memo lookups, enqueue, install,
+// cancellation) happens on the simulation thread; workers only evaluate
+// the pure pipeline. Any Workers >= 1 therefore produces byte-identical
+// stats, telemetry and guest state; the worker count is host parallelism
+// only.
+package dynopt
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"smarq/internal/alias"
+	"smarq/internal/compilequeue"
+	"smarq/internal/core"
+	"smarq/internal/deps"
+	"smarq/internal/opt"
+	"smarq/internal/region"
+	"smarq/internal/sched"
+	"smarq/internal/telemetry"
+	"smarq/internal/vliw"
+	"smarq/internal/xlate"
+)
+
+// CompileConfig configures the background-compilation subsystem.
+type CompileConfig struct {
+	// Workers selects the compile path. 0 (the default) is the legacy
+	// synchronous path: compilations install instantly and charge
+	// Opt/SchedCycles on the critical path. Workers >= 1 enables the
+	// background model: compilations run on that many host workers while
+	// the interpreter keeps executing, and install only once the
+	// simulated clock passes the region's readyAt point. Every N >= 1
+	// yields byte-identical simulated results.
+	Workers int
+	// Memoize enables content-hash memoization of compiled regions:
+	// recompiling a region whose guest instructions and configuration
+	// bits hash to a previously compiled key reuses that code without
+	// re-running the pipeline. Simulated costs are replayed on a hit, so
+	// stats are identical with memoization on or off (apart from the
+	// hit/miss counters themselves). Works in both compile paths.
+	Memoize bool
+}
+
+// CompileStats is the background-compilation accounting.
+type CompileStats struct {
+	// Enqueued/Installed/Canceled/Failed count background compilations
+	// through their lifecycle (all zero in synchronous mode).
+	Enqueued  int64
+	Installed int64
+	Canceled  int64
+	Failed    int64
+	// MemoHits/MemoMisses count content-hash lookups (both paths).
+	MemoHits   int64
+	MemoMisses int64
+	// WorkCycles is the simulated compile occupancy performed off the
+	// critical path (the latency model's cost per installed region). It
+	// is deliberately excluded from Stats.TotalCycles: hiding this work
+	// is the point of background compilation.
+	WorkCycles int64
+	// LatencySum accumulates observed enqueue→install latencies (the
+	// per-region value is RegionStats.CompileLatency).
+	LatencySum int64
+	// MaxQueueDepth is the high-water mark of in-flight compilations.
+	MaxQueueDepth int
+}
+
+// errInjectedCompileFail marks chaos-injected compile failures so the
+// cooldown policy can tell them apart from genuinely unschedulable
+// regions (see compileFailBackoff).
+var errInjectedCompileFail = errors.New("faultinject: simulated compile failure")
+
+// compileInput is everything the pipeline reads, snapshotted on the
+// simulation thread at enqueue: the superblock is immutable after Form,
+// and the blacklist and pin sets are copied because the simulation thread
+// mutates the live maps on alias exceptions while a worker may still be
+// compiling.
+type compileInput struct {
+	entry     int
+	sb        *region.Superblock
+	optCfg    opt.Config
+	scfg      sched.Config
+	blacklist alias.Blacklist
+	machine   vliw.Config
+}
+
+// compileOutput is the pipeline's result plus everything the install
+// point needs to replay the compilation's simulated costs — memo hits
+// hand back the same object, so a hit must be observationally identical
+// to a re-run.
+type compileOutput struct {
+	cr              *vliw.CompiledRegion
+	alloc           core.Stats
+	working         core.WorkingSets
+	seqLen          int
+	numOps          int64
+	guestInsts      int
+	memOps          int
+	overflowRetries int
+	err             error
+}
+
+// pendingCompile is one in-flight background compilation.
+type pendingCompile struct {
+	entry      int
+	seq        int64 // enqueue order, the (readyAt, seq) tie break
+	enqueuedAt int64 // simulated cycle of the enqueue
+	readyAt    int64 // earliest simulated cycle the result may install
+	key        compilequeue.Key
+	memoHit    bool
+	recompile  bool // old code still installed (promotion-style recompile)
+	// out is written by the worker then published by closing done; on a
+	// memo hit it is set at enqueue and done stays nil.
+	out  *compileOutput
+	done chan struct{}
+}
+
+// bgCompile is the System's background-compilation state (nil when
+// Compile.Workers == 0).
+type bgCompile struct {
+	pool *compilequeue.Pool
+	// pending maps a region entry to its live pending compile
+	// (single-flight per entry); queue holds the same entries in install
+	// order (readyAt, then enqueue seq).
+	pending map[int]*pendingCompile
+	queue   []*pendingCompile
+	seq     int64
+}
+
+// newCompileInput snapshots entry's compile inputs, forming (and caching)
+// its superblock on first use.
+func (s *System) newCompileInput(entry int) (*compileInput, error) {
+	sb, ok := s.sbCache[entry]
+	if !ok {
+		var err error
+		sb, err = region.Form(s.prog, s.it.Prof, entry, s.cfg.Region)
+		if err != nil {
+			return nil, err
+		}
+		s.sbCache[entry] = sb
+	}
+	rr := s.recoveryOf(entry)
+	in := &compileInput{
+		entry:   entry,
+		sb:      sb,
+		optCfg:  s.optConfig(entry),
+		machine: s.cfg.Machine,
+	}
+	if bl := s.blacklist[entry]; len(bl) > 0 {
+		in.blacklist = make(alias.Blacklist, len(bl))
+		for p := range bl {
+			in.blacklist[p] = true
+		}
+	}
+	var pins map[int]bool
+	if live := s.pinnedLoads[entry]; len(live) > 0 {
+		pins = make(map[int]bool, len(live))
+		for op := range live {
+			pins[op] = true
+		}
+	}
+	in.scfg = sched.Config{
+		Mode:           s.cfg.Mode,
+		NumAliasRegs:   s.cfg.NumAliasRegs,
+		StoreReorder:   s.cfg.StoreReorder && rr.tier < TierNoStoreReorder,
+		ForceNonSpec:   rr.tier >= TierConservative,
+		PinnedOps:      pins,
+		PressureMargin: 4,
+		Machine:        s.cfg.Machine,
+		Alloc: core.Options{
+			DisableAnti:     s.cfg.Ablation.Anti,
+			DisableRotation: s.cfg.Ablation.Rotation,
+		},
+	}
+	return in, nil
+}
+
+// runCompilePipeline is the pure compile path: translate, optimize,
+// compute dependences, schedule with alias register allocation (with the
+// overflow retry ladder), and bake the VLIW code. It touches nothing but
+// its input, so it is safe on a worker goroutine.
+func runCompilePipeline(in *compileInput) *compileOutput {
+	out := &compileOutput{
+		guestInsts: len(in.sb.Insts),
+		memOps:     in.sb.NumMemOps(),
+	}
+	reg, err := xlate.Translate(in.sb)
+	if err != nil {
+		out.err = err
+		return out
+	}
+	tbl := alias.BuildTable(reg, in.blacklist)
+	optRes := opt.Run(reg, tbl, in.optCfg)
+	ds := deps.Compute(reg, tbl)
+	opt.AddExtendedDeps(ds, reg, tbl, optRes)
+
+	scfg := in.scfg
+	sc, err := sched.Run(reg, tbl, ds, scfg)
+	if err != nil {
+		// Alias register overflow: retry pinned to non-speculation mode,
+		// then give up on eliminations entirely. The failed attempt left
+		// partial annotations on the ops; clear them first.
+		out.overflowRetries++
+		resetAnnotations(reg)
+		scfg.ForceNonSpec = true
+		sc, err = sched.Run(reg, tbl, ds, scfg)
+		if err != nil {
+			reg, err = xlate.Translate(in.sb)
+			if err != nil {
+				out.err = err
+				return out
+			}
+			tbl = alias.BuildTable(reg, in.blacklist)
+			ds = deps.Compute(reg, tbl)
+			sc, err = sched.Run(reg, tbl, ds, scfg)
+			if err != nil {
+				out.err = fmt.Errorf("dynopt: region B%d cannot be scheduled: %w", in.entry, err)
+				return out
+			}
+		}
+	}
+
+	out.numOps = int64(len(reg.Ops))
+	out.cr = in.machine.Compile(sc.Seq, reg, len(in.sb.Insts))
+	out.alloc = sc.Alloc.Stats
+	out.working = core.MeasureWorkingSets(sc.Alloc, in.sb.NumMemOps())
+	out.seqLen = len(sc.Seq)
+	return out
+}
+
+// memoKey canonically hashes a compile input: every superblock byte plus
+// every configuration bit the pipeline reads. Fields that cannot vary
+// within one System (the machine model, ablations, hardware mode) are
+// still folded — they are cheap and keep the key self-contained.
+func memoKey(in *compileInput) compilequeue.Key {
+	k := compilequeue.NewKey()
+	sb := in.sb
+	k = k.Int(int64(sb.Entry)).Int(int64(sb.FinalTarget)).Int(int64(sb.UnrollFactor))
+	k = k.Int(int64(len(sb.Blocks)))
+	for _, b := range sb.Blocks {
+		k = k.Int(int64(b))
+	}
+	k = k.Int(int64(len(sb.Insts)))
+	for i := range sb.Insts {
+		gi := &sb.Insts[i]
+		k = k.Int(int64(gi.Inst.Op)).Int(int64(gi.Inst.Rd)).Int(int64(gi.Inst.Rs1)).Int(int64(gi.Inst.Rs2))
+		k = k.Int(gi.Inst.Imm).Word(math.Float64bits(gi.Inst.FImm)).Int(int64(gi.Inst.Target))
+		k = k.Bool(gi.IsGuard).Bool(gi.OnTraceTaken).Int(int64(gi.OffTrace))
+	}
+	k = k.Bool(in.optCfg.LoadElim).Bool(in.optCfg.StoreElim).Bool(in.optCfg.Speculative)
+	sc := &in.scfg
+	k = k.Int(int64(sc.Mode)).Int(int64(sc.NumAliasRegs)).Bool(sc.StoreReorder).Bool(sc.ForceNonSpec)
+	k = k.Int(int64(sc.PressureMargin)).Bool(sc.Alloc.DisableAnti).Bool(sc.Alloc.DisableRotation)
+	pins := make([]int, 0, len(sc.PinnedOps))
+	for op := range sc.PinnedOps {
+		pins = append(pins, op)
+	}
+	sort.Ints(pins)
+	k = k.Int(int64(len(pins)))
+	for _, op := range pins {
+		k = k.Int(int64(op))
+	}
+	pairs := make([]alias.Pair, 0, len(in.blacklist))
+	for p := range in.blacklist {
+		pairs = append(pairs, p)
+	}
+	sort.Slice(pairs, func(i, j int) bool {
+		if pairs[i].A != pairs[j].A {
+			return pairs[i].A < pairs[j].A
+		}
+		return pairs[i].B < pairs[j].B
+	})
+	k = k.Int(int64(len(pairs)))
+	for _, p := range pairs {
+		k = k.Int(int64(p.A)).Int(int64(p.B))
+	}
+	return k
+}
+
+// compileOrMemo runs the pipeline through the memo table (synchronous
+// path; the background path splits the lookup and insert around the
+// worker hand-off).
+func (s *System) compileOrMemo(in *compileInput) *compileOutput {
+	if s.memo == nil {
+		return runCompilePipeline(in)
+	}
+	key := memoKey(in)
+	if out, ok := s.memo.Get(key); ok {
+		s.Stats.Compile.MemoHits++
+		s.tel.memoLookup(true)
+		return out
+	}
+	s.Stats.Compile.MemoMisses++
+	s.tel.memoLookup(false)
+	out := runCompilePipeline(in)
+	if out.err == nil {
+		s.memo.Put(key, out)
+	}
+	return out
+}
+
+// compile is the synchronous compile-and-install path (Compile.Workers ==
+// 0): the pipeline runs in place and the region installs instantly,
+// charging Opt/SchedCycles on the critical path.
+func (s *System) compile(entry int) error {
+	if s.inj != nil && s.inj.CompileFail() {
+		s.trace("injected compile failure for B%d", entry)
+		s.tel.chaosInjected(s.now(), entry, s.tierOf(entry), telemetry.CauseCompileFail)
+		return fmt.Errorf("%w for B%d", errInjectedCompileFail, entry)
+	}
+	in, err := s.newCompileInput(entry)
+	if err != nil {
+		return err
+	}
+	out := s.compileOrMemo(in)
+	if out.err != nil {
+		return out.err
+	}
+	s.installOutput(entry, out, 0)
+	return nil
+}
+
+// requestCompile starts a compilation for entry: synchronously in the
+// legacy path, or as a background enqueue. An error is returned only for
+// failures observable at request time (injected chaos failures, region
+// formation, and — synchronously — the whole pipeline); background
+// pipeline failures surface at the install point instead.
+func (s *System) requestCompile(entry int) error {
+	if s.bg == nil {
+		return s.compile(entry)
+	}
+	return s.enqueueCompile(entry)
+}
+
+// recompileRegion re-(or newly-)compiles entry after its compile inputs
+// changed (a tier move, a hardened pair, a pinned load): synchronously in
+// place, or by cancelling any now-stale pending compile and enqueueing a
+// fresh one against the updated inputs.
+func (s *System) recompileRegion(entry int) error {
+	if s.bg == nil {
+		return s.compile(entry)
+	}
+	s.cancelPending(entry, telemetry.CauseStale)
+	return s.enqueueCompile(entry)
+}
+
+// enqueueCompile snapshots entry's inputs, fixes the install point from
+// the simulated clock and the superblock alone, and hands the pure
+// pipeline to the worker pool (unless the memo already has the result).
+// Single-flight per entry: a live pending compile absorbs the request.
+func (s *System) enqueueCompile(entry int) error {
+	bg := s.bg
+	if bg.pending[entry] != nil {
+		return nil
+	}
+	// The chaos draw happens at enqueue on the simulation thread, so the
+	// injector's sequence is independent of the worker count.
+	if s.inj != nil && s.inj.CompileFail() {
+		s.trace("injected compile failure for B%d", entry)
+		s.tel.chaosInjected(s.now(), entry, s.tierOf(entry), telemetry.CauseCompileFail)
+		return fmt.Errorf("%w for B%d", errInjectedCompileFail, entry)
+	}
+	in, err := s.newCompileInput(entry)
+	if err != nil {
+		return err
+	}
+	cost := int64(s.cfg.Machine.CompileCyclesPerInst)*int64(len(in.sb.Insts)) +
+		int64(s.cfg.Machine.CompileCyclesPerCheck)*int64(in.sb.NumMemOps())
+	bg.seq++
+	now := s.now()
+	p := &pendingCompile{
+		entry:      entry,
+		seq:        bg.seq,
+		enqueuedAt: now,
+		readyAt:    now + cost,
+		recompile:  s.cache[entry] != nil,
+	}
+	if s.memo != nil {
+		p.key = memoKey(in)
+		if out, ok := s.memo.Get(p.key); ok {
+			p.out, p.memoHit = out, true
+			s.Stats.Compile.MemoHits++
+		} else {
+			s.Stats.Compile.MemoMisses++
+		}
+	}
+	if p.out == nil {
+		if bg.pool == nil {
+			bg.pool = compilequeue.NewPool(s.cfg.Compile.Workers)
+		}
+		p.done = make(chan struct{})
+		job := p
+		bg.pool.Submit(func() {
+			job.out = runCompilePipeline(in)
+			close(job.done)
+		})
+	}
+	bg.pending[entry] = p
+	q := append(bg.queue, p)
+	for i := len(q) - 1; i > 0; i-- {
+		prev := q[i-1]
+		if prev.readyAt < q[i].readyAt || (prev.readyAt == q[i].readyAt && prev.seq < q[i].seq) {
+			break
+		}
+		q[i-1], q[i] = q[i], q[i-1]
+	}
+	bg.queue = q
+	s.Stats.Compile.Enqueued++
+	depth := len(bg.pending)
+	if depth > s.Stats.Compile.MaxQueueDepth {
+		s.Stats.Compile.MaxQueueDepth = depth
+	}
+	s.tel.compileEnqueue(now, entry, s.tierOf(entry), cost, depth, p.memoHit)
+	s.trace("enqueue compile B%d: ready at cycle %d (cost %d, depth %d)", entry, p.readyAt, cost, depth)
+	return nil
+}
+
+// cancelPending discards entry's pending compile, if any. The worker (if
+// still running) finishes into an unread result; the pool drains it at
+// Close.
+func (s *System) cancelPending(entry int, cause telemetry.Cause) {
+	bg := s.bg
+	if bg == nil {
+		return
+	}
+	p := bg.pending[entry]
+	if p == nil {
+		return
+	}
+	delete(bg.pending, entry)
+	for i, q := range bg.queue {
+		if q == p {
+			bg.queue = append(bg.queue[:i], bg.queue[i+1:]...)
+			break
+		}
+	}
+	s.Stats.Compile.Canceled++
+	s.tel.compileCancel(s.now(), entry, s.tierOf(entry), cause, len(bg.pending))
+	s.trace("cancel pending compile B%d (%s)", entry, cause)
+}
+
+// drainCompiles installs every pending compilation whose readyAt the
+// simulated clock has passed, in deterministic (readyAt, enqueue-seq)
+// order. This is the only place the simulation thread blocks on a worker
+// — and only when the simulated install point has already arrived.
+func (s *System) drainCompiles() {
+	bg := s.bg
+	if bg == nil {
+		return
+	}
+	now := s.now()
+	for len(bg.queue) > 0 && bg.queue[0].readyAt <= now {
+		p := bg.queue[0]
+		copy(bg.queue, bg.queue[1:])
+		bg.queue = bg.queue[:len(bg.queue)-1]
+		delete(bg.pending, p.entry)
+		if p.done != nil {
+			<-p.done
+		}
+		s.installPending(p)
+	}
+}
+
+// installPending applies one completed background compilation at its
+// install point.
+func (s *System) installPending(p *pendingCompile) {
+	latency := s.now() - p.enqueuedAt
+	s.Stats.Compile.WorkCycles += p.readyAt - p.enqueuedAt
+	s.Stats.Compile.LatencySum += latency
+	s.tel.compileInstalled(latency, len(s.bg.pending))
+	out := p.out
+	if out.err != nil {
+		s.Stats.Compile.Failed++
+		if p.recompile {
+			// The superseding compile failed: the installed code is built
+			// against stale inputs, so drop it (the synchronous path's
+			// recompile-failure consequence).
+			delete(s.cache, p.entry)
+			s.Stats.RegionsDropped++
+			s.tel.drop(s.now(), p.entry, s.tierOf(p.entry), telemetry.CauseCompileFail)
+		} else {
+			s.compileFailBackoff(p.entry, out.err)
+		}
+		s.trace("background compile B%d failed: %v", p.entry, out.err)
+		return
+	}
+	if s.memo != nil && !p.memoHit {
+		s.memo.Put(p.key, out)
+	}
+	s.installOutput(p.entry, out, latency)
+	s.Stats.Compile.Installed++
+}
+
+// installOutput installs a successful compile result: cycle accounting,
+// code cache insert (with capacity eviction), per-region statistics and
+// the compile telemetry event. Shared by both compile paths.
+func (s *System) installOutput(entry int, out *compileOutput, latency int64) {
+	s.Stats.OverflowRetries += out.overflowRetries
+	if s.bg == nil {
+		// Synchronous compilation executes on the critical path (the
+		// paper's Figure 18 cost); background compilation's occupancy is
+		// charged to CompileStats.WorkCycles at the install point instead.
+		s.Stats.OptCycles += out.numOps * int64(s.cfg.Machine.OptCyclesPerOp)
+		s.Stats.SchedCycles += out.numOps * int64(s.cfg.Machine.SchedCyclesPerOp)
+	}
+	delete(s.injFailStreak, entry)
+
+	rr := s.recoveryOf(entry)
+	_, recompile := s.cache[entry]
+	if recompile {
+		s.Stats.Recompiles++
+		s.trace("recompile B%d: %d ops, %d cycles, tier=%s", entry, out.seqLen, out.cr.Cycles, rr.tier)
+	} else {
+		s.evictForCapacity(entry)
+		s.Stats.RegionsCompiled++
+		s.trace("compile B%d: %d guest insts -> %d ops, %d cycles, %d mem ops, P=%d C=%d ws=%d",
+			entry, out.guestInsts, out.seqLen, out.cr.Cycles, out.memOps,
+			out.alloc.PBits, out.alloc.CBits, out.alloc.WorkingSet)
+	}
+	s.cache[entry] = &compiled{cr: out.cr, lastUse: s.entrySeq}
+
+	rs := RegionStats{
+		Entry:          entry,
+		GuestInsts:     out.guestInsts,
+		MemOps:         out.memOps,
+		Alloc:          out.alloc,
+		Working:        out.working,
+		SeqLen:         out.seqLen,
+		Cycles:         out.cr.Cycles,
+		CompileLatency: latency,
+		Tier:           rr.tier,
+	}
+	if idx, ok := s.regionIdx[entry]; ok {
+		s.Stats.Regions[idx] = rs
+	} else {
+		s.regionIdx[entry] = len(s.Stats.Regions)
+		s.Stats.Regions = append(s.Stats.Regions, rs)
+	}
+	s.tel.regionCompile(s.now(), entry, rr.tier, recompile, &rs)
+}
+
+// compileFailBackoff applies the hot-path cooldown after a failed
+// compilation. Genuinely unschedulable regions double their heat
+// requirement — the failure is structural and will repeat. Injected chaos
+// failures are transient by construction, so they back off additively
+// with a bounded streak (reset on the next successful install); without
+// the distinction, repeated injections in a chaos soak compound the
+// doubling and pin hot regions in the interpreter for the rest of the
+// run.
+const injFailStreakCap = 8
+
+func (s *System) compileFailBackoff(entry int, err error) {
+	count := s.it.Prof.BlockCounts[entry]
+	if errors.Is(err, errInjectedCompileFail) {
+		streak := s.injFailStreak[entry] + 1
+		if streak > injFailStreakCap {
+			streak = injFailStreakCap
+		}
+		s.injFailStreak[entry] = streak
+		s.cooldown[entry] = count + streak*s.cfg.HotThreshold
+		return
+	}
+	s.cooldown[entry] = count * 2
+}
+
+// abandonCompiles cancels every still-pending compilation at the end of
+// the run and releases the worker pool.
+func (s *System) abandonCompiles() {
+	bg := s.bg
+	if bg == nil {
+		return
+	}
+	for len(bg.queue) > 0 {
+		s.cancelPending(bg.queue[0].entry, telemetry.CauseRunEnd)
+	}
+	if bg.pool != nil {
+		bg.pool.Close()
+		bg.pool = nil
+	}
+}

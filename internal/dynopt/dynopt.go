@@ -20,8 +20,8 @@ import (
 
 	"smarq/internal/alias"
 	"smarq/internal/aliashw"
+	"smarq/internal/compilequeue"
 	"smarq/internal/core"
-	"smarq/internal/deps"
 	"smarq/internal/faultinject"
 	"smarq/internal/guest"
 	"smarq/internal/interp"
@@ -31,7 +31,6 @@ import (
 	"smarq/internal/sched"
 	"smarq/internal/telemetry"
 	"smarq/internal/vliw"
-	"smarq/internal/xlate"
 )
 
 // Config selects the alias hardware and tuning parameters for a run.
@@ -76,6 +75,10 @@ type Config struct {
 	// enable just one surface). Unlike Trace this path never formats and
 	// never allocates on the hot path; see internal/telemetry.
 	Telemetry *telemetry.Telemetry
+	// Compile configures asynchronous background compilation and
+	// content-hash memoization (compile.go). The zero value is the legacy
+	// synchronous instant-install path.
+	Compile CompileConfig
 }
 
 // Ablation selects design elements to disable.
@@ -113,6 +116,9 @@ func (c Config) Validate() error {
 	}
 	if c.MaxGuardFails <= 0 {
 		return fmt.Errorf("dynopt: MaxGuardFails %d, want > 0", c.MaxGuardFails)
+	}
+	if c.Compile.Workers < 0 {
+		return fmt.Errorf("dynopt: Compile.Workers %d, want >= 0", c.Compile.Workers)
 	}
 	if err := c.withDefaults().Recovery.Validate(); err != nil {
 		return err
@@ -200,6 +206,9 @@ type RegionStats struct {
 	Working    core.WorkingSets
 	SeqLen     int
 	Cycles     int64
+	// CompileLatency is the simulated enqueue→install latency of the
+	// region's most recent compilation (0 on the synchronous path).
+	CompileLatency int64
 
 	// Tier is the region's final rung on the speculation ladder;
 	// Demotions/Promotions count its lifetime ladder moves and Sticky
@@ -229,6 +238,11 @@ type Stats struct {
 	Recompiles      int
 	RegionsDropped  int
 	OverflowRetries int
+
+	// Compile is the background-compilation and memoization accounting
+	// (compile.go). CompileStats.WorkCycles is off the critical path and
+	// deliberately excluded from TotalCycles.
+	Compile CompileStats
 
 	// Recovery is the tiered-deoptimization controller's accounting:
 	// per-tier dispatches and residency, demotions/promotions, and code
@@ -294,6 +308,15 @@ type System struct {
 	exceptions map[int]int
 	// entrySeq numbers region dispatches — the eviction clock source.
 	entrySeq int64
+	// bg is the background-compilation state (nil in synchronous mode)
+	// and memo the content-hash memo table (nil unless Compile.Memoize);
+	// see compile.go.
+	bg   *bgCompile
+	memo *compilequeue.Memo[*compileOutput]
+	// injFailStreak counts consecutive chaos-injected compile failures
+	// per entry; injected failures back off additively instead of the
+	// real-failure doubling (see compileFailBackoff).
+	injFailStreak map[int]uint64
 	// ectx is the reusable execution context: vreg files, checkpoint and
 	// undo log are pooled here so steady-state region entries allocate
 	// nothing.
@@ -329,22 +352,29 @@ func New(prog *guest.Program, st *guest.State, mem *guest.Memory, cfg Config) *S
 		inj = faultinject.New(cfg.Chaos)
 	}
 	s := &System{
-		cfg:         cfg,
-		prog:        prog,
-		st:          st,
-		mem:         mem,
-		it:          interp.New(prog, st, mem),
-		det:         det,
-		inj:         inj,
-		cache:       make(map[int]*compiled),
-		sbCache:     make(map[int]*region.Superblock),
-		blacklist:   make(map[int]alias.Blacklist),
-		cooldown:    make(map[int]uint64),
-		regionIdx:   make(map[int]int),
-		recovery:    make(map[int]*regionRecovery),
-		pinnedLoads: make(map[int]map[int]bool),
-		exceptions:  make(map[int]int),
-		tel:         newSystemTelemetry(cfg.Telemetry),
+		cfg:           cfg,
+		prog:          prog,
+		st:            st,
+		mem:           mem,
+		it:            interp.New(prog, st, mem),
+		det:           det,
+		inj:           inj,
+		cache:         make(map[int]*compiled),
+		sbCache:       make(map[int]*region.Superblock),
+		blacklist:     make(map[int]alias.Blacklist),
+		cooldown:      make(map[int]uint64),
+		regionIdx:     make(map[int]int),
+		recovery:      make(map[int]*regionRecovery),
+		pinnedLoads:   make(map[int]map[int]bool),
+		exceptions:    make(map[int]int),
+		injFailStreak: make(map[int]uint64),
+		tel:           newSystemTelemetry(cfg.Telemetry, cfg.Compile),
+	}
+	if cfg.Compile.Workers > 0 {
+		s.bg = &bgCompile{pending: make(map[int]*pendingCompile)}
+	}
+	if cfg.Compile.Memoize {
+		s.memo = compilequeue.NewMemo[*compileOutput]()
 	}
 	if s.tel != nil {
 		s.it.Insts = cfg.Telemetry.Registry().Counter(mInterpInsts)
@@ -399,112 +429,6 @@ func (s *System) optConfig(entry int) opt.Config {
 	}
 }
 
-// compile translates, optimizes, schedules and installs the region rooted
-// at entry, honouring the region's current ladder rung. The superblock is
-// pinned on first compilation so op IDs stay stable across conservative
-// re-optimizations.
-func (s *System) compile(entry int) error {
-	if s.inj != nil && s.inj.CompileFail() {
-		s.trace("injected compile failure for B%d", entry)
-		s.tel.chaosInjected(s.now(), entry, s.tierOf(entry), telemetry.CauseCompileFail)
-		return fmt.Errorf("faultinject: simulated compile failure for B%d", entry)
-	}
-	sb, ok := s.sbCache[entry]
-	if !ok {
-		var err error
-		sb, err = region.Form(s.prog, s.it.Prof, entry, s.cfg.Region)
-		if err != nil {
-			return err
-		}
-		s.sbCache[entry] = sb
-	}
-	rr := s.recoveryOf(entry)
-
-	reg, err := xlate.Translate(sb)
-	if err != nil {
-		return err
-	}
-	tbl := alias.BuildTable(reg, s.blacklist[entry])
-	optRes := opt.Run(reg, tbl, s.optConfig(entry))
-	ds := deps.Compute(reg, tbl)
-	opt.AddExtendedDeps(ds, reg, tbl, optRes)
-
-	scfg := sched.Config{
-		Mode:           s.cfg.Mode,
-		NumAliasRegs:   s.cfg.NumAliasRegs,
-		StoreReorder:   s.cfg.StoreReorder && rr.tier < TierNoStoreReorder,
-		ForceNonSpec:   rr.tier >= TierConservative,
-		PinnedOps:      s.pinnedLoads[entry],
-		PressureMargin: 4,
-		Machine:        s.cfg.Machine,
-		Alloc: core.Options{
-			DisableAnti:     s.cfg.Ablation.Anti,
-			DisableRotation: s.cfg.Ablation.Rotation,
-		},
-	}
-	sc, err := sched.Run(reg, tbl, ds, scfg)
-	if err != nil {
-		// Alias register overflow: retry pinned to non-speculation mode,
-		// then give up on eliminations entirely. The failed attempt left
-		// partial annotations on the ops; clear them first.
-		s.Stats.OverflowRetries++
-		resetAnnotations(reg)
-		scfg.ForceNonSpec = true
-		sc, err = sched.Run(reg, tbl, ds, scfg)
-		if err != nil {
-			reg, err = xlate.Translate(sb)
-			if err != nil {
-				return err
-			}
-			tbl = alias.BuildTable(reg, s.blacklist[entry])
-			ds = deps.Compute(reg, tbl)
-			sc, err = sched.Run(reg, tbl, ds, scfg)
-			if err != nil {
-				return fmt.Errorf("dynopt: region B%d cannot be scheduled: %w", entry, err)
-			}
-		}
-	}
-
-	// Charge the optimizer's own execution time (Figure 18): translation
-	// and optimization per op, scheduling/allocation per op.
-	n := int64(len(reg.Ops))
-	s.Stats.OptCycles += n * int64(s.cfg.Machine.OptCyclesPerOp)
-	s.Stats.SchedCycles += n * int64(s.cfg.Machine.SchedCyclesPerOp)
-
-	cr := s.cfg.Machine.Compile(sc.Seq, reg, len(sb.Insts))
-	_, recompile := s.cache[entry]
-	if recompile {
-		s.Stats.Recompiles++
-		s.trace("recompile B%d: %d ops, %d cycles, tier=%s", entry, len(sc.Seq), cr.Cycles, rr.tier)
-	} else {
-		s.evictForCapacity(entry)
-		s.Stats.RegionsCompiled++
-		s.trace("compile B%d: %d guest insts -> %d ops, %d cycles, %d mem ops, P=%d C=%d ws=%d",
-			entry, len(sb.Insts), len(sc.Seq), cr.Cycles, sb.NumMemOps(),
-			sc.Alloc.Stats.PBits, sc.Alloc.Stats.CBits, sc.Alloc.Stats.WorkingSet)
-	}
-	s.cache[entry] = &compiled{cr: cr, lastUse: s.entrySeq}
-
-	rs := RegionStats{
-		Entry:      entry,
-		GuestInsts: len(sb.Insts),
-		MemOps:     sb.NumMemOps(),
-		Alloc:      sc.Alloc.Stats,
-		Working:    core.MeasureWorkingSets(sc.Alloc, sb.NumMemOps()),
-		SeqLen:     len(sc.Seq),
-		Cycles:     cr.Cycles,
-		Tier:       rr.tier,
-	}
-	if idx, ok := s.regionIdx[entry]; ok {
-		s.Stats.Regions[idx] = rs
-	} else {
-		s.regionIdx[entry] = len(s.Stats.Regions)
-		s.Stats.Regions = append(s.Stats.Regions, rs)
-	}
-	s.tel.regionCompile(s.now(), entry, rr.tier, recompile, &rs)
-	return nil
-}
-
 // evictForCapacity makes room for a new region when the code cache is at
 // capacity by evicting the least recently dispatched region (deterministic
 // lowest-entry tie break). The evicted region keeps its superblock,
@@ -524,6 +448,9 @@ func (s *System) evictForCapacity(entry int) {
 		if victim == -1 {
 			return
 		}
+		// An in-flight recompile for the victim would just re-install it:
+		// it is stale the moment the code leaves the cache.
+		s.cancelPending(victim, telemetry.CauseStale)
 		delete(s.cache, victim)
 		s.Stats.Recovery.Evictions++
 		s.tel.evict(s.now(), victim, s.tierOf(victim))
@@ -560,6 +487,7 @@ func (s *System) Run(maxInsts uint64) (bool, error) {
 			s.finalize()
 			return false, nil
 		}
+		s.drainCompiles()
 		if c, ok := s.cache[id]; ok {
 			id = s.runRegion(id, c)
 			continue
@@ -591,9 +519,10 @@ func (s *System) Run(maxInsts uint64) (bool, error) {
 		if s.it.Prof.Hot(id, s.cfg.HotThreshold) && s.cache[id] == nil &&
 			s.tierOf(id) != TierPinned &&
 			s.it.Prof.BlockCounts[id] >= s.cooldown[id] {
-			if err := s.compile(id); err != nil {
-				// Unschedulable regions stay interpreted.
-				s.cooldown[id] = s.it.Prof.BlockCounts[id] * 2
+			if err := s.requestCompile(id); err != nil {
+				// Unschedulable regions stay interpreted; injected chaos
+				// failures retry sooner (see compileFailBackoff).
+				s.compileFailBackoff(id, err)
 			}
 		}
 		id = next
@@ -672,7 +601,10 @@ func (s *System) runRegion(entry int, c *compiled) int {
 			s.Stats.Recovery.Promotions++
 			s.tel.tierMove(s.now(), entry, rr.tier+1, rr.tier, telemetry.CauseNone)
 			s.trace("promote B%d to %s after %d clean commits", entry, rr.tier, s.cfg.Recovery.PromoteAfter)
-			if err := s.compile(entry); err != nil {
+			// The promoted code replaces the conservative version, which
+			// stays installed (it is still correct) until the background
+			// replacement is ready.
+			if err := s.recompileRegion(entry); err != nil {
 				delete(s.cache, entry)
 				s.Stats.RegionsDropped++
 				s.tel.drop(s.now(), entry, rr.tier, telemetry.CauseCompileFail)
@@ -757,12 +689,20 @@ func (s *System) runRegion(entry int, c *compiled) int {
 			s.trace("demote B%d to %s (rollback rate)", entry, rr.tier)
 		}
 		if rr.tier == TierPinned {
+			s.cancelPending(entry, telemetry.CauseStale)
 			delete(s.cache, entry)
 			s.trace("pin B%d to the interpreter", entry)
-		} else if err := s.compile(entry); err != nil {
-			delete(s.cache, entry)
-			s.Stats.RegionsDropped++
-			s.tel.drop(s.now(), entry, rr.tier, telemetry.CauseCompileFail)
+		} else {
+			if s.bg != nil {
+				// The trapped code is stale (its pair is now hardened):
+				// drop it and interpret until the replacement installs.
+				delete(s.cache, entry)
+			}
+			if err := s.recompileRegion(entry); err != nil {
+				delete(s.cache, entry)
+				s.Stats.RegionsDropped++
+				s.tel.drop(s.now(), entry, rr.tier, telemetry.CauseCompileFail)
+			}
 		}
 		// Make forward progress in the interpreter before re-dispatching.
 		return s.interpretOne(entry)
@@ -784,6 +724,7 @@ func (s *System) runRegion(entry int, c *compiled) int {
 			// The trace no longer matches behaviour: drop it and require
 			// twice the heat before re-forming.
 			s.trace("drop B%d after %d consecutive guard failures", entry, c.failStreak)
+			s.cancelPending(entry, telemetry.CauseStale)
 			delete(s.cache, entry)
 			delete(s.sbCache, entry)
 			s.cooldown[entry] = s.it.Prof.BlockCounts[entry] * 2
@@ -806,12 +747,20 @@ func (s *System) runRegion(entry int, c *compiled) int {
 			s.tel.tierMove(s.now(), entry, rr.tier-1, rr.tier, telemetry.CauseFaultStorm)
 			s.trace("demote B%d to %s (fault storm)", entry, rr.tier)
 			if rr.tier == TierPinned {
+				s.cancelPending(entry, telemetry.CauseStale)
 				delete(s.cache, entry)
 				s.trace("pin B%d to the interpreter", entry)
-			} else if err := s.compile(entry); err != nil {
-				delete(s.cache, entry)
-				s.Stats.RegionsDropped++
-				s.tel.drop(s.now(), entry, rr.tier, telemetry.CauseCompileFail)
+			} else {
+				if s.bg != nil {
+					// The faulting code is built for the old rung: drop it
+					// and interpret until the demoted replacement installs.
+					delete(s.cache, entry)
+				}
+				if err := s.recompileRegion(entry); err != nil {
+					delete(s.cache, entry)
+					s.Stats.RegionsDropped++
+					s.tel.drop(s.now(), entry, rr.tier, telemetry.CauseCompileFail)
+				}
 			}
 		}
 		return s.interpretOne(entry)
@@ -850,6 +799,7 @@ func (s *System) interpretOne(id int) int {
 }
 
 func (s *System) finalize() {
+	s.abandonCompiles()
 	s.Stats.TotalCycles = s.Stats.InterpCycles + s.Stats.RegionCycles +
 		s.Stats.RollbackCycles + s.Stats.OptCycles + s.Stats.SchedCycles
 	s.Stats.HWChecks = s.det.Checked()

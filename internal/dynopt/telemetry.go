@@ -33,11 +33,22 @@ const (
 	mDispatches      = "dynopt_dispatches"
 	mInterpInsts     = "interp_insts"
 
-	hRollbackCost = "rollback_cost_cycles"
-	hRegionSize   = "region_size_ops"
-	hAliasRegs    = "alias_regs_working_set"
-	hOccupancy    = "queue_occupancy"
-	hCompile      = "compile_cycles"
+	// Background-compilation instruments, registered only when the
+	// feature is on so synchronous runs keep byte-identical -metrics
+	// snapshots.
+	mCompileEnqueues = "dynopt_compile_enqueues"
+	mCompileInstalls = "dynopt_compile_installs"
+	mCompileCancels  = "dynopt_compile_cancels"
+	mMemoHits        = "dynopt_memo_hits"
+	mMemoMisses      = "dynopt_memo_misses"
+	gCompileQueue    = "compile_queue_depth"
+
+	hRollbackCost   = "rollback_cost_cycles"
+	hRegionSize     = "region_size_ops"
+	hAliasRegs      = "alias_regs_working_set"
+	hOccupancy      = "queue_occupancy"
+	hCompile        = "compile_cycles"
+	hCompileLatency = "compile_latency_cycles"
 )
 
 // systemTelemetry is the per-System view of an enabled telemetry bundle:
@@ -65,16 +76,26 @@ type systemTelemetry struct {
 	aliasRegs    *telemetry.Histogram
 	occupancy    *telemetry.Histogram
 	compileCost  *telemetry.Histogram
+
+	// Background-compilation instruments (nil — and therefore inert —
+	// unless the feature is configured on).
+	compileEnqueues *telemetry.Counter
+	compileInstalls *telemetry.Counter
+	compileCancels  *telemetry.Counter
+	memoHits        *telemetry.Counter
+	memoMisses      *telemetry.Counter
+	queueDepth      *telemetry.Gauge
+	compileLatency  *telemetry.Histogram
 }
 
 // newSystemTelemetry resolves instruments against the bundle. Returns nil
 // when the bundle is nil or empty, so System.tel stays a single nil check.
-func newSystemTelemetry(t *telemetry.Telemetry) *systemTelemetry {
+func newSystemTelemetry(t *telemetry.Telemetry, cc CompileConfig) *systemTelemetry {
 	if t == nil || (t.Events == nil && t.Metrics == nil) {
 		return nil
 	}
 	reg := t.Metrics // nil Registry hands out nil (inert) instruments
-	return &systemTelemetry{
+	st := &systemTelemetry{
 		tr: t.Events,
 
 		commits:         reg.Counter(mCommits),
@@ -97,6 +118,21 @@ func newSystemTelemetry(t *telemetry.Telemetry) *systemTelemetry {
 		occupancy:    reg.Histogram(hOccupancy, telemetry.Pow2Bounds(1, 64)),
 		compileCost:  reg.Histogram(hCompile, telemetry.Pow2Bounds(64, 4096)),
 	}
+	// Conditional registration: the -metrics snapshot includes every
+	// registered key (even zero-valued), so runs without the feature must
+	// not grow new keys.
+	if cc.Workers > 0 {
+		st.compileEnqueues = reg.Counter(mCompileEnqueues)
+		st.compileInstalls = reg.Counter(mCompileInstalls)
+		st.compileCancels = reg.Counter(mCompileCancels)
+		st.queueDepth = reg.Gauge(gCompileQueue)
+		st.compileLatency = reg.Histogram(hCompileLatency, telemetry.Pow2Bounds(256, 65536))
+	}
+	if cc.Memoize {
+		st.memoHits = reg.Counter(mMemoHits)
+		st.memoMisses = reg.Counter(mMemoMisses)
+	}
+	return st
 }
 
 // now is the simulated cycle clock events are stamped with: the sum of
@@ -127,6 +163,74 @@ func (st *systemTelemetry) regionCompile(cycle int64, entry int, tier Tier, reco
 		A:    int64(rs.SeqLen), B: int64(rs.GuestInsts),
 		C: int64(rs.MemOps), D: int64(rs.Alloc.WorkingSet),
 	})
+}
+
+// compileEnqueue records a background compilation entering the queue:
+// cost is the modelled latency, depth the queue depth after the enqueue,
+// memoHit whether the memo already held the result.
+func (st *systemTelemetry) compileEnqueue(cycle int64, entry int, tier Tier, cost int64, depth int, memoHit bool) {
+	if st == nil {
+		return
+	}
+	st.compileEnqueues.Add(1)
+	if memoHit {
+		st.memoHits.Add(1)
+	} else if st.memoHits != nil {
+		// Only count misses when memoization is on at all; the nil check
+		// on the hit counter is the cheapest "is it on" signal.
+		st.memoMisses.Add(1)
+	}
+	st.queueDepth.Set(int64(depth))
+	st.tr.Emit(telemetry.Event{
+		Cycle: cycle, Kind: telemetry.KindCompileEnqueue,
+		Region: int32(entry), Tier: int8(tier), To: -1,
+		Cost: cost, A: int64(depth), B: b2i(memoHit),
+	})
+}
+
+// compileInstalled records the metrics side of an install (the event side
+// is the existing KindCompile emitted by regionCompile).
+func (st *systemTelemetry) compileInstalled(latency int64, depth int) {
+	if st == nil {
+		return
+	}
+	st.compileInstalls.Add(1)
+	st.compileLatency.Observe(latency)
+	st.queueDepth.Set(int64(depth))
+}
+
+// memoLookup counts a content-hash memo lookup on the synchronous path
+// (the background path counts inside compileEnqueue).
+func (st *systemTelemetry) memoLookup(hit bool) {
+	if st == nil {
+		return
+	}
+	if hit {
+		st.memoHits.Add(1)
+	} else {
+		st.memoMisses.Add(1)
+	}
+}
+
+// compileCancel records a pending compilation being thrown away.
+func (st *systemTelemetry) compileCancel(cycle int64, entry int, tier Tier, cause telemetry.Cause, depth int) {
+	if st == nil {
+		return
+	}
+	st.compileCancels.Add(1)
+	st.queueDepth.Set(int64(depth))
+	st.tr.Emit(telemetry.Event{
+		Cycle: cycle, Kind: telemetry.KindCompileCancel,
+		Region: int32(entry), Tier: int8(tier), To: -1,
+		Cause: cause,
+	})
+}
+
+func b2i(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
 }
 
 func (st *systemTelemetry) dispatch(cycle int64, entry int, tier Tier) {

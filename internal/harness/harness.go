@@ -38,6 +38,12 @@ type Runner struct {
 	// flushes the cell's tracer when the run completes; closing sinks is
 	// the caller's job.
 	Telemetry func(bench, config string) *telemetry.Telemetry
+	// ConfigHook, when set, rewrites each cell's configuration just
+	// before the run (smarq-bench uses it to apply the background
+	// compilation flags across every named configuration). It must be a
+	// pure function of its input — the same cell must always get the same
+	// effective configuration, or the result cache lies.
+	ConfigHook func(dynopt.Config) dynopt.Config
 
 	byName map[string]workload.Benchmark
 
@@ -145,6 +151,9 @@ func (r *Runner) execute(bench, config string) (*dynopt.Stats, error) {
 	r.mu.Unlock()
 	if !ok {
 		return nil, fmt.Errorf("harness: no configuration %q", config)
+	}
+	if r.ConfigHook != nil {
+		cfg = r.ConfigHook(cfg)
 	}
 	if r.Telemetry != nil {
 		cfg.Telemetry = r.Telemetry(bench, config)

@@ -7,8 +7,8 @@
 package sched
 
 import (
-	"container/heap"
 	"fmt"
+	"sync"
 
 	"smarq/internal/alias"
 	"smarq/internal/aliashw"
@@ -119,6 +119,7 @@ type bitmaskSink struct {
 	pending   map[int]int // checkee -> unscheduled checkers
 	live      int
 	seq       []*ir.Op
+	out       [1]*ir.Op // Schedule's reused return storage
 }
 
 func newBitmaskSink(ds *deps.Set) *bitmaskSink {
@@ -159,7 +160,8 @@ func (s *bitmaskSink) Schedule(op *ir.Op) []*ir.Op {
 			}
 		}
 	}
-	return []*ir.Op{op}
+	s.out[0] = op
+	return s.out[:]
 }
 
 // Pressure implements allocSink.
@@ -167,10 +169,9 @@ func (s *bitmaskSink) Pressure(futureP int) int { return s.live + futureP }
 
 type node struct {
 	op       *ir.Op
-	succs    []int // successor op IDs (data + hard edges)
-	preds    int   // unscheduled predecessor count
+	preds    int32 // unscheduled predecessor count
 	height   int   // critical-path priority
-	memIndex int   // position among memory ops, -1 for non-memory
+	memIndex int32 // position among memory ops, -1 for non-memory
 }
 
 // item is a heap entry.
@@ -180,22 +181,108 @@ type item struct {
 	origID int
 }
 
+// itemLess orders the ready heap: height descending, original ID
+// ascending. The tiebreak makes the order total (origID is unique among
+// live entries), so every correct heap pops the same sequence.
+func itemLess(a, b item) bool {
+	if a.height != b.height {
+		return a.height > b.height
+	}
+	return a.origID < b.origID
+}
+
+// readyHeap is a binary min-heap under itemLess, hand-rolled so push/pop
+// move values without the interface boxing of container/heap.
 type readyHeap []item
 
 func (h readyHeap) Len() int { return len(h) }
-func (h readyHeap) Less(i, j int) bool {
-	if h[i].height != h[j].height {
-		return h[i].height > h[j].height
+
+func (h *readyHeap) push(it item) {
+	*h = append(*h, it)
+	s := *h
+	i := len(s) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !itemLess(s[i], s[parent]) {
+			break
+		}
+		s[i], s[parent] = s[parent], s[i]
+		i = parent
 	}
-	return h[i].origID < h[j].origID
 }
-func (h readyHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *readyHeap) Push(x interface{}) { *h = append(*h, x.(item)) }
-func (h *readyHeap) Pop() interface{} {
-	old := *h
-	x := old[len(old)-1]
-	*h = old[:len(old)-1]
-	return x
+
+func (h *readyHeap) pop() item {
+	s := *h
+	top := s[0]
+	last := len(s) - 1
+	s[0] = s[last]
+	s = s[:last]
+	*h = s
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		min := i
+		if l < last && itemLess(s[l], s[min]) {
+			min = l
+		}
+		if r < last && itemLess(s[r], s[min]) {
+			min = r
+		}
+		if min == i {
+			break
+		}
+		s[i], s[min] = s[min], s[i]
+		i = min
+	}
+	return top
+}
+
+// scratch is the per-Run working storage, pooled so steady-state
+// compilation reuses the node array, CSR edge buffers, worklists and the
+// ready heap instead of reallocating them (compilations may run on
+// concurrent worker goroutines, hence a pool rather than package globals).
+type scratch struct {
+	nodes        []node
+	defOf        []int32 // vreg -> defining op, -1 when none
+	succOff      []int32 // CSR: nodes[i] successors are succs[succOff[i]:succOff[i+1]]
+	succs        []int32
+	cursor       []int32
+	forcedP      []bool
+	readyTime    []int
+	memScheduled []bool
+	ready        readyHeap
+	deferred     []item
+	stash        []item
+}
+
+var scratchPool = sync.Pool{New: func() interface{} { return &scratch{} }}
+
+// grab returns pooled storage sized for n ops and nv vregs, cleared.
+func (sc *scratch) grab(n, nv int) {
+	sc.nodes = resize(sc.nodes, n)
+	sc.defOf = resize(sc.defOf, nv)
+	for i := range sc.defOf {
+		sc.defOf[i] = -1
+	}
+	sc.succOff = resize(sc.succOff, n+1)
+	sc.forcedP = resize(sc.forcedP, n)
+	sc.readyTime = resize(sc.readyTime, n)
+	sc.ready = sc.ready[:0]
+	sc.deferred = sc.deferred[:0]
+	sc.stash = sc.stash[:0]
+}
+
+// resize returns s with length n, reusing capacity, zeroing the contents.
+func resize[T any](s []T, n int) []T {
+	if cap(s) < n {
+		return make([]T, n)
+	}
+	s = s[:n]
+	var zero T
+	for i := range s {
+		s[i] = zero
+	}
+	return s
 }
 
 // Run schedules the region and allocates alias registers. The dependence
@@ -204,54 +291,85 @@ func (h *readyHeap) Pop() interface{} {
 // or with speculation disabled in the optimizer.
 func Run(reg *ir.Region, tbl *alias.Table, ds *deps.Set, cfg Config) (*Schedule, error) {
 	n := len(reg.Ops)
-	nodes := make([]*node, n)
-	defOf := make(map[ir.VReg]int) // vreg -> defining op
-	memSeq := 0
+	sc0 := scratchPool.Get().(*scratch)
+	defer scratchPool.Put(sc0)
+	sc0.grab(n, reg.NumVRegs)
+	nodes := sc0.nodes
+	defOf := sc0.defOf
+	memSeq := int32(0)
 	for i, op := range reg.Ops {
-		nd := &node{op: op, memIndex: -1}
+		nodes[i] = node{op: op, memIndex: -1}
 		if op.IsMem() {
-			nd.memIndex = memSeq
+			nodes[i].memIndex = memSeq
 			memSeq++
 		}
-		nodes[i] = nd
 		if op.Dst != ir.NoVReg {
-			defOf[op.Dst] = i
+			defOf[op.Dst] = int32(i)
 		}
 	}
 
-	addEdge := func(from, to int) {
-		if from == to {
-			return
-		}
-		nodes[from].succs = append(nodes[from].succs, to)
-		nodes[to].preds++
-	}
-
-	// Data edges (SSA: defs always precede uses in original order).
-	for i, op := range reg.Ops {
-		for _, s := range op.Srcs {
-			if d, ok := defOf[s]; ok && d != i {
-				addEdge(d, i)
-			}
-		}
-	}
-	// Hard memory-order edges for unbreakable dependences, in original
-	// program order.
-	for _, d := range ds.All {
+	// Edges in compressed sparse rows: one counting pass, one fill pass
+	// (both visit edges in the identical deterministic order). Duplicate
+	// edges are kept, exactly like the old per-node append did — preds is
+	// incremented and released per duplicate, which cancels out.
+	hardEdge := func(d deps.Dep) (int, int, bool) {
 		if cfg.ForceNonSpec || !cfg.breakable(d) {
 			lo, hi := d.Src, d.Dst
 			if lo > hi {
 				lo, hi = hi, lo
 			}
-			addEdge(lo, hi)
+			if lo != hi {
+				return lo, hi, true
+			}
+		}
+		return 0, 0, false
+	}
+	succOff := sc0.succOff
+	for i, op := range reg.Ops {
+		for _, s := range op.Srcs {
+			if d := defOf[s]; d >= 0 && int(d) != i {
+				succOff[d+1]++
+			}
 		}
 	}
+	for _, d := range ds.All {
+		if from, to, ok := hardEdge(d); ok && from != to {
+			succOff[from+1]++
+		}
+	}
+	for i := 0; i < n; i++ {
+		succOff[i+1] += succOff[i]
+	}
+	sc0.succs = resize(sc0.succs, int(succOff[n]))
+	succs := sc0.succs
+	// Fill using a moving per-node cursor initialized from the offsets.
+	sc0.cursor = resize(sc0.cursor, n)
+	next := sc0.cursor
+	copy(next, succOff[:n])
+	addEdge := func(from, to int) {
+		succs[next[from]] = int32(to)
+		next[from]++
+		nodes[to].preds++
+	}
+	for i, op := range reg.Ops {
+		for _, s := range op.Srcs {
+			if d := defOf[s]; d >= 0 && int(d) != i {
+				addEdge(int(d), i)
+			}
+		}
+	}
+	for _, d := range ds.All {
+		if from, to, ok := hardEdge(d); ok {
+			addEdge(from, to)
+		}
+	}
+	succsOf := func(i int) []int32 { return succs[succOff[i]:succOff[i+1]] }
 
 	// Heights: longest path to a leaf, weighted by latency.
 	for i := n - 1; i >= 0; i-- {
-		nd := nodes[i]
+		nd := &nodes[i]
 		h := 0
-		for _, s := range nd.succs {
+		for _, s := range succsOf(i) {
 			if nodes[s].height > h {
 				h = nodes[s].height
 			}
@@ -262,13 +380,14 @@ func Run(reg *ir.Region, tbl *alias.Table, ds *deps.Set, cfg Config) (*Schedule,
 	// forcedP: memory ops that will set an alias register even in
 	// non-speculation mode — destinations of backward (extended)
 	// dependences (Figure 13 line 24's future-usage term).
-	forcedP := make(map[int]bool)
+	forcedP := sc0.forcedP
+	futureP := 0
 	for _, d := range ds.All {
-		if d.Src > d.Dst && cfg.breakable(d) {
+		if d.Src > d.Dst && cfg.breakable(d) && !forcedP[d.Dst] {
 			forcedP[d.Dst] = true
+			futureP++
 		}
 	}
-	futureP := len(forcedP)
 
 	var alloc allocSink
 	var ordered *core.Allocator
@@ -284,23 +403,24 @@ func Run(reg *ir.Region, tbl *alias.Table, ds *deps.Set, cfg Config) (*Schedule,
 		ordered = core.NewAllocatorOpts(n, ds, numRegs, cfg.Alloc)
 		alloc = ordered
 	}
-	ready := &readyHeap{}
-	for i, nd := range nodes {
-		if nd.preds == 0 {
-			heap.Push(ready, item{id: i, height: nd.height, origID: i})
+	ready := &sc0.ready
+	for i := range nodes {
+		if nodes[i].preds == 0 {
+			ready.push(item{id: i, height: nodes[i].height, origID: i})
 		}
 	}
 
 	sc := &Schedule{}
-	nextMem := 0 // lowest memIndex not yet scheduled (non-spec order rule)
-	memScheduled := make([]bool, memSeq)
+	nextMem := int32(0) // lowest memIndex not yet scheduled (non-spec order rule)
+	sc0.memScheduled = resize(sc0.memScheduled, int(memSeq))
+	memScheduled := sc0.memScheduled
 
 	// Cycle-driven list scheduling: an op is pickable when its operands
 	// are ready at the current clock and a slot of its class remains in
 	// the current cycle. This is what makes speculation profitable to the
 	// scheduler — a load whose operands are ready hoists into the stall
 	// cycles an in-order machine would otherwise waste.
-	readyTime := make([]int, n)
+	readyTime := sc0.readyTime
 	clock, aluUsed, memUsed := 0, 0, 0
 	advance := func(to int) {
 		if to <= clock {
@@ -320,7 +440,7 @@ func Run(reg *ir.Region, tbl *alias.Table, ds *deps.Set, cfg Config) (*Schedule,
 		}
 	}
 
-	var deferred []item // ready mem ops held back by non-spec mode
+	deferred := sc0.deferred // ready mem ops held back by non-spec mode
 	scheduledCount := 0
 	for scheduledCount < n {
 		pressure := alloc.Pressure(futureP)
@@ -334,7 +454,7 @@ func Run(reg *ir.Region, tbl *alias.Table, ds *deps.Set, cfg Config) (*Schedule,
 			keep := deferred[:0]
 			for _, it := range deferred {
 				if !nonSpec || nodes[it.id].memIndex == nextMem {
-					heap.Push(ready, it)
+					ready.push(it)
 				} else {
 					keep = append(keep, it)
 				}
@@ -344,10 +464,10 @@ func Run(reg *ir.Region, tbl *alias.Table, ds *deps.Set, cfg Config) (*Schedule,
 
 		var picked item
 		found := false
-		var stash []item // time- or resource-blocked this cycle
+		stash := sc0.stash[:0] // time- or resource-blocked this cycle
 		for ready.Len() > 0 {
-			it := heap.Pop(ready).(item)
-			nd := nodes[it.id]
+			it := ready.pop()
+			nd := &nodes[it.id]
 			if nonSpec && nd.memIndex >= 0 && nd.memIndex != nextMem {
 				deferred = append(deferred, it)
 				continue
@@ -363,8 +483,9 @@ func Run(reg *ir.Region, tbl *alias.Table, ds *deps.Set, cfg Config) (*Schedule,
 			break
 		}
 		for _, it := range stash {
-			heap.Push(ready, it)
+			ready.push(it)
 		}
+		sc0.stash = stash
 
 		if !found {
 			if ready.Len() > 0 {
@@ -418,16 +539,17 @@ func Run(reg *ir.Region, tbl *alias.Table, ds *deps.Set, cfg Config) (*Schedule,
 				futureP--
 			}
 		}
-		for _, s := range nd.succs {
+		for _, s := range succsOf(picked.id) {
 			if finish > readyTime[s] {
 				readyTime[s] = finish
 			}
 			nodes[s].preds--
 			if nodes[s].preds == 0 {
-				heap.Push(ready, item{id: s, height: nodes[s].height, origID: s})
+				ready.push(item{id: int(s), height: nodes[s].height, origID: int(s)})
 			}
 		}
 	}
+	sc0.deferred = deferred
 
 	if bitmask != nil {
 		res, err := core.AllocateBitmask(bitmask.seq, ds, numRegs)

@@ -404,3 +404,33 @@ func TestBitmaskStoreReorderAllowed(t *testing.T) {
 		t.Error("bitmask mode failed to reorder may-alias stores")
 	}
 }
+
+// TestRunSteadyStateAllocs pins the scheduler's steady-state allocation
+// behavior: with the node array, CSR edge buffers, worklists and ready
+// heap pooled, repeated Run calls on a typical region must stay within a
+// small fixed budget (the allocator result and AMOV pseudo-ops still
+// allocate; the per-op scheduling machinery must not).
+func TestRunSteadyStateAllocs(t *testing.T) {
+	var specs []spec
+	for i := 0; i < 16; i++ {
+		specs = append(specs, spec{'L', ir.VReg(i + 1)}, spec{'a', 0}, spec{'S', ir.VReg(i + 1)})
+	}
+	reg := buildRegion(specs)
+	tbl := alias.BuildTable(reg, nil)
+	ds := deps.Compute(reg, tbl)
+	cfg := defaultCfg(HWOrdered)
+	run := func() {
+		if _, err := Run(reg, tbl, ds, cfg); err != nil {
+			t.Fatal(err)
+		}
+	}
+	run() // warm the scratch pool
+	allocs := testing.AllocsPerRun(50, run)
+	// The budget covers the allocator (not pooled — its result escapes to
+	// the caller) plus the Schedule itself; the pre-pooling scheduler was
+	// several hundred on this region.
+	const budget = 60
+	if allocs > budget {
+		t.Errorf("sched.Run allocates %.1f times per call, want <= %d", allocs, budget)
+	}
+}

@@ -54,6 +54,14 @@ const (
 	KindDrop
 	// KindChaos: the fault injector fired (Cause says which fault).
 	KindChaos
+	// KindCompileEnqueue: a background compilation was enqueued
+	// (Cost=modelled compile latency in cycles, A=queue depth after the
+	// enqueue, B=1 when the content-hash memo already held the result).
+	KindCompileEnqueue
+	// KindCompileCancel: a pending background compilation was thrown away
+	// before installing (Cause: stale inputs, a pinned region, or the end
+	// of the run).
+	KindCompileCancel
 
 	numKinds
 )
@@ -87,6 +95,11 @@ const (
 	CauseCompileFail
 	// CauseCorrupt: injected post-rollback state corruption.
 	CauseCorrupt
+	// CauseStale: a pending background compilation's inputs (tier,
+	// blacklist, pins or superblock) changed before it could install.
+	CauseStale
+	// CauseRunEnd: the run finished with the compilation still pending.
+	CauseRunEnd
 
 	numCauses
 )
@@ -94,7 +107,7 @@ const (
 var causeNames = [numCauses]string{
 	"", "alias", "guard", "fault", "injected-alias", "injected-guard",
 	"rollback-rate", "fault-storm", "pair-repeat", "chronic",
-	"compile-fail", "corrupt",
+	"compile-fail", "corrupt", "stale", "run-end",
 }
 
 // String returns the cause name ("" for CauseNone).
@@ -161,6 +174,8 @@ var kindSpecs = [numKinds]kindSpec{
 	KindEvict:          {name: "evict"},
 	KindDrop:           {name: "drop"},
 	KindChaos:          {name: "chaos"},
+	KindCompileEnqueue: {name: "compile-enqueue", aN: "depth", bN: "memo"},
+	KindCompileCancel:  {name: "compile-cancel"},
 }
 
 // String returns the event kind name.

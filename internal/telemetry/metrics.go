@@ -33,6 +33,36 @@ func (c *Counter) Value() int64 {
 	return c.v.Load()
 }
 
+// Gauge is a point-in-time level metric (queue depths, occupancy). Unlike
+// Counter it can move both ways; Set/Add are single atomic ops.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set replaces the gauge's value. Safe on a nil gauge.
+func (g *Gauge) Set(v int64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(v)
+}
+
+// Add moves the gauge by delta (negative to decrease). Safe on nil.
+func (g *Gauge) Add(delta int64) {
+	if g == nil {
+		return
+	}
+	g.v.Add(delta)
+}
+
+// Value returns the current level (0 on nil).
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
 // Histogram aggregates observations into fixed buckets. bounds are
 // inclusive upper bounds in ascending order; an implicit +Inf bucket
 // catches the rest. Observe is a linear scan plus atomic adds — no
@@ -89,6 +119,7 @@ func Pow2Bounds(lo, hi int64) []int64 {
 type Registry struct {
 	mu         sync.Mutex
 	counters   map[string]*Counter
+	gauges     map[string]*Gauge
 	histograms map[string]*Histogram
 }
 
@@ -96,6 +127,7 @@ type Registry struct {
 func NewRegistry() *Registry {
 	return &Registry{
 		counters:   make(map[string]*Counter),
+		gauges:     make(map[string]*Gauge),
 		histograms: make(map[string]*Histogram),
 	}
 }
@@ -114,6 +146,22 @@ func (r *Registry) Counter(name string) *Counter {
 		r.counters[name] = c
 	}
 	return c
+}
+
+// Gauge returns the named gauge, creating it on first use. Returns nil on
+// a nil registry.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g := r.gauges[name]
+	if g == nil {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
 }
 
 // Histogram returns the named histogram, creating it with the given
@@ -139,7 +187,10 @@ func (r *Registry) Histogram(name string, bounds []int64) *Histogram {
 
 // snapshot is the JSON shape of a registry dump.
 type snapshot struct {
-	Counters   map[string]int64         `json:"counters"`
+	Counters map[string]int64 `json:"counters"`
+	// Gauges is omitted entirely when no gauge is registered so snapshots
+	// from older runs (and gauge-free configurations) keep their bytes.
+	Gauges     map[string]int64         `json:"gauges,omitempty"`
 	Histograms map[string]histoSnapshot `json:"histograms"`
 }
 
@@ -170,6 +221,12 @@ func (r *Registry) WriteJSON(w io.Writer) error {
 	}
 	for name, c := range r.counters {
 		snap.Counters[name] = c.Value()
+	}
+	if len(r.gauges) > 0 {
+		snap.Gauges = make(map[string]int64, len(r.gauges))
+		for name, g := range r.gauges {
+			snap.Gauges[name] = g.Value()
+		}
 	}
 	for name, h := range r.histograms {
 		hs := histoSnapshot{

@@ -49,25 +49,35 @@ type Config struct {
 	// around the algorithm): cycles per IR op for the non-scheduling
 	// passes and for scheduling + alias register allocation respectively.
 	OptCyclesPerOp, SchedCyclesPerOp int
+	// CompileCyclesPerInst and CompileCyclesPerCheck parameterize the
+	// background-compilation latency model (dynopt.CompileConfig): an
+	// enqueued region occupies CompileCyclesPerInst per guest instruction
+	// plus CompileCyclesPerCheck per guest memory operation of simulated
+	// time before its code may install. Both are derived from the
+	// superblock alone — never from the compile result — so the install
+	// point is fixed at enqueue and identical at any host worker count.
+	CompileCyclesPerInst, CompileCyclesPerCheck int
 }
 
 // DefaultConfig mirrors the paper's machine as closely as the published
 // parameters allow: 64 alias registers, a wide in-order VLIW.
 func DefaultConfig() Config {
 	return Config{
-		IssueWidth:          4,
-		MemPorts:            2,
-		IntLat:              1,
-		MemLat:              3,
-		FPLat:               4,
-		FDivLat:             12,
-		FSqrtLat:            16,
-		AliasRegs:           64,
-		RollbackPenalty:     100,
-		CommitCycles:        2,
-		InterpCyclesPerInst: 12,
-		OptCyclesPerOp:      60,
-		SchedCyclesPerOp:    55,
+		IssueWidth:            4,
+		MemPorts:              2,
+		IntLat:                1,
+		MemLat:                3,
+		FPLat:                 4,
+		FDivLat:               12,
+		FSqrtLat:              16,
+		AliasRegs:             64,
+		RollbackPenalty:       100,
+		CommitCycles:          2,
+		InterpCyclesPerInst:   12,
+		OptCyclesPerOp:        60,
+		SchedCyclesPerOp:      55,
+		CompileCyclesPerInst:  120,
+		CompileCyclesPerCheck: 40,
 	}
 }
 

@@ -8,6 +8,11 @@
 // relies on: each memory operation is canonicalized to root-register +
 // constant displacement (or an absolute address) by folding copies, adds
 // with constants, and constant loads.
+//
+// Ops, MemInfos and operand lists are carved out of per-region arenas sized
+// from the superblock (each guest instruction emits at most one op with at
+// most two operands), so translation performs a constant number of heap
+// allocations regardless of region size.
 package xlate
 
 import (
@@ -29,29 +34,50 @@ type translator struct {
 	curInt   [guest.NumRegs]ir.VReg
 	curFloat [guest.NumRegs]ir.VReg
 	next     ir.VReg
-	consts   map[ir.VReg]int64 // vregs with statically known values
-	canon    map[ir.VReg]canonAddr
+
+	// Arenas. Growth past the precomputed capacity is harmless (earlier
+	// pointers keep referring to the old backing array) but defeats the
+	// batching, so the caps are exact upper bounds.
+	ops   []ir.Op
+	mems  []ir.MemInfo
+	vregs []ir.VReg // slab backing every op's Srcs
+	flags []bool    // slab backing every op's SrcFloat
+
+	// Constant and canonical-address views, indexed by vreg (vreg count is
+	// bounded by 2*guest.NumRegs live-ins + one definition per inst).
+	constOK  []bool
+	constVal []int64
+	canonOK  []bool
+	canon    []canonAddr
 }
 
 // Translate converts a superblock into an IR region.
 func Translate(sb *region.Superblock) (*ir.Region, error) {
+	n := len(sb.Insts)
+	maxVRegs := 2*guest.NumRegs + n
 	t := &translator{
 		reg: &ir.Region{
+			Ops:         make([]*ir.Op, 0, n),
 			Entry:       sb.Entry,
 			FinalTarget: sb.FinalTarget,
 		},
-		consts: make(map[ir.VReg]int64),
-		canon:  make(map[ir.VReg]canonAddr),
+		ops:      make([]ir.Op, 0, n),
+		mems:     make([]ir.MemInfo, 0, n),
+		vregs:    make([]ir.VReg, 0, 2*n),
+		flags:    make([]bool, 0, 2*n),
+		constOK:  make([]bool, maxVRegs),
+		constVal: make([]int64, maxVRegs),
+		canonOK:  make([]bool, maxVRegs),
+		canon:    make([]canonAddr, maxVRegs),
 	}
 	for r := 0; r < guest.NumRegs; r++ {
 		t.curInt[r] = ir.LiveInInt(guest.Reg(r))
 		t.curFloat[r] = ir.LiveInFloat(guest.Reg(r))
 	}
 	t.next = ir.VReg(2 * guest.NumRegs)
-	// Live-in vregs are their own canonical roots.
-	for v := ir.VReg(0); v < t.next; v++ {
-		t.canon[v] = canonAddr{root: v}
-	}
+	// Live-in vregs are their own canonical roots — exactly canonOf's
+	// fallback for vregs with no recorded canonical form, so nothing to
+	// initialize.
 
 	for _, in := range sb.Insts {
 		if err := t.translateInst(in); err != nil {
@@ -71,11 +97,47 @@ func (t *translator) fresh() ir.VReg {
 	return v
 }
 
-func (t *translator) emit(o *ir.Op) *ir.Op {
+// emit appends a new op to the region, allocated from the arena.
+func (t *translator) emit(o ir.Op) *ir.Op {
 	o.ID = len(t.reg.Ops)
 	o.AROffset = -1
-	t.reg.Ops = append(t.reg.Ops, o)
-	return o
+	t.ops = append(t.ops, o)
+	p := &t.ops[len(t.ops)-1]
+	t.reg.Ops = append(t.reg.Ops, p)
+	return p
+}
+
+// newMem places a MemInfo in the arena.
+func (t *translator) newMem(m ir.MemInfo) *ir.MemInfo {
+	t.mems = append(t.mems, m)
+	return &t.mems[len(t.mems)-1]
+}
+
+// srcs1/srcs2 and flags1/flags2 carve capped operand lists out of the
+// slabs; the three-index slice keeps a later append from clobbering a
+// neighboring op's operands.
+func (t *translator) srcs1(a ir.VReg) []ir.VReg {
+	n := len(t.vregs)
+	t.vregs = append(t.vregs, a)
+	return t.vregs[n : n+1 : n+1]
+}
+
+func (t *translator) srcs2(a, b ir.VReg) []ir.VReg {
+	n := len(t.vregs)
+	t.vregs = append(t.vregs, a, b)
+	return t.vregs[n : n+2 : n+2]
+}
+
+func (t *translator) flags1(a bool) []bool {
+	n := len(t.flags)
+	t.flags = append(t.flags, a)
+	return t.flags[n : n+1 : n+1]
+}
+
+func (t *translator) flags2(a, b bool) []bool {
+	n := len(t.flags)
+	t.flags = append(t.flags, a, b)
+	return t.flags[n : n+2 : n+2]
 }
 
 // defInt creates a fresh vreg for a guest integer register definition.
@@ -92,10 +154,27 @@ func (t *translator) defFloat(r guest.Reg) ir.VReg {
 }
 
 func (t *translator) canonOf(v ir.VReg) canonAddr {
-	if c, ok := t.canon[v]; ok {
-		return c
+	if v >= 0 && int(v) < len(t.canon) && t.canonOK[v] {
+		return t.canon[v]
 	}
 	return canonAddr{root: v}
+}
+
+func (t *translator) setCanon(v ir.VReg, c canonAddr) {
+	t.canonOK[v] = true
+	t.canon[v] = c
+}
+
+func (t *translator) constOf(v ir.VReg) (int64, bool) {
+	if v >= 0 && int(v) < len(t.constVal) && t.constOK[v] {
+		return t.constVal[v], true
+	}
+	return 0, false
+}
+
+func (t *translator) setConst(v ir.VReg, c int64) {
+	t.constOK[v] = true
+	t.constVal[v] = c
 }
 
 func (t *translator) translateInst(ri region.Inst) error {
@@ -111,16 +190,15 @@ func (t *translator) translateInst(ri region.Inst) error {
 		if !ri.IsGuard {
 			return nil // both directions stay on trace
 		}
-		o := &ir.Op{
+		t.emit(ir.Op{
 			Kind:         ir.Guard,
 			GOp:          op,
 			Dst:          ir.NoVReg,
-			Srcs:         []ir.VReg{t.curInt[in.Rs1], t.curInt[in.Rs2]},
-			SrcFloat:     []bool{false, false},
+			Srcs:         t.srcs2(t.curInt[in.Rs1], t.curInt[in.Rs2]),
+			SrcFloat:     t.flags2(false, false),
 			OnTraceTaken: ri.OnTraceTaken,
 			OffTrace:     ri.OffTrace,
-		}
-		t.emit(o)
+		})
 		return nil
 
 	case op.IsLoad():
@@ -132,20 +210,19 @@ func (t *translator) translateInst(ri region.Inst) error {
 			dst = t.defInt(in.Rd)
 		}
 		c := t.canonOf(base)
-		o := &ir.Op{
+		t.emit(ir.Op{
 			Kind:     ir.Load,
 			GOp:      op,
 			Dst:      dst,
 			DstFloat: op.IsFloat(),
-			Srcs:     []ir.VReg{base},
-			SrcFloat: []bool{false},
+			Srcs:     t.srcs1(base),
+			SrcFloat: t.flags1(false),
 			Imm:      in.Imm,
-			Mem: &ir.MemInfo{
+			Mem: t.newMem(ir.MemInfo{
 				Base: base, Off: in.Imm, Size: op.AccessSize(),
 				Root: c.root, RootOff: c.off + in.Imm, Abs: c.abs,
-			},
-		}
-		t.emit(o)
+			}),
+		})
 		return nil
 
 	case op.IsStore():
@@ -158,19 +235,18 @@ func (t *translator) translateInst(ri region.Inst) error {
 			val = t.curInt[in.Rd]
 		}
 		c := t.canonOf(base)
-		o := &ir.Op{
+		t.emit(ir.Op{
 			Kind:     ir.Store,
 			GOp:      op,
 			Dst:      ir.NoVReg,
-			Srcs:     []ir.VReg{val, base},
-			SrcFloat: []bool{valFloat, false},
+			Srcs:     t.srcs2(val, base),
+			SrcFloat: t.flags2(valFloat, false),
 			Imm:      in.Imm,
-			Mem: &ir.MemInfo{
+			Mem: t.newMem(ir.MemInfo{
 				Base: base, Off: in.Imm, Size: op.AccessSize(),
 				Root: c.root, RootOff: c.off + in.Imm, Abs: c.abs,
-			},
-		}
-		t.emit(o)
+			}),
+		})
 		return nil
 
 	case op.IsFloat():
@@ -181,31 +257,29 @@ func (t *translator) translateInst(ri region.Inst) error {
 		case guest.FLi:
 			// no sources
 		case guest.CvtIF:
-			srcs = []ir.VReg{t.curInt[in.Rs1]}
-			sf = []bool{false}
+			srcs = t.srcs1(t.curInt[in.Rs1])
+			sf = t.flags1(false)
 		case guest.FMov, guest.FNeg, guest.FAbs, guest.FSqrt:
-			srcs = []ir.VReg{t.curFloat[in.Rs1]}
-			sf = []bool{true}
+			srcs = t.srcs1(t.curFloat[in.Rs1])
+			sf = t.flags1(true)
 		default:
-			srcs = []ir.VReg{t.curFloat[in.Rs1], t.curFloat[in.Rs2]}
-			sf = []bool{true, true}
+			srcs = t.srcs2(t.curFloat[in.Rs1], t.curFloat[in.Rs2])
+			sf = t.flags2(true, true)
 		}
-		o := &ir.Op{
+		t.emit(ir.Op{
 			Kind: ir.Arith, GOp: op,
 			Dst: t.defFloat(in.Rd), DstFloat: true,
 			Srcs: srcs, SrcFloat: sf,
 			FImm: in.FImm,
-		}
-		t.emit(o)
+		})
 		return nil
 
 	case op == guest.CvtFI:
-		o := &ir.Op{
+		t.emit(ir.Op{
 			Kind: ir.Arith, GOp: op,
 			Dst:  t.defInt(in.Rd),
-			Srcs: []ir.VReg{t.curFloat[in.Rs1]}, SrcFloat: []bool{true},
-		}
-		t.emit(o)
+			Srcs: t.srcs1(t.curFloat[in.Rs1]), SrcFloat: t.flags1(true),
+		})
 		return nil
 
 	default:
@@ -220,22 +294,27 @@ func (t *translator) translateIntALU(in guest.Inst) error {
 	case guest.Li:
 		// no sources
 	case guest.Mov:
-		srcs = []ir.VReg{t.curInt[in.Rs1]}
+		srcs = t.srcs1(t.curInt[in.Rs1])
 	case guest.Addi, guest.Muli:
-		srcs = []ir.VReg{t.curInt[in.Rs1]}
+		srcs = t.srcs1(t.curInt[in.Rs1])
 	case guest.Add, guest.Sub, guest.Mul, guest.Div, guest.And, guest.Or,
 		guest.Xor, guest.Shl, guest.Shr, guest.Slt:
-		srcs = []ir.VReg{t.curInt[in.Rs1], t.curInt[in.Rs2]}
+		srcs = t.srcs2(t.curInt[in.Rs1], t.curInt[in.Rs2])
 	default:
 		return fmt.Errorf("xlate: unhandled opcode %s", op)
 	}
 	dst := t.defInt(in.Rd)
-	sf := make([]bool, len(srcs))
-	o := &ir.Op{
+	var sf []bool
+	switch len(srcs) {
+	case 1:
+		sf = t.flags1(false)
+	case 2:
+		sf = t.flags2(false, false)
+	}
+	t.emit(ir.Op{
 		Kind: ir.Arith, GOp: op,
 		Dst: dst, Srcs: srcs, SrcFloat: sf, Imm: in.Imm,
-	}
-	t.emit(o)
+	})
 	t.propagate(op, dst, srcs, in.Imm)
 	return nil
 }
@@ -248,55 +327,55 @@ func (t *translator) translateIntALU(in guest.Inst) error {
 func (t *translator) propagate(op guest.Opcode, dst ir.VReg, srcs []ir.VReg, imm int64) {
 	switch op {
 	case guest.Li:
-		t.consts[dst] = imm
-		t.canon[dst] = canonAddr{root: ir.NoVReg, off: imm, abs: true}
+		t.setConst(dst, imm)
+		t.setCanon(dst, canonAddr{root: ir.NoVReg, off: imm, abs: true})
 	case guest.Mov:
-		if c, ok := t.consts[srcs[0]]; ok {
-			t.consts[dst] = c
+		if c, ok := t.constOf(srcs[0]); ok {
+			t.setConst(dst, c)
 		}
-		t.canon[dst] = t.canonOf(srcs[0])
+		t.setCanon(dst, t.canonOf(srcs[0]))
 	case guest.Addi:
-		if c, ok := t.consts[srcs[0]]; ok {
-			t.consts[dst] = c + imm
+		if c, ok := t.constOf(srcs[0]); ok {
+			t.setConst(dst, c+imm)
 		}
 		ca := t.canonOf(srcs[0])
 		ca.off += imm
-		t.canon[dst] = ca
+		t.setCanon(dst, ca)
 	case guest.Add:
-		c0, ok0 := t.consts[srcs[0]]
-		c1, ok1 := t.consts[srcs[1]]
+		c0, ok0 := t.constOf(srcs[0])
+		c1, ok1 := t.constOf(srcs[1])
 		switch {
 		case ok0 && ok1:
-			t.consts[dst] = c0 + c1
-			t.canon[dst] = canonAddr{root: ir.NoVReg, off: c0 + c1, abs: true}
+			t.setConst(dst, c0+c1)
+			t.setCanon(dst, canonAddr{root: ir.NoVReg, off: c0 + c1, abs: true})
 		case ok1:
 			ca := t.canonOf(srcs[0])
 			ca.off += c1
-			t.canon[dst] = ca
+			t.setCanon(dst, ca)
 		case ok0:
 			ca := t.canonOf(srcs[1])
 			ca.off += c0
-			t.canon[dst] = ca
+			t.setCanon(dst, ca)
 		}
 	case guest.Sub:
-		if c1, ok := t.consts[srcs[1]]; ok {
-			if c0, ok0 := t.consts[srcs[0]]; ok0 {
-				t.consts[dst] = c0 - c1
-				t.canon[dst] = canonAddr{root: ir.NoVReg, off: c0 - c1, abs: true}
+		if c1, ok := t.constOf(srcs[1]); ok {
+			if c0, ok0 := t.constOf(srcs[0]); ok0 {
+				t.setConst(dst, c0-c1)
+				t.setCanon(dst, canonAddr{root: ir.NoVReg, off: c0 - c1, abs: true})
 			} else {
 				ca := t.canonOf(srcs[0])
 				ca.off -= c1
-				t.canon[dst] = ca
+				t.setCanon(dst, ca)
 			}
 		}
 	case guest.Muli:
-		if c, ok := t.consts[srcs[0]]; ok {
-			t.consts[dst] = c * imm
+		if c, ok := t.constOf(srcs[0]); ok {
+			t.setConst(dst, c*imm)
 		}
 	case guest.Mul:
-		if c0, ok0 := t.consts[srcs[0]]; ok0 {
-			if c1, ok1 := t.consts[srcs[1]]; ok1 {
-				t.consts[dst] = c0 * c1
+		if c0, ok0 := t.constOf(srcs[0]); ok0 {
+			if c1, ok1 := t.constOf(srcs[1]); ok1 {
+				t.setConst(dst, c0*c1)
 			}
 		}
 	}
