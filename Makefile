@@ -5,7 +5,7 @@ GO ?= go
 PARALLEL ?= 0
 
 .PHONY: all build test race bench bench-all bench-check figures examples clean \
-	ci fmt-check bench-smoke fuzz-smoke chaos-smoke trace-smoke
+	ci fmt-check lint bench-smoke fuzz-smoke chaos-smoke trace-smoke
 
 all: build test
 
@@ -21,6 +21,16 @@ race:
 
 # Everything CI gates on, runnable locally in one shot.
 ci: build test fmt-check bench-smoke trace-smoke
+
+# Static analysis and known-vulnerability scan. Tool versions are pinned
+# so the gate is reproducible; `go run pkg@version` fetches them into the
+# module cache on first use (network required once, cached by CI).
+STATICCHECK = honnef.co/go/tools/cmd/staticcheck@2024.1.1
+GOVULNCHECK = golang.org/x/vuln/cmd/govulncheck@v1.1.3
+
+lint:
+	$(GO) run $(STATICCHECK) ./...
+	$(GO) run $(GOVULNCHECK) ./...
 
 # Fail if any file needs gofmt.
 fmt-check:
@@ -75,7 +85,7 @@ chaos-smoke:
 # Execution-engine microbench suite → BENCH_exec.json. Fixed -benchtime
 # and -count keep runs comparable; the committed pre-change baseline is
 # merged in so the artifact records the before/after trajectory.
-BENCH_EXEC_RE = ^BenchmarkExecute$$|^BenchmarkRegionExecution$$|^BenchmarkDynopt$$|^BenchmarkCompile$$|^BenchmarkMemoHit$$
+BENCH_EXEC_RE = ^BenchmarkExecute$$|^BenchmarkRegionExecution$$|^BenchmarkDynopt$$|^BenchmarkCompile$$|^BenchmarkMemoHit$$|^BenchmarkCompilePipeline$$
 
 bench:
 	$(GO) test -run '^$$' -bench '$(BENCH_EXEC_RE)' -benchmem -benchtime 2000x -count=1 . \
@@ -92,7 +102,7 @@ bench-check:
 	$(GO) test -run '^$$' -bench '$(BENCH_EXEC_RE)' -benchmem -benchtime 2000x -count=1 . \
 		| $(GO) run ./cmd/smarq-benchjson \
 		| $(GO) run ./cmd/smarq-golden -golden testdata/bench-exec.baseline.json -got - \
-			-rtol 9 -atol 1.5 -exact '(Execute/|RegionExecution).*allocs_per_op$$'
+			-rtol 9 -atol 1.5 -exact '(Execute/|RegionExecution|Compile).*allocs_per_op$$'
 
 # One testing.B benchmark per table/figure plus micro-benchmarks (the
 # full sweep; slow).

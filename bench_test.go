@@ -299,6 +299,63 @@ func BenchmarkTranslatePipeline(b *testing.B) {
 	}
 }
 
+// BenchmarkCompilePipeline measures one full compilation — translation,
+// alias analysis, eliminations, dependences, scheduling with alias
+// register allocation, VLIW baking and the working-set statistics — over
+// the hottest ammp superblock, with region formation excluded (production
+// caches superblocks per entry). This is the per-compile cost the
+// flat-arena pipeline targets; BenchmarkCompile above measures the same
+// machinery embedded in a full system run.
+func BenchmarkCompilePipeline(b *testing.B) {
+	bm, _ := workload.ByName("ammp")
+	prog := bm.Build()
+	it := interp.New(prog, &guest.State{}, guest.NewMemory(bm.MemSize))
+	_, _ = it.Run(0, 500_000)
+	best, bc := 0, uint64(0)
+	for id, c := range it.Prof.BlockCounts {
+		if c > bc {
+			best, bc = id, c
+		}
+	}
+	sb, err := region.Form(prog, it.Prof, best, region.DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	machine := vliw.DefaultConfig()
+	scfg := sched.Config{
+		Mode: sched.HWOrdered, NumAliasRegs: 64, StoreReorder: true,
+		PressureMargin: 4, Machine: machine,
+	}
+	arena := ir.NewArena()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		reg, err := xlate.TranslateArena(sb, arena)
+		if err != nil {
+			b.Fatal(err)
+		}
+		tbl := alias.BuildTable(reg, nil)
+		optRes := opt.Run(reg, tbl, opt.Config{LoadElim: true, StoreElim: true, Speculative: true})
+		ds := deps.Compute(reg, tbl)
+		opt.AddExtendedDeps(ds, reg, tbl, optRes)
+		sc, err := sched.Run(reg, tbl, ds, scfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		fseq, freg := ir.Freeze(sc.Seq, reg)
+		cr := machine.Compile(fseq, freg, len(sb.Insts))
+		ws := core.MeasureWorkingSets(sc.Alloc, sb.NumMemOps())
+		tbl.Release()
+		ds.Release()
+		optRes.Release()
+		sc.Release()
+		arena.Reset()
+		if cr.Cycles == 0 || ws.SMARQ == 0 {
+			b.Fatal("degenerate compile")
+		}
+	}
+}
+
 // benchLoopRegion compiles the store/load loop the execution benches run,
 // scheduled for the given hardware mode, and returns an entry-ready state.
 func benchLoopRegion(b *testing.B, mode sched.HWMode, nar int) (*vliw.CompiledRegion, *guest.State, *guest.Memory) {

@@ -11,6 +11,7 @@ package alias
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"smarq/internal/ir"
 )
@@ -88,10 +89,15 @@ func MakePair(x, y int) Pair {
 // elimination redirects a check to a range-equivalent operation, the
 // exception it raises must still harden every access to that range, or
 // re-optimization would re-speculate forever.
+// Table storage is dense: op IDs index flat slices (the compile pipeline
+// queries Rel O(memops²) times, so the per-probe cost must be a couple of
+// array loads, not hash lookups), and tables recycle through a pool so
+// steady-state compilation allocates nothing here.
 type Table struct {
-	mems  map[int]*ir.MemInfo
-	class map[int]int
-	bad   map[Pair]bool // blacklisted class pairs
+	mems  []*ir.MemInfo // indexed by op ID; nil for non-memory ops
+	class []int32       // indexed by op ID; -1 for non-memory ops
+	bad   map[Pair]bool // blacklisted class pairs (small, pooled+cleared)
+	keys  map[classKey]int32
 }
 
 // Blacklist is the set of op pairs runtime feedback marked as aliasing.
@@ -104,43 +110,80 @@ type classKey struct {
 	abs  bool
 }
 
+var tablePool = sync.Pool{New: func() interface{} {
+	return &Table{bad: make(map[Pair]bool), keys: make(map[classKey]int32)}
+}}
+
 // BuildTable classifies the region's memory operations and applies the
-// blacklist.
+// blacklist. The table comes from an internal pool; callers on the hot
+// compile path hand it back with Release once the compilation is done.
 func BuildTable(reg *ir.Region, bl Blacklist) *Table {
-	t := &Table{
-		mems:  make(map[int]*ir.MemInfo),
-		class: make(map[int]int),
-		bad:   make(map[Pair]bool),
-	}
-	keys := make(map[classKey]int)
-	for _, o := range reg.MemOps() {
+	t := tablePool.Get().(*Table)
+	n := len(reg.Ops)
+	t.mems = resizeMems(t.mems, n)
+	t.class = resizeClasses(t.class, n)
+	clear(t.bad)
+	clear(t.keys)
+	for _, o := range reg.Ops {
+		if !o.IsMem() {
+			continue
+		}
 		t.mems[o.ID] = o.Mem
 		k := classKey{root: o.Mem.Root, off: o.Mem.RootOff, size: o.Mem.Size, abs: o.Mem.Abs}
 		if o.Mem.Abs {
 			k.root = ir.NoVReg
 		}
-		id, ok := keys[k]
+		id, ok := t.keys[k]
 		if !ok {
-			id = len(keys)
-			keys[k] = id
+			id = int32(len(t.keys))
+			t.keys[k] = id
 		}
 		t.class[o.ID] = id
 	}
 	for p := range bl {
-		ca, aok := t.class[p.A]
-		cb, bok := t.class[p.B]
-		if aok && bok {
+		ca, cb := t.ClassOf(p.A), t.ClassOf(p.B)
+		if ca >= 0 && cb >= 0 {
 			t.bad[MakePair(ca, cb)] = true
 		}
 	}
 	return t
 }
 
+// Release returns the table to the pool. The caller must not use it (or
+// anything still holding it) afterwards.
+func (t *Table) Release() {
+	if t != nil {
+		tablePool.Put(t)
+	}
+}
+
+func resizeMems(s []*ir.MemInfo, n int) []*ir.MemInfo {
+	if cap(s) < n {
+		return make([]*ir.MemInfo, n)
+	}
+	s = s[:n]
+	for i := range s {
+		s[i] = nil
+	}
+	return s
+}
+
+func resizeClasses(s []int32, n int) []int32 {
+	if cap(s) < n {
+		s = make([]int32, n)
+	}
+	s = s[:n]
+	for i := range s {
+		s[i] = -1
+	}
+	return s
+}
+
 // ClassOf returns the must-alias class of op id, or -1 when the op is not a
 // memory op of the region.
 func (t *Table) ClassOf(id int) int {
-	if c, ok := t.class[id]; ok {
-		return c
+	if id >= 0 && id < len(t.class) {
+		return int(t.class[id])
 	}
 	return -1
 }
@@ -152,13 +195,15 @@ func (t *Table) Rel(x, y int) Relation {
 	if x == y {
 		return MustAlias
 	}
-	mx, okx := t.mems[x]
-	my, oky := t.mems[y]
-	if !okx || !oky {
+	if x < 0 || y < 0 || x >= len(t.mems) || y >= len(t.mems) {
+		return MayAlias
+	}
+	mx, my := t.mems[x], t.mems[y]
+	if mx == nil || my == nil {
 		return MayAlias
 	}
 	r := Classify(mx, my)
-	if !r.Definite() && t.bad[MakePair(t.class[x], t.class[y])] {
+	if !r.Definite() && len(t.bad) > 0 && t.bad[MakePair(int(t.class[x]), int(t.class[y]))] {
 		r = PartialAlias
 	}
 	return r
@@ -168,8 +213,10 @@ func (t *Table) Rel(x, y int) Relation {
 func (t *Table) String() string {
 	out := ""
 	ids := make([]int, 0, len(t.mems))
-	for id := range t.mems {
-		ids = append(ids, id)
+	for id, m := range t.mems {
+		if m != nil {
+			ids = append(ids, id)
+		}
 	}
 	sort.Ints(ids)
 	for i := 0; i < len(ids); i++ {

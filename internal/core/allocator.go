@@ -31,11 +31,13 @@ package core
 
 import (
 	"fmt"
-	"sort"
+	"slices"
+	"sync"
 
 	"smarq/internal/constraint"
 	"smarq/internal/deps"
 	"smarq/internal/ir"
+	"smarq/internal/readyq"
 )
 
 // Stats summarizes one region's allocation, feeding Figures 17 and 19.
@@ -57,12 +59,40 @@ type Result struct {
 	// Seq is the final linear sequence: the scheduled ops with AMOVs and
 	// rotates interleaved. Memory ops carry AROffset/P/C annotations.
 	Seq []*ir.Op
-	// Order and Base per op ID (including AMOV pseudo IDs), for analysis.
-	Order, Base map[int]int
+	// Order and Base are dense per-op-ID slices (including AMOV/rotate
+	// pseudo IDs), for analysis. Order[id] is -1 when op id was never
+	// allocated a register; Base[id] is -1 when op id was never scheduled.
+	Order, Base []int
 	// Checks and Antis are the final logical constraints (after AMOV
 	// retargeting), as (src, dst) pairs.
 	Checks, Antis [][2]int
 	Stats         Stats
+}
+
+// Allocated reports whether op id received an alias register order.
+func (r *Result) Allocated(id int) bool {
+	return id >= 0 && id < len(r.Order) && r.Order[id] >= 0
+}
+
+// resultPool recycles Results (and, through them, the sequence, order,
+// base and constraint storage) across compiles.
+var resultPool = sync.Pool{New: func() interface{} { return new(Result) }}
+
+// Release hands the Result's storage back for reuse by a later
+// allocation. The caller must be done with every view into it, including
+// Seq; hot paths (the compile pipeline) call it once the schedule has
+// been frozen and measured.
+func (r *Result) Release() {
+	for i := range r.Seq {
+		r.Seq[i] = nil
+	}
+	r.Seq = r.Seq[:0]
+	r.Order = r.Order[:0]
+	r.Base = r.Base[:0]
+	r.Checks = r.Checks[:0]
+	r.Antis = r.Antis[:0]
+	r.Stats = Stats{}
+	resultPool.Put(r)
 }
 
 type amovInfo struct {
@@ -74,7 +104,7 @@ type amovInfo struct {
 // Allocator performs integrated alias register allocation. Create one per
 // region, call Schedule for every op in the scheduler's chosen order, then
 // Finish (after which the allocator must not be reused — Finish returns
-// its pooled constraint graph).
+// its pooled constraint graph and recycles the allocator itself).
 type Allocator struct {
 	ds      *deps.Set
 	numRegs int
@@ -89,16 +119,20 @@ type Allocator struct {
 	base       []int32 // valid only where scheduled
 	pending    []bool  // scheduled, needs a register, not yet allocated
 
-	// pendingIDs lists ops ever marked pending; entries whose pending
-	// flag has since cleared are skipped (lazy deletion). Pressure scans
-	// it for the minimum pinned base.
-	pendingIDs []int32
-	pendingP   int // pending ops with P bit (overflow estimate term)
-	nextOrder  int
-	// ready is a FIFO with an explicit head index; drain empties it and
-	// resets both so the backing array is reused for the whole region.
-	ready     []int
-	readyHead int
+	// pendingIDs lists ops ever marked pending, in schedule order, so
+	// their bases are monotone non-decreasing; pendingHead lazily skips
+	// entries whose pending flag has since cleared. Pressure's minimum
+	// pinned base is therefore the first live entry — an O(1) probe
+	// instead of a scan.
+	pendingIDs  []int32
+	pendingHead int
+	pendingP    int // pending ops with P bit (overflow estimate term)
+	nextOrder   int
+	// ready holds allocatable ops keyed by arrival sequence number: a
+	// CLZ-bitmap queue whose PopMin is exactly the drain FIFO of
+	// Figure 13, with O(1) selection and a pooled backing.
+	ready    readyq.Queue
+	readySeq int
 	// emit accumulates one Schedule call's output; the returned slice is
 	// only valid until the next call.
 	emit []*ir.Op
@@ -112,44 +146,98 @@ type Allocator struct {
 	// retargets) for final verification.
 	liveChecks map[[2]int]bool
 	liveAntis  [][2]int
-	movedTo    map[int]int // op -> AMOV currently holding its entry
-	amovs      map[int]*amovInfo
+	movedTo    []int32    // op -> AMOV currently holding its entry, -1 none
+	amovs      []amovInfo // indexed by pseudo ID - numOps; zero for rotates
+	numOps     int
 	nextPseudo int
 	overflow   bool
 	seq        []*ir.Op
+	res        *Result // pooled; receives seq and the dense views at Finish
 	stats      Stats
 }
 
+var allocPool = sync.Pool{New: func() interface{} {
+	return &Allocator{
+		rangeChecked: make(map[[2]int]bool),
+		liveChecks:   make(map[[2]int]bool),
+	}
+}}
+
 // NewAllocator creates an allocator for a region with numOps real ops, the
 // given dependences, and numRegs physical alias registers. Every real op's
-// T is initialized to its original program order (op ID).
+// T is initialized to its original program order (op ID). Allocators
+// recycle through an internal pool (Finish returns them); only the
+// sequence and constraint listings that escape into the Result are
+// allocated fresh per region.
 func NewAllocator(numOps int, ds *deps.Set, numRegs int) *Allocator {
-	// The dense per-op state shares two backing slabs (three-index slicing
-	// keeps growTo's appends from clobbering a neighboring field).
-	bools := make([]bool, 5*numOps)
-	ints := make([]int32, 2*numOps)
-	a := &Allocator{
-		ds:           ds,
-		numRegs:      numRegs,
-		g:            constraint.Get(numOps),
-		scheduled:    bools[0*numOps : 1*numOps : 1*numOps],
-		allocated:    bools[1*numOps : 2*numOps : 2*numOps],
-		pBit:         bools[2*numOps : 3*numOps : 3*numOps],
-		cBit:         bools[3*numOps : 4*numOps : 4*numOps],
-		pending:      bools[4*numOps : 5*numOps : 5*numOps],
-		order:        ints[0*numOps : 1*numOps : 1*numOps],
-		base:         ints[1*numOps : 2*numOps : 2*numOps],
-		rangeChecked: make(map[[2]int]bool, numOps),
-		liveChecks:   make(map[[2]int]bool, numOps),
-		movedTo:      make(map[int]int),
-		amovs:        make(map[int]*amovInfo),
-		seq:          make([]*ir.Op, 0, numOps+8),
-		nextPseudo:   numOps,
+	a := allocPool.Get().(*Allocator)
+	a.ds = ds
+	a.numRegs = numRegs
+	a.opts = Options{}
+	a.g = constraint.Get(numOps)
+	a.scheduled = resetBools(a.scheduled, numOps)
+	a.allocated = resetBools(a.allocated, numOps)
+	a.pBit = resetBools(a.pBit, numOps)
+	a.cBit = resetBools(a.cBit, numOps)
+	a.pending = resetBools(a.pending, numOps)
+	a.order = resetInt32s(a.order, numOps, 0)
+	a.base = resetInt32s(a.base, numOps, 0)
+	a.pendingIDs = a.pendingIDs[:0]
+	a.pendingHead = 0
+	a.pendingP = 0
+	a.nextOrder = 0
+	a.ready.Reset(numOps+1, numOps+1)
+	a.readySeq = 0
+	a.emit = a.emit[:0]
+	clear(a.rangeChecked)
+	clear(a.liveChecks)
+	a.res = resultPool.Get().(*Result)
+	a.liveAntis = a.res.Antis[:0]
+	a.movedTo = resetInt32s(a.movedTo, numOps, -1)
+	a.amovs = a.amovs[:0]
+	a.numOps = numOps
+	a.nextPseudo = numOps
+	a.overflow = false
+	if cap(a.res.Seq) < numOps+8 {
+		a.res.Seq = make([]*ir.Op, 0, numOps+8)
 	}
+	a.seq = a.res.Seq[:0]
+	a.stats = Stats{}
 	for i := 0; i < numOps; i++ {
 		a.g.SetT(i, i)
 	}
 	return a
+}
+
+func resetBools(s []bool, n int) []bool {
+	if cap(s) < n {
+		return make([]bool, n)
+	}
+	s = s[:n]
+	for i := range s {
+		s[i] = false
+	}
+	return s
+}
+
+func resetInt32s(s []int32, n int, v int32) []int32 {
+	if cap(s) < n {
+		s = make([]int32, n)
+	}
+	s = s[:n]
+	for i := range s {
+		s[i] = v
+	}
+	return s
+}
+
+// resizeInts returns s with length n and at least that capacity; contents
+// are unspecified (callers overwrite every entry).
+func resizeInts(s []int, n int) []int {
+	if cap(s) < n {
+		return make([]int, n)
+	}
+	return s[:n]
 }
 
 // growTo extends the per-op slices to include pseudo op id.
@@ -162,18 +250,23 @@ func (a *Allocator) growTo(id int) {
 		a.order = append(a.order, 0)
 		a.base = append(a.base, 0)
 		a.pending = append(a.pending, false)
+		a.movedTo = append(a.movedTo, -1)
 	}
 }
 
 // resolve follows AMOV moves to the op currently holding x's access range.
 func (a *Allocator) resolve(x int) int {
-	for {
-		nx, ok := a.movedTo[x]
-		if !ok {
-			return x
-		}
-		x = nx
+	for a.movedTo[x] >= 0 {
+		x = int(a.movedTo[x])
 	}
+	return x
+}
+
+// pushReady enqueues op x for allocation, preserving arrival order.
+func (a *Allocator) pushReady(x int) {
+	a.ready.Grow(x+1, a.readySeq+1)
+	a.ready.Push(x, a.readySeq)
+	a.readySeq++
 }
 
 // Schedule informs the allocator that op y is the next instruction in the
@@ -247,7 +340,7 @@ func (a *Allocator) Schedule(y *ir.Op) []*ir.Op {
 			a.stats.CBits++
 		}
 		if a.g.InDegree(y.ID) == 0 {
-			a.ready = append(a.ready, y.ID)
+			a.pushReady(y.ID)
 		} else {
 			a.pending[y.ID] = true
 			a.pendingIDs = append(a.pendingIDs, int32(y.ID))
@@ -293,14 +386,16 @@ func (a *Allocator) insertAMov(x, yID int) *ir.Op {
 		return !a.scheduled[src]
 	})
 	op := &ir.Op{ID: xp, Kind: ir.AMov, Dst: ir.NoVReg, AROffset: -1}
-	info := &amovInfo{op: op, srcID: x, hasTarget: len(moved) > 0}
-	a.amovs[xp] = info
+	for len(a.amovs) <= xp-a.numOps {
+		a.amovs = append(a.amovs, amovInfo{})
+	}
+	a.amovs[xp-a.numOps] = amovInfo{op: op, srcID: x, hasTarget: len(moved) > 0}
 	a.scheduled[xp] = true
 	a.base[xp] = int32(a.nextOrder)
 	if a.opts.DisableRotation {
 		a.base[xp] = 0
 	}
-	a.movedTo[x] = xp
+	a.movedTo[x] = int32(xp)
 	a.stats.AMovs++
 
 	for _, z := range moved {
@@ -338,15 +433,18 @@ func (a *Allocator) maybeReady(x int) {
 		if a.pBit[x] {
 			a.pendingP--
 		}
-		a.ready = append(a.ready, x)
+		a.pushReady(x)
 	}
 }
 
-// drain allocates every ready op in FIFO order (Figure 13 lines 62-70).
+// drain allocates every ready op in FIFO order (Figure 13 lines 62-70):
+// the queue is keyed by arrival sequence, so PopMin is the FIFO head.
 func (a *Allocator) drain() {
-	for a.readyHead < len(a.ready) {
-		x := a.ready[a.readyHead]
-		a.readyHead++
+	for {
+		x, _, ok := a.ready.PopMin()
+		if !ok {
+			break
+		}
 		a.order[x] = int32(a.nextOrder)
 		off := a.nextOrder - int(a.base[x])
 		if off >= a.numRegs {
@@ -360,9 +458,6 @@ func (a *Allocator) drain() {
 			a.maybeReady(z)
 		}
 	}
-	// Empty: rewind so the backing array is reused for the whole region.
-	a.ready = a.ready[:0]
-	a.readyHead = 0
 }
 
 // Pressure returns the conservative worst-case alias register demand if
@@ -373,18 +468,19 @@ func (a *Allocator) drain() {
 // physical register count to pick speculation or non-speculation mode.
 func (a *Allocator) Pressure(futureP int) int {
 	maxOrder := a.nextOrder + a.pendingP + futureP
+	// pendingIDs bases are monotone non-decreasing (each op's base is the
+	// nextOrder at its scheduling, and nextOrder never decreases), so the
+	// earliest pinned base is the first still-pending entry — found by
+	// advancing the head past drained entries, O(1) amortized.
+	for a.pendingHead < len(a.pendingIDs) && !a.pending[a.pendingIDs[a.pendingHead]] {
+		a.pendingHead++
+	}
 	minBase := a.nextOrder
-	live := a.pendingIDs[:0]
-	for _, x := range a.pendingIDs {
-		if !a.pending[x] {
-			continue // lazily drop entries that drained since
-		}
-		live = append(live, x)
-		if b := int(a.base[x]); b < minBase {
+	if a.pendingHead < len(a.pendingIDs) {
+		if b := int(a.base[a.pendingIDs[a.pendingHead]]); b < minBase {
 			minBase = b
 		}
 	}
-	a.pendingIDs = live
 	return maxOrder - minBase
 }
 
@@ -408,7 +504,7 @@ func (a *Allocator) pendingCount() int {
 // returns the result. An error is returned when an offset overflowed the
 // physical register file — the caller must re-optimize less aggressively.
 func (a *Allocator) Finish() (*Result, error) {
-	if n := a.pendingCount() + len(a.ready) - a.readyHead; n != 0 {
+	if n := a.pendingCount() + a.ready.Len(); n != 0 {
 		return nil, fmt.Errorf("core: %d ops still pending at Finish (constraint cycle not broken?)", n)
 	}
 	for _, op := range a.seq {
@@ -420,7 +516,7 @@ func (a *Allocator) Finish() (*Result, error) {
 				op.C = a.cBit[op.ID]
 			}
 		case op.Kind == ir.AMov:
-			info := a.amovs[op.ID]
+			info := &a.amovs[op.ID-a.numOps]
 			if !a.allocated[info.srcID] {
 				return nil, fmt.Errorf("core: AMOV %d source op %d never allocated", op.ID, info.srcID)
 			}
@@ -436,9 +532,11 @@ func (a *Allocator) Finish() (*Result, error) {
 		}
 	}
 	ws := 0
-	order := make(map[int]int, len(a.allocated))
-	base := make(map[int]int, len(a.scheduled))
+	res := a.res
+	order := resizeInts(res.Order, len(a.scheduled))
+	base := resizeInts(res.Base, len(a.scheduled))
 	for id := range a.scheduled {
+		order[id], base[id] = -1, -1
 		if a.scheduled[id] {
 			base[id] = int(a.base[id])
 		}
@@ -452,31 +550,42 @@ func (a *Allocator) Finish() (*Result, error) {
 	a.stats.WorkingSet = ws
 	a.stats.Overflowed = a.overflow
 
-	res := &Result{
-		Seq:   a.seq,
-		Order: order,
-		Base:  base,
-		Stats: a.stats,
-	}
+	res.Seq = a.seq
+	res.Order = order
+	res.Base = base
+	res.Stats = a.stats
 	res.Stats.Checks = a.g.NumCheck
 	res.Stats.Antis = a.g.NumAnti
-	res.Checks = make([][2]int, 0, len(a.liveChecks))
+	res.Checks = res.Checks[:0]
 	for pair := range a.liveChecks {
 		res.Checks = append(res.Checks, pair)
 	}
 	// Deterministic constraint listing regardless of map iteration order.
-	sort.Slice(res.Checks, func(i, j int) bool {
-		if res.Checks[i][0] != res.Checks[j][0] {
-			return res.Checks[i][0] < res.Checks[j][0]
+	slices.SortFunc(res.Checks, func(x, y [2]int) int {
+		if x[0] != y[0] {
+			return x[0] - y[0]
 		}
-		return res.Checks[i][1] < res.Checks[j][1]
+		return x[1] - y[1]
 	})
 	res.Antis = a.liveAntis
+	overflow, numRegs := a.overflow, a.numRegs
 	// The constraint graph is pooled; it holds no state the Result needs.
 	constraint.Put(a.g)
 	a.g = nil
-	if a.overflow {
-		return res, fmt.Errorf("core: alias register overflow (working set %d > %d registers)", ws, a.numRegs)
+	// The allocator itself recycles too. Everything the Result references
+	// (seq, antis and the dense order/base/checks) lives in the Result,
+	// which recycles separately through its own Release, so allocator
+	// reuse cannot clobber it.
+	a.ds = nil
+	a.seq = nil
+	a.liveAntis = nil
+	a.res = nil
+	for i := range a.amovs {
+		a.amovs[i].op = nil
+	}
+	allocPool.Put(a)
+	if overflow {
+		return res, fmt.Errorf("core: alias register overflow (working set %d > %d registers)", ws, numRegs)
 	}
 	return res, nil
 }
@@ -487,23 +596,19 @@ func (a *Allocator) Finish() (*Result, error) {
 // cheap enough to keep as a production assertion as well.
 func VerifyOrders(res *Result) error {
 	for _, c := range res.Checks {
-		so, sok := res.Order[c[0]]
-		do, dok := res.Order[c[1]]
-		if !sok || !dok {
+		if !res.Allocated(c[0]) || !res.Allocated(c[1]) {
 			return fmt.Errorf("core: check constraint %v references unallocated op", c)
 		}
-		if so > do {
-			return fmt.Errorf("core: check constraint %v violated: order %d > %d", c, so, do)
+		if res.Order[c[0]] > res.Order[c[1]] {
+			return fmt.Errorf("core: check constraint %v violated: order %d > %d", c, res.Order[c[0]], res.Order[c[1]])
 		}
 	}
 	for _, c := range res.Antis {
-		so, sok := res.Order[c[0]]
-		do, dok := res.Order[c[1]]
-		if !sok || !dok {
+		if !res.Allocated(c[0]) || !res.Allocated(c[1]) {
 			return fmt.Errorf("core: anti constraint %v references unallocated op", c)
 		}
-		if so >= do {
-			return fmt.Errorf("core: anti constraint %v violated: order %d >= %d", c, so, do)
+		if res.Order[c[0]] >= res.Order[c[1]] {
+			return fmt.Errorf("core: anti constraint %v violated: order %d >= %d", c, res.Order[c[0]], res.Order[c[1]])
 		}
 	}
 	return nil

@@ -319,10 +319,10 @@ func TestAntiViaMovedRegister(t *testing.T) {
 	// op4 checks op5 (C bit); the holder of op0's moved range must have a
 	// strictly smaller order than op4, so op4's check (which covers orders
 	// >= order(4)) cannot reach it. The holder is the AMOV pseudo-op: the
-	// single ID in Order that is not a real op.
+	// single allocated ID that is not a real op.
 	holder := -1
 	for id := range res.Order {
-		if id >= len(ops) {
+		if id >= len(ops) && res.Allocated(id) {
 			holder = id
 		}
 	}

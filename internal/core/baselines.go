@@ -2,7 +2,7 @@ package core
 
 import (
 	"fmt"
-	"sort"
+	"sync"
 
 	"smarq/internal/deps"
 	"smarq/internal/ir"
@@ -53,53 +53,73 @@ func MeasureWorkingSets(res *Result, memOps int) WorkingSets {
 	}
 }
 
+// lbScratch holds LowerBound's per-call working storage; pooled so the
+// per-compile measurement allocates nothing once warm.
+type lbScratch struct {
+	pos    []int32 // op ID -> sequence position, -1 absent
+	start  []int32 // checkee ID -> live-range start position, -1 no range
+	end    []int32
+	deltas []int32 // sequence position -> net live-range delta
+}
+
+var lbPool = sync.Pool{New: func() interface{} { return new(lbScratch) }}
+
 // LowerBound computes the live-range lower bound of §6.2: for each final
 // check constraint (checker, checkee), the checkee's alias register must
 // stay live from the checkee's position in the final sequence to its last
 // checker's position. The maximum number of such live ranges crossing any
 // point bounds every possible allocation from below.
 func LowerBound(res *Result) int {
-	pos := make(map[int]int, len(res.Seq))
-	for i, op := range res.Seq {
-		pos[op.ID] = i
+	// Max op ID bounds the dense index space (pseudo IDs included).
+	maxID := 0
+	for _, op := range res.Seq {
+		if op.ID > maxID {
+			maxID = op.ID
+		}
 	}
-	type interval struct{ start, end int }
-	iv := make(map[int]*interval)
+	s := lbPool.Get().(*lbScratch)
+	defer lbPool.Put(s)
+	s.pos = resetInt32s(s.pos, maxID+1, -1)
+	s.start = resetInt32s(s.start, maxID+1, -1)
+	s.end = resetInt32s(s.end, maxID+1, -1)
+	// deltas[i] accumulates +1 for ranges starting at position i and -1
+	// for ranges ending just before i; a prefix sum replaces the sorted
+	// event sweep (positions are already the sort key).
+	s.deltas = resetInt32s(s.deltas, len(res.Seq)+1, 0)
+	for i, op := range res.Seq {
+		s.pos[op.ID] = int32(i)
+	}
 	for _, c := range res.Checks {
-		srcPos, sok := pos[c[0]]
-		dstPos, dok := pos[c[1]]
-		if !sok || !dok {
+		if c[0] > maxID || c[1] > maxID {
 			continue
 		}
-		in := iv[c[1]]
-		if in == nil {
-			in = &interval{start: dstPos, end: dstPos}
-			iv[c[1]] = in
+		srcPos, dstPos := s.pos[c[0]], s.pos[c[1]]
+		if srcPos < 0 || dstPos < 0 {
+			continue
 		}
-		if srcPos > in.end {
-			in.end = srcPos
+		if s.start[c[1]] < 0 {
+			s.start[c[1]] = dstPos
+			s.end[c[1]] = dstPos
+		}
+		if srcPos > s.end[c[1]] {
+			s.end[c[1]] = srcPos
 		}
 	}
-	// Sweep: +1 at start, -1 after end.
-	type event struct{ at, delta int }
-	var events []event
-	for _, in := range iv {
-		events = append(events, event{in.start, +1}, event{in.end + 1, -1})
-	}
-	sort.Slice(events, func(i, j int) bool {
-		if events[i].at != events[j].at {
-			return events[i].at < events[j].at
+	for id := 0; id <= maxID; id++ {
+		if s.start[id] < 0 {
+			continue
 		}
-		return events[i].delta < events[j].delta // process -1 before +1 at same point
-	})
-	cur, max := 0, 0
-	for _, e := range events {
-		cur += e.delta
+		s.deltas[s.start[id]]++
+		s.deltas[s.end[id]+1]--
+	}
+	cur, max := int32(0), int32(0)
+	for _, d := range s.deltas {
+		cur += d
 		if cur > max {
 			max = cur
 		}
 	}
-	return max
+	return int(max)
 }
 
 // ProgramOrderSchedule returns the identity schedule over a region's ops —

@@ -126,6 +126,5 @@ func AllocateBitmask(seq []*ir.Op, ds *deps.Set, numRegs int) (*Result, error) {
 		}
 	}
 
-	return &Result{Seq: seq, Stats: stats, Checks: checks,
-		Order: map[int]int{}, Base: map[int]int{}}, nil
+	return &Result{Seq: seq, Stats: stats, Checks: checks}, nil
 }

@@ -16,6 +16,7 @@ package deps
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"smarq/internal/alias"
 	"smarq/internal/ir"
@@ -53,6 +54,9 @@ type Set struct {
 	// the per-dst group, which stays short (bounded by the region's memory
 	// ops), instead of keeping a separate hash set.
 	byDst [][]Dep
+	// memIDs is scratch for Compute: the region's memory-op IDs, reused
+	// across compiles so the hot path allocates nothing once warm.
+	memIDs []int32
 }
 
 // NewSet returns an empty dependence set.
@@ -60,9 +64,31 @@ func NewSet() *Set {
 	return &Set{}
 }
 
+var setPool = sync.Pool{New: func() interface{} { return &Set{} }}
+
 // newSetSized returns an empty set presized for numOps destination groups.
+// The set may come from the pool; hot-path callers return it with Release.
 func newSetSized(numOps int) *Set {
-	return &Set{byDst: make([][]Dep, numOps)}
+	s := setPool.Get().(*Set)
+	s.All = s.All[:0]
+	s.memIDs = s.memIDs[:0]
+	if cap(s.byDst) < numOps {
+		s.byDst = make([][]Dep, numOps)
+	} else {
+		s.byDst = s.byDst[:numOps]
+		for i := range s.byDst {
+			s.byDst[i] = s.byDst[i][:0]
+		}
+	}
+	return s
+}
+
+// Release returns the set to the internal pool. The caller must not use
+// it (or any slice obtained from it) afterwards.
+func (s *Set) Release() {
+	if s != nil {
+		setPool.Put(s)
+	}
 }
 
 // Add inserts a dependence, ignoring duplicates of the same direction.
@@ -115,10 +141,15 @@ func (s *Set) Counts() (base, extended int) {
 // them" case of Figure 7 (c).
 func Compute(reg *ir.Region, tbl *alias.Table) *Set {
 	s := newSetSized(len(reg.Ops))
-	mem := reg.MemOps()
+	for _, o := range reg.Ops {
+		if o.IsMem() {
+			s.memIDs = append(s.memIDs, int32(o.ID))
+		}
+	}
+	mem := s.memIDs
 	for i := 0; i < len(mem); i++ {
 		for j := i + 1; j < len(mem); j++ {
-			x, y := mem[i], mem[j]
+			x, y := reg.Ops[mem[i]], reg.Ops[mem[j]]
 			if x.Kind != ir.Store && y.Kind != ir.Store {
 				continue
 			}

@@ -21,11 +21,13 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 
 	"smarq/internal/alias"
 	"smarq/internal/compilequeue"
 	"smarq/internal/core"
 	"smarq/internal/deps"
+	"smarq/internal/ir"
 	"smarq/internal/opt"
 	"smarq/internal/region"
 	"smarq/internal/sched"
@@ -186,11 +188,101 @@ func (s *System) newCompileInput(entry int) (*compileInput, error) {
 	return in, nil
 }
 
+// arenaPool recycles translate arenas across compiles. Each pipeline run
+// (synchronous path or worker goroutine) takes one arena for its
+// duration; installed code is frozen out of the arena before it returns
+// to the pool, so nothing that outlives the compile aliases pooled
+// memory.
+var arenaPool = sync.Pool{New: func() interface{} { return ir.NewArena() }}
+
+// compilePipeline is the active compile path. Tests swap in
+// runCompilePipelineRef to differentially check the flat-arena pipeline
+// against the retained reference implementation.
+var compilePipeline = runCompilePipeline
+
 // runCompilePipeline is the pure compile path: translate, optimize,
 // compute dependences, schedule with alias register allocation (with the
 // overflow retry ladder), and bake the VLIW code. It touches nothing but
 // its input, so it is safe on a worker goroutine.
+//
+// Every intermediate structure is recycled: the IR comes from a pooled
+// arena, and the alias table, dependence set and optimizer result are
+// handed back to their pools on exit. Only the frozen CompiledRegion and
+// plain-value stats escape (the memo retains compile outputs forever).
 func runCompilePipeline(in *compileInput) *compileOutput {
+	out := &compileOutput{
+		guestInsts: len(in.sb.Insts),
+		memOps:     in.sb.NumMemOps(),
+	}
+	ar := arenaPool.Get().(*ir.Arena)
+	defer func() {
+		ar.Reset()
+		arenaPool.Put(ar)
+	}()
+	reg, err := xlate.TranslateArena(in.sb, ar)
+	if err != nil {
+		out.err = err
+		return out
+	}
+	tbl := alias.BuildTable(reg, in.blacklist)
+	optRes := opt.Run(reg, tbl, in.optCfg)
+	ds := deps.Compute(reg, tbl)
+	opt.AddExtendedDeps(ds, reg, tbl, optRes)
+	// The deferred closures release whatever tbl/ds refer to at return —
+	// the retry ladder below releases and rebinds them mid-flight.
+	defer func() {
+		tbl.Release()
+		ds.Release()
+		optRes.Release()
+	}()
+
+	scfg := in.scfg
+	sc, err := sched.Run(reg, tbl, ds, scfg)
+	if err != nil {
+		// Alias register overflow: retry pinned to non-speculation mode,
+		// then give up on eliminations entirely. The failed attempt left
+		// partial annotations on the ops; clear them first.
+		out.overflowRetries++
+		resetAnnotations(reg)
+		scfg.ForceNonSpec = true
+		sc, err = sched.Run(reg, tbl, ds, scfg)
+		if err != nil {
+			// Re-translate into the same arena (no Reset mid-compile —
+			// the failed region's slab space is simply left behind).
+			reg, err = xlate.TranslateArena(in.sb, ar)
+			if err != nil {
+				out.err = err
+				return out
+			}
+			tbl.Release()
+			ds.Release()
+			tbl = alias.BuildTable(reg, in.blacklist)
+			ds = deps.Compute(reg, tbl)
+			sc, err = sched.Run(reg, tbl, ds, scfg)
+			if err != nil {
+				out.err = fmt.Errorf("dynopt: region B%d cannot be scheduled: %w", in.entry, err)
+				return out
+			}
+		}
+	}
+
+	out.numOps = int64(len(reg.Ops))
+	// Freeze the schedule and region out of the arena: the compiled
+	// region is retained for the lifetime of the system.
+	fseq, freg := ir.Freeze(sc.Seq, reg)
+	out.cr = in.machine.Compile(fseq, freg, len(in.sb.Insts))
+	out.alloc = sc.Alloc.Stats
+	out.working = core.MeasureWorkingSets(sc.Alloc, in.sb.NumMemOps())
+	out.seqLen = len(sc.Seq)
+	sc.Release()
+	return out
+}
+
+// runCompilePipelineRef is the retained reference compile path: private
+// never-recycled IR allocations and the heap-based reference scheduler,
+// with no pooling hand-backs. TestCompileFlatMatchesReference drives it
+// against runCompilePipeline and requires identical outputs.
+func runCompilePipelineRef(in *compileInput) *compileOutput {
 	out := &compileOutput{
 		guestInsts: len(in.sb.Insts),
 		memOps:     in.sb.NumMemOps(),
@@ -206,15 +298,12 @@ func runCompilePipeline(in *compileInput) *compileOutput {
 	opt.AddExtendedDeps(ds, reg, tbl, optRes)
 
 	scfg := in.scfg
-	sc, err := sched.Run(reg, tbl, ds, scfg)
+	sc, err := sched.RunRef(reg, tbl, ds, scfg)
 	if err != nil {
-		// Alias register overflow: retry pinned to non-speculation mode,
-		// then give up on eliminations entirely. The failed attempt left
-		// partial annotations on the ops; clear them first.
 		out.overflowRetries++
 		resetAnnotations(reg)
 		scfg.ForceNonSpec = true
-		sc, err = sched.Run(reg, tbl, ds, scfg)
+		sc, err = sched.RunRef(reg, tbl, ds, scfg)
 		if err != nil {
 			reg, err = xlate.Translate(in.sb)
 			if err != nil {
@@ -223,7 +312,7 @@ func runCompilePipeline(in *compileInput) *compileOutput {
 			}
 			tbl = alias.BuildTable(reg, in.blacklist)
 			ds = deps.Compute(reg, tbl)
-			sc, err = sched.Run(reg, tbl, ds, scfg)
+			sc, err = sched.RunRef(reg, tbl, ds, scfg)
 			if err != nil {
 				out.err = fmt.Errorf("dynopt: region B%d cannot be scheduled: %w", in.entry, err)
 				return out
@@ -293,7 +382,7 @@ func memoKey(in *compileInput) compilequeue.Key {
 // worker hand-off).
 func (s *System) compileOrMemo(in *compileInput) *compileOutput {
 	if s.memo == nil {
-		return runCompilePipeline(in)
+		return compilePipeline(in)
 	}
 	key := memoKey(in)
 	if out, ok := s.memo.Get(key); ok {
@@ -303,7 +392,7 @@ func (s *System) compileOrMemo(in *compileInput) *compileOutput {
 	}
 	s.Stats.Compile.MemoMisses++
 	s.tel.memoLookup(false)
-	out := runCompilePipeline(in)
+	out := compilePipeline(in)
 	if out.err == nil {
 		s.memo.Put(key, out)
 	}
@@ -402,7 +491,7 @@ func (s *System) enqueueCompile(entry int) error {
 		p.done = make(chan struct{})
 		job := p
 		bg.pool.Submit(func() {
-			job.out = runCompilePipeline(in)
+			job.out = compilePipeline(in)
 			close(job.done)
 		})
 	}

@@ -1,0 +1,113 @@
+package ir
+
+import (
+	"testing"
+
+	"smarq/internal/guest"
+)
+
+// buildArenaRegion carves a small region with one op of each operand
+// shape out of ar.
+func buildArenaRegion(ar *Arena) *Region {
+	reg := ar.NewRegion(4)
+	emit := func(o Op) *Op {
+		o.ID = len(reg.Ops)
+		o.AROffset = -1
+		p := ar.NewOp(o)
+		reg.Ops = append(reg.Ops, p)
+		return p
+	}
+	emit(Op{Kind: Arith, GOp: guest.Li, Dst: 10, Imm: 7})
+	emit(Op{Kind: Load, GOp: guest.Ld8, Dst: 11, Srcs: ar.Srcs1(10), SrcFloat: ar.Flags1(false),
+		Mem: ar.NewMem(MemInfo{Base: 10, Off: 8, Size: 8, Root: 10, RootOff: 8})})
+	emit(Op{Kind: Store, GOp: guest.St8, Dst: NoVReg, Srcs: ar.Srcs2(11, 10), SrcFloat: ar.Flags2(false, false),
+		Mem: ar.NewMem(MemInfo{Base: 10, Off: 16, Size: 8, Root: 10, RootOff: 16})})
+	emit(Op{Kind: Arith, GOp: guest.Add, Dst: 12, Srcs: ar.Srcs2(11, 10), SrcFloat: ar.Flags2(false, false)})
+	reg.NumVRegs = 13
+	return reg
+}
+
+func TestArenaResetReuse(t *testing.T) {
+	ar := NewArena()
+	reg := buildArenaRegion(ar)
+	if err := reg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(ar.ops); got != 4 {
+		t.Fatalf("ops slab holds %d ops, want 4", got)
+	}
+	ar.Reset()
+	if len(ar.ops) != 0 || len(ar.mems) != 0 || len(ar.vregs) != 0 || len(ar.flags) != 0 || len(ar.ptrs) != 0 || len(ar.regs) != 0 {
+		t.Fatalf("Reset left slabs non-empty: %+v", ar)
+	}
+	reg2 := buildArenaRegion(ar)
+	if err := reg2.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Steady state: a rebuilt identical region must reuse every slab.
+	if cap(ar.ops) < 4 || &ar.ops[0] != reg2.Ops[0] {
+		t.Fatal("rebuilt region did not reuse the ops slab")
+	}
+}
+
+func TestFreezeIdentityAndIndependence(t *testing.T) {
+	ar := NewArena()
+	reg := buildArenaRegion(ar)
+	// A scheduled sequence: region ops reordered plus an allocator pseudo-op.
+	rot := ar.NewOp(Op{ID: len(reg.Ops), Kind: Rotate, Amount: 1, AROffset: -1})
+	seq := []*Op{reg.Ops[0], reg.Ops[1], rot, reg.Ops[3], reg.Ops[2]}
+	reg.Ops[1].AROffset = 2
+	reg.Ops[1].P = true
+	reg.Ops[2].C = true
+
+	fseq, freg := Freeze(seq, reg)
+	if err := freg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(fseq) != len(seq) || len(freg.Ops) != len(reg.Ops) {
+		t.Fatalf("frozen sizes %d/%d, want %d/%d", len(fseq), len(freg.Ops), len(seq), len(reg.Ops))
+	}
+	// Pointer identity between the frozen views mirrors the originals.
+	if fseq[0] != freg.Ops[0] || fseq[4] != freg.Ops[2] {
+		t.Fatal("frozen seq and region do not share op identity")
+	}
+	for i, o := range seq {
+		f := fseq[i]
+		if f == o {
+			t.Fatalf("seq[%d]: frozen op aliases the original", i)
+		}
+		if f.ID != o.ID || f.Kind != o.Kind || f.AROffset != o.AROffset || f.P != o.P || f.C != o.C || f.Amount != o.Amount {
+			t.Fatalf("seq[%d]: frozen op differs: %+v vs %+v", i, *f, *o)
+		}
+		if len(f.Srcs) != len(o.Srcs) {
+			t.Fatalf("seq[%d]: %d srcs vs %d", i, len(f.Srcs), len(o.Srcs))
+		}
+		for j := range o.Srcs {
+			if f.Srcs[j] != o.Srcs[j] || f.SrcFloat[j] != o.SrcFloat[j] {
+				t.Fatalf("seq[%d]: operand %d differs", i, j)
+			}
+		}
+		if (f.Mem == nil) != (o.Mem == nil) {
+			t.Fatalf("seq[%d]: mem presence differs", i)
+		}
+		if o.Mem != nil {
+			if f.Mem == o.Mem {
+				t.Fatalf("seq[%d]: frozen MemInfo aliases the original", i)
+			}
+			if *f.Mem != *o.Mem {
+				t.Fatalf("seq[%d]: MemInfo differs: %+v vs %+v", i, *f.Mem, *o.Mem)
+			}
+		}
+	}
+
+	// The frozen region must survive arena recycling untouched.
+	want := fseq[1].Srcs[0]
+	ar.Reset()
+	for i := 0; i < 3; i++ {
+		buildArenaRegion(ar)
+		ar.Reset()
+	}
+	if fseq[1].Srcs[0] != want || fseq[1].Mem.Off != 8 {
+		t.Fatal("frozen region was corrupted by arena reuse")
+	}
+}

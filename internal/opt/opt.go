@@ -15,6 +15,8 @@
 package opt
 
 import (
+	"sync"
+
 	"smarq/internal/alias"
 	"smarq/internal/deps"
 	"smarq/internal/guest"
@@ -53,13 +55,31 @@ type Result struct {
 	LoadElimSource map[int]int
 	LoadsRemoved   int
 	StoresRemoved  int
+	// eliminated is scratch for runStoreElim, indexed by op ID.
+	eliminated []bool
 }
+
+var resultPool = sync.Pool{New: func() interface{} {
+	return &Result{LoadElimSource: make(map[int]int)}
+}}
 
 // Run applies the configured eliminations to reg in place. The alias table
 // must have been built from the region *before* this call (it keeps the
-// original access info for ops that get eliminated).
+// original access info for ops that get eliminated). The result comes from
+// an internal pool; hot-path callers hand it back with Release.
 func Run(reg *ir.Region, tbl *alias.Table, cfg Config) *Result {
-	res := &Result{LoadElimSource: make(map[int]int)}
+	res := resultPool.Get().(*Result)
+	res.Elims = res.Elims[:0]
+	clear(res.LoadElimSource)
+	res.LoadsRemoved, res.StoresRemoved = 0, 0
+	if cap(res.eliminated) < len(reg.Ops) {
+		res.eliminated = make([]bool, len(reg.Ops))
+	} else {
+		res.eliminated = res.eliminated[:len(reg.Ops)]
+		for i := range res.eliminated {
+			res.eliminated[i] = false
+		}
+	}
 	if cfg.StoreElim {
 		runStoreElim(reg, tbl, cfg, res)
 	}
@@ -67,6 +87,14 @@ func Run(reg *ir.Region, tbl *alias.Table, cfg Config) *Result {
 		runLoadElim(reg, tbl, cfg, res)
 	}
 	return res
+}
+
+// Release returns the result to the pool. The caller must not use it
+// afterwards.
+func (r *Result) Release() {
+	if r != nil {
+		resultPool.Put(r)
+	}
 }
 
 // AddExtendedDeps inserts the extended dependences for every elimination
@@ -88,7 +116,7 @@ func AddExtendedDeps(s *deps.Set, reg *ir.Region, tbl *alias.Table, res *Result)
 // elimination outright; a may-alias load is tolerated only speculatively.
 func runStoreElim(reg *ir.Region, tbl *alias.Table, cfg Config, res *Result) {
 	ops := reg.Ops
-	eliminated := make(map[int]bool)
+	eliminated := res.eliminated
 	for x := len(ops) - 1; x >= 0; x-- {
 		if ops[x].Kind != ir.Store {
 			continue

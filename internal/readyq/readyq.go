@@ -1,0 +1,280 @@
+// Package readyq provides the O(1) ready-queue structures the compile
+// pipeline selects work from: a hierarchical-bitmap index set (Bitmap)
+// and a FIFO-stable monotone priority queue built on it (Queue).
+//
+// Both follow the software-OoO idiom of hierarchical bitmap summaries
+// walked with count-leading-zeros: a set index is one bit in a leaf
+// word, a leaf word is one bit in a mid-level summary word, and every
+// mid word is one bit in a single top-level summary. Finding the
+// minimum set index is three bits.LeadingZeros64 probes — constant
+// time regardless of population — instead of a heap sift or a linear
+// scan. Indices are stored MSB-first (index i occupies bit 63-i&63 of
+// its word) so "leading zeros" directly yields the smallest index.
+//
+// The structures are pooled-friendly: Reset truncates without freeing,
+// and steady-state use performs zero heap allocations once the backing
+// arrays have grown to the working size (pinned by tests with
+// testing.AllocsPerRun).
+package readyq
+
+import "math/bits"
+
+const (
+	wordBits  = 64
+	wordShift = 6
+	wordMask  = wordBits - 1
+)
+
+// Bitmap is a dense set over [0, n) with O(1) minimum selection.
+// Capacity is bounded by 64³ = 262144 indices (three summary levels),
+// far above any region the compiler sees; Reset panics beyond it.
+type Bitmap struct {
+	top  uint64   // bit g set (MSB-first) → mid[g] != 0
+	mid  []uint64 // bit w set in word g → leaf[g<<6|w] != 0
+	leaf []uint64
+	n    int
+}
+
+// bit returns the MSB-first mask for position p within a word.
+func bit(p int) uint64 { return 1 << (wordMask - p&wordMask) }
+
+// Reset clears the bitmap and grows it to cover indices [0, n).
+func (b *Bitmap) Reset(n int) {
+	if n > wordBits*wordBits*wordBits {
+		panic("readyq: Bitmap capacity exceeded")
+	}
+	words := (n + wordMask) >> wordShift
+	groups := (words + wordMask) >> wordShift
+	b.leaf = resetWords(b.leaf, words)
+	b.mid = resetWords(b.mid, groups)
+	b.top = 0
+	b.n = n
+}
+
+func resetWords(s []uint64, n int) []uint64 {
+	if cap(s) < n {
+		return make([]uint64, n)
+	}
+	s = s[:n]
+	for i := range s {
+		s[i] = 0
+	}
+	return s
+}
+
+// Grow extends the bitmap to cover [0, n) without clearing the indices
+// already set. No-op when n is within the current capacity.
+func (b *Bitmap) Grow(n int) {
+	if n <= b.n {
+		return
+	}
+	if n > wordBits*wordBits*wordBits {
+		panic("readyq: Bitmap capacity exceeded")
+	}
+	words := (n + wordMask) >> wordShift
+	groups := (words + wordMask) >> wordShift
+	b.leaf = growWords(b.leaf, words)
+	b.mid = growWords(b.mid, groups)
+	b.n = n
+}
+
+func growWords(s []uint64, n int) []uint64 {
+	for len(s) < n {
+		s = append(s, 0)
+	}
+	return s
+}
+
+// Len returns the capacity the bitmap was Reset to.
+func (b *Bitmap) Len() int { return b.n }
+
+// Count returns the number of set indices (O(words); diagnostics only).
+func (b *Bitmap) Count() int {
+	c := 0
+	for _, w := range b.leaf {
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
+// Empty reports whether no index is set.
+func (b *Bitmap) Empty() bool { return b.top == 0 }
+
+// Has reports whether index i is set.
+func (b *Bitmap) Has(i int) bool {
+	return b.leaf[i>>wordShift]&bit(i) != 0
+}
+
+// Set inserts index i.
+func (b *Bitmap) Set(i int) {
+	w := i >> wordShift
+	b.leaf[w] |= bit(i)
+	b.mid[w>>wordShift] |= bit(w)
+	b.top |= bit(w >> wordShift)
+}
+
+// Clear removes index i (no-op when absent).
+func (b *Bitmap) Clear(i int) {
+	w := i >> wordShift
+	b.leaf[w] &^= bit(i)
+	if b.leaf[w] == 0 {
+		g := w >> wordShift
+		b.mid[g] &^= bit(w)
+		if b.mid[g] == 0 {
+			b.top &^= bit(g)
+		}
+	}
+}
+
+// Min returns the smallest set index, or -1 when empty. Three CLZ
+// probes: top summary → mid word → leaf word.
+func (b *Bitmap) Min() int {
+	if b.top == 0 {
+		return -1
+	}
+	g := bits.LeadingZeros64(b.top)
+	w := g<<wordShift | bits.LeadingZeros64(b.mid[g])
+	return w<<wordShift | bits.LeadingZeros64(b.leaf[w])
+}
+
+// NextAfter returns the smallest set index strictly greater than i, or
+// -1 when none. Used to walk the set in ascending order while leaving
+// entries in place.
+func (b *Bitmap) NextAfter(i int) int {
+	if i < 0 {
+		return b.Min()
+	}
+	w := i >> wordShift
+	// Bits for indices > i sit strictly to the right of i's bit.
+	if rest := b.leaf[w] & (bit(i) - 1); rest != 0 {
+		return w<<wordShift | bits.LeadingZeros64(rest)
+	}
+	g := w >> wordShift
+	if rest := b.mid[g] & (bit(w) - 1); rest != 0 {
+		w = g<<wordShift | bits.LeadingZeros64(rest)
+		return w<<wordShift | bits.LeadingZeros64(b.leaf[w])
+	}
+	if rest := b.top & (bit(g) - 1); rest != 0 {
+		g = bits.LeadingZeros64(rest)
+		w = g<<wordShift | bits.LeadingZeros64(b.mid[g])
+		return w<<wordShift | bits.LeadingZeros64(b.leaf[w])
+	}
+	return -1
+}
+
+// UnionInto moves every index of src into b and empties src. The two
+// bitmaps must have been Reset to the same capacity. Word-wise OR plus
+// summary rebuild of the touched groups — O(words), used for bulk
+// re-arming of deferred work.
+func (b *Bitmap) UnionInto(src *Bitmap) {
+	if src.top == 0 {
+		return
+	}
+	for w, v := range src.leaf {
+		if v == 0 {
+			continue
+		}
+		if b.leaf[w] == 0 {
+			g := w >> wordShift
+			b.mid[g] |= bit(w)
+			b.top |= bit(g)
+		}
+		b.leaf[w] |= v
+		src.leaf[w] = 0
+	}
+	for g := range src.mid {
+		src.mid[g] = 0
+	}
+	src.top = 0
+}
+
+// Queue is a monotone priority queue with FIFO-stable duplicates:
+// PopMin returns items in ascending priority order, and items pushed
+// with equal priority come back in push order. Priorities index a
+// Bitmap, so the minimum non-empty priority is found in O(1); each
+// priority's items form an intrusive FIFO list over a flat link array.
+type Queue struct {
+	bm   Bitmap
+	head []int32 // per-priority first item, -1 when empty
+	tail []int32 // per-priority last item
+	next []int32 // per-item link, -1 at end
+	size int
+}
+
+// Reset clears the queue for numItems item IDs and numPrios priorities.
+func (q *Queue) Reset(numItems, numPrios int) {
+	q.bm.Reset(numPrios)
+	q.head = resetInt32(q.head, numPrios)
+	q.tail = resetInt32(q.tail, numPrios)
+	q.next = resetInt32(q.next, numItems)
+	q.size = 0
+}
+
+func resetInt32(s []int32, n int) []int32 {
+	if cap(s) < n {
+		s = make([]int32, n)
+	}
+	s = s[:n]
+	for i := range s {
+		s[i] = -1
+	}
+	return s
+}
+
+// Grow extends the queue's item and priority capacity without disturbing
+// queued entries. No-op for dimensions already large enough.
+func (q *Queue) Grow(numItems, numPrios int) {
+	if numPrios > q.bm.Len() {
+		q.bm.Grow(numPrios)
+		q.head = growInt32(q.head, numPrios)
+		q.tail = growInt32(q.tail, numPrios)
+	}
+	if numItems > len(q.next) {
+		q.next = growInt32(q.next, numItems)
+	}
+}
+
+func growInt32(s []int32, n int) []int32 {
+	for len(s) < n {
+		s = append(s, -1)
+	}
+	return s
+}
+
+// Len returns the number of queued items.
+func (q *Queue) Len() int { return q.size }
+
+// Empty reports whether the queue holds no items.
+func (q *Queue) Empty() bool { return q.size == 0 }
+
+// Push inserts item with the given priority. An item ID must not be
+// queued twice concurrently (the link array holds one slot per item).
+func (q *Queue) Push(item, prio int) {
+	q.next[item] = -1
+	if q.head[prio] < 0 {
+		q.head[prio] = int32(item)
+		q.bm.Set(prio)
+	} else {
+		q.next[q.tail[prio]] = int32(item)
+	}
+	q.tail[prio] = int32(item)
+	q.size++
+}
+
+// PopMin removes and returns the item with the smallest priority
+// (FIFO among equals). ok is false when the queue is empty.
+func (q *Queue) PopMin() (item, prio int, ok bool) {
+	p := q.bm.Min()
+	if p < 0 {
+		return 0, 0, false
+	}
+	it := q.head[p]
+	nx := q.next[it]
+	q.head[p] = nx
+	if nx < 0 {
+		q.tail[p] = -1
+		q.bm.Clear(p)
+	}
+	q.size--
+	return int(it), p, true
+}

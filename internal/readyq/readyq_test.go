@@ -1,0 +1,236 @@
+package readyq
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// TestBitmapMatchesReference drives random Set/Clear/Min/NextAfter
+// traffic against a map-based reference model.
+func TestBitmapMatchesReference(t *testing.T) {
+	for _, n := range []int{1, 63, 64, 65, 4096, 4097, 70000} {
+		rng := rand.New(rand.NewSource(int64(n)))
+		var b Bitmap
+		b.Reset(n)
+		ref := map[int]bool{}
+		refMin := func() int {
+			min := -1
+			for i := range ref {
+				if min < 0 || i < min {
+					min = i
+				}
+			}
+			return min
+		}
+		for step := 0; step < 2000; step++ {
+			i := rng.Intn(n)
+			switch rng.Intn(3) {
+			case 0:
+				b.Set(i)
+				ref[i] = true
+			case 1:
+				b.Clear(i)
+				delete(ref, i)
+			default:
+				if b.Has(i) != ref[i] {
+					t.Fatalf("n=%d step=%d: Has(%d) = %v, want %v", n, step, i, b.Has(i), ref[i])
+				}
+			}
+			if got, want := b.Min(), refMin(); got != want {
+				t.Fatalf("n=%d step=%d: Min = %d, want %d", n, step, got, want)
+			}
+			if got, want := b.Empty(), len(ref) == 0; got != want {
+				t.Fatalf("n=%d step=%d: Empty = %v, want %v", n, step, got, want)
+			}
+		}
+		// Full ascending walk equals the sorted reference.
+		var walk []int
+		for i := b.Min(); i >= 0; i = b.NextAfter(i) {
+			walk = append(walk, i)
+		}
+		var want []int
+		for i := range ref {
+			want = append(want, i)
+		}
+		sort.Ints(want)
+		if len(walk) != len(want) {
+			t.Fatalf("n=%d: walk has %d entries, want %d", n, len(walk), len(want))
+		}
+		for i := range walk {
+			if walk[i] != want[i] {
+				t.Fatalf("n=%d: walk[%d] = %d, want %d", n, i, walk[i], want[i])
+			}
+		}
+	}
+}
+
+func TestBitmapUnionInto(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	const n = 1000
+	var a, b Bitmap
+	a.Reset(n)
+	b.Reset(n)
+	ref := map[int]bool{}
+	for i := 0; i < 300; i++ {
+		x := rng.Intn(n)
+		if rng.Intn(2) == 0 {
+			a.Set(x)
+		} else {
+			b.Set(x)
+		}
+		ref[x] = true
+	}
+	a.UnionInto(&b)
+	if !b.Empty() {
+		t.Fatal("source not emptied by UnionInto")
+	}
+	for i := 0; i < n; i++ {
+		if a.Has(i) != ref[i] {
+			t.Fatalf("after union, Has(%d) = %v, want %v", i, a.Has(i), ref[i])
+		}
+	}
+}
+
+// TestQueueMatchesSortedReference is the property test: a random
+// push/pop mix must pop items in exactly the order of a stably-sorted
+// reference model (ascending priority, push order among equals).
+func TestQueueMatchesSortedReference(t *testing.T) {
+	type entry struct {
+		item, prio, seq int
+	}
+	for seed := int64(0); seed < 20; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		const numItems, numPrios = 512, 97
+		var q Queue
+		q.Reset(numItems, numPrios)
+		var model []entry
+		seq := 0
+		nextItem := 0
+		for step := 0; step < 4000; step++ {
+			if nextItem == numItems && len(model) == 0 {
+				break
+			}
+			if nextItem < numItems && (len(model) == 0 || rng.Intn(2) == 0) {
+				e := entry{item: nextItem, prio: rng.Intn(numPrios), seq: seq}
+				nextItem++
+				seq++
+				q.Push(e.item, e.prio)
+				model = append(model, e)
+			} else {
+				// Reference extract-min: stable sort by (prio, seq).
+				best := 0
+				for i, e := range model {
+					if e.prio < model[best].prio ||
+						(e.prio == model[best].prio && e.seq < model[best].seq) {
+						best = i
+					}
+				}
+				want := model[best]
+				model = append(model[:best], model[best+1:]...)
+				item, prio, ok := q.PopMin()
+				if !ok {
+					t.Fatalf("seed=%d step=%d: queue empty, model has %d", seed, step, len(model)+1)
+				}
+				if item != want.item || prio != want.prio {
+					t.Fatalf("seed=%d step=%d: popped (%d,p%d), want (%d,p%d)",
+						seed, step, item, prio, want.item, want.prio)
+				}
+			}
+			if q.Len() != len(model) {
+				t.Fatalf("seed=%d step=%d: Len = %d, want %d", seed, step, q.Len(), len(model))
+			}
+		}
+	}
+}
+
+// TestQueueFIFOStable pins the duplicate-priority contract directly:
+// items pushed at one priority pop in push order.
+func TestQueueFIFOStable(t *testing.T) {
+	var q Queue
+	q.Reset(64, 8)
+	order := []int{5, 9, 1, 33, 2}
+	for _, it := range order {
+		q.Push(it, 3)
+	}
+	q.Push(63, 7) // lower-urgency straggler must come out last
+	for _, want := range order {
+		item, prio, ok := q.PopMin()
+		if !ok || prio != 3 || item != want {
+			t.Fatalf("popped (%d,p%d,%v), want (%d,p3)", item, prio, ok, want)
+		}
+	}
+	if item, _, _ := q.PopMin(); item != 63 {
+		t.Fatalf("straggler = %d, want 63", item)
+	}
+	if _, _, ok := q.PopMin(); ok {
+		t.Fatal("queue should be empty")
+	}
+}
+
+// TestQueueGrow pins that growing mid-stream preserves queued entries and
+// admits the new item/priority ranges.
+func TestQueueGrow(t *testing.T) {
+	var q Queue
+	q.Reset(4, 4)
+	q.Push(1, 2)
+	q.Push(3, 2)
+	q.Grow(128, 100)
+	q.Push(90, 0)  // new priority range
+	q.Push(127, 3) // new item range
+	want := []struct{ item, prio int }{{90, 0}, {1, 2}, {3, 2}, {127, 3}}
+	for _, w := range want {
+		item, prio, ok := q.PopMin()
+		if !ok || item != w.item || prio != w.prio {
+			t.Fatalf("popped (%d,p%d,%v), want (%d,p%d)", item, prio, ok, w.item, w.prio)
+		}
+	}
+	var b Bitmap
+	b.Reset(10)
+	b.Set(3)
+	b.Grow(5000)
+	b.Set(4999)
+	if b.Min() != 3 || b.NextAfter(3) != 4999 {
+		t.Fatalf("grown bitmap walk = %d,%d, want 3,4999", b.Min(), b.NextAfter(3))
+	}
+}
+
+// TestQueueSteadyStateAllocs pins the 0-alloc contract on steady-state
+// push/pop (after Reset has grown the backing arrays).
+func TestQueueSteadyStateAllocs(t *testing.T) {
+	var q Queue
+	q.Reset(256, 256)
+	allocs := testing.AllocsPerRun(100, func() {
+		for i := 0; i < 256; i++ {
+			q.Push(i, 255-i)
+		}
+		for !q.Empty() {
+			q.PopMin()
+		}
+		q.Reset(256, 256)
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state push/pop allocates %v per run, want 0", allocs)
+	}
+}
+
+// TestBitmapSteadyStateAllocs pins the same for the raw bitmap,
+// including the Reset-truncation reuse path.
+func TestBitmapSteadyStateAllocs(t *testing.T) {
+	var b Bitmap
+	b.Reset(4096)
+	allocs := testing.AllocsPerRun(100, func() {
+		b.Reset(4096)
+		for i := 0; i < 4096; i += 7 {
+			b.Set(i)
+		}
+		for i := b.Min(); i >= 0; i = b.NextAfter(i) {
+		}
+		for i := 0; i < 4096; i += 7 {
+			b.Clear(i)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state bitmap traffic allocates %v per run, want 0", allocs)
+	}
+}

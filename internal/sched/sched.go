@@ -8,6 +8,7 @@ package sched
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 
 	"smarq/internal/alias"
@@ -16,6 +17,7 @@ import (
 	"smarq/internal/deps"
 	"smarq/internal/guest"
 	"smarq/internal/ir"
+	"smarq/internal/readyq"
 	"smarq/internal/vliw"
 )
 
@@ -75,6 +77,18 @@ type Schedule struct {
 	Alloc *core.Result
 	// NonSpecCycles counts scheduling steps spent in non-speculation mode.
 	NonSpecCycles int
+}
+
+// Release recycles the schedule's allocation result (sequence, dense
+// order/base views, constraint listings). The caller must be done with
+// every view into the schedule, Seq included; the compile pipeline calls
+// it after freezing and measuring the schedule.
+func (s *Schedule) Release() {
+	if s.Alloc != nil {
+		s.Alloc.Release()
+		s.Alloc = nil
+	}
+	s.Seq = nil
 }
 
 // breakable reports whether dependence d may be violated by reordering
@@ -174,72 +188,28 @@ type node struct {
 	memIndex int32 // position among memory ops, -1 for non-memory
 }
 
-// item is a heap entry.
-type item struct {
-	id     int
-	height int
-	origID int
+// rankSorter sorts node IDs by scheduling priority — height descending,
+// ID ascending — producing the static total order the ready bitmap is
+// indexed by. It lives inside the pooled scratch so sort.Sort sees an
+// already-heap-allocated value and the sort itself allocates nothing.
+type rankSorter struct {
+	ids   []int32
+	nodes []node
 }
 
-// itemLess orders the ready heap: height descending, original ID
-// ascending. The tiebreak makes the order total (origID is unique among
-// live entries), so every correct heap pops the same sequence.
-func itemLess(a, b item) bool {
-	if a.height != b.height {
-		return a.height > b.height
+func (s *rankSorter) Len() int { return len(s.ids) }
+func (s *rankSorter) Less(i, j int) bool {
+	a, b := s.ids[i], s.ids[j]
+	if s.nodes[a].height != s.nodes[b].height {
+		return s.nodes[a].height > s.nodes[b].height
 	}
-	return a.origID < b.origID
+	return a < b
 }
-
-// readyHeap is a binary min-heap under itemLess, hand-rolled so push/pop
-// move values without the interface boxing of container/heap.
-type readyHeap []item
-
-func (h readyHeap) Len() int { return len(h) }
-
-func (h *readyHeap) push(it item) {
-	*h = append(*h, it)
-	s := *h
-	i := len(s) - 1
-	for i > 0 {
-		parent := (i - 1) / 2
-		if !itemLess(s[i], s[parent]) {
-			break
-		}
-		s[i], s[parent] = s[parent], s[i]
-		i = parent
-	}
-}
-
-func (h *readyHeap) pop() item {
-	s := *h
-	top := s[0]
-	last := len(s) - 1
-	s[0] = s[last]
-	s = s[:last]
-	*h = s
-	i := 0
-	for {
-		l, r := 2*i+1, 2*i+2
-		min := i
-		if l < last && itemLess(s[l], s[min]) {
-			min = l
-		}
-		if r < last && itemLess(s[r], s[min]) {
-			min = r
-		}
-		if min == i {
-			break
-		}
-		s[i], s[min] = s[min], s[i]
-		i = min
-	}
-	return top
-}
+func (s *rankSorter) Swap(i, j int) { s.ids[i], s.ids[j] = s.ids[j], s.ids[i] }
 
 // scratch is the per-Run working storage, pooled so steady-state
 // compilation reuses the node array, CSR edge buffers, worklists and the
-// ready heap instead of reallocating them (compilations may run on
+// ready structures instead of reallocating them (compilations may run on
 // concurrent worker goroutines, hence a pool rather than package globals).
 type scratch struct {
 	nodes        []node
@@ -250,9 +220,17 @@ type scratch struct {
 	forcedP      []bool
 	readyTime    []int
 	memScheduled []bool
-	ready        readyHeap
-	deferred     []item
-	stash        []item
+	// Rank-bitmap selection state (Run).
+	rankOf   []int32 // node id -> rank in the static priority order
+	rankID   []int32 // rank -> node id
+	memOrder []int32 // memIndex -> node id
+	readyBM  readyq.Bitmap
+	deferBM  readyq.Bitmap
+	sorter   rankSorter
+	// Heap selection state (RunRef).
+	ready    readyHeap
+	deferred []item
+	stash    []item
 }
 
 var scratchPool = sync.Pool{New: func() interface{} { return &scratch{} }}
@@ -285,15 +263,9 @@ func resize[T any](s []T, n int) []T {
 	return s
 }
 
-// Run schedules the region and allocates alias registers. The dependence
-// set must already include extended dependences. On alias register
-// overflow it returns an error; the caller should retry with ForceNonSpec
-// or with speculation disabled in the optimizer.
-func Run(reg *ir.Region, tbl *alias.Table, ds *deps.Set, cfg Config) (*Schedule, error) {
-	n := len(reg.Ops)
-	sc0 := scratchPool.Get().(*scratch)
-	defer scratchPool.Put(sc0)
-	sc0.grab(n, reg.NumVRegs)
+// buildNodes fills the node array from the region's ops and returns the
+// number of memory ops.
+func buildNodes(sc0 *scratch, reg *ir.Region) int32 {
 	nodes := sc0.nodes
 	defOf := sc0.defOf
 	memSeq := int32(0)
@@ -307,11 +279,18 @@ func Run(reg *ir.Region, tbl *alias.Table, ds *deps.Set, cfg Config) (*Schedule,
 			defOf[op.Dst] = int32(i)
 		}
 	}
+	return memSeq
+}
 
-	// Edges in compressed sparse rows: one counting pass, one fill pass
-	// (both visit edges in the identical deterministic order). Duplicate
-	// edges are kept, exactly like the old per-node append did — preds is
-	// incremented and released per duplicate, which cancels out.
+// buildEdges constructs the hard scheduling edges in compressed sparse
+// rows: one counting pass, one fill pass (both visit edges in the
+// identical deterministic order). Duplicate edges are kept, exactly like
+// a per-node append would — preds is incremented and released per
+// duplicate, which cancels out.
+func buildEdges(sc0 *scratch, reg *ir.Region, ds *deps.Set, cfg Config) (succOff, succs []int32) {
+	n := len(reg.Ops)
+	nodes := sc0.nodes
+	defOf := sc0.defOf
 	hardEdge := func(d deps.Dep) (int, int, bool) {
 		if cfg.ForceNonSpec || !cfg.breakable(d) {
 			lo, hi := d.Src, d.Dst
@@ -324,7 +303,7 @@ func Run(reg *ir.Region, tbl *alias.Table, ds *deps.Set, cfg Config) (*Schedule,
 		}
 		return 0, 0, false
 	}
-	succOff := sc0.succOff
+	succOff = sc0.succOff
 	for i, op := range reg.Ops {
 		for _, s := range op.Srcs {
 			if d := defOf[s]; d >= 0 && int(d) != i {
@@ -341,7 +320,7 @@ func Run(reg *ir.Region, tbl *alias.Table, ds *deps.Set, cfg Config) (*Schedule,
 		succOff[i+1] += succOff[i]
 	}
 	sc0.succs = resize(sc0.succs, int(succOff[n]))
-	succs := sc0.succs
+	succs = sc0.succs
 	// Fill using a moving per-node cursor initialized from the offsets.
 	sc0.cursor = resize(sc0.cursor, n)
 	next := sc0.cursor
@@ -363,10 +342,14 @@ func Run(reg *ir.Region, tbl *alias.Table, ds *deps.Set, cfg Config) (*Schedule,
 			addEdge(from, to)
 		}
 	}
-	succsOf := func(i int) []int32 { return succs[succOff[i]:succOff[i+1]] }
+	return succOff, succs
+}
 
-	// Heights: longest path to a leaf, weighted by latency.
-	for i := n - 1; i >= 0; i-- {
+// computeHeights assigns each node its critical-path priority: the
+// longest latency-weighted path to a leaf.
+func computeHeights(sc0 *scratch, cfg Config, succsOf func(int) []int32) {
+	nodes := sc0.nodes
+	for i := len(nodes) - 1; i >= 0; i-- {
 		nd := &nodes[i]
 		h := 0
 		for _, s := range succsOf(i) {
@@ -376,16 +359,68 @@ func Run(reg *ir.Region, tbl *alias.Table, ds *deps.Set, cfg Config) (*Schedule,
 		}
 		nd.height = h + cfg.Machine.Latency(nd.op)
 	}
+}
 
-	// forcedP: memory ops that will set an alias register even in
-	// non-speculation mode — destinations of backward (extended)
-	// dependences (Figure 13 line 24's future-usage term).
+// computeForcedP marks memory ops that will set an alias register even in
+// non-speculation mode — destinations of backward (extended) dependences
+// (Figure 13 line 24's future-usage term) — and returns their count.
+func computeForcedP(sc0 *scratch, ds *deps.Set, cfg Config) int {
 	forcedP := sc0.forcedP
 	futureP := 0
 	for _, d := range ds.All {
 		if d.Src > d.Dst && cfg.breakable(d) && !forcedP[d.Dst] {
 			forcedP[d.Dst] = true
 			futureP++
+		}
+	}
+	return futureP
+}
+
+// Run schedules the region and allocates alias registers. The dependence
+// set must already include extended dependences. On alias register
+// overflow it returns an error; the caller should retry with ForceNonSpec
+// or with speculation disabled in the optimizer.
+//
+// Ready-op selection uses a hierarchical CLZ bitmap over the *static*
+// priority order (height descending, ID ascending — itemLess of the
+// reference heap). Because the priority of an op never changes once
+// heights are computed, ranks can be assigned up front and "pop the best
+// ready op" becomes Bitmap.Min: three LeadingZeros64 probes instead of a
+// heap sift. RunRef keeps the heap implementation; the two walk ready
+// sets in the identical total order and must produce identical schedules
+// (TestRunMatchesReference).
+func Run(reg *ir.Region, tbl *alias.Table, ds *deps.Set, cfg Config) (*Schedule, error) {
+	n := len(reg.Ops)
+	sc0 := scratchPool.Get().(*scratch)
+	defer scratchPool.Put(sc0)
+	sc0.grab(n, reg.NumVRegs)
+	nodes := sc0.nodes
+	memSeq := buildNodes(sc0, reg)
+	succOff, succs := buildEdges(sc0, reg, ds, cfg)
+	succsOf := func(i int) []int32 { return succs[succOff[i]:succOff[i+1]] }
+	computeHeights(sc0, cfg, succsOf)
+	forcedP := sc0.forcedP
+	futureP := computeForcedP(sc0, ds, cfg)
+
+	// Static selection order: rankID lists node IDs by priority, rankOf
+	// inverts it, memOrder finds the op owning a given memIndex in O(1).
+	sc0.rankID = resize(sc0.rankID, n)
+	rankID := sc0.rankID
+	for i := range rankID {
+		rankID[i] = int32(i)
+	}
+	sc0.sorter.ids, sc0.sorter.nodes = rankID, nodes
+	sort.Sort(&sc0.sorter)
+	sc0.rankOf = resize(sc0.rankOf, n)
+	rankOf := sc0.rankOf
+	for r, id := range rankID {
+		rankOf[id] = int32(r)
+	}
+	sc0.memOrder = resize(sc0.memOrder, int(memSeq))
+	memOrder := sc0.memOrder
+	for i := range nodes {
+		if mi := nodes[i].memIndex; mi >= 0 {
+			memOrder[mi] = int32(i)
 		}
 	}
 
@@ -403,10 +438,13 @@ func Run(reg *ir.Region, tbl *alias.Table, ds *deps.Set, cfg Config) (*Schedule,
 		ordered = core.NewAllocatorOpts(n, ds, numRegs, cfg.Alloc)
 		alloc = ordered
 	}
-	ready := &sc0.ready
+	readyBM := &sc0.readyBM
+	deferBM := &sc0.deferBM
+	readyBM.Reset(n)
+	deferBM.Reset(n)
 	for i := range nodes {
 		if nodes[i].preds == 0 {
-			ready.push(item{id: i, height: nodes[i].height, origID: i})
+			readyBM.Set(int(rankOf[i]))
 		}
 	}
 
@@ -440,7 +478,6 @@ func Run(reg *ir.Region, tbl *alias.Table, ds *deps.Set, cfg Config) (*Schedule,
 		}
 	}
 
-	deferred := sc0.deferred // ready mem ops held back by non-spec mode
 	scheduledCount := 0
 	for scheduledCount < n {
 		pressure := alloc.Pressure(futureP)
@@ -449,51 +486,49 @@ func Run(reg *ir.Region, tbl *alias.Table, ds *deps.Set, cfg Config) (*Schedule,
 			sc.NonSpecCycles++
 		}
 
-		// Re-arm deferred ops that are now permitted.
-		if len(deferred) > 0 {
-			keep := deferred[:0]
-			for _, it := range deferred {
-				if !nonSpec || nodes[it.id].memIndex == nextMem {
-					ready.push(it)
-				} else {
-					keep = append(keep, it)
+		// Re-arm deferred ops that are now permitted: all of them when
+		// speculation resumed, else just the one next-in-order memory op
+		// (found directly through memOrder — no list scan).
+		if !deferBM.Empty() {
+			if !nonSpec {
+				readyBM.UnionInto(deferBM)
+			} else if nextMem < memSeq {
+				if r := int(rankOf[memOrder[nextMem]]); deferBM.Has(r) {
+					deferBM.Clear(r)
+					readyBM.Set(r)
 				}
 			}
-			deferred = keep
 		}
 
-		var picked item
-		found := false
-		stash := sc0.stash[:0] // time- or resource-blocked this cycle
-		for ready.Len() > 0 {
-			it := ready.pop()
-			nd := &nodes[it.id]
+		// Walk ready ops in priority order. Mode-blocked memory ops move
+		// to the deferred bitmap; time- or resource-blocked ops simply
+		// stay set (the walk skips them — no stash/re-push round trip).
+		picked := -1
+		for r := readyBM.Min(); r >= 0; r = readyBM.NextAfter(r) {
+			id := int(rankID[r])
+			nd := &nodes[id]
 			if nonSpec && nd.memIndex >= 0 && nd.memIndex != nextMem {
-				deferred = append(deferred, it)
+				readyBM.Clear(r)
+				deferBM.Set(r)
 				continue
 			}
-			if readyTime[it.id] > clock ||
+			if readyTime[id] > clock ||
 				aluUsed >= cfg.Machine.IssueWidth ||
 				(nd.op.IsMem() && memUsed >= cfg.Machine.MemPorts) {
-				stash = append(stash, it)
 				continue
 			}
-			picked = it
-			found = true
+			picked = id
+			readyBM.Clear(r)
 			break
 		}
-		for _, it := range stash {
-			ready.push(it)
-		}
-		sc0.stash = stash
 
-		if !found {
-			if ready.Len() > 0 {
+		if picked < 0 {
+			if !readyBM.Empty() {
 				// Nothing issues this cycle: advance to the earliest time
 				// a stalled op becomes ready.
 				min := int(^uint(0) >> 1)
-				for _, it := range *ready {
-					if rt := readyTime[it.id]; rt < min {
+				for r := readyBM.Min(); r >= 0; r = readyBM.NextAfter(r) {
+					if rt := readyTime[rankID[r]]; rt < min {
 						min = rt
 					}
 				}
@@ -502,24 +537,23 @@ func Run(reg *ir.Region, tbl *alias.Table, ds *deps.Set, cfg Config) (*Schedule,
 			}
 			// Only mode-deferred ops remain: schedule the next in-order
 			// memory op (progress guarantee — see package comment).
-			idx := -1
-			for i, it := range deferred {
-				if nodes[it.id].memIndex == nextMem {
-					idx = i
-					break
+			r := -1
+			if nextMem < memSeq {
+				if cand := int(rankOf[memOrder[nextMem]]); deferBM.Has(cand) {
+					r = cand
 				}
 			}
-			if idx == -1 {
-				return nil, fmt.Errorf("sched: stuck with %d deferred ops at %d/%d scheduled", len(deferred), scheduledCount, n)
+			if r == -1 {
+				return nil, fmt.Errorf("sched: stuck with %d deferred ops at %d/%d scheduled", deferBM.Count(), scheduledCount, n)
 			}
-			picked = deferred[idx]
-			deferred = append(deferred[:idx], deferred[idx+1:]...)
-			if readyTime[picked.id] > clock {
-				advance(readyTime[picked.id])
+			deferBM.Clear(r)
+			picked = int(rankID[r])
+			if readyTime[picked] > clock {
+				advance(readyTime[picked])
 			}
 		}
 
-		nd := nodes[picked.id]
+		nd := nodes[picked]
 		if isDeadPlaceholder(nd.op) {
 			// Placeholder of an eliminated store: occupies no slot and
 			// emits nothing, but still releases its successors.
@@ -539,17 +573,16 @@ func Run(reg *ir.Region, tbl *alias.Table, ds *deps.Set, cfg Config) (*Schedule,
 				futureP--
 			}
 		}
-		for _, s := range succsOf(picked.id) {
+		for _, s := range succsOf(picked) {
 			if finish > readyTime[s] {
 				readyTime[s] = finish
 			}
 			nodes[s].preds--
 			if nodes[s].preds == 0 {
-				ready.push(item{id: int(s), height: nodes[s].height, origID: int(s)})
+				readyBM.Set(int(rankOf[s]))
 			}
 		}
 	}
-	sc0.deferred = deferred
 
 	if bitmask != nil {
 		res, err := core.AllocateBitmask(bitmask.seq, ds, numRegs)

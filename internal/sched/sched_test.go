@@ -426,11 +426,16 @@ func TestRunSteadyStateAllocs(t *testing.T) {
 	}
 	run() // warm the scratch pool
 	allocs := testing.AllocsPerRun(50, run)
-	// The budget covers the allocator (not pooled — its result escapes to
-	// the caller) plus the Schedule itself; the pre-pooling scheduler was
-	// several hundred on this region.
-	const budget = 60
+	// The budget covers the parts that escape to the caller (the result's
+	// sequence, order/base and constraint listings) plus the Schedule
+	// itself; the pre-pooling scheduler was several hundred on this
+	// region. Under the race detector sync.Pool drops a fraction of Puts
+	// by design, so the pooled scratch occasionally reallocates.
+	budget := 30.0
+	if raceEnabled {
+		budget = 120
+	}
 	if allocs > budget {
-		t.Errorf("sched.Run allocates %.1f times per call, want <= %d", allocs, budget)
+		t.Errorf("sched.Run allocates %.1f times per call, want <= %.0f", allocs, budget)
 	}
 }

@@ -9,14 +9,16 @@
 // constant displacement (or an absolute address) by folding copies, adds
 // with constants, and constant loads.
 //
-// Ops, MemInfos and operand lists are carved out of per-region arenas sized
-// from the superblock (each guest instruction emits at most one op with at
-// most two operands), so translation performs a constant number of heap
-// allocations regardless of region size.
+// Ops, MemInfos and operand lists are carved out of an ir.Arena sized from
+// the superblock (each guest instruction emits at most one op with at most
+// two operands), so translation performs a constant number of heap
+// allocations regardless of region size — and none at all once a recycled
+// arena's slabs reach steady state (TranslateArena).
 package xlate
 
 import (
 	"fmt"
+	"sync"
 
 	"smarq/internal/guest"
 	"smarq/internal/ir"
@@ -31,17 +33,10 @@ type canonAddr struct {
 
 type translator struct {
 	reg      *ir.Region
+	ar       *ir.Arena
 	curInt   [guest.NumRegs]ir.VReg
 	curFloat [guest.NumRegs]ir.VReg
 	next     ir.VReg
-
-	// Arenas. Growth past the precomputed capacity is harmless (earlier
-	// pointers keep referring to the old backing array) but defeats the
-	// batching, so the caps are exact upper bounds.
-	ops   []ir.Op
-	mems  []ir.MemInfo
-	vregs []ir.VReg // slab backing every op's Srcs
-	flags []bool    // slab backing every op's SrcFloat
 
 	// Constant and canonical-address views, indexed by vreg (vreg count is
 	// bounded by 2*guest.NumRegs live-ins + one definition per inst).
@@ -51,25 +46,32 @@ type translator struct {
 	canon    []canonAddr
 }
 
-// Translate converts a superblock into an IR region.
+// transPool recycles translator scratch (the constant and canonical
+// views) across calls; the region data itself lives in the caller's
+// arena.
+var transPool = sync.Pool{New: func() interface{} { return new(translator) }}
+
+// Translate converts a superblock into an IR region backed by a private,
+// never-recycled arena, so the result may be retained indefinitely.
 func Translate(sb *region.Superblock) (*ir.Region, error) {
+	return TranslateArena(sb, ir.NewArena())
+}
+
+// TranslateArena converts a superblock into an IR region carved out of
+// ar. The caller owns the arena: every pointer in the returned region
+// aliases arena memory and dies at the arena's next Reset, so long-lived
+// consumers must ir.Freeze whatever they keep. Translating again into
+// the same arena without a Reset is allowed (the compile retry ladder
+// does this); the earlier region's slab space is simply left behind.
+func TranslateArena(sb *region.Superblock, ar *ir.Arena) (*ir.Region, error) {
 	n := len(sb.Insts)
 	maxVRegs := 2*guest.NumRegs + n
-	t := &translator{
-		reg: &ir.Region{
-			Ops:         make([]*ir.Op, 0, n),
-			Entry:       sb.Entry,
-			FinalTarget: sb.FinalTarget,
-		},
-		ops:      make([]ir.Op, 0, n),
-		mems:     make([]ir.MemInfo, 0, n),
-		vregs:    make([]ir.VReg, 0, 2*n),
-		flags:    make([]bool, 0, 2*n),
-		constOK:  make([]bool, maxVRegs),
-		constVal: make([]int64, maxVRegs),
-		canonOK:  make([]bool, maxVRegs),
-		canon:    make([]canonAddr, maxVRegs),
-	}
+	t := transPool.Get().(*translator)
+	t.ar = ar
+	t.reg = ar.NewRegion(n)
+	t.reg.Entry = sb.Entry
+	t.reg.FinalTarget = sb.FinalTarget
+	t.sizeViews(maxVRegs)
 	for r := 0; r < guest.NumRegs; r++ {
 		t.curInt[r] = ir.LiveInInt(guest.Reg(r))
 		t.curFloat[r] = ir.LiveInFloat(guest.Reg(r))
@@ -81,14 +83,47 @@ func Translate(sb *region.Superblock) (*ir.Region, error) {
 
 	for _, in := range sb.Insts {
 		if err := t.translateInst(in); err != nil {
+			t.release()
 			return nil, err
 		}
 	}
 
-	t.reg.NumVRegs = int(t.next)
-	t.reg.IntOut = t.curInt
-	t.reg.FloatOut = t.curFloat
-	return t.reg, nil
+	reg := t.reg
+	reg.NumVRegs = int(t.next)
+	reg.IntOut = t.curInt
+	reg.FloatOut = t.curFloat
+	t.release()
+	return reg, nil
+}
+
+// sizeViews resizes the constant/canonical views to maxVRegs, clearing
+// only the validity flags (the value arrays are read through them).
+func (t *translator) sizeViews(maxVRegs int) {
+	if cap(t.constOK) < maxVRegs {
+		t.constOK = make([]bool, maxVRegs)
+		t.constVal = make([]int64, maxVRegs)
+		t.canonOK = make([]bool, maxVRegs)
+		t.canon = make([]canonAddr, maxVRegs)
+		return
+	}
+	t.constOK = t.constOK[:maxVRegs]
+	t.canonOK = t.canonOK[:maxVRegs]
+	t.constVal = t.constVal[:maxVRegs]
+	t.canon = t.canon[:maxVRegs]
+	for i := range t.constOK {
+		t.constOK[i] = false
+	}
+	for i := range t.canonOK {
+		t.canonOK[i] = false
+	}
+}
+
+// release drops the region references and returns the translator's
+// scratch to the pool.
+func (t *translator) release() {
+	t.reg = nil
+	t.ar = nil
+	transPool.Put(t)
 }
 
 func (t *translator) fresh() ir.VReg {
@@ -101,44 +136,23 @@ func (t *translator) fresh() ir.VReg {
 func (t *translator) emit(o ir.Op) *ir.Op {
 	o.ID = len(t.reg.Ops)
 	o.AROffset = -1
-	t.ops = append(t.ops, o)
-	p := &t.ops[len(t.ops)-1]
+	p := t.ar.NewOp(o)
 	t.reg.Ops = append(t.reg.Ops, p)
 	return p
 }
 
 // newMem places a MemInfo in the arena.
-func (t *translator) newMem(m ir.MemInfo) *ir.MemInfo {
-	t.mems = append(t.mems, m)
-	return &t.mems[len(t.mems)-1]
-}
+func (t *translator) newMem(m ir.MemInfo) *ir.MemInfo { return t.ar.NewMem(m) }
 
 // srcs1/srcs2 and flags1/flags2 carve capped operand lists out of the
-// slabs; the three-index slice keeps a later append from clobbering a
-// neighboring op's operands.
-func (t *translator) srcs1(a ir.VReg) []ir.VReg {
-	n := len(t.vregs)
-	t.vregs = append(t.vregs, a)
-	return t.vregs[n : n+1 : n+1]
-}
+// arena slabs.
+func (t *translator) srcs1(a ir.VReg) []ir.VReg { return t.ar.Srcs1(a) }
 
-func (t *translator) srcs2(a, b ir.VReg) []ir.VReg {
-	n := len(t.vregs)
-	t.vregs = append(t.vregs, a, b)
-	return t.vregs[n : n+2 : n+2]
-}
+func (t *translator) srcs2(a, b ir.VReg) []ir.VReg { return t.ar.Srcs2(a, b) }
 
-func (t *translator) flags1(a bool) []bool {
-	n := len(t.flags)
-	t.flags = append(t.flags, a)
-	return t.flags[n : n+1 : n+1]
-}
+func (t *translator) flags1(a bool) []bool { return t.ar.Flags1(a) }
 
-func (t *translator) flags2(a, b bool) []bool {
-	n := len(t.flags)
-	t.flags = append(t.flags, a, b)
-	return t.flags[n : n+2 : n+2]
-}
+func (t *translator) flags2(a, b bool) []bool { return t.ar.Flags2(a, b) }
 
 // defInt creates a fresh vreg for a guest integer register definition.
 func (t *translator) defInt(r guest.Reg) ir.VReg {
