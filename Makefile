@@ -73,13 +73,17 @@ fuzz-smoke:
 	$(GO) test -run='^FuzzDynopt$$' -fuzz='^FuzzDynopt$$' -fuzztime=10s ./internal/dynopt
 
 # Chaos gate: the seeded fault-injection soak (spurious alias exceptions,
-# guard-fail storms, compile failures) with the rollback invariant checker
-# on, plus a CLI replay smoke. SMARQ_CHAOS_FULL=1 widens to the full suite.
+# guard-fail storms, compile failures, and the host fault classes: worker
+# panics, watchdog kills, poisoned results, memo pressure) with the
+# rollback invariant checker on, plus CLI replay smokes. SMARQ_CHAOS_FULL=1
+# widens to the full suite.
 chaos-smoke:
-	$(GO) test -count=1 ./internal/faultinject
-	$(GO) test -run='^TestChaos|^TestInvariantChecker|^TestSpuriousAlias|^TestCompileFail|^TestGuardFailInjection' \
+	$(GO) test -count=1 ./internal/faultinject ./internal/health
+	$(GO) test -run='^TestChaos|^TestInvariantChecker|^TestSpuriousAlias|^TestCompileFail|^TestGuardFailInjection|^TestHostChaos|^TestWorkerPanic|^TestWatchdog|^TestPoisoned|^TestHealth|^TestMemoPressure' \
 		-count=1 ./internal/dynopt
 	$(GO) run ./cmd/smarq-run -bench equake -chaos-seed 7 -check-invariants >/dev/null
+	$(GO) run ./cmd/smarq-run -bench equake -chaos-seed 7 -chaos-host -health \
+		-compile-workers 2 -compile-memoize -check-invariants >/dev/null
 	@echo "chaos-smoke: ok"
 
 # Execution-engine microbench suite → BENCH_exec.json. Fixed -benchtime

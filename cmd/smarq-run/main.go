@@ -6,6 +6,7 @@
 //	smarq-run -bench ammp -config smarq64
 //	smarq-run -bench mesa -config nostorereorder -regions
 //	smarq-run -bench equake -chaos-seed 7 -check-invariants
+//	smarq-run -bench swim -chaos-seed 7 -chaos-host -health
 //	smarq-run -bench swim -trace swim.trace.json -trace-format chrome
 //	smarq-run -bench swim -metrics swim.metrics.json
 //	smarq-run -list
@@ -14,12 +15,17 @@
 // diffable line-oriented output, chrome for a Perfetto-loadable
 // timeline); -metrics snapshots the aggregate counters and histograms to
 // JSON after the run; -listen serves the live metrics snapshot over HTTP
-// for long chaos soaks. See DESIGN.md ("Telemetry").
+// for long chaos soaks. -chaos-host extends the chaos mix with host fault
+// classes (compile-worker panics, hangs, poisoned results, memo
+// pressure); -health arms the graceful-degradation controller. See
+// DESIGN.md ("Telemetry"; "Host fault domains and the health
+// controller").
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"net/http"
 	"os"
 	"strings"
@@ -28,51 +34,74 @@ import (
 	"smarq/internal/faultinject"
 	"smarq/internal/guest"
 	"smarq/internal/harness"
+	"smarq/internal/health"
 	"smarq/internal/profiledump"
 	"smarq/internal/telemetry"
 	"smarq/internal/workload"
 )
 
 func main() {
-	bench := flag.String("bench", "swim", "benchmark name")
-	file := flag.String("file", "", "run a guest assembly (.s) or binary (.bin) file instead of a benchmark")
-	config := flag.String("config", "smarq64", "configuration: smarq<N>, alat, efficeon, nohw, nostorereorder")
-	regions := flag.Bool("regions", false, "print per-region statistics")
-	events := flag.Bool("events", false, "print runtime events as text lines (compiles, exceptions, drops)")
-	traceFile := flag.String("trace", "", "write a cycle-stamped event trace to this file")
-	traceFormat := flag.String("trace-format", "jsonl", "trace encoding: jsonl or chrome (Perfetto-loadable)")
-	metricsFile := flag.String("metrics", "", "write a JSON metrics snapshot (counters + histograms) to this file")
-	listen := flag.String("listen", "", "serve the live metrics snapshot over HTTP at this address (e.g. :8080)")
-	list := flag.Bool("list", false, "list benchmarks and exit")
-	memSize := flag.Int("mem", 1<<20, "guest memory size for -file runs")
-	maxInsts := flag.Uint64("maxinsts", 0, "instruction budget (0 = benchmark default; -file runs default to 100M)")
-	chaosSeed := flag.Int64("chaos-seed", 0, "enable deterministic fault injection with this seed (default chaos mix)")
-	aliasRate := flag.Float64("chaos-alias-rate", -1, "override the spurious-alias injection rate (with -chaos-seed)")
-	guardRate := flag.Float64("chaos-guard-rate", -1, "override the guard-fail injection rate (with -chaos-seed)")
-	compileRate := flag.Float64("chaos-compile-rate", -1, "override the compile-fail injection rate (with -chaos-seed)")
-	corruptRate := flag.Float64("chaos-corrupt-rate", -1, "override the post-rollback corruption rate (with -chaos-seed)")
-	checkInv := flag.Bool("check-invariants", false, "verify every rollback restores the exact checkpoint (slow)")
-	compileWorkers := flag.Int("compile-workers", 0, "background compile workers (0 = synchronous instant install; any N >= 1 is simulation-identical)")
-	compileMemoize := flag.Bool("compile-memoize", false, "memoize compiled regions by content hash")
-	compileCPI := flag.Int("compile-cycles-per-inst", -1, "override the compile-latency model's cycles per guest instruction (-1 = machine default)")
-	compileCPC := flag.Int("compile-cycles-per-check", -1, "override the compile-latency model's cycles per guest memory op (-1 = machine default)")
-	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
-	memprofile := flag.String("memprofile", "", "write a heap profile to this file after the run")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is main with a testable surface: parse args, execute, print to the
+// given writers, and return the process exit code (0 ok, 1 runtime
+// failure — including a rollback invariant violation — 2 usage error).
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("smarq-run", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	bench := fs.String("bench", "swim", "benchmark name")
+	file := fs.String("file", "", "run a guest assembly (.s) or binary (.bin) file instead of a benchmark")
+	config := fs.String("config", "smarq64", "configuration: smarq<N>, alat, efficeon, nohw, nostorereorder")
+	regions := fs.Bool("regions", false, "print per-region statistics")
+	events := fs.Bool("events", false, "print runtime events as text lines (compiles, exceptions, drops)")
+	traceFile := fs.String("trace", "", "write a cycle-stamped event trace to this file")
+	traceFormat := fs.String("trace-format", "jsonl", "trace encoding: jsonl or chrome (Perfetto-loadable)")
+	metricsFile := fs.String("metrics", "", "write a JSON metrics snapshot (counters + histograms) to this file")
+	listen := fs.String("listen", "", "serve the live metrics snapshot over HTTP at this address (e.g. :8080)")
+	list := fs.Bool("list", false, "list benchmarks and exit")
+	memSize := fs.Int("mem", 1<<20, "guest memory size for -file runs")
+	maxInsts := fs.Uint64("maxinsts", 0, "instruction budget (0 = benchmark default; -file runs default to 100M)")
+	chaosSeed := fs.Int64("chaos-seed", 0, "enable deterministic fault injection with this seed (default chaos mix)")
+	aliasRate := fs.Float64("chaos-alias-rate", -1, "override the spurious-alias injection rate (with -chaos-seed)")
+	guardRate := fs.Float64("chaos-guard-rate", -1, "override the guard-fail injection rate (with -chaos-seed)")
+	compileRate := fs.Float64("chaos-compile-rate", -1, "override the compile-fail injection rate (with -chaos-seed)")
+	corruptRate := fs.Float64("chaos-corrupt-rate", -1, "override the post-rollback corruption rate (with -chaos-seed)")
+	chaosHost := fs.Bool("chaos-host", false, "extend the chaos mix with the default host fault rates (with -chaos-seed)")
+	panicRate := fs.Float64("chaos-host-panic-rate", -1, "override the compile-worker panic rate (with -chaos-seed)")
+	hangRate := fs.Float64("chaos-host-hang-rate", -1, "override the compile-hang (watchdog overrun) rate (with -chaos-seed)")
+	poisonRate := fs.Float64("chaos-host-poison-rate", -1, "override the poisoned-compile-result rate (with -chaos-seed)")
+	memoRate := fs.Float64("chaos-host-memo-rate", -1, "override the memo-pressure eviction rate (with -chaos-seed)")
+	healthOn := fs.Bool("health", false, "arm the graceful-degradation health controller (default tuning)")
+	healthWindow := fs.Int("health-window", 0, "override the health controller's observation window (with -health)")
+	healthDemote := fs.Int("health-demote", 0, "override the health controller's demotion score threshold (with -health)")
+	healthPromote := fs.Int("health-promote", 0, "override the clean-run length one promotion requires (with -health)")
+	checkInv := fs.Bool("check-invariants", false, "verify every rollback restores the exact checkpoint (slow)")
+	compileWorkers := fs.Int("compile-workers", 0, "background compile workers (0 = synchronous instant install; any N >= 1 is simulation-identical)")
+	compileMemoize := fs.Bool("compile-memoize", false, "memoize compiled regions by content hash")
+	memoCap := fs.Int("compile-memo-cap", 0, "memo table capacity in entries (0 = default bound, negative = unbounded)")
+	watchdog := fs.Int("compile-watchdog", 0, "watchdog deadline as a multiple of the modelled compile cost (0 = default)")
+	compileCPI := fs.Int("compile-cycles-per-inst", -1, "override the compile-latency model's cycles per guest instruction (-1 = machine default)")
+	compileCPC := fs.Int("compile-cycles-per-check", -1, "override the compile-latency model's cycles per guest memory op (-1 = machine default)")
+	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile of the run to this file")
+	memprofile := fs.String("memprofile", "", "write a heap profile to this file after the run")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	if *list {
 		for _, bm := range workload.Suite() {
-			fmt.Printf("%-10s %s\n", bm.Name, bm.Description)
+			fmt.Fprintf(stdout, "%-10s %s\n", bm.Name, bm.Description)
 		}
-		return
+		return 0
 	}
 
 	var bm workload.Benchmark
 	if *file != "" {
 		prog, err := loadProgram(*file)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "smarq-run:", err)
-			os.Exit(1)
+			fmt.Fprintln(stderr, "smarq-run:", err)
+			return 1
 		}
 		bm = workload.Benchmark{
 			Name:        *file,
@@ -85,8 +114,8 @@ func main() {
 		var ok bool
 		bm, ok = workload.ByName(*bench)
 		if !ok {
-			fmt.Fprintf(os.Stderr, "smarq-run: unknown benchmark %q (try -list)\n", *bench)
-			os.Exit(2)
+			fmt.Fprintf(stderr, "smarq-run: unknown benchmark %q (try -list)\n", *bench)
+			return 2
 		}
 	}
 	if *maxInsts != 0 {
@@ -94,12 +123,16 @@ func main() {
 	}
 	cfg, err := harness.ParseConfig(*config)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "smarq-run:", err)
-		os.Exit(2)
+		fmt.Fprintln(stderr, "smarq-run:", err)
+		return 2
 	}
 	chaos := *chaosSeed != 0
 	if chaos {
-		cfg.Chaos = faultinject.Default(*chaosSeed)
+		if *chaosHost {
+			cfg.Chaos = faultinject.DefaultHost(*chaosSeed)
+		} else {
+			cfg.Chaos = faultinject.Default(*chaosSeed)
+		}
 		for _, o := range []struct {
 			v   float64
 			dst *float64
@@ -108,15 +141,33 @@ func main() {
 			{*guardRate, &cfg.Chaos.GuardFailRate},
 			{*compileRate, &cfg.Chaos.CompileFailRate},
 			{*corruptRate, &cfg.Chaos.CorruptRate},
+			{*panicRate, &cfg.Chaos.WorkerPanicRate},
+			{*hangRate, &cfg.Chaos.CompileHangRate},
+			{*poisonRate, &cfg.Chaos.PoisonResultRate},
+			{*memoRate, &cfg.Chaos.MemoPressureRate},
 		} {
 			if o.v >= 0 {
 				*o.dst = o.v
 			}
 		}
 	}
+	if *healthOn {
+		cfg.Health = health.DefaultConfig()
+		if *healthWindow > 0 {
+			cfg.Health.Window = *healthWindow
+		}
+		if *healthDemote > 0 {
+			cfg.Health.DemoteThreshold = *healthDemote
+		}
+		if *healthPromote > 0 {
+			cfg.Health.PromoteAfter = *healthPromote
+		}
+	}
 	cfg.CheckInvariants = *checkInv
 	cfg.Compile.Workers = *compileWorkers
 	cfg.Compile.Memoize = *compileMemoize
+	cfg.Compile.MemoCapacity = *memoCap
+	cfg.Compile.WatchdogFactor = *watchdog
 	if *compileCPI >= 0 {
 		cfg.Machine.CompileCyclesPerInst = *compileCPI
 	}
@@ -124,12 +175,12 @@ func main() {
 		cfg.Machine.CompileCyclesPerCheck = *compileCPC
 	}
 	if err := cfg.Validate(); err != nil {
-		fmt.Fprintln(os.Stderr, "smarq-run:", err)
-		os.Exit(2)
+		fmt.Fprintln(stderr, "smarq-run:", err)
+		return 2
 	}
 	if *events {
 		cfg.Trace = func(format string, args ...interface{}) {
-			fmt.Fprintf(os.Stderr, "trace: "+format+"\n", args...)
+			fmt.Fprintf(stderr, "trace: "+format+"\n", args...)
 		}
 	}
 
@@ -141,14 +192,14 @@ func main() {
 	if *traceFile != "" {
 		f, err := os.Create(*traceFile)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "smarq-run:", err)
-			os.Exit(1)
+			fmt.Fprintln(stderr, "smarq-run:", err)
+			return 1
 		}
 		traceOut = f
 		sink, err := telemetry.NewFormatSink(f, *traceFormat)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "smarq-run:", err)
-			os.Exit(2)
+			fmt.Fprintln(stderr, "smarq-run:", err)
+			return 2
 		}
 		tracer = telemetry.NewTracer(0, sink)
 		tel.Events = tracer
@@ -162,15 +213,15 @@ func main() {
 	if *listen != "" {
 		go func() {
 			if err := http.ListenAndServe(*listen, tel.Metrics.Handler()); err != nil {
-				fmt.Fprintln(os.Stderr, "smarq-run: -listen:", err)
+				fmt.Fprintln(stderr, "smarq-run: -listen:", err)
 			}
 		}()
 	}
 
 	stopCPU, err := profiledump.StartCPU(*cpuprofile)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "smarq-run:", err)
-		os.Exit(1)
+		fmt.Fprintln(stderr, "smarq-run:", err)
+		return 1
 	}
 	sys := dynopt.New(bm.Build(), &guest.State{}, guest.NewMemory(bm.MemSize), cfg)
 	halted, err := sys.Run(bm.MaxInsts)
@@ -184,8 +235,8 @@ func main() {
 		}
 	}
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "smarq-run:", err)
-		os.Exit(1)
+		fmt.Fprintln(stderr, "smarq-run:", err)
+		return 1
 	}
 	if *metricsFile != "" {
 		f, err := os.Create(*metricsFile)
@@ -196,43 +247,51 @@ func main() {
 			}
 		}
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "smarq-run:", err)
-			os.Exit(1)
+			fmt.Fprintln(stderr, "smarq-run:", err)
+			return 1
 		}
 	}
 	if err := profiledump.WriteHeap(*memprofile); err != nil {
-		fmt.Fprintln(os.Stderr, "smarq-run:", err)
-		os.Exit(1)
+		fmt.Fprintln(stderr, "smarq-run:", err)
+		return 1
 	}
 	st := &sys.Stats
-	fmt.Printf("%s under %s (halted=%v)\n", bm.Name, *config, halted)
-	fmt.Println(" ", harness.SummaryLine(st))
-	fmt.Printf("  guest insts: %d total, %d interpreted (%.1f%%)\n",
+	fmt.Fprintf(stdout, "%s under %s (halted=%v)\n", bm.Name, *config, halted)
+	fmt.Fprintln(stdout, " ", harness.SummaryLine(st))
+	fmt.Fprintf(stdout, "  guest insts: %d total, %d interpreted (%.1f%%)\n",
 		st.GuestInsts, st.InterpretedInsts,
 		100*float64(st.InterpretedInsts)/float64(st.GuestInsts))
-	fmt.Printf("  cycles/inst: %.3f\n", float64(st.TotalCycles)/float64(st.GuestInsts))
-	fmt.Println("  recovery:", harness.RecoveryLine(st))
+	fmt.Fprintf(stdout, "  cycles/inst: %.3f\n", float64(st.TotalCycles)/float64(st.GuestInsts))
+	fmt.Fprintln(stdout, "  recovery:", harness.RecoveryLine(st))
 	if cs := st.Compile; cs.Enqueued > 0 || cs.MemoHits+cs.MemoMisses > 0 {
 		avg := int64(0)
 		if cs.Installed > 0 {
 			avg = cs.LatencySum / cs.Installed
 		}
-		fmt.Printf("  compile: %d enqueued, %d installed, %d canceled, %d failed, avg latency %d cycles, peak depth %d, memo %d/%d hits\n",
+		fmt.Fprintf(stdout, "  compile: %d enqueued, %d installed, %d canceled, %d failed, avg latency %d cycles, peak depth %d, memo %d/%d hits\n",
 			cs.Enqueued, cs.Installed, cs.Canceled, cs.Failed, avg, cs.MaxQueueDepth,
 			cs.MemoHits, cs.MemoHits+cs.MemoMisses)
 	}
+	if cs := st.Compile; cs.WorkerPanics+cs.WatchdogKills+cs.Rejected+cs.Quarantined+cs.MemoEvictions > 0 {
+		fmt.Fprintf(stdout, "  host faults: %d worker panics, %d watchdog kills, %d poisoned rejected, %d quarantined, %d memo evictions\n",
+			cs.WorkerPanics, cs.WatchdogKills, cs.Rejected, cs.Quarantined, cs.MemoEvictions)
+	}
+	if *healthOn {
+		fmt.Fprintln(stdout, "  health:", harness.HealthLine(st))
+	}
 	if chaos {
-		fmt.Printf("  injected (seed %d): %s\n", *chaosSeed, harness.InjectedLine(st))
+		fmt.Fprintf(stdout, "  injected (seed %d): %s\n", *chaosSeed, harness.InjectedLine(st))
 	}
 	if *regions {
-		fmt.Println("  regions:")
+		fmt.Fprintln(stdout, "  regions:")
 		for _, r := range st.Regions {
-			fmt.Printf("    B%-3d insts=%-3d mem=%-3d seq=%-3d cycles=%-4d P=%-3d C=%-3d checks=%-3d antis=%-2d amovs=%-2d ws=%d tier=%s dem=%d prom=%d sticky=%v\n",
+			fmt.Fprintf(stdout, "    B%-3d insts=%-3d mem=%-3d seq=%-3d cycles=%-4d P=%-3d C=%-3d checks=%-3d antis=%-2d amovs=%-2d ws=%d tier=%s dem=%d prom=%d sticky=%v\n",
 				r.Entry, r.GuestInsts, r.MemOps, r.SeqLen, r.Cycles,
 				r.Alloc.PBits, r.Alloc.CBits, r.Alloc.Checks, r.Alloc.Antis, r.Alloc.AMovs,
 				r.Alloc.WorkingSet, r.Tier, r.Demotions, r.Promotions, r.Sticky)
 		}
 	}
+	return 0
 }
 
 // loadProgram reads a guest program from assembly text (.s) or a binary

@@ -1,0 +1,59 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestInvariantViolationExitsNonZero pins the chaos-debugging contract:
+// when the rollback invariant checker fires (here provoked by injected
+// post-rollback corruption), the run must stop at the first violation,
+// print it, and exit non-zero — a soak script must never mistake a
+// corrupted run for a clean one.
+func TestInvariantViolationExitsNonZero(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run([]string{
+		"-bench", "swim", "-chaos-seed", "7",
+		"-chaos-corrupt-rate", "1", "-check-invariants",
+	}, &out, &errb)
+	if code == 0 {
+		t.Fatalf("exit code 0 despite forced post-rollback corruption\nstdout:\n%s", out.String())
+	}
+	if !strings.Contains(errb.String(), "invariant") {
+		t.Errorf("stderr does not name the violated invariant:\n%s", errb.String())
+	}
+}
+
+// TestHostChaosRunSucceeds: the full host-fault mix with the health
+// controller armed completes cleanly and reports the host-fault and
+// health summary lines.
+func TestHostChaosRunSucceeds(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run([]string{
+		"-bench", "swim", "-chaos-seed", "7", "-chaos-host", "-health",
+		"-compile-workers", "2", "-compile-memoize", "-check-invariants",
+	}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit code %d\nstderr:\n%s", code, errb.String())
+	}
+	for _, want := range []string{"host faults:", "health:", "worker-panic="} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestUsageErrors(t *testing.T) {
+	cases := map[string][]string{
+		"unknown benchmark": {"-bench", "nope"},
+		"bad host rate":     {"-bench", "swim", "-chaos-seed", "1", "-chaos-host-panic-rate", "2"},
+		"bad flag":          {"-definitely-not-a-flag"},
+	}
+	for name, args := range cases {
+		var out, errb bytes.Buffer
+		if code := run(args, &out, &errb); code != 2 {
+			t.Errorf("%s: exit code %d, want 2 (stderr: %s)", name, code, errb.String())
+		}
+	}
+}

@@ -13,15 +13,26 @@
 // stat, or telemetry byte.
 package compilequeue
 
-import "sync"
+import (
+	"sync"
+	"sync/atomic"
+)
 
 // Pool is a bounded worker pool for background compile jobs. Jobs are
 // plain funcs; completion signalling (and any result hand-off) is the
 // job's own business — dynopt closes a per-job channel that the install
 // point blocks on.
+//
+// Workers are a fault domain: a panicking job is recovered and counted
+// instead of killing its worker goroutine (and with it the process).
+// Callers that need the panic value — dynopt converts it into a
+// failed-compile event — should wrap their own recover around the job;
+// the pool's recover is the backstop for jobs that don't.
 type Pool struct {
-	jobs chan func()
-	wg   sync.WaitGroup
+	jobs   chan func()
+	wg     sync.WaitGroup
+	closed atomic.Bool
+	panics atomic.Int64
 }
 
 // NewPool starts a pool with the given number of worker goroutines
@@ -44,18 +55,43 @@ func NewPool(workers int) *Pool {
 func (p *Pool) worker() {
 	defer p.wg.Done()
 	for fn := range p.jobs {
-		fn()
+		p.runJob(fn)
 	}
 }
 
+// runJob executes one job behind the panic backstop: the worker survives,
+// the panic is counted, and the job is simply over (any completion channel
+// it owned stays unclosed — which is why result-carrying callers wrap
+// their own recover).
+func (p *Pool) runJob(fn func()) {
+	defer func() {
+		if r := recover(); r != nil {
+			p.panics.Add(1)
+		}
+	}()
+	fn()
+}
+
+// Panics returns how many jobs the backstop recovered from.
+func (p *Pool) Panics() int64 { return p.panics.Load() }
+
 // Submit hands a job to the pool. It may block briefly when every worker
 // is busy and the submission buffer is full; it never drops a job.
+// Submitting after Close panics deterministically (it can never deadlock):
+// the pool's producer is the single simulation thread, which must not
+// enqueue past the end of the run.
 func (p *Pool) Submit(fn func()) {
+	if p.closed.Load() {
+		panic("compilequeue: Submit on a closed Pool")
+	}
 	p.jobs <- fn
 }
 
 // Close stops accepting jobs and waits for all submitted jobs to finish.
+// Submit after Close panics; Close is idempotent-unsafe by design (one
+// owner, one Close).
 func (p *Pool) Close() {
+	p.closed.Store(true)
 	close(p.jobs)
 	p.wg.Wait()
 }
@@ -96,40 +132,122 @@ func (k Key) Bool(b bool) Key {
 	return k.Word(0)
 }
 
-// Memo is the content-hash memoization table. It is NOT concurrency-safe
-// by design: lookups happen at enqueue and inserts at install, both on
-// the simulation thread, so the table needs no lock and its hit/miss
-// order is deterministic.
+// Memo is the content-hash memoization table, bounded by a capacity with
+// LRU eviction (the same discipline as dynopt's code cache bound): under
+// hot/cold-flip workloads the key population churns forever, and an
+// unbounded map is a slow memory leak in a long-running host. It is NOT
+// concurrency-safe by design: lookups happen at enqueue and inserts at
+// install, both on the simulation thread, so the table needs no lock and
+// its hit/miss/eviction order is deterministic.
 type Memo[V any] struct {
-	m      map[Key]V
-	hits   int64
-	misses int64
+	m   map[Key]*memoNode[V]
+	cap int // <= 0: unbounded
+	// Intrusive doubly-linked recency list; head is most recently used,
+	// tail the eviction victim.
+	head, tail *memoNode[V]
+	hits       int64
+	misses     int64
+	evictions  int64
 }
 
-// NewMemo returns an empty memo table.
-func NewMemo[V any]() *Memo[V] {
-	return &Memo[V]{m: make(map[Key]V)}
+type memoNode[V any] struct {
+	key        Key
+	val        V
+	prev, next *memoNode[V]
 }
 
-// Get looks k up, counting a hit or a miss.
-func (m *Memo[V]) Get(k Key) (V, bool) {
-	v, ok := m.m[k]
-	if ok {
-		m.hits++
+// NewMemo returns an empty, unbounded memo table.
+func NewMemo[V any]() *Memo[V] { return NewMemoCap[V](0) }
+
+// NewMemoCap returns an empty memo table holding at most capacity entries
+// (<= 0 means unbounded). Inserting past capacity evicts the least
+// recently used entry.
+func NewMemoCap[V any](capacity int) *Memo[V] {
+	return &Memo[V]{m: make(map[Key]*memoNode[V]), cap: capacity}
+}
+
+func (m *Memo[V]) unlink(n *memoNode[V]) {
+	if n.prev != nil {
+		n.prev.next = n.next
 	} else {
-		m.misses++
+		m.head = n.next
 	}
-	return v, ok
+	if n.next != nil {
+		n.next.prev = n.prev
+	} else {
+		m.tail = n.prev
+	}
+	n.prev, n.next = nil, nil
 }
 
-// Put records the compiled value for k.
-func (m *Memo[V]) Put(k Key, v V) { m.m[k] = v }
+func (m *Memo[V]) pushFront(n *memoNode[V]) {
+	n.next = m.head
+	if m.head != nil {
+		m.head.prev = n
+	}
+	m.head = n
+	if m.tail == nil {
+		m.tail = n
+	}
+}
+
+// Get looks k up, counting a hit or a miss. A hit freshens the entry's
+// recency.
+func (m *Memo[V]) Get(k Key) (V, bool) {
+	n, ok := m.m[k]
+	if !ok {
+		m.misses++
+		var zero V
+		return zero, false
+	}
+	m.hits++
+	if m.head != n {
+		m.unlink(n)
+		m.pushFront(n)
+	}
+	return n.val, true
+}
+
+// Put records the compiled value for k, evicting the least recently used
+// entry when the table is at capacity.
+func (m *Memo[V]) Put(k Key, v V) {
+	if n, ok := m.m[k]; ok {
+		n.val = v
+		if m.head != n {
+			m.unlink(n)
+			m.pushFront(n)
+		}
+		return
+	}
+	n := &memoNode[V]{key: k, val: v}
+	m.m[k] = n
+	m.pushFront(n)
+	if m.cap > 0 && len(m.m) > m.cap {
+		m.DropOldest()
+	}
+}
+
+// DropOldest evicts the least recently used entry (the memo-pressure
+// fault's hook) and reports whether anything was evicted.
+func (m *Memo[V]) DropOldest() bool {
+	victim := m.tail
+	if victim == nil {
+		return false
+	}
+	m.unlink(victim)
+	delete(m.m, victim.key)
+	m.evictions++
+	return true
+}
 
 // Hits returns the lookup hit count.
 func (m *Memo[V]) Hits() int64 { return m.hits }
 
 // Misses returns the lookup miss count.
 func (m *Memo[V]) Misses() int64 { return m.misses }
+
+// Evictions returns how many entries capacity or memo pressure evicted.
+func (m *Memo[V]) Evictions() int64 { return m.evictions }
 
 // Len returns the number of memoized entries.
 func (m *Memo[V]) Len() int { return len(m.m) }

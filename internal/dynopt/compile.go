@@ -27,6 +27,7 @@ import (
 	"smarq/internal/compilequeue"
 	"smarq/internal/core"
 	"smarq/internal/deps"
+	"smarq/internal/faultinject"
 	"smarq/internal/ir"
 	"smarq/internal/opt"
 	"smarq/internal/region"
@@ -53,6 +54,42 @@ type CompileConfig struct {
 	// stats are identical with memoization on or off (apart from the
 	// hit/miss counters themselves). Works in both compile paths.
 	Memoize bool
+	// MemoCapacity bounds the memo table in entries; past the bound the
+	// least recently used entry is evicted. 0 selects
+	// DefaultMemoCapacity; negative means unbounded.
+	MemoCapacity int
+	// WatchdogFactor fixes each background compile's watchdog deadline at
+	// enqueue-cycle + modelled-cost × factor, in simulated cycles. A
+	// compile still pending at its deadline is killed at that point — its
+	// result is never read — and the region retries later under the
+	// transient-failure backoff. 0 selects DefaultWatchdogFactor.
+	WatchdogFactor int
+}
+
+// DefaultMemoCapacity is the memo-table bound when MemoCapacity is 0.
+const DefaultMemoCapacity = 4096
+
+// DefaultWatchdogFactor is the deadline multiple when WatchdogFactor is 0.
+const DefaultWatchdogFactor = 4
+
+// memoCapacity resolves the configured memo bound (0 = unbounded, for
+// compilequeue.NewMemoCap).
+func (cc CompileConfig) memoCapacity() int {
+	switch {
+	case cc.MemoCapacity > 0:
+		return cc.MemoCapacity
+	case cc.MemoCapacity < 0:
+		return 0
+	}
+	return DefaultMemoCapacity
+}
+
+// watchdogFactor resolves the configured deadline multiple.
+func (cc CompileConfig) watchdogFactor() int64 {
+	if cc.WatchdogFactor > 0 {
+		return int64(cc.WatchdogFactor)
+	}
+	return DefaultWatchdogFactor
 }
 
 // CompileStats is the background-compilation accounting.
@@ -76,12 +113,44 @@ type CompileStats struct {
 	LatencySum int64
 	// MaxQueueDepth is the high-water mark of in-flight compilations.
 	MaxQueueDepth int
+	// WorkerPanics counts compile jobs that panicked and were converted
+	// into failed-compile events (the region is quarantined).
+	WorkerPanics int64
+	// WatchdogKills counts background compiles killed at their simulated
+	// watchdog deadline.
+	WatchdogKills int64
+	// Rejected counts install-time validation rejections of poisoned
+	// compile results (content-checksum mismatch or broken structural
+	// invariants).
+	Rejected int64
+	// Quarantined counts regions permanently barred from compiling (a
+	// worker panic in their compile, or the health controller's
+	// quarantine level at the moment they became hot).
+	Quarantined int64
+	// MemoEvictions counts memo entries evicted by the capacity bound or
+	// injected memo pressure.
+	MemoEvictions int64
 }
 
 // errInjectedCompileFail marks chaos-injected compile failures so the
 // cooldown policy can tell them apart from genuinely unschedulable
 // regions (see compileFailBackoff).
 var errInjectedCompileFail = errors.New("faultinject: simulated compile failure")
+
+// errCompilePanic marks a compile-worker panic converted into a
+// failed-compile event; the region is quarantined, so no retry policy
+// applies.
+var errCompilePanic = errors.New("dynopt: compile worker panicked")
+
+// errWatchdogTimeout marks a background compile killed at its watchdog
+// deadline. Like injected failures it is transient — the host was slow,
+// not the region unschedulable — so it backs off additively.
+var errWatchdogTimeout = errors.New("dynopt: compile watchdog deadline overrun")
+
+// errPoisonedResult marks a compile result rejected by install-time
+// validation; also transient (a fresh compile of the same input is
+// expected to come out clean).
+var errPoisonedResult = errors.New("dynopt: poisoned compile result rejected")
 
 // compileInput is everything the pipeline reads, snapshotted on the
 // simulation thread at enqueue: the superblock is immutable after Form,
@@ -111,6 +180,13 @@ type compileOutput struct {
 	memOps          int
 	overflowRetries int
 	err             error
+	// checksum is the content hash of cr, stamped by the worker right
+	// after the pipeline finishes; the install point recomputes it to
+	// reject results corrupted in flight (see admitOutput).
+	checksum uint64
+	// panicked marks a result synthesized from a recovered worker panic
+	// (err carries the panic value wrapped in errCompilePanic).
+	panicked bool
 }
 
 // pendingCompile is one in-flight background compilation.
@@ -119,13 +195,28 @@ type pendingCompile struct {
 	seq        int64 // enqueue order, the (readyAt, seq) tie break
 	enqueuedAt int64 // simulated cycle of the enqueue
 	readyAt    int64 // earliest simulated cycle the result may install
+	deadline   int64 // watchdog kill point: enqueue cycle + cost × watchdog factor
 	key        compilequeue.Key
 	memoHit    bool
 	recompile  bool // old code still installed (promotion-style recompile)
+	// hung marks a chaos-injected compile hang: no job is submitted, and
+	// the pending entry is killed by the watchdog at deadline.
+	hung bool
 	// out is written by the worker then published by closing done; on a
 	// memo hit it is set at enqueue and done stays nil.
 	out  *compileOutput
 	done chan struct{}
+}
+
+// at is the pending compile's queue event time: its install point, or —
+// for a hung job — the watchdog deadline at which it is killed. Both are
+// pure functions of the simulated clock and the superblock, so the
+// install order never depends on host timing.
+func (p *pendingCompile) at() int64 {
+	if p.hung {
+		return p.deadline
+	}
+	return p.readyAt
 }
 
 // bgCompile is the System's background-compilation state (nil when
@@ -152,11 +243,16 @@ func (s *System) newCompileInput(entry int) (*compileInput, error) {
 		}
 		s.sbCache[entry] = sb
 	}
-	rr := s.recoveryOf(entry)
+	s.recoveryOf(entry) // create the ladder controller on first compile
+	// The effective tier folds the health controller's no-speculation
+	// clamp; it flows into both the opt and sched configs, and through
+	// them into the memo key, so clamped and unclamped compiles of the
+	// same region never collide in the memo.
+	et := s.effectiveTier(entry)
 	in := &compileInput{
 		entry:   entry,
 		sb:      sb,
-		optCfg:  s.optConfig(entry),
+		optCfg:  s.optConfig(et),
 		machine: s.cfg.Machine,
 	}
 	if bl := s.blacklist[entry]; len(bl) > 0 {
@@ -175,8 +271,8 @@ func (s *System) newCompileInput(entry int) (*compileInput, error) {
 	in.scfg = sched.Config{
 		Mode:           s.cfg.Mode,
 		NumAliasRegs:   s.cfg.NumAliasRegs,
-		StoreReorder:   s.cfg.StoreReorder && rr.tier < TierNoStoreReorder,
-		ForceNonSpec:   rr.tier >= TierConservative,
+		StoreReorder:   s.cfg.StoreReorder && et < TierNoStoreReorder,
+		ForceNonSpec:   et >= TierConservative,
 		PinnedOps:      pins,
 		PressureMargin: 4,
 		Machine:        s.cfg.Machine,
@@ -328,6 +424,48 @@ func runCompilePipelineRef(in *compileInput) *compileOutput {
 	return out
 }
 
+// runCompileJob is the fault-domain wrapper every fresh compile runs
+// inside (on a worker goroutine or in place on the synchronous path): it
+// recovers a panicking pipeline into a failed compileOutput — so a host
+// bug in one compile can never take down the process or wedge the
+// install point — and stamps the content checksum the install-time
+// validation recomputes. The chaos knobs are plumbed in as plain values
+// drawn on the simulation thread (drawHostFaults); the job itself makes
+// no decisions.
+func runCompileJob(in *compileInput, panicInject bool, poison faultinject.PoisonMode) (out *compileOutput) {
+	defer func() {
+		if r := recover(); r != nil {
+			out = &compileOutput{
+				guestInsts: len(in.sb.Insts),
+				memOps:     in.sb.NumMemOps(),
+				panicked:   true,
+				err:        fmt.Errorf("%w: B%d: %v", errCompilePanic, in.entry, r),
+			}
+		}
+	}()
+	if panicInject {
+		panic("faultinject: injected compile-worker panic")
+	}
+	out = compilePipeline(in)
+	if out.err != nil {
+		return out
+	}
+	if poison == faultinject.PoisonStructure {
+		// Corrupt before the checksum stamp: the hash is consistent with
+		// the broken contents, so only the structural invariant check can
+		// reject it.
+		mid := len(out.cr.Seq) / 2
+		out.cr.Seq[mid].Dst = ir.VReg(out.cr.Region.NumVRegs + 1<<16)
+	}
+	out.checksum = out.cr.Checksum()
+	if poison == faultinject.PoisonChecksum {
+		// Corrupt after the stamp, in a field the structural check does
+		// not constrain: only the checksum comparison can reject it.
+		out.cr.Seq[0].Imm ^= 0x5a5a5a5a
+	}
+	return out
+}
+
 // memoKey canonically hashes a compile input: every superblock byte plus
 // every configuration bit the pipeline reads. Fields that cannot vary
 // within one System (the machine model, ablations, hardware mode) are
@@ -377,26 +515,84 @@ func memoKey(in *compileInput) compilequeue.Key {
 	return k
 }
 
-// compileOrMemo runs the pipeline through the memo table (synchronous
-// path; the background path splits the lookup and insert around the
-// worker hand-off).
-func (s *System) compileOrMemo(in *compileInput) *compileOutput {
-	if s.memo == nil {
-		return compilePipeline(in)
+// drawHostFaults performs the per-fresh-compile host-fault draws, in a
+// fixed order on the simulation thread, so the injector's sequence is
+// independent of the worker count and host timing. withHang is true only
+// on the background path — a synchronous compile has no watchdog
+// deadline to overrun. A drawn hang dominates (the job never finishes,
+// so a panic or poison inside it would be unobservable), and a drawn
+// panic dominates poison (a panicking job produces no result to poison).
+func (s *System) drawHostFaults(entry int, withHang bool) (panicInject, hang bool, poison faultinject.PoisonMode) {
+	if s.inj == nil {
+		return false, false, faultinject.PoisonNone
 	}
-	key := memoKey(in)
-	if out, ok := s.memo.Get(key); ok {
-		s.Stats.Compile.MemoHits++
-		s.tel.memoLookup(true)
-		return out
+	panicInject = s.inj.WorkerPanic()
+	if withHang {
+		hang = s.inj.CompileHang()
 	}
-	s.Stats.Compile.MemoMisses++
-	s.tel.memoLookup(false)
-	out := compilePipeline(in)
-	if out.err == nil {
-		s.memo.Put(key, out)
+	poison = s.inj.PoisonResult()
+	now, tier := s.now(), s.tierOf(entry)
+	if hang {
+		s.tel.chaosInjected(now, entry, tier, telemetry.CauseWatchdog)
+		s.trace("injected compile hang for B%d", entry)
+		return false, true, faultinject.PoisonNone
 	}
-	return out
+	if panicInject {
+		s.tel.chaosInjected(now, entry, tier, telemetry.CauseWorkerPanic)
+		s.trace("injected compile-worker panic for B%d", entry)
+		return true, false, faultinject.PoisonNone
+	}
+	if poison != faultinject.PoisonNone {
+		s.tel.chaosInjected(now, entry, tier, telemetry.CausePoison)
+		s.trace("injected poisoned compile result for B%d", entry)
+	}
+	return false, false, poison
+}
+
+// memoPressureDraw applies injected host memory pressure to the memo
+// table ahead of a lookup: the LRU entry is evicted, so a previously
+// memoized region may have to recompile.
+func (s *System) memoPressureDraw(entry int) {
+	if s.inj == nil || !s.inj.MemoPressure() {
+		return
+	}
+	if s.memo.DropOldest() {
+		s.tel.chaosInjected(s.now(), entry, s.tierOf(entry), telemetry.CauseMemoPressure)
+		s.tel.memoTable(s.memo.Len(), s.memo.Evictions())
+		s.trace("injected memo pressure: dropped LRU entry (%d left)", s.memo.Len())
+	}
+}
+
+// admitOutput decides whether a fresh compile result may be installed.
+// Three screens, in order: a recovered worker panic (the result never
+// existed, and the region is quarantined — the pipeline provably cannot
+// handle this input), the pipeline's own error, then the poisoned-result
+// screen — the content checksum recomputed on the simulation thread
+// against the worker's stamp, and the structural invariants for
+// corruption that predates the stamp. A rejected result is never
+// memoized and never dispatched. Memo hits were admitted when first
+// stored, so re-admitting them is a pure double-check.
+func (s *System) admitOutput(entry int, out *compileOutput) error {
+	if out.panicked {
+		s.Stats.Compile.WorkerPanics++
+		s.recordHostFault(entry, telemetry.CauseWorkerPanic)
+		s.quarantineRegion(entry, telemetry.CauseWorkerPanic)
+		return out.err
+	}
+	if out.err != nil {
+		return out.err
+	}
+	if got := out.cr.Checksum(); got != out.checksum {
+		s.Stats.Compile.Rejected++
+		s.recordHostFault(entry, telemetry.CausePoison)
+		return fmt.Errorf("%w: B%d content checksum %#x, stamped %#x", errPoisonedResult, entry, got, out.checksum)
+	}
+	if verr := out.cr.Validate(); verr != nil {
+		s.Stats.Compile.Rejected++
+		s.recordHostFault(entry, telemetry.CausePoison)
+		return fmt.Errorf("%w: B%d structural invariants: %v", errPoisonedResult, entry, verr)
+	}
+	return nil
 }
 
 // compile is the synchronous compile-and-install path (Compile.Workers ==
@@ -412,9 +608,33 @@ func (s *System) compile(entry int) error {
 	if err != nil {
 		return err
 	}
-	out := s.compileOrMemo(in)
-	if out.err != nil {
-		return out.err
+	var (
+		out     *compileOutput
+		key     compilequeue.Key
+		memoHit bool
+	)
+	if s.memo != nil {
+		s.memoPressureDraw(entry)
+		key = memoKey(in)
+		if m, ok := s.memo.Get(key); ok {
+			out, memoHit = m, true
+			s.Stats.Compile.MemoHits++
+			s.tel.memoLookup(true)
+		} else {
+			s.Stats.Compile.MemoMisses++
+			s.tel.memoLookup(false)
+		}
+	}
+	if out == nil {
+		panicInject, _, poison := s.drawHostFaults(entry, false)
+		out = runCompileJob(in, panicInject, poison)
+	}
+	if err := s.admitOutput(entry, out); err != nil {
+		return err
+	}
+	if s.memo != nil && !memoHit {
+		s.memo.Put(key, out)
+		s.tel.memoTable(s.memo.Len(), s.memo.Evictions())
 	}
 	s.installOutput(entry, out, 0)
 	return nil
@@ -424,8 +644,14 @@ func (s *System) compile(entry int) error {
 // legacy path, or as a background enqueue. An error is returned only for
 // failures observable at request time (injected chaos failures, region
 // formation, and — synchronously — the whole pipeline); background
-// pipeline failures surface at the install point instead.
+// pipeline failures surface at the install point instead. Suppressed
+// requests (a quarantined region, or compilation shed by the health
+// controller) return nil silently: not compiling is the intended
+// outcome, not a failure to back off from.
 func (s *System) requestCompile(entry int) error {
+	if !s.compileAllowed(entry) {
+		return nil
+	}
 	if s.bg == nil {
 		return s.compile(entry)
 	}
@@ -435,8 +661,20 @@ func (s *System) requestCompile(entry int) error {
 // recompileRegion re-(or newly-)compiles entry after its compile inputs
 // changed (a tier move, a hardened pair, a pinned load): synchronously in
 // place, or by cancelling any now-stale pending compile and enqueueing a
-// fresh one against the updated inputs.
+// fresh one against the updated inputs. When compilation is suppressed,
+// both the pending compile and any installed code are built against the
+// old inputs — throw both away; the region re-forms once compiles are
+// allowed again.
 func (s *System) recompileRegion(entry int) error {
+	if !s.compileAllowed(entry) {
+		s.cancelPending(entry, telemetry.CauseHealth)
+		if _, ok := s.cache[entry]; ok {
+			delete(s.cache, entry)
+			s.Stats.RegionsDropped++
+			s.tel.drop(s.now(), entry, s.tierOf(entry), telemetry.CauseHealth)
+		}
+		return nil
+	}
 	if s.bg == nil {
 		return s.compile(entry)
 	}
@@ -473,9 +711,11 @@ func (s *System) enqueueCompile(entry int) error {
 		seq:        bg.seq,
 		enqueuedAt: now,
 		readyAt:    now + cost,
+		deadline:   now + cost*s.cfg.Compile.watchdogFactor(),
 		recompile:  s.cache[entry] != nil,
 	}
 	if s.memo != nil {
+		s.memoPressureDraw(entry)
 		p.key = memoKey(in)
 		if out, ok := s.memo.Get(p.key); ok {
 			p.out, p.memoHit = out, true
@@ -485,21 +725,28 @@ func (s *System) enqueueCompile(entry int) error {
 		}
 	}
 	if p.out == nil {
-		if bg.pool == nil {
-			bg.pool = compilequeue.NewPool(s.cfg.Compile.Workers)
+		// Host faults only strike fresh compiles: a memo hit runs no
+		// worker job, so there is nothing to panic, hang or poison.
+		panicInject, hang, poison := s.drawHostFaults(entry, true)
+		if hang {
+			p.hung = true
+		} else {
+			if bg.pool == nil {
+				bg.pool = compilequeue.NewPool(s.cfg.Compile.Workers)
+			}
+			p.done = make(chan struct{})
+			job := p
+			bg.pool.Submit(func() {
+				job.out = runCompileJob(in, panicInject, poison)
+				close(job.done)
+			})
 		}
-		p.done = make(chan struct{})
-		job := p
-		bg.pool.Submit(func() {
-			job.out = compilePipeline(in)
-			close(job.done)
-		})
 	}
 	bg.pending[entry] = p
 	q := append(bg.queue, p)
 	for i := len(q) - 1; i > 0; i-- {
 		prev := q[i-1]
-		if prev.readyAt < q[i].readyAt || (prev.readyAt == q[i].readyAt && prev.seq < q[i].seq) {
+		if prev.at() < q[i].at() || (prev.at() == q[i].at() && prev.seq < q[i].seq) {
 			break
 		}
 		q[i-1], q[i] = q[i], q[i-1]
@@ -539,17 +786,19 @@ func (s *System) cancelPending(entry int, cause telemetry.Cause) {
 	s.trace("cancel pending compile B%d (%s)", entry, cause)
 }
 
-// drainCompiles installs every pending compilation whose readyAt the
-// simulated clock has passed, in deterministic (readyAt, enqueue-seq)
+// drainCompiles installs every pending compilation whose event time the
+// simulated clock has passed, in deterministic (event time, enqueue-seq)
 // order. This is the only place the simulation thread blocks on a worker
-// — and only when the simulated install point has already arrived.
+// — and only when the simulated install point has already arrived. Hung
+// jobs never block: their done channel is nil and the watchdog kills
+// them at their deadline without reading a result.
 func (s *System) drainCompiles() {
 	bg := s.bg
 	if bg == nil {
 		return
 	}
 	now := s.now()
-	for len(bg.queue) > 0 && bg.queue[0].readyAt <= now {
+	for len(bg.queue) > 0 && bg.queue[0].at() <= now {
 		p := bg.queue[0]
 		copy(bg.queue, bg.queue[1:])
 		bg.queue = bg.queue[:len(bg.queue)-1]
@@ -564,12 +813,33 @@ func (s *System) drainCompiles() {
 // installPending applies one completed background compilation at its
 // install point.
 func (s *System) installPending(p *pendingCompile) {
+	if p.hung {
+		// Watchdog kill at the deadline. The job was never submitted (an
+		// injected hang) or its result is simply never read, so the kill
+		// point is a pure function of the simulated clock — no blocking,
+		// no host-timing dependence. The wasted occupancy up to the
+		// deadline is charged as compile work.
+		s.Stats.Compile.Failed++
+		s.Stats.Compile.WatchdogKills++
+		s.Stats.Compile.WorkCycles += p.deadline - p.enqueuedAt
+		s.tel.compileInstalled(p.deadline-p.enqueuedAt, len(s.bg.pending))
+		s.recordHostFault(p.entry, telemetry.CauseWatchdog)
+		if p.recompile {
+			delete(s.cache, p.entry)
+			s.Stats.RegionsDropped++
+			s.tel.drop(s.now(), p.entry, s.tierOf(p.entry), telemetry.CauseCompileFail)
+		} else {
+			s.compileFailBackoff(p.entry, errWatchdogTimeout)
+		}
+		s.trace("watchdog killed compile B%d at its deadline (cycle %d)", p.entry, p.deadline)
+		return
+	}
 	latency := s.now() - p.enqueuedAt
 	s.Stats.Compile.WorkCycles += p.readyAt - p.enqueuedAt
 	s.Stats.Compile.LatencySum += latency
 	s.tel.compileInstalled(latency, len(s.bg.pending))
 	out := p.out
-	if out.err != nil {
+	if err := s.admitOutput(p.entry, out); err != nil {
 		s.Stats.Compile.Failed++
 		if p.recompile {
 			// The superseding compile failed: the installed code is built
@@ -578,14 +848,17 @@ func (s *System) installPending(p *pendingCompile) {
 			delete(s.cache, p.entry)
 			s.Stats.RegionsDropped++
 			s.tel.drop(s.now(), p.entry, s.tierOf(p.entry), telemetry.CauseCompileFail)
-		} else {
-			s.compileFailBackoff(p.entry, out.err)
+		} else if !out.panicked {
+			// A panicked region is quarantined — it will never compile
+			// again, so no cooldown applies.
+			s.compileFailBackoff(p.entry, err)
 		}
-		s.trace("background compile B%d failed: %v", p.entry, out.err)
+		s.trace("background compile B%d failed: %v", p.entry, err)
 		return
 	}
 	if s.memo != nil && !p.memoHit {
 		s.memo.Put(p.key, out)
+		s.tel.memoTable(s.memo.Len(), s.memo.Evictions())
 	}
 	s.installOutput(p.entry, out, latency)
 	s.Stats.Compile.Installed++
@@ -642,16 +915,18 @@ func (s *System) installOutput(entry int, out *compileOutput, latency int64) {
 // compileFailBackoff applies the hot-path cooldown after a failed
 // compilation. Genuinely unschedulable regions double their heat
 // requirement — the failure is structural and will repeat. Injected chaos
-// failures are transient by construction, so they back off additively
-// with a bounded streak (reset on the next successful install); without
-// the distinction, repeated injections in a chaos soak compound the
-// doubling and pin hot regions in the interpreter for the rest of the
-// run.
+// failures, watchdog kills and rejected poisoned results are transient by
+// construction (a host flake, not a property of the region), so they back
+// off additively with a bounded streak (reset on the next successful
+// install); without the distinction, repeated host faults in a chaos soak
+// compound the doubling and pin hot regions in the interpreter for the
+// rest of the run.
 const injFailStreakCap = 8
 
 func (s *System) compileFailBackoff(entry int, err error) {
 	count := s.it.Prof.BlockCounts[entry]
-	if errors.Is(err, errInjectedCompileFail) {
+	if errors.Is(err, errInjectedCompileFail) || errors.Is(err, errWatchdogTimeout) ||
+		errors.Is(err, errPoisonedResult) {
 		streak := s.injFailStreak[entry] + 1
 		if streak > injFailStreakCap {
 			streak = injFailStreakCap

@@ -24,6 +24,7 @@ import (
 	"smarq/internal/core"
 	"smarq/internal/faultinject"
 	"smarq/internal/guest"
+	"smarq/internal/health"
 	"smarq/internal/interp"
 	"smarq/internal/ir"
 	"smarq/internal/opt"
@@ -79,6 +80,11 @@ type Config struct {
 	// content-hash memoization (compile.go). The zero value is the legacy
 	// synchronous instant-install path.
 	Compile CompileConfig
+	// Health configures the system-scope graceful-degradation controller
+	// (internal/health): a sliding window over host faults and rollbacks
+	// that walks normal → no-speculation → compile-off → quarantine with
+	// hysteresis. The zero value disables it.
+	Health health.Config
 }
 
 // Ablation selects design elements to disable.
@@ -120,7 +126,13 @@ func (c Config) Validate() error {
 	if c.Compile.Workers < 0 {
 		return fmt.Errorf("dynopt: Compile.Workers %d, want >= 0", c.Compile.Workers)
 	}
+	if c.Compile.WatchdogFactor < 0 {
+		return fmt.Errorf("dynopt: Compile.WatchdogFactor %d, want >= 0", c.Compile.WatchdogFactor)
+	}
 	if err := c.withDefaults().Recovery.Validate(); err != nil {
+		return err
+	}
+	if err := c.Health.Validate(); err != nil {
 		return err
 	}
 	return c.Chaos.Validate()
@@ -248,6 +260,10 @@ type Stats struct {
 	// per-tier dispatches and residency, demotions/promotions, and code
 	// cache evictions.
 	Recovery RecoveryStats
+	// Health is the system health controller's accounting: ladder moves,
+	// observation counts, the final level, and the quarantined-region
+	// count (zero when Config.Health is disabled).
+	Health health.Stats
 	// Injected reports which chaos faults actually fired (zero without
 	// Config.Chaos).
 	Injected faultinject.Counts
@@ -317,6 +333,11 @@ type System struct {
 	// per entry; injected failures back off additively instead of the
 	// real-failure doubling (see compileFailBackoff).
 	injFailStreak map[int]uint64
+	// hc is the system health controller (nil unless Config.Health is
+	// enabled) and quarantined the set of regions permanently barred from
+	// compiling (worker panics, or admission at the quarantine level).
+	hc          *health.Controller
+	quarantined map[int]bool
 	// ectx is the reusable execution context: vreg files, checkpoint and
 	// undo log are pooled here so steady-state region entries allocate
 	// nothing.
@@ -368,13 +389,17 @@ func New(prog *guest.Program, st *guest.State, mem *guest.Memory, cfg Config) *S
 		pinnedLoads:   make(map[int]map[int]bool),
 		exceptions:    make(map[int]int),
 		injFailStreak: make(map[int]uint64),
-		tel:           newSystemTelemetry(cfg.Telemetry, cfg.Compile),
+		quarantined:   make(map[int]bool),
+		tel:           newSystemTelemetry(&cfg),
 	}
 	if cfg.Compile.Workers > 0 {
 		s.bg = &bgCompile{pending: make(map[int]*pendingCompile)}
 	}
 	if cfg.Compile.Memoize {
-		s.memo = compilequeue.NewMemo[*compileOutput]()
+		s.memo = compilequeue.NewMemoCap[*compileOutput](cfg.Compile.memoCapacity())
+	}
+	if cfg.Health.Enabled() {
+		s.hc = health.New(cfg.Health)
 	}
 	if s.tel != nil {
 		s.it.Insts = cfg.Telemetry.Registry().Counter(mInterpInsts)
@@ -403,17 +428,17 @@ func (s *System) tierOf(entry int) Tier {
 }
 
 // optConfig derives the optimization pass configuration from the hardware
-// mode and the region's ladder rung: SMARQ speculates through
-// eliminations; ALAT supports neither (§7: the ALAT "cannot be used for
-// ... store load forwarding"); without hardware only provably safe
-// eliminations run; at TierNoElim and below speculative eliminations stay
-// off regardless (their checks would still allocate alias registers even
-// in program order).
-func (s *System) optConfig(entry int) opt.Config {
+// mode and the region's ladder rung (the health-clamped effective rung at
+// compile time): SMARQ speculates through eliminations; ALAT supports
+// neither (§7: the ALAT "cannot be used for ... store load forwarding");
+// without hardware only provably safe eliminations run; at TierNoElim and
+// below speculative eliminations stay off regardless (their checks would
+// still allocate alias registers even in program order).
+func (s *System) optConfig(tier Tier) opt.Config {
 	if s.cfg.Ablation.Elim {
 		return opt.Config{}
 	}
-	if s.tierOf(entry) >= TierNoElim {
+	if tier >= TierNoElim {
 		return opt.Config{LoadElim: true, StoreElim: true, Speculative: false}
 	}
 	switch s.cfg.Mode {
@@ -488,7 +513,7 @@ func (s *System) Run(maxInsts uint64) (bool, error) {
 			return false, nil
 		}
 		s.drainCompiles()
-		if c, ok := s.cache[id]; ok {
+		if c, ok := s.cache[id]; ok && s.healthDispatchOK() {
 			id = s.runRegion(id, c)
 			continue
 		}
@@ -514,6 +539,13 @@ func (s *System) Run(maxInsts uint64) (bool, error) {
 				s.tel.tierMove(s.now(), id, TierPinned, rr.tier, telemetry.CauseNone)
 				s.trace("promote B%d: %s -> %s after clean interpreted run", id, TierPinned, rr.tier)
 			}
+		}
+
+		if s.hc != nil && s.hc.Level() >= health.CompileOff {
+			// Interpreter-only: nothing dispatches, so quiet interpreted
+			// progress is the only clean signal left to earn re-promotion
+			// with (the per-region analogue is recordPinnedEntry).
+			s.healthClean()
 		}
 
 		if s.it.Prof.Hot(id, s.cfg.HotThreshold) && s.cache[id] == nil &&
@@ -596,6 +628,7 @@ func (s *System) runRegion(entry int, c *compiled) int {
 		s.Stats.GuestInsts += int64(c.cr.GuestInsts)
 		s.Stats.Commits++
 		c.failStreak = 0
+		s.healthClean()
 		s.tel.commit(s.now(), entry, rr.tier, cost, res.ARHighWater, res.StoresBuffered)
 		if rr.recordCommit(s.cfg.Recovery) {
 			s.Stats.Recovery.Promotions++
@@ -617,6 +650,7 @@ func (s *System) runRegion(entry int, c *compiled) int {
 		s.Stats.RollbackCycles += int64(s.cfg.Machine.RollbackPenalty)
 		s.Stats.AliasExceptions++
 		s.exceptions[entry]++
+		s.healthRollback()
 		if s.tel != nil {
 			cause, checker, origin := telemetry.CauseAlias, -1, -1
 			if injected != telemetry.CauseNone {
@@ -737,6 +771,7 @@ func (s *System) runRegion(entry int, c *compiled) int {
 		s.Stats.RegionCycles += c.cr.Cycles
 		s.Stats.RollbackCycles += int64(s.cfg.Machine.RollbackPenalty)
 		s.Stats.Faults++
+		s.healthRollback()
 		s.tel.faultRollback(s.now(), entry, rr.tier,
 			c.cr.Cycles+int64(s.cfg.Machine.RollbackPenalty), res.OpsExecuted)
 		// Speculation-induced faults are misspeculation too: a region
@@ -805,6 +840,13 @@ func (s *System) finalize() {
 	s.Stats.HWChecks = s.det.Checked()
 	if s.inj != nil {
 		s.Stats.Injected = s.inj.Counts()
+	}
+	if s.hc != nil {
+		s.Stats.Health = s.hc.Stats()
+		s.Stats.Health.QuarantinedRegions = int64(len(s.quarantined))
+	}
+	if s.memo != nil {
+		s.Stats.Compile.MemoEvictions = s.memo.Evictions()
 	}
 	// End-of-run ladder residency, and per-region recovery history.
 	rec := &s.Stats.Recovery

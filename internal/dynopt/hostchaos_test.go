@@ -1,0 +1,295 @@
+package dynopt
+
+import (
+	"bytes"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"smarq/internal/faultinject"
+	"smarq/internal/guest"
+	"smarq/internal/health"
+)
+
+// smallHealthConfig is tuned so the controller actually moves within a
+// test-sized run: tight window, every host fault demotes, short clean
+// runs promote.
+func smallHealthConfig() health.Config {
+	return health.Config{
+		Window:          32,
+		DemoteThreshold: 4,
+		HostFaultWeight: 4,
+		PromoteAfter:    2,
+		BackoffFactor:   2,
+		MaxBackoff:      1 << 20, // never sticky unless a test wants it
+	}
+}
+
+// TestHostChaosDeterministic is the tentpole acceptance test: under the
+// full host-fault mix (worker panics, compile hangs, poisoned results,
+// memo pressure) with the health controller and memoization on, the run
+// completes with bit-exact state, stats, event trace and metrics at any
+// background worker count — host faults are drawn on the simulation
+// thread, so worker scheduling cannot perturb them.
+func TestHostChaosDeterministic(t *testing.T) {
+	progs := map[string]func() *guest.Program{
+		"sumloop":  func() *guest.Program { return sumLoopProgram(2000) },
+		"aliasing": func() *guest.Program { return aliasingProgram(2500, 7) },
+	}
+	for pname, build := range progs {
+		for _, seed := range []int64{11, 23} {
+			t.Run(fmt.Sprintf("%s/seed%d", pname, seed), func(t *testing.T) {
+				baseCfg := func(workers int) Config {
+					cfg := ConfigSMARQ(64)
+					cfg.Compile.Workers = workers
+					cfg.Compile.Memoize = true
+					cfg.Chaos = faultinject.DefaultHost(seed)
+					cfg.CheckInvariants = true
+					cfg.Health = smallHealthConfig()
+					return cfg
+				}
+				ref := runInstrumented(t, build(), 1<<16, baseCfg(1))
+				inj := ref.sys.Stats.Injected
+				if inj.WorkerPanics+inj.CompileHangs+inj.PoisonedResults+inj.MemoPressure == 0 {
+					t.Errorf("seed %d injected no host faults — the test exercised nothing: %+v", seed, inj)
+				}
+				for _, workers := range []int{2, 4} {
+					got := runInstrumented(t, build(), 1<<16, baseCfg(workers))
+					if !reflect.DeepEqual(ref.sys.Stats, got.sys.Stats) {
+						t.Errorf("workers=%d: stats diverge from workers=1\n 1: %+v\n%2d: %+v",
+							workers, ref.sys.Stats, workers, got.sys.Stats)
+					}
+					if !bytes.Equal(ref.trace, got.trace) {
+						t.Errorf("workers=%d: event trace diverges from workers=1", workers)
+					}
+					if !bytes.Equal(ref.metrics, got.metrics) {
+						t.Errorf("workers=%d: metrics snapshot diverges from workers=1", workers)
+					}
+					snap := faultinject.Capture(ref.st, ref.mem)
+					if err := snap.Verify(got.st, got.mem); err != nil {
+						t.Errorf("workers=%d: guest state diverges from workers=1: %v", workers, err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestHostChaosSoak extends the chaos soak to every host-fault mix: each
+// class alone at an extreme rate, and all of them together, must still
+// produce the reference interpreter's final state bit for bit — host
+// faults may only delay or suppress compiled code, never change what it
+// computes.
+func TestHostChaosSoak(t *testing.T) {
+	if testing.Short() {
+		t.Skip("host chaos soak skipped in -short mode")
+	}
+	mixes := map[string]func(seed int64) faultinject.Config{
+		"panic":  func(seed int64) faultinject.Config { return faultinject.Config{Seed: seed, WorkerPanicRate: 0.5} },
+		"hang":   func(seed int64) faultinject.Config { return faultinject.Config{Seed: seed, CompileHangRate: 0.5} },
+		"poison": func(seed int64) faultinject.Config { return faultinject.Config{Seed: seed, PoisonResultRate: 0.5} },
+		"memo":   func(seed int64) faultinject.Config { return faultinject.Config{Seed: seed, MemoPressureRate: 0.8} },
+		"all":    faultinject.DefaultHost,
+	}
+	for mname, mk := range mixes {
+		for _, workers := range []int{0, 2} {
+			t.Run(fmt.Sprintf("%s/workers=%d", mname, workers), func(t *testing.T) {
+				cfg := ConfigSMARQ(64)
+				cfg.Compile.Workers = workers
+				cfg.Compile.Memoize = true
+				cfg.Chaos = mk(31)
+				cfg.CheckInvariants = true
+				cfg.Health = smallHealthConfig()
+				sys, ref := runBoth(t, aliasingProgram(2500, 7), cfg, 1<<16)
+				assertSameState(t, sys, ref, 1<<16)
+				if sys.Stats.Recovery.InvariantViolations != 0 {
+					t.Errorf("%d invariant violations with corruption off",
+						sys.Stats.Recovery.InvariantViolations)
+				}
+			})
+		}
+	}
+}
+
+// TestWorkerPanicNeverKillsProcess: with every compile job panicking, the
+// recover() backstop must convert each panic into a failed compile, the
+// region must be quarantined, and the run must still halt with the exact
+// interpreted state. Covers both the synchronous and background paths.
+func TestWorkerPanicNeverKillsProcess(t *testing.T) {
+	for _, workers := range []int{0, 2} {
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			cfg := ConfigSMARQ(64)
+			cfg.Compile.Workers = workers
+			cfg.Chaos = faultinject.Config{Seed: 9, WorkerPanicRate: 1}
+			cfg.CheckInvariants = true
+			sys, ref := runBoth(t, sumLoopProgram(3000), cfg, 1<<16)
+			assertSameState(t, sys, ref, 1<<16)
+			cs := sys.Stats.Compile
+			if cs.WorkerPanics == 0 {
+				t.Fatalf("rate-1 panic injection never fired: %+v", cs)
+			}
+			if cs.Installed != 0 {
+				t.Errorf("installed %d regions though every compile panicked", cs.Installed)
+			}
+			if cs.Quarantined == 0 {
+				t.Error("no region quarantined after its compile panicked")
+			}
+			if sys.Stats.Injected.WorkerPanics != cs.WorkerPanics {
+				t.Errorf("injector fired %d panics, pipeline recovered %d",
+					sys.Stats.Injected.WorkerPanics, cs.WorkerPanics)
+			}
+		})
+	}
+}
+
+// TestWatchdogKillsHungCompiles: with every background compile hanging,
+// the watchdog must discard each job at its simulated-cycle deadline —
+// nothing installs, nothing blocks, and the run still matches the
+// interpreter.
+func TestWatchdogKillsHungCompiles(t *testing.T) {
+	cfg := ConfigSMARQ(64)
+	cfg.Compile.Workers = 2
+	cfg.Chaos = faultinject.Config{Seed: 13, CompileHangRate: 1}
+	cfg.CheckInvariants = true
+	sys, ref := runBoth(t, sumLoopProgram(3000), cfg, 1<<16)
+	assertSameState(t, sys, ref, 1<<16)
+	cs := sys.Stats.Compile
+	if cs.WatchdogKills == 0 {
+		t.Fatalf("rate-1 hang injection produced no watchdog kills: %+v", cs)
+	}
+	if cs.Installed != 0 {
+		t.Errorf("installed %d regions though every compile hung", cs.Installed)
+	}
+	if cs.WatchdogKills != sys.Stats.Injected.CompileHangs {
+		t.Errorf("injector hung %d compiles, watchdog killed %d",
+			sys.Stats.Injected.CompileHangs, cs.WatchdogKills)
+	}
+}
+
+// TestPoisonedResultsNeverInstall: with every compile result poisoned,
+// install-time validation (checksum plus structural invariants — the
+// injector alternates which layer is attacked) must reject every result;
+// nothing is memoized or dispatched and the state stays exact.
+func TestPoisonedResultsNeverInstall(t *testing.T) {
+	for _, workers := range []int{0, 2} {
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			cfg := ConfigSMARQ(64)
+			cfg.Compile.Workers = workers
+			cfg.Compile.Memoize = true
+			cfg.Chaos = faultinject.Config{Seed: 21, PoisonResultRate: 1}
+			cfg.CheckInvariants = true
+			sys, ref := runBoth(t, sumLoopProgram(3000), cfg, 1<<16)
+			assertSameState(t, sys, ref, 1<<16)
+			cs := sys.Stats.Compile
+			if cs.Rejected < 2 {
+				t.Fatalf("want >= 2 rejections so both poison modes are exercised: %+v", cs)
+			}
+			if cs.Installed != 0 {
+				t.Errorf("installed %d poisoned regions", cs.Installed)
+			}
+			if cs.MemoHits != 0 {
+				t.Errorf("memo served %d hits though every result was poisoned before admission", cs.MemoHits)
+			}
+			if cs.Rejected != sys.Stats.Injected.PoisonedResults {
+				t.Errorf("injector poisoned %d results, validation rejected %d",
+					sys.Stats.Injected.PoisonedResults, cs.Rejected)
+			}
+		})
+	}
+}
+
+// TestHealthWalksDownAndRecoversInSystem drives the health controller
+// end to end: a sustained poison storm sheds levels down to compile-off,
+// interpreted progress then earns promotions back, and the flapping
+// leaves both demotions and promotions on the books — while the final
+// state still matches the interpreter exactly.
+func TestHealthWalksDownAndRecoversInSystem(t *testing.T) {
+	cfg := ConfigSMARQ(64)
+	cfg.Compile.Workers = 2
+	cfg.Compile.Memoize = true
+	cfg.Chaos = faultinject.Config{Seed: 3, PoisonResultRate: 1}
+	cfg.CheckInvariants = true
+	cfg.Health = smallHealthConfig()
+	sys, ref := runBoth(t, sumLoopProgram(4000), cfg, 1<<16)
+	assertSameState(t, sys, ref, 1<<16)
+
+	hs := sys.Stats.Health
+	if hs.Demotions == 0 {
+		t.Fatalf("poison storm never demoted: %+v", hs)
+	}
+	if hs.LevelEntries[health.CompileOff] == 0 {
+		t.Errorf("controller never reached compile-off: %+v", hs)
+	}
+	if hs.Promotions == 0 {
+		t.Errorf("controller never promoted back up: %+v", hs)
+	}
+	if hs.HostFaults == 0 || hs.Cleans == 0 {
+		t.Errorf("controller starved of observations: %+v", hs)
+	}
+}
+
+// TestHealthQuarantineBarsNewRegions: a worker-panic storm with a small
+// backoff cap drives the controller sticky at the quarantine level, where
+// newly hot regions are permanently barred from compiling.
+func TestHealthQuarantineBarsNewRegions(t *testing.T) {
+	cfg := ConfigSMARQ(64)
+	cfg.Compile.Workers = 2
+	cfg.Chaos = faultinject.Config{Seed: 5, WorkerPanicRate: 1}
+	cfg.CheckInvariants = true
+	hcfg := smallHealthConfig()
+	hcfg.MaxBackoff = 2 // any flap exhausts the backoff
+	cfg.Health = hcfg
+	sys, ref := runBoth(t, aliasingProgram(2500, 7), cfg, 1<<16)
+	assertSameState(t, sys, ref, 1<<16)
+
+	hs := sys.Stats.Health
+	if hs.FinalLevel != health.Quarantine {
+		t.Fatalf("final level %s, want quarantine: %+v", hs.FinalLevel, hs)
+	}
+	if sys.Stats.Compile.Quarantined == 0 {
+		t.Error("no region quarantined under a panic storm at the quarantine level")
+	}
+	if sys.Stats.Compile.Installed != 0 {
+		t.Errorf("installed %d regions though every compile panicked", sys.Stats.Compile.Installed)
+	}
+}
+
+// TestMemoCapacityBoundsAndEvicts: a capacity-1 memo must evict on every
+// new key, keep its length bounded, and report the evictions in stats —
+// all without perturbing correctness.
+func TestMemoCapacityBoundsAndEvicts(t *testing.T) {
+	cfg := ConfigSMARQ(64)
+	cfg.Compile.Memoize = true
+	cfg.Compile.MemoCapacity = 1
+	sys, ref := runBoth(t, aliasingProgram(2500, 7), cfg, 1<<16)
+	assertSameState(t, sys, ref, 1<<16)
+	if sys.Stats.Compile.MemoMisses < 2 {
+		t.Skipf("only %d distinct compiles — capacity bound not exercised", sys.Stats.Compile.MemoMisses)
+	}
+	if sys.Stats.Compile.MemoEvictions == 0 {
+		t.Errorf("capacity-1 memo never evicted across %d misses", sys.Stats.Compile.MemoMisses)
+	}
+	if got := sys.memo.Len(); got > 1 {
+		t.Errorf("memo length %d exceeds capacity 1", got)
+	}
+}
+
+// TestMemoPressureForcesRecompiles: memo-pressure injection evicts the
+// LRU entry before lookups, so a workload that would otherwise enjoy
+// memo hits sees recompiles instead — deterministically, and without
+// changing the computed state.
+func TestMemoPressureForcesRecompiles(t *testing.T) {
+	cfg := ConfigSMARQ(64)
+	cfg.Compile.Workers = 2
+	cfg.Compile.Memoize = true
+	cfg.Chaos = faultinject.Config{Seed: 41, MemoPressureRate: 1}
+	cfg.CheckInvariants = true
+	sys, ref := runBoth(t, aliasingProgram(2500, 7), cfg, 1<<16)
+	assertSameState(t, sys, ref, 1<<16)
+	if sys.Stats.Injected.MemoPressure == 0 {
+		t.Fatal("rate-1 memo pressure never fired")
+	}
+	if sys.Stats.Compile.MemoEvictions == 0 {
+		t.Error("memo pressure fired but evicted nothing")
+	}
+}

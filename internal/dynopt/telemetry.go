@@ -6,7 +6,10 @@
 // TestRunRegionZeroAllocs pins).
 package dynopt
 
-import "smarq/internal/telemetry"
+import (
+	"smarq/internal/health"
+	"smarq/internal/telemetry"
+)
 
 // init teaches the telemetry encoders the ladder's rung names without
 // making the telemetry package depend on dynopt.
@@ -41,7 +44,18 @@ const (
 	mCompileCancels  = "dynopt_compile_cancels"
 	mMemoHits        = "dynopt_memo_hits"
 	mMemoMisses      = "dynopt_memo_misses"
+	mMemoEvictions   = "dynopt_memo_evictions"
 	gCompileQueue    = "compile_queue_depth"
+	gMemoSize        = "compile_memo_size"
+
+	// Host-fault and health instruments, registered only when host chaos
+	// or the health controller is configured on (same golden-snapshot
+	// discipline as above).
+	mHostFaults       = "dynopt_host_faults"
+	mQuarantines      = "dynopt_quarantined"
+	mHealthDemotions  = "dynopt_health_demotions"
+	mHealthPromotions = "dynopt_health_promotions"
+	gHealthLevel      = "health_level"
 
 	hRollbackCost   = "rollback_cost_cycles"
 	hRegionSize     = "region_size_ops"
@@ -84,13 +98,29 @@ type systemTelemetry struct {
 	compileCancels  *telemetry.Counter
 	memoHits        *telemetry.Counter
 	memoMisses      *telemetry.Counter
+	memoEvictions   *telemetry.Counter
 	queueDepth      *telemetry.Gauge
+	memoSize        *telemetry.Gauge
 	compileLatency  *telemetry.Histogram
+
+	// Host-fault and health instruments (nil unless host chaos or the
+	// health controller is on).
+	hostFaults       *telemetry.Counter
+	quarantines      *telemetry.Counter
+	healthDemotions  *telemetry.Counter
+	healthPromotions *telemetry.Counter
+	healthLevel      *telemetry.Gauge
+
+	// lastMemoEvictions is the memo's eviction count at the last memoTable
+	// call: capacity evictions happen inside Memo.Put, which has no
+	// telemetry access, so the counter is synced by diffing.
+	lastMemoEvictions int64
 }
 
 // newSystemTelemetry resolves instruments against the bundle. Returns nil
 // when the bundle is nil or empty, so System.tel stays a single nil check.
-func newSystemTelemetry(t *telemetry.Telemetry, cc CompileConfig) *systemTelemetry {
+func newSystemTelemetry(cfg *Config) *systemTelemetry {
+	t, cc := cfg.Telemetry, cfg.Compile
 	if t == nil || (t.Events == nil && t.Metrics == nil) {
 		return nil
 	}
@@ -131,6 +161,17 @@ func newSystemTelemetry(t *telemetry.Telemetry, cc CompileConfig) *systemTelemet
 	if cc.Memoize {
 		st.memoHits = reg.Counter(mMemoHits)
 		st.memoMisses = reg.Counter(mMemoMisses)
+		st.memoEvictions = reg.Counter(mMemoEvictions)
+		st.memoSize = reg.Gauge(gMemoSize)
+	}
+	if cfg.Chaos.HostEnabled() || cfg.Health.Enabled() {
+		st.hostFaults = reg.Counter(mHostFaults)
+		st.quarantines = reg.Counter(mQuarantines)
+	}
+	if cfg.Health.Enabled() {
+		st.healthDemotions = reg.Counter(mHealthDemotions)
+		st.healthPromotions = reg.Counter(mHealthPromotions)
+		st.healthLevel = reg.Gauge(gHealthLevel)
 	}
 	return st
 }
@@ -367,4 +408,65 @@ func (st *systemTelemetry) chaosInjected(cycle int64, entry int, tier Tier, caus
 		Region: int32(entry), Tier: int8(tier), To: -1,
 		Cause: cause,
 	})
+}
+
+// hostFault records one contained host-side compile fault (worker panic,
+// watchdog kill, rejected poisoned result).
+func (st *systemTelemetry) hostFault(cycle int64, entry int, tier Tier, cause telemetry.Cause) {
+	if st == nil {
+		return
+	}
+	st.hostFaults.Add(1)
+	st.tr.Emit(telemetry.Event{
+		Cycle: cycle, Kind: telemetry.KindHostFault,
+		Region: int32(entry), Tier: int8(tier), To: -1,
+		Cause: cause,
+	})
+}
+
+// quarantine records a region being permanently barred from compiling.
+func (st *systemTelemetry) quarantine(cycle int64, entry int, tier Tier, cause telemetry.Cause) {
+	if st == nil {
+		return
+	}
+	st.quarantines.Add(1)
+	st.tr.Emit(telemetry.Event{
+		Cycle: cycle, Kind: telemetry.KindQuarantine,
+		Region: int32(entry), Tier: int8(tier), To: -1,
+		Cause: cause,
+	})
+}
+
+// healthMove records one global degradation-ladder transition. The
+// event's from/to payloads are health levels, not speculation tiers, so
+// Tier/To stay -1 and the levels ride in the A/B slots.
+func (st *systemTelemetry) healthMove(cycle int64, mv health.Move, cause telemetry.Cause) {
+	if st == nil {
+		return
+	}
+	if mv.To > mv.From {
+		st.healthDemotions.Add(1)
+	} else {
+		st.healthPromotions.Add(1)
+	}
+	st.healthLevel.Set(int64(mv.To))
+	st.tr.Emit(telemetry.Event{
+		Cycle: cycle, Kind: telemetry.KindHealth,
+		Region: -1, Tier: -1, To: -1,
+		A: int64(mv.From), B: int64(mv.To),
+		Cause: cause,
+	})
+}
+
+// memoTable refreshes the memo-size gauge and eviction counter after a
+// memo mutation (an insert past capacity, or injected memo pressure).
+func (st *systemTelemetry) memoTable(size int, evictions int64) {
+	if st == nil {
+		return
+	}
+	st.memoSize.Set(int64(size))
+	if d := evictions - st.lastMemoEvictions; d > 0 {
+		st.memoEvictions.Add(d)
+		st.lastMemoEvictions = evictions
+	}
 }

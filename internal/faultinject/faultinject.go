@@ -11,10 +11,12 @@
 //
 // Determinism: the injector is a sequence of Bernoulli draws from a
 // private PRNG. Each probe (SpuriousAlias, GuardFail, CompileFail,
-// CorruptState) consumes exactly one draw, and the dynamic optimization
-// system is single-threaded, so for a fixed seed and workload the
-// injected fault pattern is exactly reproducible — `smarq-run
-// -chaos-seed N` replays a CI chaos failure bit-for-bit.
+// CorruptState, and the host fault classes WorkerPanic, CompileHang,
+// PoisonResult, MemoPressure) consumes exactly one draw, and every probe
+// runs on the simulation thread at a point fixed by the simulated clock,
+// so for a fixed seed and workload the injected fault pattern is exactly
+// reproducible — `smarq-run -chaos-seed N` replays a CI chaos failure
+// bit-for-bit, at any background worker count.
 package faultinject
 
 import (
@@ -48,12 +50,42 @@ type Config struct {
 	// invariant checker catches broken recovery, never for soak runs that
 	// assert state equality.
 	CorruptRate float64
+
+	// Host fault classes: faults of the *host-side* compile machinery
+	// rather than the simulated guest. All are drawn on the simulation
+	// thread when a compile job is about to be handed to a worker (or run
+	// synchronously), so the pattern is identical at any worker count.
+
+	// WorkerPanicRate makes the compile job panic inside the worker. The
+	// pipeline's recover() converts it into a failed-compile event and the
+	// region is quarantined; the process must never die.
+	WorkerPanicRate float64
+	// CompileHangRate simulates a compile overrunning its watchdog
+	// deadline in simulated cycles: the result is discarded at the
+	// deadline instead of installing. Background path only (the
+	// synchronous path has no deadline to overrun).
+	CompileHangRate float64
+	// PoisonResultRate corrupts the compile result (the frozen schedule or
+	// region slab) after the pipeline runs. Install-time validation — the
+	// content checksum and structural invariants — must reject it; a
+	// poisoned region is never memoized or dispatched.
+	PoisonResultRate float64
+	// MemoPressureRate simulates host memory pressure on the compile memo:
+	// when it fires, the least-recently-used memoized region is evicted
+	// just before the lookup, forcing recompiles of hot/cold-flip regions.
+	MemoPressureRate float64
 }
 
 // Enabled reports whether any injection can fire.
 func (c Config) Enabled() bool {
 	return c.SpuriousAliasRate > 0 || c.GuardFailRate > 0 ||
-		c.CompileFailRate > 0 || c.CorruptRate > 0
+		c.CompileFailRate > 0 || c.CorruptRate > 0 || c.HostEnabled()
+}
+
+// HostEnabled reports whether any host fault class can fire.
+func (c Config) HostEnabled() bool {
+	return c.WorkerPanicRate > 0 || c.CompileHangRate > 0 ||
+		c.PoisonResultRate > 0 || c.MemoPressureRate > 0
 }
 
 // Validate rejects rates outside [0, 1].
@@ -66,6 +98,10 @@ func (c Config) Validate() error {
 		{"GuardFailRate", c.GuardFailRate},
 		{"CompileFailRate", c.CompileFailRate},
 		{"CorruptRate", c.CorruptRate},
+		{"WorkerPanicRate", c.WorkerPanicRate},
+		{"CompileHangRate", c.CompileHangRate},
+		{"PoisonResultRate", c.PoisonResultRate},
+		{"MemoPressureRate", c.MemoPressureRate},
 	} {
 		if r.v < 0 || r.v > 1 || math.IsNaN(r.v) {
 			return fmt.Errorf("faultinject: %s = %v outside [0, 1]", r.name, r.v)
@@ -87,12 +123,29 @@ func Default(seed int64) Config {
 	}
 }
 
+// DefaultHost returns the standard chaos mix extended with every host
+// fault class: worker panics, compile hangs, poisoned results and memo
+// pressure. Final-state equality against the reference interpreter must
+// still hold — host faults only ever delay or suppress compiled code.
+func DefaultHost(seed int64) Config {
+	c := Default(seed)
+	c.WorkerPanicRate = 0.02
+	c.CompileHangRate = 0.02
+	c.PoisonResultRate = 0.02
+	c.MemoPressureRate = 0.05
+	return c
+}
+
 // Counts reports how often each fault kind actually fired.
 type Counts struct {
 	SpuriousAliases int64
 	GuardFails      int64
 	CompileFails    int64
 	Corruptions     int64
+	WorkerPanics    int64
+	CompileHangs    int64
+	PoisonedResults int64
+	MemoPressure    int64
 }
 
 // Injector draws injection decisions. Not safe for concurrent use; each
@@ -152,6 +205,65 @@ func (in *Injector) CorruptState(st *guest.State) bool {
 	st.R[r] ^= 0x5a5a5a5a
 	in.counts.Corruptions++
 	return true
+}
+
+// PoisonMode selects how an injected poisoned result is corrupted, so
+// both install-time validation layers get exercised.
+type PoisonMode uint8
+
+const (
+	// PoisonNone: the poison probe did not fire.
+	PoisonNone PoisonMode = iota
+	// PoisonChecksum corrupts the result after its content checksum was
+	// stamped — the checksum comparison at install must catch it.
+	PoisonChecksum
+	// PoisonStructure corrupts the frozen region before the checksum is
+	// stamped (a consistent hash over broken contents) — the structural
+	// invariant check (vreg ranges, op counts) must catch it.
+	PoisonStructure
+)
+
+// WorkerPanic decides whether this compile job panics in its worker.
+func (in *Injector) WorkerPanic() bool {
+	if in.roll(in.cfg.WorkerPanicRate) {
+		in.counts.WorkerPanics++
+		return true
+	}
+	return false
+}
+
+// CompileHang decides whether this compile overruns its watchdog deadline.
+func (in *Injector) CompileHang() bool {
+	if in.roll(in.cfg.CompileHangRate) {
+		in.counts.CompileHangs++
+		return true
+	}
+	return false
+}
+
+// PoisonResult decides whether this compile result is corrupted and, when
+// it fires, which validation layer must catch it. One draw; the mode
+// alternates with the fired count so both layers are exercised without
+// consuming extra randomness.
+func (in *Injector) PoisonResult() PoisonMode {
+	if !in.roll(in.cfg.PoisonResultRate) {
+		return PoisonNone
+	}
+	in.counts.PoisonedResults++
+	if in.counts.PoisonedResults%2 == 1 {
+		return PoisonChecksum
+	}
+	return PoisonStructure
+}
+
+// MemoPressure decides whether host memory pressure evicts the
+// least-recently-used memoized compile before this lookup.
+func (in *Injector) MemoPressure() bool {
+	if in.roll(in.cfg.MemoPressureRate) {
+		in.counts.MemoPressure++
+		return true
+	}
+	return false
 }
 
 // Counts returns the cumulative fired-fault counters.

@@ -2,6 +2,7 @@ package faultinject
 
 import (
 	"math"
+	"sync"
 	"testing"
 
 	"smarq/internal/guest"
@@ -124,6 +125,188 @@ func TestCorruptStatePerturbsOneRegister(t *testing.T) {
 	}
 	if changed != 1 {
 		t.Errorf("corruption changed %d registers, want exactly 1", changed)
+	}
+}
+
+// hostDrawSequence records the host-fault probes (panic, hang, poison
+// mode, memo pressure) over n rounds.
+func hostDrawSequence(in *Injector, n int) []int {
+	var seq []int
+	for i := 0; i < n; i++ {
+		b := func(v bool) int {
+			if v {
+				return 1
+			}
+			return 0
+		}
+		seq = append(seq, b(in.WorkerPanic()), b(in.CompileHang()), int(in.PoisonResult()), b(in.MemoPressure()))
+	}
+	return seq
+}
+
+// TestHostProbesDeterministicPerSeed extends the seed-replay guarantee to
+// the host fault classes: equal seeds replay the exact host-fault
+// pattern — including which poison mode each firing selects — and a
+// different seed diverges.
+func TestHostProbesDeterministicPerSeed(t *testing.T) {
+	cfg := DefaultHost(42)
+	a := hostDrawSequence(New(cfg), 500)
+	b := hostDrawSequence(New(cfg), 500)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at host draw %d", i)
+		}
+	}
+	cfg.Seed = 43
+	c := hostDrawSequence(New(cfg), 500)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical 2000-draw host sequences")
+	}
+}
+
+// TestHostProbesDeterministicAcrossGoroutines: each injector is owned by
+// one simulation thread, but host scheduling must not be able to perturb
+// the draw sequence — many goroutines each running a same-seed injector
+// concurrently (under -race in CI) must all produce the canonical
+// sequence.
+func TestHostProbesDeterministicAcrossGoroutines(t *testing.T) {
+	cfg := DefaultHost(99)
+	want := hostDrawSequence(New(cfg), 300)
+	const goroutines = 8
+	got := make([][]int, goroutines)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			got[g] = hostDrawSequence(New(cfg), 300)
+		}()
+	}
+	wg.Wait()
+	for g := 0; g < goroutines; g++ {
+		for i := range want {
+			if got[g][i] != want[i] {
+				t.Fatalf("goroutine %d diverged from canonical sequence at draw %d", g, i)
+			}
+		}
+	}
+}
+
+// TestPoisonModeAlternates: the poison probe alternates which validation
+// layer it attacks, starting with the checksum layer, so a long chaos run
+// exercises both.
+func TestPoisonModeAlternates(t *testing.T) {
+	in := New(Config{Seed: 1, PoisonResultRate: 1})
+	for i := 0; i < 6; i++ {
+		want := PoisonChecksum
+		if i%2 == 1 {
+			want = PoisonStructure
+		}
+		if got := in.PoisonResult(); got != want {
+			t.Fatalf("firing %d: mode %d, want %d", i, got, want)
+		}
+	}
+	if in.Counts().PoisonedResults != 6 {
+		t.Errorf("PoisonedResults = %d, want 6", in.Counts().PoisonedResults)
+	}
+}
+
+// TestHostEnabled: the host classes flip both HostEnabled and Enabled,
+// each class on its own.
+func TestHostEnabled(t *testing.T) {
+	if (Config{}).HostEnabled() {
+		t.Error("zero Config reports HostEnabled")
+	}
+	if Default(1).HostEnabled() {
+		t.Error("guest-only Default reports HostEnabled")
+	}
+	for name, c := range map[string]Config{
+		"panic":  {WorkerPanicRate: 0.1},
+		"hang":   {CompileHangRate: 0.1},
+		"poison": {PoisonResultRate: 0.1},
+		"memo":   {MemoPressureRate: 0.1},
+	} {
+		if !c.HostEnabled() || !c.Enabled() {
+			t.Errorf("%s rate alone: HostEnabled=%v Enabled=%v, want true/true",
+				name, c.HostEnabled(), c.Enabled())
+		}
+	}
+	dh := DefaultHost(5)
+	if err := dh.Validate(); err != nil {
+		t.Errorf("DefaultHost invalid: %v", err)
+	}
+	if !dh.HostEnabled() {
+		t.Error("DefaultHost not HostEnabled")
+	}
+}
+
+// TestValidateHostRates: the host rates are range-checked like the guest
+// rates.
+func TestValidateHostRates(t *testing.T) {
+	bad := []Config{
+		{WorkerPanicRate: -0.1},
+		{CompileHangRate: 1.5},
+		{PoisonResultRate: math.NaN()},
+		{MemoPressureRate: math.Inf(1)},
+	}
+	for _, c := range bad {
+		if c.Validate() == nil {
+			t.Errorf("Validate(%+v) accepted", c)
+		}
+	}
+}
+
+// TestSnapshotZeroLengthMemory: digesting zero-length memory must not
+// fault, and state-only divergence is still caught.
+func TestSnapshotZeroLengthMemory(t *testing.T) {
+	st := &guest.State{}
+	mem := guest.NewMemory(0)
+	snap := Capture(st, mem)
+	if err := snap.Verify(st, mem); err != nil {
+		t.Errorf("clean Verify over empty memory: %v", err)
+	}
+	st.R[1] = 1
+	if snap.Verify(st, mem) == nil {
+		t.Error("register divergence not caught with empty memory")
+	}
+}
+
+// TestSnapshotOverlappingRegions models two nested rollback regions whose
+// write sets overlap: each snapshot independently fingerprints the same
+// overlapping bytes, so restoring the outer checkpoint satisfies the
+// outer snapshot while the inner one (taken mid-region) still reports the
+// divergence it saw.
+func TestSnapshotOverlappingRegions(t *testing.T) {
+	st := &guest.State{}
+	mem := guest.NewMemory(128)
+	_ = mem.Store(16, 8, 1) // both regions cover [16, 24)
+	outer := Capture(st, mem)
+
+	_ = mem.Store(16, 8, 2) // outer region's speculative write
+	inner := Capture(st, mem)
+
+	_ = mem.Store(16, 8, 3) // inner region's overlapping write
+	if outer.Verify(st, mem) == nil || inner.Verify(st, mem) == nil {
+		t.Fatal("overlapping write invisible to a snapshot")
+	}
+
+	// Roll the whole overlap back to the outer checkpoint: the outer
+	// snapshot must pass again, and the inner one — whose checkpoint
+	// included the now-undone outer write — must keep failing.
+	_ = mem.Store(16, 8, 1)
+	if err := outer.Verify(st, mem); err != nil {
+		t.Errorf("outer rollback over the overlap did not restore: %v", err)
+	}
+	if inner.Verify(st, mem) == nil {
+		t.Error("inner snapshot accepted the outer checkpoint despite the overlapping undo")
 	}
 }
 

@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"smarq/internal/dynopt"
+	"smarq/internal/health"
 )
 
 // Figure15Data reproduces Figure 15: speedup of each alias-detection
@@ -464,9 +465,32 @@ func RecoveryLine(st *dynopt.Stats) string {
 		strings.Join(tiers, " "))
 }
 
-// InjectedLine renders the chaos injector's fired-fault counters.
+// InjectedLine renders the chaos injector's fired-fault counters; the
+// host fault classes are appended only when any of them fired, so
+// guest-only chaos output is unchanged.
 func InjectedLine(st *dynopt.Stats) string {
 	in := st.Injected
-	return fmt.Sprintf("spurious-alias=%d guard-fail=%d compile-fail=%d corruptions=%d",
+	line := fmt.Sprintf("spurious-alias=%d guard-fail=%d compile-fail=%d corruptions=%d",
 		in.SpuriousAliases, in.GuardFails, in.CompileFails, in.Corruptions)
+	if in.WorkerPanics+in.CompileHangs+in.PoisonedResults+in.MemoPressure > 0 {
+		line += fmt.Sprintf(" worker-panic=%d compile-hang=%d poison=%d memo-pressure=%d",
+			in.WorkerPanics, in.CompileHangs, in.PoisonedResults, in.MemoPressure)
+	}
+	return line
+}
+
+// HealthLine renders the graceful-degradation controller's one-line
+// summary: ladder moves, where the run ended up, and how much of the
+// workload each level saw.
+func HealthLine(st *dynopt.Stats) string {
+	hs := &st.Health
+	entries := make([]string, 0, len(hs.LevelEntries))
+	for lv, n := range hs.LevelEntries {
+		if n > 0 {
+			entries = append(entries, fmt.Sprintf("%s=%d", health.Level(lv), n))
+		}
+	}
+	return fmt.Sprintf("level=%s demotions=%d promotions=%d host-faults=%d rollbacks=%d quarantined=%d sticky=%v entries[%s]",
+		hs.FinalLevel, hs.Demotions, hs.Promotions, hs.HostFaults, hs.Rollbacks,
+		hs.QuarantinedRegions, hs.Sticky, strings.Join(entries, " "))
 }

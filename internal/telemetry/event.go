@@ -62,6 +62,17 @@ const (
 	// before installing (Cause: stale inputs, a pinned region, or the end
 	// of the run).
 	KindCompileCancel
+	// KindHostFault: a host-side compile fault was contained (Cause:
+	// worker panic, watchdog kill, or a rejected poisoned result).
+	KindHostFault
+	// KindHealth: the system health controller moved on the global
+	// degradation ladder (A=from level, B=to level, Cause says which
+	// observation class triggered a demotion; CauseNone for promotions).
+	KindHealth
+	// KindQuarantine: a region was permanently barred from compiling
+	// (Cause: a worker panic in its compile, or it became hot while the
+	// health controller sat at the quarantine level).
+	KindQuarantine
 
 	numKinds
 )
@@ -100,6 +111,21 @@ const (
 	CauseStale
 	// CauseRunEnd: the run finished with the compilation still pending.
 	CauseRunEnd
+	// CauseWorkerPanic: a compile job panicked in its worker and was
+	// converted into a failed-compile event.
+	CauseWorkerPanic
+	// CauseWatchdog: a compile overran its watchdog deadline in simulated
+	// cycles and was killed at the deadline.
+	CauseWatchdog
+	// CausePoison: install-time validation (content checksum or
+	// structural invariants) rejected a corrupted compile result.
+	CausePoison
+	// CauseMemoPressure: injected host memory pressure evicted a memoized
+	// compile.
+	CauseMemoPressure
+	// CauseHealth: the system health controller forced the action (a
+	// degradation-ladder consequence, e.g. quarantining a new region).
+	CauseHealth
 
 	numCauses
 )
@@ -108,6 +134,7 @@ var causeNames = [numCauses]string{
 	"", "alias", "guard", "fault", "injected-alias", "injected-guard",
 	"rollback-rate", "fault-storm", "pair-repeat", "chronic",
 	"compile-fail", "corrupt", "stale", "run-end",
+	"worker-panic", "watchdog", "poison", "memo-pressure", "health",
 }
 
 // String returns the cause name ("" for CauseNone).
@@ -176,6 +203,9 @@ var kindSpecs = [numKinds]kindSpec{
 	KindChaos:          {name: "chaos"},
 	KindCompileEnqueue: {name: "compile-enqueue", aN: "depth", bN: "memo"},
 	KindCompileCancel:  {name: "compile-cancel"},
+	KindHostFault:      {name: "host-fault"},
+	KindHealth:         {name: "health", aN: "from", bN: "to"},
+	KindQuarantine:     {name: "quarantine"},
 }
 
 // String returns the event kind name.

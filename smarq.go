@@ -44,6 +44,7 @@ import (
 	"smarq/internal/faultinject"
 	"smarq/internal/guest"
 	"smarq/internal/harness"
+	"smarq/internal/health"
 	"smarq/internal/workload"
 )
 
@@ -135,6 +136,26 @@ type ChaosConfig = faultinject.Config
 
 // DefaultChaos returns the standard chaos mix for the given seed.
 func DefaultChaos(seed int64) ChaosConfig { return faultinject.Default(seed) }
+
+// DefaultHostChaos returns the standard chaos mix extended with the host
+// fault classes: compile-worker panics, compile hangs killed by the
+// watchdog, poisoned compile results, and memo pressure.
+func DefaultHostChaos(seed int64) ChaosConfig { return faultinject.DefaultHost(seed) }
+
+// HealthConfig tunes the system-scope graceful-degradation controller
+// (Config.Health). The zero value disables it.
+type HealthConfig = health.Config
+
+// DefaultHealthConfig returns the standard health-controller tuning.
+func DefaultHealthConfig() HealthConfig { return health.DefaultConfig() }
+
+// HealthLevel is one rung of the global degradation ladder (normal down
+// to quarantine-new-regions).
+type HealthLevel = health.Level
+
+// HealthStats is the health controller's run-wide accounting
+// (Stats.Health).
+type HealthStats = health.Stats
 
 // Benchmarks and experiments.
 
