@@ -5,7 +5,7 @@ GO ?= go
 PARALLEL ?= 0
 
 .PHONY: all build test race bench bench-all bench-check figures examples clean \
-	ci fmt-check lint bench-smoke fuzz-smoke chaos-smoke trace-smoke
+	ci fmt-check lint bench-smoke fuzz-smoke chaos-smoke trace-smoke fleet-smoke
 
 all: build test
 
@@ -86,10 +86,19 @@ chaos-smoke:
 		-compile-workers 2 -compile-memoize -check-invariants >/dev/null
 	@echo "chaos-smoke: ok"
 
+# Fleet gate: 8 concurrent tenants over the shared compile pool and
+# sharded code cache, under the race detector pinned to 2 cores, with
+# every tenant's stats, guest registers and memory digest diffed against
+# its solo run (the fleet determinism contract).
+fleet-smoke:
+	GOMAXPROCS=2 $(GO) run -race ./cmd/smarq-bench -tenants 8 \
+		-tenant-mix swim,equake -compile-workers 2 -fleet-verify >/dev/null
+	@echo "fleet-smoke: ok"
+
 # Execution-engine microbench suite → BENCH_exec.json. Fixed -benchtime
 # and -count keep runs comparable; the committed pre-change baseline is
 # merged in so the artifact records the before/after trajectory.
-BENCH_EXEC_RE = ^BenchmarkExecute$$|^BenchmarkRegionExecution$$|^BenchmarkDynopt$$|^BenchmarkCompile$$|^BenchmarkMemoHit$$|^BenchmarkCompilePipeline$$
+BENCH_EXEC_RE = ^BenchmarkExecute$$|^BenchmarkRegionExecution$$|^BenchmarkDynopt$$|^BenchmarkCompile$$|^BenchmarkMemoHit$$|^BenchmarkCompilePipeline$$|^BenchmarkFleet$$
 
 bench:
 	$(GO) test -run '^$$' -bench '$(BENCH_EXEC_RE)' -benchmem -benchtime 2000x -count=1 . \
@@ -106,7 +115,7 @@ bench-check:
 	$(GO) test -run '^$$' -bench '$(BENCH_EXEC_RE)' -benchmem -benchtime 2000x -count=1 . \
 		| $(GO) run ./cmd/smarq-benchjson \
 		| $(GO) run ./cmd/smarq-golden -golden testdata/bench-exec.baseline.json -got - \
-			-rtol 9 -atol 1.5 -exact '(Execute/|RegionExecution|Compile).*allocs_per_op$$'
+			-rtol 9 -atol 1.5 -exact '(Execute/|RegionExecution|Compile).*allocs_per_op$$|Fleet/tenants4.dedupe_pct$$'
 
 # One testing.B benchmark per table/figure plus micro-benchmarks (the
 # full sweep; slow).

@@ -6,6 +6,7 @@
 package smarq_test
 
 import (
+	"fmt"
 	"math/rand"
 	"testing"
 
@@ -526,6 +527,60 @@ func BenchmarkMemoHit(b *testing.B) {
 		if _, ok := memo.Get(key()); !ok {
 			b.Fatal("memo miss")
 		}
+	}
+}
+
+// BenchmarkFleet measures concurrent multi-tenant throughput over the
+// shared compile pool and sharded code cache: N identical swim tenants on
+// their own goroutines, one shared 2-worker pool, one shared cache. The
+// headline metrics are aggregate regions/sec (tenants4 vs tenants1 is the
+// fleet-scaling gate on a multi-core host) and dedupe-pct — the share of
+// would-be duplicate compiles the shared cache eliminated, deterministically
+// 100 for identical tenants (every unique key compiles exactly once
+// fleet-wide), which the bench-check baseline pins exactly.
+func BenchmarkFleet(b *testing.B) {
+	const workers = 2
+	const maxInsts = 100_000
+	solo, err := harness.RunFleet(harness.FleetConfig{
+		Tenants: 1, Mix: []string{"swim"}, CompileWorkers: workers, MaxInsts: maxInsts,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	// The solo run's compile count is the unique-key population; with n
+	// identical tenants, n× that many compiles would run without sharing.
+	c1 := solo.Cache.Compiles
+	if c1 == 0 {
+		b.Fatal("solo fleet run compiled nothing")
+	}
+	for _, tenants := range []int{1, 4} {
+		b.Run(fmt.Sprintf("tenants%d", tenants), func(b *testing.B) {
+			var commits, insts, compiles int64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := harness.RunFleet(harness.FleetConfig{
+					Tenants: tenants, Mix: []string{"swim"},
+					CompileWorkers: workers, MaxInsts: maxInsts,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				commits += res.Commits()
+				insts += res.GuestInsts()
+				compiles += res.Cache.Compiles
+			}
+			secs := b.Elapsed().Seconds()
+			if secs <= 0 {
+				secs = 1e-9
+			}
+			b.ReportMetric(float64(commits)/secs, "regions/s")
+			b.ReportMetric(float64(insts)/secs, "guest-insts/s")
+			if tenants > 1 {
+				avoided := float64(int64(tenants)*c1*int64(b.N) - compiles)
+				dup := float64((int64(tenants) - 1) * c1 * int64(b.N))
+				b.ReportMetric(100*avoided/dup, "dedupe-pct")
+			}
+		})
 	}
 }
 

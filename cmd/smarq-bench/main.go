@@ -10,6 +10,8 @@
 //	smarq-bench -v                    # per-run summaries
 //	smarq-bench -trace all.trace.json -trace-format chrome
 //	smarq-bench -metrics all.metrics.json
+//	smarq-bench -tenants 8 -tenant-mix swim,equake -compile-workers 4
+//	smarq-bench -tenants 4 -fleet-verify    # diff every tenant vs its solo run
 //
 // Benchmark×configuration cells fan out over a bounded worker pool; the
 // artifacts themselves are rendered in a fixed order from the shared
@@ -56,12 +58,43 @@ func main() {
 	metricsFile := flag.String("metrics", "", "write a JSON metrics snapshot aggregated across all runs")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the harness run to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
+	tenants := flag.Int("tenants", 0, "fleet mode: run N concurrent tenant Systems over one shared compile pool and code cache (0 = classic artifact mode)")
+	tenantMix := flag.String("tenant-mix", "swim", "fleet mode: comma-separated benchmarks assigned to tenants round-robin")
+	fleetConfig := flag.String("fleet-config", "smarq64", "fleet mode: dynopt configuration every tenant runs under")
+	fleetVerify := flag.Bool("fleet-verify", false, "fleet mode: diff every tenant's results against its solo run; exit nonzero on divergence")
+	cacheShards := flag.Int("cache-shards", 0, "fleet mode: shared code cache shard count (0 = default)")
+	cacheEntries := flag.Int64("cache-entries", 0, "fleet mode: shared code cache global entry budget (0 = unbounded)")
+	cacheBytes := flag.Int64("cache-bytes", 0, "fleet mode: shared code cache global byte budget (0 = unbounded)")
 	flag.Parse()
 
 	stopCPU, err := profiledump.StartCPU(*cpuprofile)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "smarq-bench:", err)
 		os.Exit(1)
+	}
+
+	if *tenants > 0 {
+		runFleetMode(fleetOpts{
+			config: harness.FleetConfig{
+				Tenants:         *tenants,
+				Mix:             splitList(*tenantMix),
+				Config:          *fleetConfig,
+				CompileWorkers:  *compileWorkers,
+				CacheShards:     *cacheShards,
+				CacheMaxEntries: *cacheEntries,
+				CacheMaxBytes:   *cacheBytes,
+				Scale:           *scale,
+			},
+			verify:      *fleetVerify,
+			asJSON:      *asJSON,
+			metricsFile: *metricsFile,
+		})
+		stopCPU()
+		if err := profiledump.WriteHeap(*memprofile); err != nil {
+			fmt.Fprintln(os.Stderr, "smarq-bench:", err)
+			os.Exit(1)
+		}
+		return
 	}
 
 	selected := map[string]bool{}
@@ -322,4 +355,72 @@ func main() {
 	}
 	fmt.Fprintf(os.Stderr, "# smarq-bench: %d artifact(s) in %s (parallelism=%d)\n",
 		artifacts, time.Since(start).Round(time.Millisecond), workers)
+}
+
+// splitList splits a comma-separated flag value, trimming whitespace.
+func splitList(s string) []string {
+	var out []string
+	for _, f := range strings.Split(s, ",") {
+		if f = strings.TrimSpace(f); f != "" {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// fleetOpts bundles the fleet-mode CLI surface.
+type fleetOpts struct {
+	config      harness.FleetConfig
+	verify      bool
+	asJSON      bool
+	metricsFile string
+}
+
+// runFleetMode is the -tenants path: one concurrent multi-tenant run over
+// the shared compile pool and code cache, reported as a text table (or
+// JSON), optionally followed by the per-tenant solo-determinism diff.
+func runFleetMode(o fleetOpts) {
+	var registry *telemetry.Registry
+	if o.metricsFile != "" {
+		registry = telemetry.NewRegistry()
+		o.config.Metrics = registry
+	}
+	start := time.Now()
+	res, err := harness.RunFleet(o.config)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "smarq-bench:", err)
+		os.Exit(1)
+	}
+	if o.asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(res); err != nil {
+			fmt.Fprintln(os.Stderr, "smarq-bench:", err)
+			os.Exit(1)
+		}
+	} else {
+		fmt.Println(res.Render())
+	}
+	if registry != nil {
+		f, err := os.Create(o.metricsFile)
+		if err == nil {
+			err = registry.WriteJSON(f)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "smarq-bench:", err)
+			os.Exit(1)
+		}
+	}
+	if o.verify {
+		if err := harness.VerifyFleet(o.config, res); err != nil {
+			fmt.Fprintln(os.Stderr, "smarq-bench: fleet-verify:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintln(os.Stderr, "# fleet-verify: every tenant byte-identical to its solo run")
+	}
+	fmt.Fprintf(os.Stderr, "# smarq-bench: fleet of %d tenants (%d workers) in %s\n",
+		len(res.Tenants), res.Workers, time.Since(start).Round(time.Millisecond))
 }

@@ -1,0 +1,368 @@
+package codecache
+
+import (
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"smarq/internal/compilequeue"
+	"smarq/internal/telemetry"
+)
+
+// mkKey derives a well-spread content key from a small integer the way
+// dynopt does — through the FNV fold — so the tests exercise real shard
+// distribution rather than consecutive integers landing in one shard.
+func mkKey(i int) Key {
+	return compilequeue.NewKey().Int(int64(i))
+}
+
+// seqModel is the sequential-model oracle: a plain map plus explicit
+// recency stamps mirroring the cache's global clock. Get stamps clock+1 on
+// a hit; Put stamps the inserted entry; eviction removes the minimum
+// stamp. Run in lockstep with a Cache under single-threaded use, every
+// hit/miss outcome, eviction victim, Len and Bytes must match exactly.
+type seqModel struct {
+	vals    map[Key]int
+	sizes   map[Key]int64
+	stamps  map[Key]int64
+	clock   int64
+	bytes   int64
+	maxEnt  int64
+	maxByte int64
+}
+
+func newSeqModel(maxEnt, maxByte int64) *seqModel {
+	return &seqModel{
+		vals:   map[Key]int{},
+		sizes:  map[Key]int64{},
+		stamps: map[Key]int64{},
+		maxEnt: maxEnt, maxByte: maxByte,
+	}
+}
+
+func (m *seqModel) get(k Key) (int, bool) {
+	v, ok := m.vals[k]
+	if ok {
+		m.clock++
+		m.stamps[k] = m.clock
+	}
+	return v, ok
+}
+
+func (m *seqModel) put(k Key, v int, size int64) {
+	if old, ok := m.sizes[k]; ok {
+		m.bytes -= old
+	}
+	m.clock++
+	m.vals[k], m.sizes[k], m.stamps[k] = v, size, m.clock
+	m.bytes += size
+	for (m.maxEnt > 0 && int64(len(m.vals)) > m.maxEnt) ||
+		(m.maxByte > 0 && m.bytes > m.maxByte) {
+		victim, vmin := Key(0), int64(1<<63-1)
+		for kk, s := range m.stamps {
+			if s < vmin {
+				victim, vmin = kk, s
+			}
+		}
+		m.bytes -= m.sizes[victim]
+		delete(m.vals, victim)
+		delete(m.sizes, victim)
+		delete(m.stamps, victim)
+	}
+}
+
+// TestSequentialLRUOracle drives a Cache and the oracle through the same
+// random get/put stream and requires identical hit/miss outcomes, values,
+// eviction survivors (checked with the non-perturbing Peek), entry counts
+// and byte totals after every step.
+func TestSequentialLRUOracle(t *testing.T) {
+	for _, tc := range []struct {
+		name             string
+		maxEnt, maxBytes int64
+	}{
+		{"entries8", 8, 0},
+		{"bytes200", 0, 200},
+		{"both", 12, 400},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			c := New[int](Options{Shards: 4, MaxEntries: tc.maxEnt, MaxBytes: tc.maxBytes},
+				func(v int) int64 { return int64(v%64 + 1) })
+			m := newSeqModel(tc.maxEnt, tc.maxBytes)
+			rng := rand.New(rand.NewSource(42))
+			for step := 0; step < 5000; step++ {
+				k := mkKey(rng.Intn(40))
+				if rng.Intn(2) == 0 {
+					gv, gok := c.Get(k)
+					wv, wok := m.get(k)
+					if gok != wok || (gok && gv != wv) {
+						t.Fatalf("step %d: Get = (%d,%v), oracle (%d,%v)", step, gv, gok, wv, wok)
+					}
+				} else {
+					v := rng.Intn(1000)
+					c.Put(k, v)
+					m.put(k, v, int64(v%64+1))
+				}
+				if c.Len() != len(m.vals) {
+					t.Fatalf("step %d: Len %d, oracle %d", step, c.Len(), len(m.vals))
+				}
+				if c.Bytes() != m.bytes {
+					t.Fatalf("step %d: Bytes %d, oracle %d", step, c.Bytes(), m.bytes)
+				}
+			}
+			// Survivor set and values must match the oracle's exactly.
+			for k, wv := range m.vals {
+				gv, ok := c.Peek(k)
+				if !ok || gv != wv {
+					t.Fatalf("survivor %#x: Peek = (%d,%v), oracle holds %d", uint64(k), gv, ok, wv)
+				}
+			}
+			for i := 0; i < 40; i++ {
+				k := mkKey(i)
+				if _, ok := c.Peek(k); ok {
+					if _, want := m.vals[k]; !want {
+						t.Fatalf("key %#x cached but evicted in the oracle", uint64(k))
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestConcurrentTorture hammers one cache from 8 goroutines with random
+// gets, puts and single-flight lookups under a byte+entry budget; -race
+// must stay silent, values must never cross keys, and at quiescence the
+// budgets and the entry/byte accounting must be exact.
+func TestConcurrentTorture(t *testing.T) {
+	const (
+		goroutines = 8
+		steps      = 4000
+		keys       = 128
+		maxEntries = 48
+		maxBytes   = 2000
+	)
+	c := New[int64](Options{Shards: 8, MaxEntries: maxEntries, MaxBytes: maxBytes},
+		func(v int64) int64 { return v % 50 })
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < steps; i++ {
+				ki := rng.Intn(keys)
+				k := mkKey(ki)
+				// Values encode their key so a cross-key mixup is
+				// detectable: v = ki*1000 + noise(<1000).
+				switch rng.Intn(3) {
+				case 0:
+					if v, ok := c.Get(k); ok && int(v/1000) != ki {
+						t.Errorf("Get(%d) returned value %d for a different key", ki, v)
+						return
+					}
+				case 1:
+					c.Put(k, int64(ki*1000+rng.Intn(1000)))
+				default:
+					v, hit, f, leader := c.Lookup(k)
+					switch {
+					case hit:
+						if int(v/1000) != ki {
+							t.Errorf("Lookup(%d) hit value %d for a different key", ki, v)
+							return
+						}
+					case leader:
+						c.Complete(k, f, int64(ki*1000+rng.Intn(1000)), rng.Intn(4) != 0)
+					default:
+						<-f.Done()
+						// A failed flight (insert=false) still publishes its
+						// value; either way it must be key-consistent.
+						if fv := f.Value(); int(fv/1000) != ki {
+							t.Errorf("flight for %d carried value %d", ki, fv)
+							return
+						}
+					}
+				}
+			}
+		}(int64(g + 1))
+	}
+	wg.Wait()
+
+	st := c.Stats()
+	if st.Entries > maxEntries {
+		t.Errorf("entries %d exceed budget %d at quiescence", st.Entries, maxEntries)
+	}
+	if st.Bytes > maxBytes {
+		t.Errorf("bytes %d exceed budget %d at quiescence", st.Bytes, maxBytes)
+	}
+	// Recount from the shard snapshots: the atomic totals must agree with
+	// the tables exactly once all mutators are done.
+	var entries int64
+	for i := range c.shards {
+		entries += int64(len(*c.shards[i].snap.Load()))
+	}
+	if entries != st.Entries {
+		t.Errorf("atomic entry total %d, shard tables hold %d", st.Entries, entries)
+	}
+	if st.Lookups != st.Hits+st.Misses {
+		t.Errorf("lookups %d != hits %d + misses %d", st.Lookups, st.Hits, st.Misses)
+	}
+	if st.FlightWaits+st.Compiles > st.Misses {
+		t.Errorf("flight waits %d + compiles %d exceed misses %d",
+			st.FlightWaits, st.Compiles, st.Misses)
+	}
+	if st.Compiles == 0 || st.Evictions == 0 {
+		t.Errorf("torture run exercised no compiles (%d) or evictions (%d)",
+			st.Compiles, st.Evictions)
+	}
+	for i := range c.shards {
+		if n := len(c.shards[i].flights); n != 0 {
+			t.Errorf("shard %d still holds %d flights at quiescence", i, n)
+		}
+	}
+}
+
+// TestSingleFlight proves exactly one compile per key under concurrent
+// misses: N goroutines Lookup the same cold key at once; exactly one may
+// be the leader, the rest must receive the leader's value, and the
+// fleet-wide compile count for the key is 1.
+func TestSingleFlight(t *testing.T) {
+	const waiters = 16
+	c := New[string](Options{Shards: 4}, nil)
+	k := mkKey(7)
+
+	var (
+		leaders  atomic.Int64
+		computes atomic.Int64
+		start    = make(chan struct{})
+		wg       sync.WaitGroup
+	)
+	results := make([]string, waiters)
+	for i := 0; i < waiters; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			<-start
+			v, hit, f, leader := c.Lookup(k)
+			switch {
+			case hit:
+				results[i] = v
+			case leader:
+				leaders.Add(1)
+				computes.Add(1)
+				c.Complete(k, f, "compiled-once", true)
+				results[i] = "compiled-once"
+			default:
+				<-f.Done()
+				results[i] = f.Value()
+			}
+		}(i)
+	}
+	close(start)
+	wg.Wait()
+
+	if n := leaders.Load(); n != 1 {
+		t.Fatalf("%d leaders for one key, want exactly 1", n)
+	}
+	if n := computes.Load(); n != 1 {
+		t.Fatalf("%d compiles for one key, want exactly 1", n)
+	}
+	for i, r := range results {
+		if r != "compiled-once" {
+			t.Fatalf("waiter %d got %q", i, r)
+		}
+	}
+	st := c.Stats()
+	if st.Compiles != 1 {
+		t.Fatalf("stats report %d compiles, want 1", st.Compiles)
+	}
+	if st.Hits+st.FlightWaits != waiters-1 {
+		t.Fatalf("hits %d + flight waits %d, want %d non-leaders served",
+			st.Hits, st.FlightWaits, waiters-1)
+	}
+	// A second round is all lock-free hits.
+	for i := 0; i < 4; i++ {
+		v, hit, _, leader := c.Lookup(k)
+		if !hit || leader || v != "compiled-once" {
+			t.Fatalf("post-fill Lookup = (%q, hit=%v, leader=%v)", v, hit, leader)
+		}
+	}
+}
+
+// TestFailedFlightRetries checks the retry path: a leader completing with
+// insert=false leaves the key uncached, so the next Lookup elects a new
+// leader instead of serving the failure forever.
+func TestFailedFlightRetries(t *testing.T) {
+	c := New[int](Options{Shards: 2}, nil)
+	k := mkKey(3)
+	_, hit, f, leader := c.Lookup(k)
+	if hit || !leader {
+		t.Fatalf("cold lookup: hit=%v leader=%v", hit, leader)
+	}
+	c.Complete(k, f, -1, false)
+	if _, ok := c.Peek(k); ok {
+		t.Fatal("failed flight was inserted")
+	}
+	_, hit, f2, leader := c.Lookup(k)
+	if hit || !leader || f2 == f {
+		t.Fatalf("retry lookup: hit=%v leader=%v fresh-flight=%v", hit, leader, f2 != f)
+	}
+	c.Complete(k, f2, 42, true)
+	if v, ok := c.Peek(k); !ok || v != 42 {
+		t.Fatalf("retry result not cached: (%d, %v)", v, ok)
+	}
+}
+
+// TestShardSelection checks that keys spread over shards by their high
+// bits and that every shard round-trips its own keys.
+func TestShardSelection(t *testing.T) {
+	c := New[int](Options{Shards: 16}, nil)
+	used := map[uint64]bool{}
+	for i := 0; i < 512; i++ {
+		k := mkKey(i)
+		c.Put(k, i)
+		used[uint64(k)>>c.shift] = true
+		if v, ok := c.Peek(k); !ok || v != i {
+			t.Fatalf("key %d lost after Put", i)
+		}
+	}
+	if len(used) < 8 {
+		t.Fatalf("512 content keys landed in only %d/16 shards", len(used))
+	}
+	st := c.Stats()
+	sum := 0
+	for _, n := range st.ShardEntries {
+		sum += n
+	}
+	if sum != 512 || st.Entries != 512 {
+		t.Fatalf("occupancy sum %d, entries %d, want 512", sum, st.Entries)
+	}
+}
+
+// TestPublishMetrics checks instrument registration and delta syncing:
+// calling it twice must not double-count already-published increments.
+func TestPublishMetrics(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	c := New[int](Options{Shards: 2, MaxEntries: 2}, nil)
+	for i := 0; i < 4; i++ {
+		c.Put(mkKey(i), i)
+	}
+	c.PublishMetrics(reg)
+	c.PublishMetrics(reg) // second sync must add only the (empty) delta
+	if got := reg.Counter(mEvictions).Value(); got != 2 {
+		t.Fatalf("published evictions %d, want 2", got)
+	}
+	if got := reg.Gauge(gEntries).Value(); got != 2 {
+		t.Fatalf("published entries gauge %d, want 2", got)
+	}
+	hits := c.Stats().Hits
+	for i := 0; i < 3; i++ {
+		c.Get(mkKey(999)) // misses
+	}
+	c.PublishMetrics(reg)
+	if got := reg.Counter(mMisses).Value(); got < 3 {
+		t.Fatalf("published misses %d, want >= 3", got)
+	}
+	if got := reg.Counter(mHits).Value(); got != hits {
+		t.Fatalf("published hits %d, want %d", got, hits)
+	}
+}

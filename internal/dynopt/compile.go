@@ -17,13 +17,15 @@
 package dynopt
 
 import (
+	"cmp"
 	"errors"
 	"fmt"
 	"math"
-	"sort"
+	"slices"
 	"sync"
 
 	"smarq/internal/alias"
+	"smarq/internal/codecache"
 	"smarq/internal/compilequeue"
 	"smarq/internal/core"
 	"smarq/internal/deps"
@@ -64,6 +66,26 @@ type CompileConfig struct {
 	// result is never read — and the region retries later under the
 	// transient-failure backoff. 0 selects DefaultWatchdogFactor.
 	WatchdogFactor int
+	// MemoBudgetBytes additionally bounds the private memo table by
+	// retained compiled-region bytes (vliw.CompiledRegion.Bytes); 0 means
+	// no byte bound. Applies with Memoize only.
+	MemoBudgetBytes int64
+	// SharedPool, when non-nil, runs this System's background compiles on
+	// a host-wide worker pool shared across concurrently running Systems
+	// (fleet execution) instead of a private per-System pool. Workers must
+	// still be >= 1 to select the background path; the shared pool's own
+	// size governs host parallelism. The System never closes a shared
+	// pool — its creator does, after every System using it has finished.
+	SharedPool *compilequeue.Pool
+	// SharedCache, when non-nil, replaces the private memo table with a
+	// concurrent sharded content-addressed cache shared across Systems:
+	// identical regions compile once fleet-wide, and a region being
+	// compiled by one tenant is awaited (cross-tenant single-flight), not
+	// recompiled, by others. Hits replay the modelled compile costs
+	// exactly like memo hits, so each tenant's simulated results are
+	// byte-identical to a solo run modulo the hit/miss/dedupe counters.
+	// Mutually exclusive with Memoize.
+	SharedCache *CodeCache
 }
 
 // DefaultMemoCapacity is the memo-table bound when MemoCapacity is 0.
@@ -100,9 +122,14 @@ type CompileStats struct {
 	Installed int64
 	Canceled  int64
 	Failed    int64
-	// MemoHits/MemoMisses count content-hash lookups (both paths).
+	// MemoHits/MemoMisses count content-hash lookups (both paths), against
+	// the private memo or the shared fleet cache.
 	MemoHits   int64
 	MemoMisses int64
+	// DedupeWaits counts lookups that joined another tenant's in-flight
+	// compile of the same key instead of compiling (shared cache only;
+	// every dedupe wait is also counted as a miss).
+	DedupeWaits int64
 	// WorkCycles is the simulated compile occupancy performed off the
 	// critical path (the latency model's cost per installed region). It
 	// is deliberately excluded from Stats.TotalCycles: hiding this work
@@ -206,6 +233,10 @@ type pendingCompile struct {
 	// memo hit it is set at enqueue and done stays nil.
 	out  *compileOutput
 	done chan struct{}
+	// flight is the shared-cache single-flight this enqueue leads or
+	// joined (shared mode only); the install point takes the result from
+	// it when out is still nil.
+	flight *codecache.Flight[*compileOutput]
 }
 
 // at is the pending compile's queue event time: its install point, or —
@@ -223,6 +254,9 @@ func (p *pendingCompile) at() int64 {
 // Compile.Workers == 0).
 type bgCompile struct {
 	pool *compilequeue.Pool
+	// sharedPool marks pool as fleet-owned: the System must never close
+	// it (other tenants' compiles are still running on it).
+	sharedPool bool
 	// pending maps a region entry to its live pending compile
 	// (single-flight per entry); queue holds the same entries in install
 	// order (readyAt, then enqueue seq).
@@ -466,6 +500,16 @@ func runCompileJob(in *compileInput, panicInject bool, poison faultinject.Poison
 	return out
 }
 
+// keyScratch recycles the sorted-encoding buffers memoKey needs for the
+// pin and blacklist sets: hashing runs on the dispatch path at every
+// enqueue, so key construction must not allocate.
+type keyScratch struct {
+	ints  []int
+	pairs []alias.Pair
+}
+
+var keyScratchPool = sync.Pool{New: func() interface{} { return &keyScratch{} }}
+
 // memoKey canonically hashes a compile input: every superblock byte plus
 // every configuration bit the pipeline reads. Fields that cannot vary
 // within one System (the machine model, ablations, hardware mode) are
@@ -489,30 +533,64 @@ func memoKey(in *compileInput) compilequeue.Key {
 	sc := &in.scfg
 	k = k.Int(int64(sc.Mode)).Int(int64(sc.NumAliasRegs)).Bool(sc.StoreReorder).Bool(sc.ForceNonSpec)
 	k = k.Int(int64(sc.PressureMargin)).Bool(sc.Alloc.DisableAnti).Bool(sc.Alloc.DisableRotation)
-	pins := make([]int, 0, len(sc.PinnedOps))
+	if len(sc.PinnedOps) == 0 && len(in.blacklist) == 0 {
+		// Common case: no pins, no blacklist. Encode the zero lengths
+		// without touching the scratch pool.
+		return k.Int(0).Int(0)
+	}
+	scr := keyScratchPool.Get().(*keyScratch)
+	pins := scr.ints[:0]
 	for op := range sc.PinnedOps {
 		pins = append(pins, op)
 	}
-	sort.Ints(pins)
+	slices.Sort(pins)
 	k = k.Int(int64(len(pins)))
 	for _, op := range pins {
 		k = k.Int(int64(op))
 	}
-	pairs := make([]alias.Pair, 0, len(in.blacklist))
+	pairs := scr.pairs[:0]
 	for p := range in.blacklist {
 		pairs = append(pairs, p)
 	}
-	sort.Slice(pairs, func(i, j int) bool {
-		if pairs[i].A != pairs[j].A {
-			return pairs[i].A < pairs[j].A
+	slices.SortFunc(pairs, func(a, b alias.Pair) int {
+		if c := cmp.Compare(a.A, b.A); c != 0 {
+			return c
 		}
-		return pairs[i].B < pairs[j].B
+		return cmp.Compare(a.B, b.B)
 	})
 	k = k.Int(int64(len(pairs)))
 	for _, p := range pairs {
 		k = k.Int(int64(p.A)).Int(int64(p.B))
 	}
+	scr.ints, scr.pairs = pins, pairs
+	keyScratchPool.Put(scr)
 	return k
+}
+
+// outputClean reports whether a fresh compile result is fit for the
+// shared fleet cache: not panicked, no pipeline error, and
+// self-consistent (the content checksum recomputes and the structural
+// invariants hold). It mirrors admitOutput without the stats and
+// quarantine side effects — the leading tenant decides cache admission
+// with it, so a poisoned or failed result never enters the shared table,
+// while every installing tenant still re-screens through admitOutput.
+func outputClean(out *compileOutput) bool {
+	if out == nil || out.panicked || out.err != nil || out.cr == nil {
+		return false
+	}
+	if out.cr.Checksum() != out.checksum {
+		return false
+	}
+	return out.cr.Validate() == nil
+}
+
+// compileOutputBytes sizes a compile output for byte-budgeted caches by
+// its dominant retained allocation, the frozen compiled region.
+func compileOutputBytes(out *compileOutput) int64 {
+	if out == nil || out.cr == nil {
+		return 0
+	}
+	return out.cr.Bytes()
 }
 
 // drawHostFaults performs the per-fresh-compile host-fault draws, in a
@@ -625,6 +703,32 @@ func (s *System) compile(entry int) error {
 			s.tel.memoLookup(false)
 		}
 	}
+	if s.shared != nil {
+		key = memoKey(in)
+		v, hit, flight, leader := s.shared.cache.Lookup(key)
+		switch {
+		case hit:
+			out, memoHit = v, true
+			s.Stats.Compile.MemoHits++
+			s.tel.memoLookup(true)
+		case leader:
+			s.Stats.Compile.MemoMisses++
+			s.tel.memoLookup(false)
+			panicInject, _, poison := s.drawHostFaults(entry, false)
+			out = runCompileJob(in, panicInject, poison)
+			s.shared.cache.Complete(key, flight, out, outputClean(out))
+		default:
+			// Another tenant is compiling this key right now: take its
+			// result instead of duplicating the work. Blocking inline is
+			// safe — leadership is only ever held while the leader runs
+			// its compile job, so the flight always completes.
+			s.Stats.Compile.MemoMisses++
+			s.Stats.Compile.DedupeWaits++
+			s.tel.memoLookup(false)
+			<-flight.Done()
+			out, memoHit = flight.Value(), true
+		}
+	}
 	if out == nil {
 		panicInject, _, poison := s.drawHostFaults(entry, false)
 		out = runCompileJob(in, panicInject, poison)
@@ -724,7 +828,48 @@ func (s *System) enqueueCompile(entry int) error {
 			s.Stats.Compile.MemoMisses++
 		}
 	}
-	if p.out == nil {
+	if s.shared != nil {
+		p.key = memoKey(in)
+		v, hit, flight, leader := s.shared.cache.Lookup(p.key)
+		switch {
+		case hit:
+			p.out, p.memoHit = v, true
+			s.Stats.Compile.MemoHits++
+		case leader:
+			s.Stats.Compile.MemoMisses++
+			panicInject, hang, poison := s.drawHostFaults(entry, true)
+			if hang {
+				p.hung = true
+				// A hung leader never submits a job, so it must settle the
+				// flight here or followers on other tenants would wait
+				// forever. The synthetic watchdog failure is never inserted
+				// (insert=false): the next lookup elects a fresh leader.
+				s.shared.cache.Complete(p.key, flight, &compileOutput{
+					guestInsts: len(in.sb.Insts),
+					memOps:     in.sb.NumMemOps(),
+					err:        fmt.Errorf("%w for B%d", errWatchdogTimeout, entry),
+				}, false)
+			} else {
+				if bg.pool == nil {
+					bg.pool = compilequeue.NewPool(s.cfg.Compile.Workers)
+				}
+				p.flight = flight
+				key, cache := p.key, s.shared.cache
+				bg.pool.Submit(func() {
+					out := runCompileJob(in, panicInject, poison)
+					cache.Complete(key, flight, out, outputClean(out))
+				})
+			}
+		default:
+			// Another tenant's compile of this key is in flight: join it.
+			// The install point blocks on the flight only once the
+			// simulated clock passes readyAt, exactly like a private job.
+			s.Stats.Compile.MemoMisses++
+			s.Stats.Compile.DedupeWaits++
+			p.flight = flight
+		}
+	}
+	if p.out == nil && !p.hung && p.flight == nil {
 		// Host faults only strike fresh compiles: a memo hit runs no
 		// worker job, so there is nothing to panic, hang or poison.
 		panicInject, hang, poison := s.drawHostFaults(entry, true)
@@ -805,6 +950,14 @@ func (s *System) drainCompiles() {
 		delete(bg.pending, p.entry)
 		if p.done != nil {
 			<-p.done
+		}
+		if p.flight != nil {
+			// Shared-cache job (led here or by another tenant): the result
+			// travels through the flight, not p.out.
+			<-p.flight.Done()
+			if p.out == nil {
+				p.out = p.flight.Value()
+			}
 		}
 		s.installPending(p)
 	}
@@ -949,7 +1102,11 @@ func (s *System) abandonCompiles() {
 		s.cancelPending(bg.queue[0].entry, telemetry.CauseRunEnd)
 	}
 	if bg.pool != nil {
-		bg.pool.Close()
+		if !bg.sharedPool {
+			// A fleet-owned pool is still serving other tenants; its
+			// creator closes it after every System using it has finished.
+			bg.pool.Close()
+		}
 		bg.pool = nil
 	}
 }

@@ -129,6 +129,12 @@ func (c Config) Validate() error {
 	if c.Compile.WatchdogFactor < 0 {
 		return fmt.Errorf("dynopt: Compile.WatchdogFactor %d, want >= 0", c.Compile.WatchdogFactor)
 	}
+	if c.Compile.SharedPool != nil && c.Compile.Workers < 1 {
+		return fmt.Errorf("dynopt: Compile.SharedPool set with Workers %d, want >= 1 (the background path)", c.Compile.Workers)
+	}
+	if c.Compile.SharedCache != nil && c.Compile.Memoize {
+		return fmt.Errorf("dynopt: Compile.SharedCache and Compile.Memoize are mutually exclusive")
+	}
 	if err := c.withDefaults().Recovery.Validate(); err != nil {
 		return err
 	}
@@ -326,9 +332,11 @@ type System struct {
 	entrySeq int64
 	// bg is the background-compilation state (nil in synchronous mode)
 	// and memo the content-hash memo table (nil unless Compile.Memoize);
-	// see compile.go.
-	bg   *bgCompile
-	memo *compilequeue.Memo[*compileOutput]
+	// see compile.go. shared is the fleet-wide compile cache (nil unless
+	// Compile.SharedCache); see sharedcache.go.
+	bg     *bgCompile
+	memo   *compilequeue.Memo[*compileOutput]
+	shared *CodeCache
 	// injFailStreak counts consecutive chaos-injected compile failures
 	// per entry; injected failures back off additively instead of the
 	// real-failure doubling (see compileFailBackoff).
@@ -393,11 +401,20 @@ func New(prog *guest.Program, st *guest.State, mem *guest.Memory, cfg Config) *S
 		tel:           newSystemTelemetry(&cfg),
 	}
 	if cfg.Compile.Workers > 0 {
-		s.bg = &bgCompile{pending: make(map[int]*pendingCompile)}
+		s.bg = &bgCompile{
+			pending:    make(map[int]*pendingCompile),
+			pool:       cfg.Compile.SharedPool,
+			sharedPool: cfg.Compile.SharedPool != nil,
+		}
 	}
 	if cfg.Compile.Memoize {
-		s.memo = compilequeue.NewMemoCap[*compileOutput](cfg.Compile.memoCapacity())
+		if b := cfg.Compile.MemoBudgetBytes; b > 0 {
+			s.memo = compilequeue.NewMemoBudget[*compileOutput](cfg.Compile.memoCapacity(), b, compileOutputBytes)
+		} else {
+			s.memo = compilequeue.NewMemoCap[*compileOutput](cfg.Compile.memoCapacity())
+		}
 	}
+	s.shared = cfg.Compile.SharedCache
 	if cfg.Health.Enabled() {
 		s.hc = health.New(cfg.Health)
 	}

@@ -1,0 +1,55 @@
+package dynopt
+
+import (
+	"testing"
+
+	"smarq/internal/alias"
+	"smarq/internal/guest"
+)
+
+// TestMemoKeyZeroAllocs pins content-hash key construction at zero heap
+// allocations: memoKey runs on the dispatch path at every enqueue, so the
+// sorted blacklist/pin encodings must come out of the pooled scratch, not
+// fresh slices. The blacklist and pin sets are deliberately nonempty —
+// the sorted encodings are the only part of the fold that ever allocated.
+func TestMemoKeyZeroAllocs(t *testing.T) {
+	sys := New(aliasingProgram(800, 7), &guest.State{}, guest.NewMemory(1<<16), ConfigSMARQ(64))
+	if _, err := sys.Run(40_000); err != nil {
+		t.Fatal(err)
+	}
+	entry := -1
+	for e := range sys.sbCache {
+		entry = e
+		break
+	}
+	if entry < 0 {
+		t.Fatal("run formed no superblocks")
+	}
+	in, err := sys.newCompileInput(entry)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in.blacklist = alias.Blacklist{
+		alias.MakePair(3, 1): true,
+		alias.MakePair(2, 5): true,
+		alias.MakePair(0, 4): true,
+	}
+	in.scfg.PinnedOps = map[int]bool{9: true, 2: true, 5: true}
+
+	want := memoKey(in)
+	allocs := testing.AllocsPerRun(200, func() {
+		if got := memoKey(in); got != want {
+			t.Fatalf("memo key unstable: %#x != %#x", got, want)
+		}
+	})
+	// Under the race detector sync.Pool drops a fraction of Puts, so the
+	// pooled scratch occasionally reallocates; the exact-zero pin only
+	// holds in a normal build.
+	budget := 0.0
+	if raceEnabled {
+		budget = 2
+	}
+	if allocs > budget {
+		t.Errorf("memoKey allocates %.1f times per call, want <= %.0f", allocs, budget)
+	}
+}

@@ -1,0 +1,5 @@
+//go:build !race
+
+package dynopt
+
+const raceEnabled = false

@@ -1,0 +1,9 @@
+//go:build race
+
+package dynopt
+
+// raceEnabled widens steady-state allocation budgets: under the race
+// detector sync.Pool deliberately drops a fraction of Puts, so pooled
+// scratch (the memoKey sort buffers) occasionally reallocates even in
+// steady state.
+const raceEnabled = true

@@ -158,7 +158,10 @@ func newSystemTelemetry(cfg *Config) *systemTelemetry {
 		st.queueDepth = reg.Gauge(gCompileQueue)
 		st.compileLatency = reg.Histogram(hCompileLatency, telemetry.Pow2Bounds(256, 65536))
 	}
-	if cc.Memoize {
+	if cc.Memoize || cc.SharedCache != nil {
+		// Shared-cache lookups reuse the memo hit/miss instruments; the
+		// table-size gauge and eviction counter stay zero there (the
+		// fleet-global view is codecache's PublishMetrics).
 		st.memoHits = reg.Counter(mMemoHits)
 		st.memoMisses = reg.Counter(mMemoMisses)
 		st.memoEvictions = reg.Counter(mMemoEvictions)

@@ -1,0 +1,150 @@
+package harness
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"smarq/internal/telemetry"
+)
+
+// captureSink buffers every drained event in memory for the determinism
+// diff.
+type captureSink struct {
+	events []telemetry.Event
+}
+
+func (s *captureSink) WriteEvents(evs []telemetry.Event) error {
+	s.events = append(s.events, evs...)
+	return nil
+}
+
+func (s *captureSink) Close() error { return nil }
+
+// scrubEvents zeroes the memo-hit flag (Event.B) on compile-enqueue
+// events: whether an enqueue hit the shared cache depends on fleet
+// interleaving, the one tolerated divergence from a solo run. Every other
+// event byte must match.
+func scrubEvents(evs []telemetry.Event) []telemetry.Event {
+	out := make([]telemetry.Event, len(evs))
+	copy(out, evs)
+	for i := range out {
+		if out[i].Kind == telemetry.KindCompileEnqueue {
+			out[i].B = 0
+		}
+	}
+	return out
+}
+
+// TestFleetTenantDeterminism is the tentpole's correctness gate: at every
+// tenant-count × shared-worker-count combination, each tenant's stats,
+// event trace, final guest registers and guest memory must be
+// byte-identical to a solo run of the same benchmark — the shared pool
+// and cache may only change host wall time and the scrubbed hit/miss
+// counters. Run it with -race: the tenants genuinely share the pool and
+// cache concurrently.
+func TestFleetTenantDeterminism(t *testing.T) {
+	mix := []string{"swim", "equake", "ammp"}
+	const maxInsts = 60_000
+
+	type soloKey struct {
+		bench   string
+		workers int
+	}
+	type soloRun struct {
+		tenant FleetTenant
+		events []telemetry.Event
+	}
+	solos := make(map[soloKey]*soloRun)
+	soloFor := func(t *testing.T, bench string, workers int) *soloRun {
+		key := soloKey{bench, workers}
+		if s, ok := solos[key]; ok {
+			return s
+		}
+		sink := &captureSink{}
+		res, err := RunFleet(FleetConfig{
+			Tenants:        1,
+			Mix:            []string{bench},
+			CompileWorkers: workers,
+			MaxInsts:       maxInsts,
+			Telemetry: func(int, string) *telemetry.Telemetry {
+				return &telemetry.Telemetry{Events: telemetry.NewTracer(0, sink)}
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := &soloRun{tenant: res.Tenants[0], events: scrubEvents(sink.events)}
+		solos[key] = s
+		return s
+	}
+
+	for _, tenants := range []int{1, 4, 8} {
+		for _, workers := range []int{1, 4} {
+			t.Run(fmt.Sprintf("tenants%d/workers%d", tenants, workers), func(t *testing.T) {
+				sinks := make([]*captureSink, tenants)
+				res, err := RunFleet(FleetConfig{
+					Tenants:        tenants,
+					Mix:            mix,
+					CompileWorkers: workers,
+					MaxInsts:       maxInsts,
+					Telemetry: func(tenant int, _ string) *telemetry.Telemetry {
+						sinks[tenant] = &captureSink{}
+						return &telemetry.Telemetry{Events: telemetry.NewTracer(0, sinks[tenant])}
+					},
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				for i := range res.Tenants {
+					ft := &res.Tenants[i]
+					solo := soloFor(t, ft.Bench, workers)
+					if ft.Halted != solo.tenant.Halted {
+						t.Errorf("tenant %d (%s): halted=%v, solo halted=%v", ft.Tenant, ft.Bench, ft.Halted, solo.tenant.Halted)
+					}
+					got, want := ScrubSharedCounters(ft.Stats), ScrubSharedCounters(solo.tenant.Stats)
+					if !reflect.DeepEqual(got, want) {
+						t.Errorf("tenant %d (%s): stats diverge from solo run:\nfleet: %+v\nsolo:  %+v", ft.Tenant, ft.Bench, got, want)
+					}
+					if ft.State != solo.tenant.State {
+						t.Errorf("tenant %d (%s): final guest registers diverge from solo run", ft.Tenant, ft.Bench)
+					}
+					if ft.MemDigest != solo.tenant.MemDigest {
+						t.Errorf("tenant %d (%s): guest memory digest %#x, solo %#x", ft.Tenant, ft.Bench, ft.MemDigest, solo.tenant.MemDigest)
+					}
+					if evs := scrubEvents(sinks[i].events); !reflect.DeepEqual(evs, solo.events) {
+						t.Errorf("tenant %d (%s): event trace diverges from solo run (%d vs %d events)", ft.Tenant, ft.Bench, len(evs), len(solo.events))
+					}
+				}
+				// Exactly-once fleet-wide compilation: every lookup either
+				// compiled, hit the table, or joined a flight — and the
+				// unbounded cache never evicts, so compiles never repeat.
+				c := res.Cache
+				if c.Hits+c.FlightWaits+c.Compiles != c.Lookups {
+					t.Errorf("cache accounting: hits %d + flight-waits %d + compiles %d != lookups %d",
+						c.Hits, c.FlightWaits, c.Compiles, c.Lookups)
+				}
+			})
+		}
+	}
+}
+
+// TestVerifyFleet exercises the public verification helper end to end.
+func TestVerifyFleet(t *testing.T) {
+	fc := FleetConfig{
+		Tenants:        4,
+		Mix:            []string{"swim", "equake"},
+		CompileWorkers: 2,
+		MaxInsts:       40_000,
+	}
+	res, err := RunFleet(fc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyFleet(fc, res); err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Render(); len(got) == 0 {
+		t.Error("empty fleet report")
+	}
+}

@@ -3,6 +3,7 @@ package vliw
 import (
 	"fmt"
 	"math"
+	"unsafe"
 
 	"smarq/internal/aliashw"
 	"smarq/internal/atomic"
@@ -84,6 +85,36 @@ func (c Config) Compile(seq []*ir.Op, reg *ir.Region, guestInsts int) *CompiledR
 		GuestInsts: guestInsts,
 		dec:        decode(seq),
 	}
+}
+
+// Bytes estimates the region's retained heap footprint: the struct
+// itself, the schedule's pointer slice, the pre-decoded op stream, and the
+// frozen region slabs (ir.Freeze packs ops, operand lists, flags and mem
+// infos into exact-capacity arrays, so slab lengths are exactly the live
+// element counts). Seq points into the same frozen op slab as Region.Ops,
+// so op structs are counted once via Region.Ops. The result depends only
+// on the region's structure — never on addresses or host state — so it is
+// deterministic and safe to fold into cache-eviction decisions.
+func (cr *CompiledRegion) Bytes() int64 {
+	const ptrSize = int64(unsafe.Sizeof((*ir.Op)(nil)))
+	n := int64(unsafe.Sizeof(*cr))
+	n += int64(len(cr.Seq)) * ptrSize
+	n += int64(len(cr.dec)) * int64(unsafe.Sizeof(decOp{}))
+	reg := cr.Region
+	if reg == nil {
+		return n
+	}
+	n += int64(unsafe.Sizeof(*reg))
+	n += int64(len(reg.Ops)) * ptrSize
+	for _, o := range reg.Ops {
+		n += int64(unsafe.Sizeof(*o))
+		n += int64(len(o.Srcs)) * int64(unsafe.Sizeof(ir.VReg(0)))
+		n += int64(len(o.SrcFloat)) // one byte per bool flag
+		if o.Mem != nil {
+			n += int64(unsafe.Sizeof(*o.Mem))
+		}
+	}
+	return n
 }
 
 // CycleCount models in-order VLIW issue of the sequence: ops issue in
