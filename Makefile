@@ -5,7 +5,8 @@ GO ?= go
 PARALLEL ?= 0
 
 .PHONY: all build test race bench bench-all bench-check figures examples clean \
-	ci fmt-check lint bench-smoke fuzz-smoke chaos-smoke trace-smoke fleet-smoke
+	ci fmt-check lint bench-smoke fuzz-smoke chaos-smoke trace-smoke fleet-smoke \
+	analyze-smoke
 
 all: build test
 
@@ -20,7 +21,7 @@ race:
 	$(GO) test -race ./...
 
 # Everything CI gates on, runnable locally in one shot.
-ci: build test fmt-check bench-smoke trace-smoke
+ci: build test fmt-check bench-smoke trace-smoke analyze-smoke
 
 # Static analysis and known-vulnerability scan. Tool versions are pinned
 # so the gate is reproducible; `go run pkg@version` fetches them into the
@@ -66,6 +67,35 @@ trace-smoke:
 	$(GO) run ./cmd/smarq-golden -golden testdata/trace-smoke.metrics.golden.json \
 		-got /tmp/trace-smoke.metrics.json
 	@echo "trace-smoke: ok"
+
+# Postmortem analyzer gate: regenerate a seeded chaos trace and a pair of
+# per-tenant fleet traces, run smarq-analyze over all three, and compare
+# the JSON report against the checked-in golden. Both the traces (cycle-
+# stamped, fleet tenants byte-identical to solo runs) and the analyzer
+# (sorted runs, integer percentiles) are deterministic, so the compare is
+# effectively exact at any worker count. Refresh the golden with:
+#   make analyze-smoke ANALYZE_GOLDEN_OUT=testdata/analyze-smoke.golden.json
+ANALYZE_TMP = /tmp/smarq-analyze-smoke
+ANALYZE_GOLDEN_OUT =
+analyze-smoke:
+	rm -rf $(ANALYZE_TMP) && mkdir -p $(ANALYZE_TMP)
+	$(GO) run ./cmd/smarq-run -bench equake -chaos-seed 7 -chaos-host -health \
+		-compile-workers 2 -trace $(ANALYZE_TMP)/solo-equake.jsonl >/dev/null
+	$(GO) run ./cmd/smarq-bench -tenants 2 -tenant-mix swim,equake \
+		-compile-workers 2 -trace $(ANALYZE_TMP)/fleet.jsonl >/dev/null
+	$(GO) run ./cmd/smarq-analyze -json \
+		$(ANALYZE_TMP)/solo-equake.jsonl \
+		$(ANALYZE_TMP)/fleet.tenant0-swim.jsonl \
+		$(ANALYZE_TMP)/fleet.tenant1-equake.jsonl \
+		> $(ANALYZE_TMP)/report.json
+ifeq ($(ANALYZE_GOLDEN_OUT),)
+	$(GO) run ./cmd/smarq-golden -golden testdata/analyze-smoke.golden.json \
+		-got $(ANALYZE_TMP)/report.json
+	@echo "analyze-smoke: ok"
+else
+	cp $(ANALYZE_TMP)/report.json $(ANALYZE_GOLDEN_OUT)
+	@echo "analyze-smoke: refreshed $(ANALYZE_GOLDEN_OUT)"
+endif
 
 # Short differential fuzz of the dynopt pipeline (seed corpus also runs
 # under plain `go test`).

@@ -30,6 +30,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"runtime"
 	"strings"
 	"sync/atomic"
@@ -65,6 +66,7 @@ func main() {
 	cacheShards := flag.Int("cache-shards", 0, "fleet mode: shared code cache shard count (0 = default)")
 	cacheEntries := flag.Int64("cache-entries", 0, "fleet mode: shared code cache global entry budget (0 = unbounded)")
 	cacheBytes := flag.Int64("cache-bytes", 0, "fleet mode: shared code cache global byte budget (0 = unbounded)")
+	listen := flag.String("listen", "", "fleet mode: serve the observability endpoints (/metrics, /healthz, /debug/*) at this address during the run")
 	flag.Parse()
 
 	stopCPU, err := profiledump.StartCPU(*cpuprofile)
@@ -88,6 +90,9 @@ func main() {
 			verify:      *fleetVerify,
 			asJSON:      *asJSON,
 			metricsFile: *metricsFile,
+			traceFile:   *traceFile,
+			traceFormat: *traceFormat,
+			listen:      *listen,
 		})
 		stopCPU()
 		if err := profiledump.WriteHeap(*memprofile); err != nil {
@@ -374,22 +379,70 @@ type fleetOpts struct {
 	verify      bool
 	asJSON      bool
 	metricsFile string
+	traceFile   string
+	traceFormat string
+	listen      string
+}
+
+// tenantTracePath derives one tenant's trace file name from the -trace
+// base path: base.trace.json + tenant 2 running equake becomes
+// base.trace.tenant2-equake.json.
+func tenantTracePath(base string, tenant int, bench string) string {
+	ext := filepath.Ext(base)
+	return fmt.Sprintf("%s.tenant%d-%s%s", strings.TrimSuffix(base, ext), tenant, bench, ext)
 }
 
 // runFleetMode is the -tenants path: one concurrent multi-tenant run over
 // the shared compile pool and code cache, reported as a text table (or
 // JSON), optionally followed by the per-tenant solo-determinism diff.
+// -trace writes one JSONL/Chrome file per tenant (the fleet determinism
+// contract makes each byte-identical to the tenant's solo trace), and
+// -listen serves the live observability endpoints for the run's duration.
 func runFleetMode(o fleetOpts) {
 	var registry *telemetry.Registry
 	if o.metricsFile != "" {
 		registry = telemetry.NewRegistry()
 		o.config.Metrics = registry
 	}
+	o.config.Listen = o.listen
+	if o.listen != "" {
+		o.config.ObsReady = func(addr string) {
+			fmt.Fprintf(os.Stderr, "# smarq-bench: serving observability endpoints on http://%s\n", addr)
+		}
+	}
+	var traceCloses []func() error
+	if o.traceFile != "" {
+		// The harness calls the Telemetry hook sequentially before any
+		// tenant starts, so file creation order is deterministic.
+		o.config.Telemetry = func(tenant int, bench string) *telemetry.Telemetry {
+			path := tenantTracePath(o.traceFile, tenant, bench)
+			f, err := os.Create(path)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "smarq-bench:", err)
+				os.Exit(1)
+			}
+			sink, err := telemetry.NewFormatSink(f, o.traceFormat)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "smarq-bench:", err)
+				os.Exit(2)
+			}
+			traceCloses = append(traceCloses, sink.Close, f.Close)
+			return &telemetry.Telemetry{Events: telemetry.NewTracer(0, sink)}
+		}
+	}
 	start := time.Now()
 	res, err := harness.RunFleet(o.config)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "smarq-bench:", err)
 		os.Exit(1)
+	}
+	// RunFleet flushed each tenant's tracer as it finished; the sinks and
+	// files are closed here, after every tenant is done.
+	for _, closeFn := range traceCloses {
+		if err := closeFn(); err != nil {
+			fmt.Fprintln(os.Stderr, "smarq-bench: trace:", err)
+			os.Exit(1)
+		}
 	}
 	if o.asJSON {
 		enc := json.NewEncoder(os.Stdout)

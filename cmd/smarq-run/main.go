@@ -14,8 +14,10 @@
 // -trace streams cycle-stamped runtime events to a file (jsonl for
 // diffable line-oriented output, chrome for a Perfetto-loadable
 // timeline); -metrics snapshots the aggregate counters and histograms to
-// JSON after the run; -listen serves the live metrics snapshot over HTTP
-// for long chaos soaks. -chaos-host extends the chaos mix with host fault
+// JSON after the run; -listen serves the observability endpoints
+// (/metrics in Prometheus or JSON form, /healthz, /debug/cache,
+// /debug/tenants, /debug/pprof) over HTTP for the duration of the run —
+// useful for long chaos soaks. -chaos-host extends the chaos mix with host fault
 // classes (compile-worker panics, hangs, poisoned results, memo
 // pressure); -health arms the graceful-degradation controller. See
 // DESIGN.md ("Telemetry"; "Host fault domains and the health
@@ -23,18 +25,20 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
-	"net/http"
 	"os"
 	"strings"
+	"time"
 
 	"smarq/internal/dynopt"
 	"smarq/internal/faultinject"
 	"smarq/internal/guest"
 	"smarq/internal/harness"
 	"smarq/internal/health"
+	"smarq/internal/obs"
 	"smarq/internal/profiledump"
 	"smarq/internal/telemetry"
 	"smarq/internal/workload"
@@ -58,7 +62,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	traceFile := fs.String("trace", "", "write a cycle-stamped event trace to this file")
 	traceFormat := fs.String("trace-format", "jsonl", "trace encoding: jsonl or chrome (Perfetto-loadable)")
 	metricsFile := fs.String("metrics", "", "write a JSON metrics snapshot (counters + histograms) to this file")
-	listen := fs.String("listen", "", "serve the live metrics snapshot over HTTP at this address (e.g. :8080)")
+	listen := fs.String("listen", "", "serve the observability endpoints (/metrics, /healthz, /debug/*) at this address (e.g. :8080)")
 	list := fs.Bool("list", false, "list benchmarks and exit")
 	memSize := fs.Int("mem", 1<<20, "guest memory size for -file runs")
 	maxInsts := fs.Uint64("maxinsts", 0, "instruction budget (0 = benchmark default; -file runs default to 100M)")
@@ -211,10 +215,24 @@ func run(args []string, stdout, stderr io.Writer) int {
 		cfg.Telemetry = tel
 	}
 	if *listen != "" {
-		go func() {
-			if err := http.ListenAndServe(*listen, tel.Metrics.Handler()); err != nil {
-				fmt.Fprintln(stderr, "smarq-run: -listen:", err)
-			}
+		// The obs server binds synchronously (a bad address fails the run
+		// here, not in a goroutine's log line) and is shut down after the
+		// run so the process exits cleanly; ":0" binds an ephemeral port.
+		server := obs.NewServer(obs.Options{
+			Fleet: tel.Metrics,
+			Tenants: func() []obs.TenantView {
+				return []obs.TenantView{{ID: 0, Bench: bm.Name, Metrics: tel.Metrics}}
+			},
+		})
+		if err := server.Start(*listen); err != nil {
+			fmt.Fprintln(stderr, "smarq-run:", err)
+			return 1
+		}
+		fmt.Fprintf(stderr, "smarq-run: serving observability endpoints on http://%s\n", server.Addr())
+		defer func() {
+			ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			defer cancel()
+			_ = server.Shutdown(ctx)
 		}()
 	}
 

@@ -44,6 +44,39 @@ func TestHostChaosRunSucceeds(t *testing.T) {
 	}
 }
 
+// TestListenRunExitsCleanly pins the -listen lifecycle fix: the ops
+// server binds port 0 synchronously, serves for the run, and is shut
+// down when the run completes — run() returns instead of leaking the
+// listener goroutine, and the bound address is reported on stderr.
+func TestListenRunExitsCleanly(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run([]string{
+		"-bench", "swim", "-maxinsts", "20000", "-listen", "127.0.0.1:0",
+	}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit code %d\nstderr:\n%s", code, errb.String())
+	}
+	if !strings.Contains(errb.String(), "serving observability endpoints on http://127.0.0.1:") {
+		t.Errorf("stderr does not report the bound address:\n%s", errb.String())
+	}
+}
+
+// TestListenBindErrorFailsFast: a hopeless -listen address fails the run
+// with exit 1 before any simulation work, not in a background goroutine's
+// log line.
+func TestListenBindErrorFailsFast(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run([]string{
+		"-bench", "swim", "-listen", "256.0.0.1:0",
+	}, &out, &errb)
+	if code != 1 {
+		t.Fatalf("exit code %d, want 1\nstderr:\n%s", code, errb.String())
+	}
+	if !strings.Contains(errb.String(), "listen") {
+		t.Errorf("stderr does not name the bind failure:\n%s", errb.String())
+	}
+}
+
 func TestUsageErrors(t *testing.T) {
 	cases := map[string][]string{
 		"unknown benchmark": {"-bench", "nope"},

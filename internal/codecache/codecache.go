@@ -40,6 +40,7 @@
 package codecache
 
 import (
+	"strconv"
 	"sync"
 	"sync/atomic"
 
@@ -409,6 +410,9 @@ const (
 	gEntries     = "codecache_entries"
 	gBytes       = "codecache_bytes"
 	gShardMax    = "codecache_shard_max_entries"
+	// gShardEntries is the per-shard occupancy family; series carry a
+	// shard="N" label (telemetry.Labeled).
+	gShardEntries = "codecache_shard_entries"
 )
 
 // metrics holds the resolved instruments plus the counter values already
@@ -418,7 +422,10 @@ type metrics struct {
 	lookups, hits, misses, flightWaits *telemetry.Counter
 	compiles, evictions, contention    *telemetry.Counter
 	entries, bytes, shardMax           *telemetry.Gauge
-	last                               Stats
+	// shardEntries is the per-shard occupancy as labeled series
+	// (codecache_shard_entries{shard="N"}), one gauge per shard.
+	shardEntries []*telemetry.Gauge
+	last         Stats
 }
 
 // PublishMetrics registers the cache's instruments against reg on first
@@ -443,6 +450,12 @@ func (c *Cache[V]) PublishMetrics(reg *telemetry.Registry) {
 			entries:     reg.Gauge(gEntries),
 			bytes:       reg.Gauge(gBytes),
 			shardMax:    reg.Gauge(gShardMax),
+
+			shardEntries: make([]*telemetry.Gauge, len(c.shards)),
+		}
+		for i := range c.shards {
+			c.met.shardEntries[i] = reg.Gauge(telemetry.Labeled(gShardEntries,
+				telemetry.Label{Name: "shard", Value: strconv.Itoa(i)}))
 		}
 	}
 	st := c.Stats()
@@ -457,10 +470,11 @@ func (c *Cache[V]) PublishMetrics(reg *telemetry.Registry) {
 	m.entries.Set(st.Entries)
 	m.bytes.Set(st.Bytes)
 	maxOcc := 0
-	for _, n := range st.ShardEntries {
+	for i, n := range st.ShardEntries {
 		if n > maxOcc {
 			maxOcc = n
 		}
+		m.shardEntries[i].Set(int64(n))
 	}
 	m.shardMax.Set(int64(maxOcc))
 	m.last = st

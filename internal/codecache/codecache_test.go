@@ -2,6 +2,7 @@ package codecache
 
 import (
 	"math/rand"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -364,5 +365,109 @@ func TestPublishMetrics(t *testing.T) {
 	}
 	if got := reg.Counter(mHits).Value(); got != hits {
 		t.Fatalf("published hits %d, want %d", got, hits)
+	}
+}
+
+// TestCodecacheMetricsConcurrent hammers the cache from many tenant
+// goroutines — lookups, flight completions, plain gets — while a monitor
+// goroutine repeatedly delta-syncs PublishMetrics, then checks the
+// published instruments against the cache's own Stats at quiescence:
+// every counter must match exactly, hits+misses must cover every lookup,
+// and the per-shard labeled gauges must sum to the live entry count.
+// Run with -race: the publish path races real mutations.
+func TestCodecacheMetricsConcurrent(t *testing.T) {
+	const (
+		tenants = 8
+		keys    = 64
+		iters   = 400
+	)
+	reg := telemetry.NewRegistry()
+	c := New[int](Options{Shards: 4, MaxEntries: 48}, func(int) int64 { return 8 })
+
+	stop := make(chan struct{})
+	var monitor sync.WaitGroup
+	monitor.Add(1)
+	go func() {
+		defer monitor.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				c.PublishMetrics(reg)
+			}
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for tenant := 0; tenant < tenants; tenant++ {
+		wg.Add(1)
+		go func(tenant int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(tenant) + 1))
+			for i := 0; i < iters; i++ {
+				k := mkKey(rng.Intn(keys))
+				switch rng.Intn(3) {
+				case 0:
+					c.Get(k)
+				default:
+					if _, hit, f, leader := c.Lookup(k); !hit {
+						if leader {
+							c.Complete(k, f, tenant, true)
+						} else {
+							<-f.Done()
+						}
+					}
+				}
+			}
+		}(tenant)
+	}
+	wg.Wait()
+	close(stop)
+	monitor.Wait()
+
+	// Final delta-sync at quiescence, then the books must balance.
+	c.PublishMetrics(reg)
+	c.PublishMetrics(reg) // idempotent: the second sync adds an empty delta
+	st := c.Stats()
+
+	for _, chk := range []struct {
+		name string
+		got  int64
+		want int64
+	}{
+		{mLookups, reg.Counter(mLookups).Value(), st.Lookups},
+		{mHits, reg.Counter(mHits).Value(), st.Hits},
+		{mMisses, reg.Counter(mMisses).Value(), st.Misses},
+		{mFlightWaits, reg.Counter(mFlightWaits).Value(), st.FlightWaits},
+		{mCompiles, reg.Counter(mCompiles).Value(), st.Compiles},
+		{mEvictions, reg.Counter(mEvictions).Value(), st.Evictions},
+		{mContention, reg.Counter(mContention).Value(), st.Contention},
+	} {
+		if chk.got != chk.want {
+			t.Errorf("published %s = %d, Stats say %d", chk.name, chk.got, chk.want)
+		}
+	}
+	if st.Hits+st.Misses != st.Lookups {
+		t.Errorf("hits %d + misses %d != lookups %d", st.Hits, st.Misses, st.Lookups)
+	}
+	if st.FlightWaits+st.Compiles > st.Misses {
+		t.Errorf("flight waits %d + compiles %d exceed misses %d",
+			st.FlightWaits, st.Compiles, st.Misses)
+	}
+	var shardSum int64
+	for i := range st.ShardEntries {
+		g := reg.Gauge(telemetry.Labeled(gShardEntries,
+			telemetry.Label{Name: "shard", Value: strconv.Itoa(i)}))
+		if got := g.Value(); got != int64(st.ShardEntries[i]) {
+			t.Errorf("shard %d gauge = %d, Stats say %d", i, got, st.ShardEntries[i])
+		}
+		shardSum += int64(st.ShardEntries[i])
+	}
+	if shardSum != st.Entries {
+		t.Errorf("per-shard occupancy sums to %d, entries gauge says %d", shardSum, st.Entries)
+	}
+	if got := reg.Gauge(gEntries).Value(); got != st.Entries {
+		t.Errorf("entries gauge %d, Stats say %d", got, st.Entries)
 	}
 }

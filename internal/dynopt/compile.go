@@ -235,8 +235,11 @@ type pendingCompile struct {
 	done chan struct{}
 	// flight is the shared-cache single-flight this enqueue leads or
 	// joined (shared mode only); the install point takes the result from
-	// it when out is still nil.
-	flight *codecache.Flight[*compileOutput]
+	// it when out is still nil. deduped marks the follower case — this
+	// enqueue joined another tenant's flight instead of leading one — so
+	// the install point can attribute its latency as dedupe wait.
+	flight  *codecache.Flight[*compileOutput]
+	deduped bool
 }
 
 // at is the pending compile's queue event time: its install point, or —
@@ -727,6 +730,9 @@ func (s *System) compile(entry int) error {
 			s.tel.memoLookup(false)
 			<-flight.Done()
 			out, memoHit = flight.Value(), true
+			// The wait is wall-clock only: synchronous compilation happens
+			// at one simulated instant, so the modelled dedupe wait is 0.
+			s.tel.dedupeWaited(0)
 		}
 	}
 	if out == nil {
@@ -867,6 +873,7 @@ func (s *System) enqueueCompile(entry int) error {
 			s.Stats.Compile.MemoMisses++
 			s.Stats.Compile.DedupeWaits++
 			p.flight = flight
+			p.deduped = true
 		}
 	}
 	if p.out == nil && !p.hung && p.flight == nil {
@@ -991,6 +998,9 @@ func (s *System) installPending(p *pendingCompile) {
 	s.Stats.Compile.WorkCycles += p.readyAt - p.enqueuedAt
 	s.Stats.Compile.LatencySum += latency
 	s.tel.compileInstalled(latency, len(s.bg.pending))
+	if p.deduped {
+		s.tel.dedupeWaited(latency)
+	}
 	out := p.out
 	if err := s.admitOutput(p.entry, out); err != nil {
 		s.Stats.Compile.Failed++
@@ -1043,7 +1053,10 @@ func (s *System) installOutput(entry int, out *compileOutput, latency int64) {
 			entry, out.guestInsts, out.seqLen, out.cr.Cycles, out.memOps,
 			out.alloc.PBits, out.alloc.CBits, out.alloc.WorkingSet)
 	}
-	s.cache[entry] = &compiled{cr: out.cr, lastUse: s.entrySeq}
+	s.cache[entry] = &compiled{
+		cr: out.cr, lastUse: s.entrySeq,
+		installedAt: s.now(), fresh: true,
+	}
 
 	rs := RegionStats{
 		Entry:          entry,

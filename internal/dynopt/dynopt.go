@@ -293,6 +293,11 @@ type compiled struct {
 	// lastUse is the dispatch sequence number of the region's most
 	// recent execution — the code cache eviction clock.
 	lastUse int64
+	// installedAt is the simulated cycle the code landed in the cache;
+	// fresh marks it not yet dispatched, so the first execution can
+	// observe the install-to-dispatch lag exactly once.
+	installedAt int64
+	fresh       bool
 }
 
 // System is one guest program under the dynamic optimization system.
@@ -613,6 +618,10 @@ func (s *System) runRegion(entry int, c *compiled) int {
 	rr := s.recoveryOf(entry)
 	s.Stats.Recovery.TierDispatches[rr.tier]++
 	s.tel.dispatch(s.now(), entry, rr.tier)
+	if c.fresh {
+		c.fresh = false
+		s.tel.firstDispatch(s.now() - c.installedAt)
+	}
 
 	var snap faultinject.Snapshot
 	if s.cfg.CheckInvariants {

@@ -63,6 +63,13 @@ const (
 	hOccupancy      = "queue_occupancy"
 	hCompile        = "compile_cycles"
 	hCompileLatency = "compile_latency_cycles"
+
+	// Observability-plane additions: install-to-dispatch lag is always
+	// registered with metrics on; dedupe-wait only with a shared cache
+	// (same conditional-registration discipline as the instruments above).
+	hInstallLag = "install_dispatch_lag_cycles"
+	hDedupeWait = "dedupe_wait_cycles"
+	mTierFamily = "dynopt_tier_dispatches"
 )
 
 // systemTelemetry is the per-System view of an enabled telemetry bundle:
@@ -91,6 +98,15 @@ type systemTelemetry struct {
 	occupancy    *telemetry.Histogram
 	compileCost  *telemetry.Histogram
 
+	// installLag tracks simulated cycles between a compiled region being
+	// installed in the code cache and its first dispatch. tierDispatches
+	// splits the dispatch count by speculation tier as labeled series
+	// (dynopt_tier_dispatches{tier="..."}); instruments are resolved per
+	// rung at construction so the hot path stays one array index plus an
+	// atomic add.
+	installLag     *telemetry.Histogram
+	tierDispatches [NumTiers]*telemetry.Counter
+
 	// Background-compilation instruments (nil — and therefore inert —
 	// unless the feature is configured on).
 	compileEnqueues *telemetry.Counter
@@ -102,6 +118,10 @@ type systemTelemetry struct {
 	queueDepth      *telemetry.Gauge
 	memoSize        *telemetry.Gauge
 	compileLatency  *telemetry.Histogram
+
+	// dedupeWait tracks how long a deduped background compile waited on
+	// the cross-tenant flight it joined (nil without a shared cache).
+	dedupeWait *telemetry.Histogram
 
 	// Host-fault and health instruments (nil unless host chaos or the
 	// health controller is on).
@@ -147,6 +167,12 @@ func newSystemTelemetry(cfg *Config) *systemTelemetry {
 		aliasRegs:    reg.Histogram(hAliasRegs, telemetry.Pow2Bounds(1, 64)),
 		occupancy:    reg.Histogram(hOccupancy, telemetry.Pow2Bounds(1, 64)),
 		compileCost:  reg.Histogram(hCompile, telemetry.Pow2Bounds(64, 4096)),
+
+		installLag: reg.Histogram(hInstallLag, telemetry.Pow2Bounds(64, 65536)),
+	}
+	for tier := 0; tier < NumTiers; tier++ {
+		st.tierDispatches[tier] = reg.Counter(telemetry.Labeled(
+			mTierFamily, telemetry.Label{Name: "tier", Value: Tier(tier).String()}))
 	}
 	// Conditional registration: the -metrics snapshot includes every
 	// registered key (even zero-valued), so runs without the feature must
@@ -166,6 +192,9 @@ func newSystemTelemetry(cfg *Config) *systemTelemetry {
 		st.memoMisses = reg.Counter(mMemoMisses)
 		st.memoEvictions = reg.Counter(mMemoEvictions)
 		st.memoSize = reg.Gauge(gMemoSize)
+	}
+	if cc.SharedCache != nil {
+		st.dedupeWait = reg.Histogram(hDedupeWait, telemetry.Pow2Bounds(64, 65536))
 	}
 	if cfg.Chaos.HostEnabled() || cfg.Health.Enabled() {
 		st.hostFaults = reg.Counter(mHostFaults)
@@ -282,10 +311,29 @@ func (st *systemTelemetry) dispatch(cycle int64, entry int, tier Tier) {
 		return
 	}
 	st.dispatches.Add(1)
+	st.tierDispatches[tier].Add(1)
 	st.tr.Emit(telemetry.Event{
 		Cycle: cycle, Kind: telemetry.KindDispatch,
 		Region: int32(entry), Tier: int8(tier), To: -1,
 	})
+}
+
+// firstDispatch records the install-to-dispatch lag the first time a
+// freshly installed region is actually executed.
+func (st *systemTelemetry) firstDispatch(lag int64) {
+	if st == nil {
+		return
+	}
+	st.installLag.Observe(lag)
+}
+
+// dedupeWaited records how long a deduped background compile sat behind
+// the cross-tenant flight that produced its code.
+func (st *systemTelemetry) dedupeWaited(wait int64) {
+	if st == nil {
+		return
+	}
+	st.dedupeWait.Observe(wait)
 }
 
 func (st *systemTelemetry) commit(cycle int64, entry int, tier Tier, cost int64, arHighWater, storesBuffered int) {

@@ -172,6 +172,25 @@ func TestTelemetryMatchesStats(t *testing.T) {
 				}
 			}
 
+			// The labeled per-tier dispatch series agree with the Stats
+			// split. Only compiled tiers dispatch through runRegion; the
+			// pinned rung's "dispatches" are interpreted entries and never
+			// touch the dispatch instruments.
+			for tier := TierFull; tier < TierPinned; tier++ {
+				key := telemetry.Labeled(mTierFamily,
+					telemetry.Label{Name: "tier", Value: tier.String()})
+				if got := reg.Counter(key).Value(); got != st.Recovery.TierDispatches[tier] {
+					t.Errorf("%s/seed%d: %s = %d, Stats say %d",
+						name, seed, key, got, st.Recovery.TierDispatches[tier])
+				}
+			}
+			pinKey := telemetry.Labeled(mTierFamily,
+				telemetry.Label{Name: "tier", Value: TierPinned.String()})
+			if got := reg.Counter(pinKey).Value(); got != 0 {
+				t.Errorf("%s/seed%d: pinned tier counter = %d, want 0 (interpreted entries)",
+					name, seed, got)
+			}
+
 			// End-of-run residency is internally consistent.
 			rec := &st.Recovery
 			if rec.PinnedRegions != rec.TierRegions[TierPinned] {
@@ -271,6 +290,27 @@ func TestRunRegionZeroAllocs(t *testing.T) {
 			}
 			if sys.Stats.Commits <= before {
 				t.Fatal("pinned loop did not commit")
+			}
+		})
+
+		// Same pin with the fresh flag re-armed every entry, so the
+		// install-to-dispatch lag observation runs on each iteration —
+		// the histogram path must stay allocation-free too.
+		t.Run(name+"/fresh", func(t *testing.T) {
+			sys, entry, c := warmCommitSystem(t, tel)
+			allocs := testing.AllocsPerRun(200, func() {
+				c.fresh = true
+				if next := sys.runRegion(entry, c); next != entry {
+					t.Fatalf("dispatch left the loop: next=%d", next)
+				}
+			})
+			if allocs != 0 {
+				t.Errorf("runRegion (fresh install) allocates %v times per entry, want 0", allocs)
+			}
+			if tel != nil {
+				if n := tel.Metrics.Histogram(hInstallLag, nil).Count(); n == 0 {
+					t.Error("install-lag histogram never observed")
+				}
 			}
 		})
 	}

@@ -57,6 +57,18 @@ type FleetConfig struct {
 	// Metrics, when set, receives the shared cache's fleet-global
 	// instruments (codecache_* counters and gauges) at end of run.
 	Metrics *telemetry.Registry
+	// Listen, when non-empty, serves the observability plane (Prometheus
+	// /metrics with per-tenant labels, /healthz, /debug/cache,
+	// /debug/tenants, pprof) at this address for the duration of the run;
+	// ":0" binds an ephemeral port. Every tenant is given a metrics
+	// registry (reusing the Telemetry hook's when it provides one) so the
+	// live page has per-tenant series. The server is shut down before
+	// RunFleet returns.
+	Listen string
+	// ObsReady, when set with Listen, is called with the server's bound
+	// address once it is serving, before any tenant starts — tests use it
+	// to scrape a live fleet on a port-0 bind.
+	ObsReady func(addr string)
 }
 
 // withDefaults resolves the zero-value knobs.
@@ -166,6 +178,22 @@ func RunFleet(fc FleetConfig) (*FleetResult, error) {
 		MaxBytes:   fc.CacheMaxBytes,
 	})
 
+	// Per-tenant telemetry bundles are built up front (not inside the
+	// tenant goroutines) so the observability plane can expose every
+	// tenant's registry before the first region compiles.
+	telemetries := make([]*telemetry.Telemetry, fc.Tenants)
+	if fc.Telemetry != nil {
+		for i := range telemetries {
+			telemetries[i] = fc.Telemetry(i, benches[i].Name)
+		}
+	}
+	obsrv, err := startFleetObs(fc, benches, telemetries, cache)
+	if err != nil {
+		pool.Close()
+		return nil, err
+	}
+	defer obsrv.shutdown()
+
 	res := &FleetResult{
 		Tenants: make([]FleetTenant, fc.Tenants),
 		Workers: fc.CompileWorkers,
@@ -183,9 +211,7 @@ func RunFleet(fc FleetConfig) (*FleetResult, error) {
 			cfg.Compile.SharedPool = pool
 			cfg.Compile.SharedCache = cache
 			cfg.Compile.Memoize = false
-			if fc.Telemetry != nil {
-				cfg.Telemetry = fc.Telemetry(tenant, bm.Name)
-			}
+			cfg.Telemetry = telemetries[tenant]
 			maxInsts := bm.MaxInsts
 			if fc.MaxInsts > 0 {
 				maxInsts = fc.MaxInsts
@@ -209,6 +235,7 @@ func RunFleet(fc FleetConfig) (*FleetResult, error) {
 				MemDigest: sys.Mem().Digest(),
 				Wall:      time.Since(t0),
 			}
+			obsrv.markDone(tenant, sys.Stats)
 		}(i, benches[i])
 	}
 	wg.Wait()
@@ -257,6 +284,8 @@ func VerifyFleet(fc FleetConfig, res *FleetResult) error {
 			sfc.Mix = []string{ft.Bench}
 			sfc.Telemetry = nil
 			sfc.Metrics = nil
+			sfc.Listen = ""
+			sfc.ObsReady = nil
 			sres, err := RunFleet(sfc)
 			if err != nil {
 				return fmt.Errorf("harness: solo baseline for %s: %w", ft.Bench, err)

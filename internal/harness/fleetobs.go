@@ -1,0 +1,100 @@
+// Fleet observability wiring: when FleetConfig.Listen is set, RunFleet
+// serves the internal/obs endpoints for the duration of the run. The
+// harness owns the glue — which registries exist, when a tenant's stats
+// become safe to snapshot — and obs owns the HTTP surface.
+
+package harness
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"smarq/internal/dynopt"
+	"smarq/internal/obs"
+	"smarq/internal/telemetry"
+	"smarq/internal/workload"
+)
+
+// fleetObs tracks the live fleet state the obs server renders. All
+// methods are nil-receiver safe, so the no-Listen path costs a single
+// nil check.
+type fleetObs struct {
+	server *obs.Server
+
+	mu    sync.Mutex
+	views []obs.TenantView
+}
+
+// startFleetObs builds and starts the obs server when fc.Listen is set
+// (nil otherwise). It guarantees every tenant a metrics registry —
+// reusing the Telemetry hook's bundle when one exists, installing a
+// metrics-only bundle into telemetries[i] when not — so the live
+// /metrics page always has per-tenant series.
+func startFleetObs(fc FleetConfig, benches []workload.Benchmark, telemetries []*telemetry.Telemetry, cache *dynopt.CodeCache) (*fleetObs, error) {
+	if fc.Listen == "" {
+		return nil, nil
+	}
+	fleetReg := fc.Metrics
+	if fleetReg == nil {
+		fleetReg = telemetry.NewRegistry()
+	}
+	o := &fleetObs{views: make([]obs.TenantView, len(benches))}
+	for i := range benches {
+		tel := telemetries[i]
+		if tel == nil {
+			tel = &telemetry.Telemetry{}
+		}
+		if tel.Metrics == nil {
+			tel.Metrics = telemetry.NewRegistry()
+		}
+		telemetries[i] = tel
+		o.views[i] = obs.TenantView{ID: i, Bench: benches[i].Name, Metrics: tel.Metrics}
+	}
+	o.server = obs.NewServer(obs.Options{
+		Fleet:   fleetReg,
+		Tenants: o.snapshot,
+		Cache:   cache.Stats,
+		// Refresh delta-syncs the shared cache's counters into the fleet
+		// registry on every scrape, so /metrics shows live codecache_*
+		// values rather than the end-of-run publish.
+		Refresh: func() { cache.PublishMetrics(fleetReg) },
+	})
+	if err := o.server.Start(fc.Listen); err != nil {
+		return nil, err
+	}
+	if fc.ObsReady != nil {
+		fc.ObsReady(o.server.Addr())
+	}
+	return o, nil
+}
+
+// snapshot copies the current tenant views for one scrape.
+func (o *fleetObs) snapshot() []obs.TenantView {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return append([]obs.TenantView(nil), o.views...)
+}
+
+// markDone records a tenant's completion and its final stats (the stats
+// struct is only safe to read once the tenant goroutine is finished with
+// it, so the copy is taken here, not at scrape time).
+func (o *fleetObs) markDone(tenant int, stats dynopt.Stats) {
+	if o == nil {
+		return
+	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.views[tenant].Done = true
+	o.views[tenant].Stats = stats
+}
+
+// shutdown stops the server, bounding the drain of in-flight scrapes.
+func (o *fleetObs) shutdown() {
+	if o == nil {
+		return
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	_ = o.server.Shutdown(ctx)
+}

@@ -164,6 +164,29 @@ func (r *Registry) Gauge(name string) *Gauge {
 	return g
 }
 
+// LookupCounter returns the named counter without registering it: nil
+// when absent (or on a nil registry). Observability readers use it so a
+// scrape never mutates the set of registered instruments.
+func (r *Registry) LookupCounter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.counters[name]
+}
+
+// LookupGauge returns the named gauge without registering it: nil when
+// absent (or on a nil registry).
+func (r *Registry) LookupGauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.gauges[name]
+}
+
 // Histogram returns the named histogram, creating it with the given
 // bucket bounds on first use. Bounds must match across calls for the
 // same name (the first registration wins). Returns nil on a nil
@@ -249,23 +272,29 @@ func (r *Registry) WriteJSON(w io.Writer) error {
 	return enc.Encode(&snap)
 }
 
-// WriteText writes a human-oriented flat dump (name value per line,
-// sorted), used by smarq-run's event log footer.
+// WriteText writes a human-oriented flat dump (name value per line).
+// Every instrument class is included — counters and gauges by value,
+// histograms as name_count/name_sum — and all lines are sorted, so the
+// dump is byte-deterministic for a given registry state.
 func (r *Registry) WriteText(w io.Writer) error {
 	if r == nil {
 		return nil
 	}
 	r.mu.Lock()
-	names := make([]string, 0, len(r.counters))
-	for name := range r.counters {
-		names = append(names, name)
+	lines := make([]string, 0, len(r.counters)+len(r.gauges)+2*len(r.histograms))
+	for name, c := range r.counters {
+		lines = append(lines, fmt.Sprintf("%s %d\n", name, c.Value()))
 	}
-	sort.Strings(names)
-	lines := make([]string, 0, len(names))
-	for _, name := range names {
-		lines = append(lines, fmt.Sprintf("%s %d\n", name, r.counters[name].Value()))
+	for name, g := range r.gauges {
+		lines = append(lines, fmt.Sprintf("%s %d\n", name, g.Value()))
+	}
+	for name, h := range r.histograms {
+		lines = append(lines,
+			fmt.Sprintf("%s_count %d\n", name, h.Count()),
+			fmt.Sprintf("%s_sum %d\n", name, h.Sum()))
 	}
 	r.mu.Unlock()
+	sort.Strings(lines)
 	for _, ln := range lines {
 		if _, err := io.WriteString(w, ln); err != nil {
 			return err
