@@ -97,10 +97,12 @@ else
 	@echo "analyze-smoke: refreshed $(ANALYZE_GOLDEN_OUT)"
 endif
 
-# Short differential fuzz of the dynopt pipeline (seed corpus also runs
-# under plain `go test`).
+# Short differential fuzz of the dynopt pipeline and of the decoded
+# interpreter engine (seed corpora also run under plain `go test`). Go
+# allows one -fuzz pattern per invocation, hence two commands.
 fuzz-smoke:
 	$(GO) test -run='^FuzzDynopt$$' -fuzz='^FuzzDynopt$$' -fuzztime=10s ./internal/dynopt
+	$(GO) test -run='^FuzzInterpDecoded$$' -fuzz='^FuzzInterpDecoded$$' -fuzztime=10s ./internal/interp
 
 # Chaos gate: the seeded fault-injection soak (spurious alias exceptions,
 # guard-fail storms, compile failures, and the host fault classes: worker
@@ -128,7 +130,7 @@ fleet-smoke:
 # Execution-engine microbench suite → BENCH_exec.json. Fixed -benchtime
 # and -count keep runs comparable; the committed pre-change baseline is
 # merged in so the artifact records the before/after trajectory.
-BENCH_EXEC_RE = ^BenchmarkExecute$$|^BenchmarkRegionExecution$$|^BenchmarkDynopt$$|^BenchmarkCompile$$|^BenchmarkMemoHit$$|^BenchmarkCompilePipeline$$|^BenchmarkFleet$$
+BENCH_EXEC_RE = ^BenchmarkExecute$$|^BenchmarkRegionExecution$$|^BenchmarkDynopt$$|^BenchmarkCompile$$|^BenchmarkMemoHit$$|^BenchmarkCompilePipeline$$|^BenchmarkFleet$$|^BenchmarkInterpreter$$|^BenchmarkFleetColdStart$$
 
 bench:
 	$(GO) test -run '^$$' -bench '$(BENCH_EXEC_RE)' -benchmem -benchtime 2000x -count=1 . \
@@ -145,7 +147,7 @@ bench-check:
 	$(GO) test -run '^$$' -bench '$(BENCH_EXEC_RE)' -benchmem -benchtime 2000x -count=1 . \
 		| $(GO) run ./cmd/smarq-benchjson \
 		| $(GO) run ./cmd/smarq-golden -golden testdata/bench-exec.baseline.json -got - \
-			-rtol 9 -atol 1.5 -exact '(Execute/|RegionExecution|Compile).*allocs_per_op$$|Fleet/tenants4.dedupe_pct$$'
+			-rtol 9 -atol 1.5 -exact '(Execute/|RegionExecution|Compile|Interpreter/).*allocs_per_op$$|Fleet/tenants4.dedupe_pct$$'
 
 # One testing.B benchmark per table/figure plus micro-benchmarks (the
 # full sweep; slow).

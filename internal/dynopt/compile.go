@@ -778,8 +778,8 @@ func (s *System) requestCompile(entry int) error {
 func (s *System) recompileRegion(entry int) error {
 	if !s.compileAllowed(entry) {
 		s.cancelPending(entry, telemetry.CauseHealth)
-		if _, ok := s.cache[entry]; ok {
-			delete(s.cache, entry)
+		if s.disp[entry].code != nil {
+			s.dropCode(entry)
 			s.Stats.RegionsDropped++
 			s.tel.drop(s.now(), entry, s.tierOf(entry), telemetry.CauseHealth)
 		}
@@ -822,7 +822,7 @@ func (s *System) enqueueCompile(entry int) error {
 		enqueuedAt: now,
 		readyAt:    now + cost,
 		deadline:   now + cost*s.cfg.Compile.watchdogFactor(),
-		recompile:  s.cache[entry] != nil,
+		recompile:  s.disp[entry].code != nil,
 	}
 	if s.memo != nil {
 		s.memoPressureDraw(entry)
@@ -985,7 +985,7 @@ func (s *System) installPending(p *pendingCompile) {
 		s.tel.compileInstalled(p.deadline-p.enqueuedAt, len(s.bg.pending))
 		s.recordHostFault(p.entry, telemetry.CauseWatchdog)
 		if p.recompile {
-			delete(s.cache, p.entry)
+			s.dropCode(p.entry)
 			s.Stats.RegionsDropped++
 			s.tel.drop(s.now(), p.entry, s.tierOf(p.entry), telemetry.CauseCompileFail)
 		} else {
@@ -1008,7 +1008,7 @@ func (s *System) installPending(p *pendingCompile) {
 			// The superseding compile failed: the installed code is built
 			// against stale inputs, so drop it (the synchronous path's
 			// recompile-failure consequence).
-			delete(s.cache, p.entry)
+			s.dropCode(p.entry)
 			s.Stats.RegionsDropped++
 			s.tel.drop(s.now(), p.entry, s.tierOf(p.entry), telemetry.CauseCompileFail)
 		} else if !out.panicked {
@@ -1042,7 +1042,7 @@ func (s *System) installOutput(entry int, out *compileOutput, latency int64) {
 	delete(s.injFailStreak, entry)
 
 	rr := s.recoveryOf(entry)
-	_, recompile := s.cache[entry]
+	recompile := s.disp[entry].code != nil
 	if recompile {
 		s.Stats.Recompiles++
 		s.trace("recompile B%d: %d ops, %d cycles, tier=%s", entry, out.seqLen, out.cr.Cycles, rr.tier)
@@ -1053,10 +1053,10 @@ func (s *System) installOutput(entry int, out *compileOutput, latency int64) {
 			entry, out.guestInsts, out.seqLen, out.cr.Cycles, out.memOps,
 			out.alloc.PBits, out.alloc.CBits, out.alloc.WorkingSet)
 	}
-	s.cache[entry] = &compiled{
+	s.setCode(entry, &compiled{
 		cr: out.cr, lastUse: s.entrySeq,
 		installedAt: s.now(), fresh: true,
-	}
+	})
 
 	rs := RegionStats{
 		Entry:          entry,
@@ -1098,10 +1098,10 @@ func (s *System) compileFailBackoff(entry int, err error) {
 			streak = injFailStreakCap
 		}
 		s.injFailStreak[entry] = streak
-		s.cooldown[entry] = count + streak*s.cfg.HotThreshold
+		s.disp[entry].cooldown = count + streak*s.cfg.HotThreshold
 		return
 	}
-	s.cooldown[entry] = count * 2
+	s.disp[entry].cooldown = count * 2
 }
 
 // abandonCompiles cancels every still-pending compilation at the end of

@@ -187,9 +187,11 @@ func TestMemoHitReusesCompiledRegion(t *testing.T) {
 		t.Fatalf("halted=%v err=%v", halted, err)
 	}
 	entry, cr0 := -1, (*compiled)(nil)
-	for e, c := range sys.cache {
-		entry, cr0 = e, c
-		break
+	for e := range sys.disp {
+		if c := sys.disp[e].code; c != nil {
+			entry, cr0 = e, c
+			break
+		}
 	}
 	if entry < 0 {
 		t.Fatal("run compiled no regions")
@@ -198,7 +200,7 @@ func TestMemoHitReusesCompiledRegion(t *testing.T) {
 
 	// Evict the code and compile the entry again with unchanged inputs:
 	// the memo must hand back the identical compiled object.
-	delete(sys.cache, entry)
+	sys.dropCode(entry)
 	if err := sys.compile(entry); err != nil {
 		t.Fatal(err)
 	}
@@ -208,7 +210,7 @@ func TestMemoHitReusesCompiledRegion(t *testing.T) {
 	if sys.Stats.Compile.MemoMisses != before.MemoMisses {
 		t.Errorf("memo misses %d, want unchanged %d", sys.Stats.Compile.MemoMisses, before.MemoMisses)
 	}
-	if got := sys.cache[entry]; got == nil || got.cr != cr0.cr {
+	if got := sys.disp[entry].code; got == nil || got.cr != cr0.cr {
 		t.Error("recompile did not reuse the memoized CompiledRegion")
 	}
 }
@@ -257,20 +259,20 @@ func TestInjectedCompileFailBackoff(t *testing.T) {
 		if streak > injFailStreakCap {
 			streak = injFailStreakCap
 		}
-		if want := 1000 + streak*hot; sys.cooldown[entry] != want {
+		if want := 1000 + streak*hot; sys.disp[entry].cooldown != want {
 			t.Fatalf("after %d injected failures: cooldown %d, want %d",
-				i, sys.cooldown[entry], want)
+				i, sys.disp[entry].cooldown, want)
 		}
 	}
 	// The additive policy is bounded: the cap holds no matter how long
 	// the chaos streak runs.
-	if cap := 1000 + injFailStreakCap*hot; sys.cooldown[entry] > cap {
-		t.Errorf("injected-failure cooldown %d exceeds additive cap %d", sys.cooldown[entry], cap)
+	if cap := 1000 + injFailStreakCap*hot; sys.disp[entry].cooldown > cap {
+		t.Errorf("injected-failure cooldown %d exceeds additive cap %d", sys.disp[entry].cooldown, cap)
 	}
 	// A genuine failure still doubles.
 	sys.compileFailBackoff(entry, errors.New("dynopt: region B3 cannot be scheduled"))
-	if want := uint64(2000); sys.cooldown[entry] != want {
-		t.Errorf("after real failure: cooldown %d, want %d", sys.cooldown[entry], want)
+	if want := uint64(2000); sys.disp[entry].cooldown != want {
+		t.Errorf("after real failure: cooldown %d, want %d", sys.disp[entry].cooldown, want)
 	}
 }
 

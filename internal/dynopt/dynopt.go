@@ -300,6 +300,14 @@ type compiled struct {
 	fresh       bool
 }
 
+// dispEntry is one block's slot in the dense dispatch table. Entries are
+// region entry blocks; blocks that never become regions keep a zero slot.
+type dispEntry struct {
+	code     *compiled
+	rec      *regionRecovery
+	cooldown uint64 // block count required to recompile
+}
+
 // System is one guest program under the dynamic optimization system.
 type System struct {
 	cfg  Config
@@ -310,15 +318,17 @@ type System struct {
 	det  aliashw.Detector
 	inj  *faultinject.Injector
 
-	cache     map[int]*compiled
+	// disp is the dense block-indexed dispatch table: installed code, the
+	// region's ladder controller (created at first compilation, kept
+	// across drops and evictions so a region's history survives its code)
+	// and the recompile cooldown live in one slot per block, so steering
+	// between interpreter and compiled code is a single bounds-checked
+	// load instead of three map probes. installed counts slots with code.
+	disp      []dispEntry
+	installed int
 	sbCache   map[int]*region.Superblock
 	blacklist map[int]alias.Blacklist
-	cooldown  map[int]uint64 // entry -> block count required to recompile
-	regionIdx map[int]int    // entry -> index into Stats.Regions
-	// recovery holds each region's ladder controller (created at first
-	// compilation, kept across drops and evictions so a region's history
-	// survives its code).
-	recovery map[int]*regionRecovery
+	regionIdx map[int]int // entry -> index into Stats.Regions
 	// pinnedLoads collects, per region entry, ops that must no longer be
 	// speculated on. Under ALAT a store checks *every* advanced load, so
 	// a false positive can only be silenced by not advancing the load at
@@ -393,12 +403,10 @@ func New(prog *guest.Program, st *guest.State, mem *guest.Memory, cfg Config) *S
 		it:            interp.New(prog, st, mem),
 		det:           det,
 		inj:           inj,
-		cache:         make(map[int]*compiled),
+		disp:          make([]dispEntry, len(prog.Blocks)),
 		sbCache:       make(map[int]*region.Superblock),
 		blacklist:     make(map[int]alias.Blacklist),
-		cooldown:      make(map[int]uint64),
 		regionIdx:     make(map[int]int),
-		recovery:      make(map[int]*regionRecovery),
 		pinnedLoads:   make(map[int]map[int]bool),
 		exceptions:    make(map[int]int),
 		injFailStreak: make(map[int]uint64),
@@ -429,21 +437,39 @@ func New(prog *guest.Program, st *guest.State, mem *guest.Memory, cfg Config) *S
 	return s
 }
 
+// setCode installs code in a block's dispatch slot, keeping the installed
+// count (the code cache occupancy) in step.
+func (s *System) setCode(entry int, c *compiled) {
+	de := &s.disp[entry]
+	if de.code == nil {
+		s.installed++
+	}
+	de.code = c
+}
+
+// dropCode removes a block's installed code, if any.
+func (s *System) dropCode(entry int) {
+	de := &s.disp[entry]
+	if de.code != nil {
+		s.installed--
+		de.code = nil
+	}
+}
+
 // recoveryOf returns the region's ladder controller, creating it at
 // TierFull on first use.
 func (s *System) recoveryOf(entry int) *regionRecovery {
-	rr, ok := s.recovery[entry]
-	if !ok {
-		rr = newRegionRecovery(s.cfg.Recovery)
-		s.recovery[entry] = rr
+	de := &s.disp[entry]
+	if de.rec == nil {
+		de.rec = newRegionRecovery(s.cfg.Recovery)
 	}
-	return rr
+	return de.rec
 }
 
 // tierOf returns the region's current ladder rung (TierFull before its
 // first compilation).
 func (s *System) tierOf(entry int) Tier {
-	if rr, ok := s.recovery[entry]; ok {
+	if rr := s.disp[entry].rec; rr != nil {
 		return rr.tier
 	}
 	return TierFull
@@ -482,10 +508,11 @@ func (s *System) optConfig(tier Tier) opt.Config {
 // blacklist and ladder state, so re-compilation resumes where it left off.
 func (s *System) evictForCapacity(entry int) {
 	cap := s.cfg.Recovery.CodeCacheCapacity
-	for len(s.cache) >= cap {
+	for s.installed >= cap {
 		victim, oldest := -1, int64(0)
-		for e, c := range s.cache {
-			if e == entry {
+		for e := range s.disp {
+			c := s.disp[e].code
+			if c == nil || e == entry {
 				continue
 			}
 			if victim == -1 || c.lastUse < oldest || (c.lastUse == oldest && e < victim) {
@@ -498,7 +525,7 @@ func (s *System) evictForCapacity(entry int) {
 		// An in-flight recompile for the victim would just re-install it:
 		// it is stale the moment the code leaves the cache.
 		s.cancelPending(victim, telemetry.CauseStale)
-		delete(s.cache, victim)
+		s.dropCode(victim)
 		s.Stats.Recovery.Evictions++
 		s.tel.evict(s.now(), victim, s.tierOf(victim))
 		s.trace("evict B%d from the code cache (capacity %d)", victim, cap)
@@ -524,6 +551,13 @@ func resetAnnotations(reg *ir.Region) {
 
 // Run executes the guest until it halts or maxInsts guest instructions
 // retire. It reports whether the guest halted.
+//
+// The budget is a soft cap checked between dispatches: a run may overshoot
+// maxInsts by at most one block (interpreted dispatch) or one region
+// (compiled dispatch), because blocks and regions are the units of
+// retirement — clamping mid-block would make budget-capped profiles and
+// stats depend on where the cap fell inside a block.
+// TestRunBudgetOvershootBounded pins this contract.
 func (s *System) Run(maxInsts uint64) (bool, error) {
 	id := s.prog.Entry
 	for id != interp.HaltID {
@@ -535,9 +569,11 @@ func (s *System) Run(maxInsts uint64) (bool, error) {
 			return false, nil
 		}
 		s.drainCompiles()
-		if c, ok := s.cache[id]; ok && s.healthDispatchOK() {
-			id = s.runRegion(id, c)
-			continue
+		if uint(id) < uint(len(s.disp)) {
+			if c := s.disp[id].code; c != nil && s.healthDispatchOK() {
+				id = s.runRegion(id, c)
+				continue
+			}
 		}
 		// Interpret one block; consider compiling its region.
 		before := s.it.DynInsts
@@ -550,14 +586,16 @@ func (s *System) Run(maxInsts uint64) (bool, error) {
 		s.Stats.GuestInsts += insts
 		s.Stats.InterpretedInsts += insts
 
-		if rr, ok := s.recovery[id]; ok && rr.tier == TierPinned {
+		// RunBlock succeeded, so id indexes a real block (and its slot).
+		de := &s.disp[id]
+		if rr := de.rec; rr != nil && rr.tier == TierPinned {
 			// Interpreter-pinned region: count the clean entry; a long
 			// enough clean run re-promotes it to conservative compiled
 			// code (unless its backoff is exhausted).
 			s.Stats.Recovery.TierDispatches[TierPinned]++
 			if rr.recordPinnedEntry(s.cfg.Recovery) {
 				s.Stats.Recovery.Promotions++
-				s.cooldown[id] = 0
+				de.cooldown = 0
 				s.tel.tierMove(s.now(), id, TierPinned, rr.tier, telemetry.CauseNone)
 				s.trace("promote B%d: %s -> %s after clean interpreted run", id, TierPinned, rr.tier)
 			}
@@ -570,9 +608,9 @@ func (s *System) Run(maxInsts uint64) (bool, error) {
 			s.healthClean()
 		}
 
-		if s.it.Prof.Hot(id, s.cfg.HotThreshold) && s.cache[id] == nil &&
+		if s.it.Prof.Hot(id, s.cfg.HotThreshold) && de.code == nil &&
 			s.tierOf(id) != TierPinned &&
-			s.it.Prof.BlockCounts[id] >= s.cooldown[id] {
+			s.it.Prof.BlockCounts[id] >= de.cooldown {
 			if err := s.requestCompile(id); err != nil {
 				// Unschedulable regions stay interpreted; injected chaos
 				// failures retry sooner (see compileFailBackoff).
@@ -664,7 +702,7 @@ func (s *System) runRegion(entry int, c *compiled) int {
 			// stays installed (it is still correct) until the background
 			// replacement is ready.
 			if err := s.recompileRegion(entry); err != nil {
-				delete(s.cache, entry)
+				s.dropCode(entry)
 				s.Stats.RegionsDropped++
 				s.tel.drop(s.now(), entry, rr.tier, telemetry.CauseCompileFail)
 			}
@@ -750,16 +788,16 @@ func (s *System) runRegion(entry int, c *compiled) int {
 		}
 		if rr.tier == TierPinned {
 			s.cancelPending(entry, telemetry.CauseStale)
-			delete(s.cache, entry)
+			s.dropCode(entry)
 			s.trace("pin B%d to the interpreter", entry)
 		} else {
 			if s.bg != nil {
 				// The trapped code is stale (its pair is now hardened):
 				// drop it and interpret until the replacement installs.
-				delete(s.cache, entry)
+				s.dropCode(entry)
 			}
 			if err := s.recompileRegion(entry); err != nil {
-				delete(s.cache, entry)
+				s.dropCode(entry)
 				s.Stats.RegionsDropped++
 				s.tel.drop(s.now(), entry, rr.tier, telemetry.CauseCompileFail)
 			}
@@ -785,9 +823,9 @@ func (s *System) runRegion(entry int, c *compiled) int {
 			// twice the heat before re-forming.
 			s.trace("drop B%d after %d consecutive guard failures", entry, c.failStreak)
 			s.cancelPending(entry, telemetry.CauseStale)
-			delete(s.cache, entry)
+			s.dropCode(entry)
 			delete(s.sbCache, entry)
-			s.cooldown[entry] = s.it.Prof.BlockCounts[entry] * 2
+			s.disp[entry].cooldown = s.it.Prof.BlockCounts[entry] * 2
 			s.Stats.RegionsDropped++
 			s.tel.drop(s.now(), entry, rr.tier, telemetry.CauseGuard)
 		}
@@ -809,16 +847,16 @@ func (s *System) runRegion(entry int, c *compiled) int {
 			s.trace("demote B%d to %s (fault storm)", entry, rr.tier)
 			if rr.tier == TierPinned {
 				s.cancelPending(entry, telemetry.CauseStale)
-				delete(s.cache, entry)
+				s.dropCode(entry)
 				s.trace("pin B%d to the interpreter", entry)
 			} else {
 				if s.bg != nil {
 					// The faulting code is built for the old rung: drop it
 					// and interpret until the demoted replacement installs.
-					delete(s.cache, entry)
+					s.dropCode(entry)
 				}
 				if err := s.recompileRegion(entry); err != nil {
-					delete(s.cache, entry)
+					s.dropCode(entry)
 					s.Stats.RegionsDropped++
 					s.tel.drop(s.now(), entry, rr.tier, telemetry.CauseCompileFail)
 				}
@@ -878,7 +916,11 @@ func (s *System) finalize() {
 	rec := &s.Stats.Recovery
 	rec.PinnedRegions, rec.StickyRegions = 0, 0
 	rec.TierRegions = [NumTiers]int{}
-	for entry, rr := range s.recovery {
+	for entry := range s.disp {
+		rr := s.disp[entry].rec
+		if rr == nil {
+			continue
+		}
 		rec.TierRegions[rr.tier]++
 		if rr.tier == TierPinned {
 			rec.PinnedRegions++

@@ -400,8 +400,14 @@ func TestTierAccounting(t *testing.T) {
 	for _, n := range sys.Stats.Recovery.TierRegions {
 		total += n
 	}
-	if total != len(sys.recovery) {
-		t.Errorf("TierRegions sums to %d, %d regions tracked", total, len(sys.recovery))
+	tracked := 0
+	for i := range sys.disp {
+		if sys.disp[i].rec != nil {
+			tracked++
+		}
+	}
+	if total != tracked {
+		t.Errorf("TierRegions sums to %d, %d regions tracked", total, tracked)
 	}
 	for _, rs := range sys.Stats.Regions {
 		if rs.Tier < 0 || int(rs.Tier) >= NumTiers {

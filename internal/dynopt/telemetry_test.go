@@ -251,10 +251,14 @@ func warmCommitSystem(t *testing.T, tel *telemetry.Telemetry) (*System, int, *co
 	if halted, err := sys.Run(10_000); err != nil || halted {
 		t.Fatalf("warm-up: halted=%v err=%v", halted, err)
 	}
-	if len(sys.cache) != 1 {
-		t.Fatalf("cache holds %d regions, want 1", len(sys.cache))
+	if sys.installed != 1 {
+		t.Fatalf("cache holds %d regions, want 1", sys.installed)
 	}
-	for entry, c := range sys.cache {
+	for entry := range sys.disp {
+		c := sys.disp[entry].code
+		if c == nil {
+			continue
+		}
 		if next := sys.runRegion(entry, c); next != entry {
 			t.Fatalf("warm dispatch left the loop: next=%d, want %d", next, entry)
 		}

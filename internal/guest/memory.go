@@ -80,6 +80,119 @@ func (m *Memory) Store(addr uint64, size int, val uint64) error {
 	return nil
 }
 
+// Fixed-size fast accessors for the pre-decoded interpreter: the
+// bounds-check-plus-little-endian cores of Load/Store with the size switch
+// resolved at decode time. Failure returns ok=false with no side effects;
+// the caller reconstructs the exact MemFault on its cold path.
+
+// Load1 reads one byte at addr, zero-extended.
+func (m *Memory) Load1(addr uint64) (uint64, bool) { return MemLoad1(m.data, addr) }
+
+// Load2 reads a little-endian uint16 at addr, zero-extended.
+func (m *Memory) Load2(addr uint64) (uint64, bool) { return MemLoad2(m.data, addr) }
+
+// Load4 reads a little-endian uint32 at addr, zero-extended.
+func (m *Memory) Load4(addr uint64) (uint64, bool) { return MemLoad4(m.data, addr) }
+
+// Load8 reads a little-endian uint64 at addr.
+func (m *Memory) Load8(addr uint64) (uint64, bool) { return MemLoad8(m.data, addr) }
+
+// Store1 writes the low byte of val at addr.
+func (m *Memory) Store1(addr uint64, val uint64) bool { return MemStore1(m.data, addr, val) }
+
+// Store2 writes the low 2 bytes of val at addr, little-endian.
+func (m *Memory) Store2(addr uint64, val uint64) bool { return MemStore2(m.data, addr, val) }
+
+// Store4 writes the low 4 bytes of val at addr, little-endian.
+func (m *Memory) Store4(addr uint64, val uint64) bool { return MemStore4(m.data, addr, val) }
+
+// Store8 writes val at addr, little-endian.
+func (m *Memory) Store8(addr uint64, val uint64) bool { return MemStore8(m.data, addr, val) }
+
+// The MemLoad/MemStore functions below are the same accessors over a raw
+// backing slice (see Bytes). Interpreter-style hot loops hoist the slice
+// into a local once and use these, so every access keeps the slice header
+// in registers instead of reloading it through the *Memory indirection.
+
+// MemLoad1 reads one byte at addr, zero-extended.
+func MemLoad1(data []byte, addr uint64) (uint64, bool) {
+	if addr >= uint64(len(data)) {
+		return 0, false
+	}
+	return uint64(data[addr]), true
+}
+
+// MemLoad2 reads a little-endian uint16 at addr, zero-extended.
+func MemLoad2(data []byte, addr uint64) (uint64, bool) {
+	if addr+2 > uint64(len(data)) || addr+2 < addr {
+		return 0, false
+	}
+	return uint64(binary.LittleEndian.Uint16(data[addr:])), true
+}
+
+// MemLoad4 reads a little-endian uint32 at addr, zero-extended.
+func MemLoad4(data []byte, addr uint64) (uint64, bool) {
+	if addr+4 > uint64(len(data)) || addr+4 < addr {
+		return 0, false
+	}
+	return uint64(binary.LittleEndian.Uint32(data[addr:])), true
+}
+
+// MemLoad8 reads a little-endian uint64 at addr.
+func MemLoad8(data []byte, addr uint64) (uint64, bool) {
+	if addr+8 > uint64(len(data)) || addr+8 < addr {
+		return 0, false
+	}
+	return binary.LittleEndian.Uint64(data[addr:]), true
+}
+
+// MemStore1 writes the low byte of val at addr.
+func MemStore1(data []byte, addr uint64, val uint64) bool {
+	if addr >= uint64(len(data)) {
+		return false
+	}
+	data[addr] = byte(val)
+	return true
+}
+
+// MemStore2 writes the low 2 bytes of val at addr, little-endian.
+func MemStore2(data []byte, addr uint64, val uint64) bool {
+	if addr+2 > uint64(len(data)) || addr+2 < addr {
+		return false
+	}
+	binary.LittleEndian.PutUint16(data[addr:], uint16(val))
+	return true
+}
+
+// MemStore4 writes the low 4 bytes of val at addr, little-endian.
+func MemStore4(data []byte, addr uint64, val uint64) bool {
+	if addr+4 > uint64(len(data)) || addr+4 < addr {
+		return false
+	}
+	binary.LittleEndian.PutUint32(data[addr:], uint32(val))
+	return true
+}
+
+// MemStore8 writes val at addr, little-endian.
+func MemStore8(data []byte, addr uint64, val uint64) bool {
+	if addr+8 > uint64(len(data)) || addr+8 < addr {
+		return false
+	}
+	binary.LittleEndian.PutUint64(data[addr:], val)
+	return true
+}
+
+// Bytes returns the raw backing store. It stays valid and aliased to the
+// Memory for the Memory's lifetime; callers may read and write contents
+// through the MemLoad/MemStore accessors but must not grow or replace it.
+func (m *Memory) Bytes() []byte { return m.data }
+
+// Zero resets the memory contents to the all-zeroes initial state without
+// reallocating, for benchmark and test reuse.
+func (m *Memory) Zero() {
+	clear(m.data)
+}
+
 // Digest returns a 64-bit FNV-1a hash of the full memory contents — a
 // cheap fingerprint the rollback invariant checker compares across an
 // atomic region's checkpoint/restore cycle.

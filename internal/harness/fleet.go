@@ -9,9 +9,12 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"reflect"
+	"runtime/pprof"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -206,36 +209,46 @@ func RunFleet(fc FleetConfig) (*FleetResult, error) {
 		wg.Add(1)
 		go func(tenant int, bm workload.Benchmark) {
 			defer wg.Done()
-			cfg := baseCfg
-			cfg.Compile.Workers = fc.CompileWorkers
-			cfg.Compile.SharedPool = pool
-			cfg.Compile.SharedCache = cache
-			cfg.Compile.Memoize = false
-			cfg.Telemetry = telemetries[tenant]
-			maxInsts := bm.MaxInsts
-			if fc.MaxInsts > 0 {
-				maxInsts = fc.MaxInsts
-			}
-			t0 := time.Now()
-			sys := dynopt.New(bm.Build(), &guest.State{}, guest.NewMemory(bm.MemSize), cfg)
-			halted, err := sys.Run(maxInsts)
-			if ferr := cfg.Telemetry.Tracer().Flush(); ferr != nil && err == nil {
-				err = ferr
-			}
-			if err != nil {
-				errs[tenant] = fmt.Errorf("harness: fleet tenant %d (%s): %w", tenant, bm.Name, err)
-				return
-			}
-			res.Tenants[tenant] = FleetTenant{
-				Tenant:    tenant,
-				Bench:     bm.Name,
-				Stats:     sys.Stats,
-				Halted:    halted,
-				State:     *sys.State(),
-				MemDigest: sys.Mem().Digest(),
-				Wall:      time.Since(t0),
-			}
-			obsrv.markDone(tenant, sys.Stats)
+			// Label the tenant's whole lifetime so CPU and goroutine
+			// profiles of a fleet run attribute samples to tenant/bench
+			// instead of one anonymous pile of RunFleet.func1 frames.
+			labels := pprof.Labels(
+				"tenant", strconv.Itoa(tenant),
+				"bench", bm.Name,
+				"fleet_config", fc.Config,
+			)
+			pprof.Do(context.Background(), labels, func(context.Context) {
+				cfg := baseCfg
+				cfg.Compile.Workers = fc.CompileWorkers
+				cfg.Compile.SharedPool = pool
+				cfg.Compile.SharedCache = cache
+				cfg.Compile.Memoize = false
+				cfg.Telemetry = telemetries[tenant]
+				maxInsts := bm.MaxInsts
+				if fc.MaxInsts > 0 {
+					maxInsts = fc.MaxInsts
+				}
+				t0 := time.Now()
+				sys := dynopt.New(bm.Build(), &guest.State{}, guest.NewMemory(bm.MemSize), cfg)
+				halted, err := sys.Run(maxInsts)
+				if ferr := cfg.Telemetry.Tracer().Flush(); ferr != nil && err == nil {
+					err = ferr
+				}
+				if err != nil {
+					errs[tenant] = fmt.Errorf("harness: fleet tenant %d (%s): %w", tenant, bm.Name, err)
+					return
+				}
+				res.Tenants[tenant] = FleetTenant{
+					Tenant:    tenant,
+					Bench:     bm.Name,
+					Stats:     sys.Stats,
+					Halted:    halted,
+					State:     *sys.State(),
+					MemDigest: sys.Mem().Digest(),
+					Wall:      time.Since(t0),
+				}
+				obsrv.markDone(tenant, sys.Stats)
+			})
 		}(i, benches[i])
 	}
 	wg.Wait()

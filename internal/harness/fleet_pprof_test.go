@@ -1,0 +1,59 @@
+package harness
+
+import (
+	"bytes"
+	"runtime/pprof"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestFleetTenantPprofLabels proves fleet tenant goroutines carry pprof
+// labels (tenant, bench, fleet_config): it starts a fleet in the
+// background and polls the goroutine profile until the labels show up.
+// Profiles of a busy fleet are otherwise an anonymous pile of
+// RunFleet.func1 frames; the labels are what let an operator split CPU
+// and goroutine samples per tenant.
+func TestFleetTenantPprofLabels(t *testing.T) {
+	// Each attempt runs a full fleet; labels only exist while tenants are
+	// live, so retry if a run finishes between two polls.
+	for attempt := 0; attempt < 5; attempt++ {
+		done := make(chan error, 1)
+		go func() {
+			_, err := RunFleet(FleetConfig{
+				Tenants: 4,
+				Mix:     []string{"swim", "equake"},
+			})
+			done <- err
+		}()
+
+		finished := false
+		for !finished {
+			select {
+			case err := <-done:
+				if err != nil {
+					t.Fatalf("attempt %d: fleet failed: %v", attempt, err)
+				}
+				finished = true
+			default:
+			}
+			var buf bytes.Buffer
+			if err := pprof.Lookup("goroutine").WriteTo(&buf, 1); err != nil {
+				t.Fatal(err)
+			}
+			prof := buf.String()
+			if strings.Contains(prof, `"tenant":`) &&
+				strings.Contains(prof, `"bench":"swim"`) &&
+				strings.Contains(prof, `"fleet_config":`) {
+				if !finished {
+					if err := <-done; err != nil {
+						t.Fatalf("attempt %d: fleet failed after labels seen: %v", attempt, err)
+					}
+				}
+				return
+			}
+			time.Sleep(500 * time.Microsecond)
+		}
+	}
+	t.Fatal("fleet tenant goroutines never appeared with pprof labels")
+}

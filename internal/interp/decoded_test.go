@@ -1,0 +1,304 @@
+package interp
+
+import (
+	"testing"
+
+	"smarq/internal/guest"
+	"smarq/internal/workload"
+)
+
+// runEngine runs one interpreter engine over a fresh program instance and
+// returns the interpreter plus the outcome.
+func runEngine(t *testing.T, prog *guest.Program, memSize int, maxInsts uint64, ref bool) (*Interpreter, bool, error) {
+	t.Helper()
+	it := New(prog, &guest.State{}, guest.NewMemory(memSize))
+	it.Ref = ref
+	halted, err := it.Run(0, maxInsts)
+	return it, halted, err
+}
+
+// diffEngines compares every observable of a decoded run against a
+// reference run: halt/error outcome, retirement count, both register
+// files, the memory digest, and the full profile (block counts plus the
+// edge count of every static successor).
+func diffEngines(t *testing.T, name string, prog *guest.Program, dec, ref *Interpreter, haltedDec, haltedRef bool, errDec, errRef error) {
+	t.Helper()
+	if haltedDec != haltedRef {
+		t.Fatalf("%s: halted=%v, reference %v", name, haltedDec, haltedRef)
+	}
+	switch {
+	case (errDec == nil) != (errRef == nil):
+		t.Fatalf("%s: err=%v, reference %v", name, errDec, errRef)
+	case errDec != nil && errDec.Error() != errRef.Error():
+		t.Fatalf("%s: err %q, reference %q", name, errDec, errRef)
+	}
+	if dec.DynInsts != ref.DynInsts {
+		t.Fatalf("%s: DynInsts=%d, reference %d", name, dec.DynInsts, ref.DynInsts)
+	}
+	if *dec.St != *ref.St {
+		t.Fatalf("%s: architectural state diverged:\n%+v\nreference:\n%+v", name, dec.St, ref.St)
+	}
+	if d, r := dec.Mem.Digest(), ref.Mem.Digest(); d != r {
+		t.Fatalf("%s: memory digest %#x, reference %#x", name, d, r)
+	}
+	for id := range prog.Blocks {
+		if dec.Prof.BlockCounts[id] != ref.Prof.BlockCounts[id] {
+			t.Fatalf("%s: B%d count %d, reference %d", name, id,
+				dec.Prof.BlockCounts[id], ref.Prof.BlockCounts[id])
+		}
+		for _, succ := range prog.Blocks[id].Successors() {
+			if d, r := dec.Prof.EdgeCount(id, succ), ref.Prof.EdgeCount(id, succ); d != r {
+				t.Fatalf("%s: edge B%d->B%d count %d, reference %d", name, id, succ, d, r)
+			}
+		}
+	}
+}
+
+// TestInterpDecodedMatchesReference proves the pre-decoded engine
+// bit-identical to the guest.Exec reference across the whole workload
+// suite: registers, memory, profile (block and edge counts) and retirement
+// counts.
+func TestInterpDecodedMatchesReference(t *testing.T) {
+	for _, bm := range workload.Suite() {
+		bm := bm
+		t.Run(bm.Name, func(t *testing.T) {
+			prog := bm.Build()
+			ref, haltedRef, errRef := runEngine(t, prog, bm.MemSize, bm.MaxInsts, true)
+			dec, haltedDec, errDec := runEngine(t, prog, bm.MemSize, bm.MaxInsts, false)
+			if !haltedRef || errRef != nil {
+				t.Fatalf("reference run: halted=%v err=%v", haltedRef, errRef)
+			}
+			diffEngines(t, bm.Name, prog, dec, ref, haltedDec, haltedRef, errDec, errRef)
+		})
+	}
+}
+
+// fusionProgram exercises every fusion rule: slt feeding beq and bne,
+// addi feeding loads of every width (including the float load), plus the
+// destination-aliasing case where the load overwrites the addi result.
+func fusionProgram() *guest.Program {
+	b := guest.NewBuilder()
+	b.NewBlock() // B0: init
+	b.Li(1, 16)  // loop counter
+	b.Li(2, 64)  // base address
+	b.Li(13, 1)
+	b.St8(2, 0, 2)
+	loop := b.NewBlock() // B1: fused bodies
+	// addi+ld fusion at every width; r4 = base+8 is also reused below.
+	b.Addi(4, 2, 8)
+	b.Ld1(5, 4, 0)
+	b.Addi(4, 2, 8)
+	b.Ld2(6, 4, 0)
+	b.Addi(4, 2, 8)
+	b.Ld4(7, 4, 0)
+	b.Addi(4, 2, 8)
+	b.Ld8(8, 4, 0)
+	b.Addi(4, 2, 8)
+	b.FLd8(3, 4, 0)
+	// Destination aliasing: the fused load clobbers the addi result.
+	b.Addi(9, 2, 8)
+	b.Ld8(9, 9, 0)
+	// Scaled-index triples at every fused access, covering both add
+	// operand orders, plus a muli+add pair with no memory op to absorb.
+	b.Muli(14, 13, 8)
+	b.Add(14, 2, 14)
+	b.Ld8(15, 14, 0)
+	b.Muli(14, 13, 8)
+	b.Add(14, 14, 2)
+	b.FLd8(4, 14, 0)
+	b.Muli(14, 13, 8)
+	b.Add(14, 2, 14)
+	b.St8(14, 0, 10)
+	b.Muli(14, 13, 8)
+	b.Add(14, 2, 14)
+	b.FSt8(14, 0, 3)
+	b.Muli(14, 13, 8)
+	b.Add(15, 2, 14)
+	b.Add(10, 10, 15)
+	// Store something dependent so divergence reaches memory.
+	b.Add(10, 5, 6)
+	b.Add(10, 10, 7)
+	b.Add(10, 10, 8)
+	b.Add(10, 10, 9)
+	b.St8(2, 16, 10)
+	// slt+bne fusion: loop while 0 < r1.
+	b.Addi(1, 1, -1)
+	b.Slt(11, 0, 1)
+	b.Bne(11, 0, loop)
+	b.NewBlock() // B2: slt+beq fusion, not taken (r1=0 < r13=1, so r12=1)
+	b.Slt(12, 1, 13)
+	b.Beq(12, 0, loop)
+	b.NewBlock() // B3
+	b.Halt()
+	return b.MustProgram()
+}
+
+// TestInterpFusionMatchesReference runs the fusion-heavy program through
+// both engines and demands identical results, proving fused pairs still
+// perform every architectural write and retire both instructions.
+func TestInterpFusionMatchesReference(t *testing.T) {
+	prog := fusionProgram()
+	ref, haltedRef, errRef := runEngine(t, prog, 4096, 1_000_000, true)
+	dec, haltedDec, errDec := runEngine(t, prog, 4096, 1_000_000, false)
+	if !haltedRef || errRef != nil {
+		t.Fatalf("reference run: halted=%v err=%v", haltedRef, errRef)
+	}
+	diffEngines(t, "fusion", prog, dec, ref, haltedDec, haltedRef, errDec, errRef)
+
+	// The program must actually contain fused ops, or this test proves
+	// nothing.
+	fused, triples := 0, 0
+	for _, in := range dec.dec.code {
+		if in.op > dHalt && in.op < dBad {
+			fused++
+		}
+		if in.op >= dMuliAddLd8 && in.op < dBad {
+			triples++
+		}
+	}
+	if fused < 12 {
+		t.Fatalf("decoded program holds %d fused ops, want >= 12", fused)
+	}
+	if triples < 4 {
+		t.Fatalf("decoded program holds %d fused triples, want >= 4", triples)
+	}
+}
+
+// TestInterpFusedFaultRetirement: when the second half of a fused pair
+// faults, only the first instruction retires and the error matches the
+// reference exactly (the fault attribution contract of failBlock).
+func TestInterpFusedFaultRetirement(t *testing.T) {
+	build := func() *guest.Program {
+		b := guest.NewBuilder()
+		b.NewBlock()
+		b.Li(1, 1<<40) // way out of range
+		b.Addi(2, 1, 8)
+		b.Ld8(3, 2, 0) // fuses with the addi, then faults
+		b.Halt()
+		return b.MustProgram()
+	}
+	ref, haltedRef, errRef := runEngine(t, build(), 256, 1_000_000, true)
+	dec, haltedDec, errDec := runEngine(t, build(), 256, 1_000_000, false)
+	if errRef == nil {
+		t.Fatal("reference run did not fault")
+	}
+	diffEngines(t, "fused-fault", build(), dec, ref, haltedDec, haltedRef, errDec, errRef)
+	// li and addi retired; the faulting fused load did not.
+	if dec.DynInsts != 2 {
+		t.Fatalf("DynInsts = %d, want 2", dec.DynInsts)
+	}
+}
+
+// TestInterpTripleFaultRetirement: when the memory access of a fused
+// scaled-index triple faults, the muli and add halves have retired (and
+// written their destinations) but the access has not, and the error
+// matches the reference exactly.
+func TestInterpTripleFaultRetirement(t *testing.T) {
+	build := func() *guest.Program {
+		b := guest.NewBuilder()
+		b.NewBlock()
+		b.Li(1, 1<<37)
+		b.Li(2, 8)
+		b.Muli(3, 1, 8) // 1<<40
+		b.Add(3, 2, 3)
+		b.Ld8(4, 3, 0) // fuses into the triple, then faults
+		b.Halt()
+		return b.MustProgram()
+	}
+	ref, haltedRef, errRef := runEngine(t, build(), 256, 1_000_000, true)
+	dec, haltedDec, errDec := runEngine(t, build(), 256, 1_000_000, false)
+	if errRef == nil {
+		t.Fatal("reference run did not fault")
+	}
+	diffEngines(t, "triple-fault", build(), dec, ref, haltedDec, haltedRef, errDec, errRef)
+	// li, li, muli and add retired; the faulting fused load did not.
+	if dec.DynInsts != 4 {
+		t.Fatalf("DynInsts = %d, want 4", dec.DynInsts)
+	}
+}
+
+// TestInterpBadOpcode: an opcode guest.Exec cannot execute surfaces the
+// identical error from both engines.
+func TestInterpBadOpcode(t *testing.T) {
+	prog := &guest.Program{
+		Blocks: []*guest.Block{{Insts: []guest.Inst{
+			{Op: guest.Nop},
+			{Op: guest.Opcode(200)},
+			{Op: guest.Halt},
+		}}},
+	}
+	ref, _, errRef := runEngine(t, prog, 64, 1000, true)
+	dec, _, errDec := runEngine(t, prog, 64, 1000, false)
+	if errRef == nil || errDec == nil {
+		t.Fatalf("bad opcode not rejected: ref=%v dec=%v", errRef, errDec)
+	}
+	if errDec.Error() != errRef.Error() {
+		t.Fatalf("err %q, reference %q", errDec, errRef)
+	}
+	if dec.DynInsts != ref.DynInsts {
+		t.Fatalf("DynInsts=%d, reference %d", dec.DynInsts, ref.DynInsts)
+	}
+}
+
+// TestRunBudgetOvershootBounded pins the documented maxInsts contract:
+// the budget is checked between blocks, so a run overshoots by at most
+// the size of the final block it executed.
+func TestRunBudgetOvershootBounded(t *testing.T) {
+	const bodySize = 500
+	b := guest.NewBuilder()
+	b.NewBlock()
+	b.Li(1, 1) // never zero, so the loop spins forever
+	loop := b.NewBlock()
+	for i := 0; i < bodySize; i++ {
+		b.Addi(2, 2, 1)
+	}
+	b.Jmp(loop)
+	prog := b.MustProgram()
+	blockInsts := uint64(bodySize + 1)
+
+	const budget = 100 // far below one block
+	it := New(prog, &guest.State{}, guest.NewMemory(64))
+	halted, err := it.Run(0, budget)
+	if err != nil || halted {
+		t.Fatalf("halted=%v err=%v", halted, err)
+	}
+	if it.DynInsts < budget {
+		t.Fatalf("DynInsts=%d stopped below the budget %d", it.DynInsts, budget)
+	}
+	if max := budget + blockInsts; it.DynInsts > max {
+		t.Fatalf("DynInsts=%d overshoots budget %d by more than one block (max %d)",
+			it.DynInsts, budget, max)
+	}
+}
+
+// TestInterpreterReset: Reset rewinds profile and retirement counts so a
+// reused interpreter replays identically (the benchmark-reuse contract).
+func TestInterpreterReset(t *testing.T) {
+	prog := countdownProgram(50)
+	st := &guest.State{}
+	mem := guest.NewMemory(256)
+	it := New(prog, st, mem)
+	if _, err := it.Run(0, 1_000_000); err != nil {
+		t.Fatal(err)
+	}
+	first := it.DynInsts
+	firstCounts := append([]uint64(nil), it.Prof.BlockCounts...)
+
+	*st = guest.State{}
+	mem.Zero()
+	it.Reset()
+	if it.DynInsts != 0 || it.Prof.BlockCounts[1] != 0 || it.Prof.EdgeCount(1, 1) != 0 {
+		t.Fatal("Reset left profile state behind")
+	}
+	if _, err := it.Run(0, 1_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if it.DynInsts != first {
+		t.Fatalf("replay retired %d, first run %d", it.DynInsts, first)
+	}
+	for id, n := range it.Prof.BlockCounts {
+		if n != firstCounts[id] {
+			t.Fatalf("replay B%d count %d, first run %d", id, n, firstCounts[id])
+		}
+	}
+}

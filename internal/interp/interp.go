@@ -7,32 +7,79 @@
 // optimizer forms a superblock region along the hot path. The interpreter
 // therefore counts block entries and control-flow edges (the edge counts
 // steer region formation toward the most likely successor).
+//
+// Since interpretation is the floor under every warmup and every fallback
+// from translated code, the package ships two engines over the same
+// architectural state:
+//
+//   - the pre-decoded engine (the default): each block is decoded once into
+//     a flat []decInst value-struct array — access sizes resolved, float
+//     immediates pre-converted, common pairs fused — and executed by an
+//     index-threaded loop that performs no allocation and touches no
+//     interface or fmt machinery;
+//   - the reference engine (Ref=true): the original per-instruction
+//     guest.Exec switch, kept as the single source of truth for guest
+//     semantics.
+//
+// TestInterpDecodedMatchesReference and FuzzInterpDecoded prove the two
+// engines bit-identical (registers, memory, profile, retirement counts,
+// errors).
 package interp
 
 import (
 	"fmt"
+	"math"
 
 	"smarq/internal/telemetry"
 
 	"smarq/internal/guest"
 )
 
-// Edge is one observed control transfer between guest blocks.
-type Edge struct {
-	From, To int
+// noSucc marks an unused successor cell.
+const noSucc = -1
+
+// succCell is one observed successor edge of a block: the successor's block
+// ID and the number of times the edge was taken.
+type succCell struct {
+	id int32
+	n  uint64
 }
 
 // Profile accumulates execution counts during interpretation.
+//
+// Block IDs are dense small integers and a structurally valid program
+// (guest.Program.Validate) gives every block at most two static successors —
+// the fallthrough block and one branch target — so edges live in a dense
+// per-block table of two successor cells rather than a map keyed by edge.
+// Programs that put control flow mid-block (rejected by Validate) may merge
+// counts of distinct mid-block targets into one cell; the valid-program
+// contract is what the rest of the system relies on.
 type Profile struct {
-	BlockCounts []uint64        // indexed by block ID
-	EdgeCounts  map[Edge]uint64 // taken control transfers
+	BlockCounts []uint64 // indexed by block ID
+	succs       [][2]succCell
 }
 
 // NewProfile returns an empty profile for a program with numBlocks blocks.
 func NewProfile(numBlocks int) *Profile {
-	return &Profile{
+	p := &Profile{
 		BlockCounts: make([]uint64, numBlocks),
-		EdgeCounts:  make(map[Edge]uint64),
+		succs:       make([][2]succCell, numBlocks),
+	}
+	for i := range p.succs {
+		p.succs[i][0].id = noSucc
+		p.succs[i][1].id = noSucc
+	}
+	return p
+}
+
+// Reset rewinds the profile to its initial empty state without reallocating.
+func (p *Profile) Reset() {
+	for i := range p.BlockCounts {
+		p.BlockCounts[i] = 0
+	}
+	for i := range p.succs {
+		p.succs[i][0] = succCell{id: noSucc}
+		p.succs[i][1] = succCell{id: noSucc}
 	}
 }
 
@@ -41,13 +88,54 @@ func (p *Profile) Hot(id int, threshold uint64) bool {
 	return id >= 0 && id < len(p.BlockCounts) && p.BlockCounts[id] >= threshold
 }
 
+// EdgeCount returns the number of times the from→to control transfer was
+// observed. Cells are searched (and summed) rather than indexed because the
+// two engines may place the same successor in different cells.
+func (p *Profile) EdgeCount(from, to int) uint64 {
+	if from < 0 || from >= len(p.succs) {
+		return 0
+	}
+	var n uint64
+	for i := range p.succs[from] {
+		if c := &p.succs[from][i]; int(c.id) == to {
+			n += c.n
+		}
+	}
+	return n
+}
+
+// AddEdges records n observations of the from→to edge, claiming a free
+// successor cell if the edge is new. Tests and tools use it to seed
+// profiles; the interpreter records edges directly.
+func (p *Profile) AddEdges(from, to int, n uint64) {
+	cells := &p.succs[from]
+	for i := range cells {
+		if int(cells[i].id) == to {
+			cells[i].n += n
+			return
+		}
+	}
+	for i := range cells {
+		if cells[i].id == noSucc {
+			cells[i] = succCell{id: int32(to), n: n}
+			return
+		}
+	}
+	// Third distinct successor: only reachable for structurally invalid
+	// programs. Merge into the taken-branch cell.
+	cells[slotTaken].id = int32(to)
+	cells[slotTaken].n += n
+}
+
 // HottestSuccessor returns the successor of block id with the highest edge
 // count among candidates, and that count. It returns -1 when no candidate
-// has been observed.
+// has been observed. Candidates are scanned in order and ties keep the
+// earlier candidate, exactly like the original map-based profile, so region
+// formation is unchanged.
 func (p *Profile) HottestSuccessor(id int, candidates []int) (int, uint64) {
 	best, bestCount := -1, uint64(0)
 	for _, c := range candidates {
-		if n := p.EdgeCounts[Edge{id, c}]; n > bestCount {
+		if n := p.EdgeCount(id, c); n > bestCount {
 			best, bestCount = c, n
 		}
 	}
@@ -69,11 +157,34 @@ type Interpreter struct {
 	// Updated at block granularity so the per-instruction loop stays
 	// counter-free.
 	Insts *telemetry.Counter
+
+	// Ref routes RunBlock through the per-instruction guest.Exec reference
+	// engine instead of the pre-decoded one. guest.Exec stays the single
+	// source of truth for guest semantics; the differential tests compare
+	// the decoded engine against this mode.
+	Ref bool
+
+	dec decProgram
 }
 
 // New returns an interpreter over prog with the given architectural state.
+// The program is decoded once here; New is the only constructor.
 func New(prog *guest.Program, st *guest.State, mem *guest.Memory) *Interpreter {
-	return &Interpreter{Prog: prog, St: st, Mem: mem, Prof: NewProfile(len(prog.Blocks))}
+	return &Interpreter{
+		Prog: prog,
+		St:   st,
+		Mem:  mem,
+		Prof: NewProfile(len(prog.Blocks)),
+		dec:  decodeProgram(prog),
+	}
+}
+
+// Reset rewinds the profile and retirement count to a fresh interpreter
+// without re-decoding the program. Architectural state (St, Mem) is owned
+// by the caller and is not touched.
+func (it *Interpreter) Reset() {
+	it.DynInsts = 0
+	it.Prof.Reset()
 }
 
 // HaltID is the pseudo block ID RunBlock returns when the guest halts.
@@ -83,15 +194,307 @@ const HaltID = -1
 // block, or HaltID when the program halted. The block's entry and the
 // outgoing edge are recorded in the profile.
 func (it *Interpreter) RunBlock(id int) (int, error) {
+	if it.Ref {
+		return it.runBlockRef(id)
+	}
+	d := &it.dec
+	if uint(id) >= uint(len(d.blocks)) {
+		return HaltID, fmt.Errorf("interp: no block %d", id)
+	}
+	it.Prof.BlockCounts[id]++
+	b := d.blocks[id]
+	code := d.code[b.start:b.end:b.end]
+	st := it.St
+	r := &st.R
+	f := &st.F
+	data := it.Mem.Bytes()
+	next := int(b.fall) // fallthrough unless a control instruction says otherwise
+	slot := uint8(slotFall)
+	retired := uint64(0)
+	for i := 0; i < len(code); i++ {
+		in := &code[i]
+		switch in.op {
+		case dNop:
+		case dLi:
+			r[in.rd&regMask] = in.imm
+		case dMov:
+			r[in.rd&regMask] = r[in.rs1&regMask]
+		case dAdd:
+			r[in.rd&regMask] = r[in.rs1&regMask] + r[in.rs2&regMask]
+		case dSub:
+			r[in.rd&regMask] = r[in.rs1&regMask] - r[in.rs2&regMask]
+		case dMul:
+			r[in.rd&regMask] = r[in.rs1&regMask] * r[in.rs2&regMask]
+		case dDiv:
+			if r[in.rs2&regMask] == 0 {
+				r[in.rd&regMask] = 0
+			} else {
+				r[in.rd&regMask] = r[in.rs1&regMask] / r[in.rs2&regMask]
+			}
+		case dAnd:
+			r[in.rd&regMask] = r[in.rs1&regMask] & r[in.rs2&regMask]
+		case dOr:
+			r[in.rd&regMask] = r[in.rs1&regMask] | r[in.rs2&regMask]
+		case dXor:
+			r[in.rd&regMask] = r[in.rs1&regMask] ^ r[in.rs2&regMask]
+		case dShl:
+			r[in.rd&regMask] = r[in.rs1&regMask] << (uint64(r[in.rs2&regMask]) & 63)
+		case dShr:
+			r[in.rd&regMask] = r[in.rs1&regMask] >> (uint64(r[in.rs2&regMask]) & 63)
+		case dAddi:
+			r[in.rd&regMask] = r[in.rs1&regMask] + in.imm
+		case dMuli:
+			r[in.rd&regMask] = r[in.rs1&regMask] * in.imm
+		case dSlt:
+			v := int64(0)
+			if r[in.rs1&regMask] < r[in.rs2&regMask] {
+				v = 1
+			}
+			r[in.rd&regMask] = v
+		case dFLi:
+			f[in.rd&regMask] = math.Float64frombits(uint64(in.imm))
+		case dFMov:
+			f[in.rd&regMask] = f[in.rs1&regMask]
+		case dFAdd:
+			f[in.rd&regMask] = f[in.rs1&regMask] + f[in.rs2&regMask]
+		case dFSub:
+			f[in.rd&regMask] = f[in.rs1&regMask] - f[in.rs2&regMask]
+		case dFMul:
+			f[in.rd&regMask] = f[in.rs1&regMask] * f[in.rs2&regMask]
+		case dFDiv:
+			f[in.rd&regMask] = f[in.rs1&regMask] / f[in.rs2&regMask]
+		case dFNeg:
+			f[in.rd&regMask] = -f[in.rs1&regMask]
+		case dFAbs:
+			f[in.rd&regMask] = math.Abs(f[in.rs1&regMask])
+		case dFSqrt:
+			f[in.rd&regMask] = math.Sqrt(f[in.rs1&regMask])
+		case dCvtIF:
+			f[in.rd&regMask] = float64(r[in.rs1&regMask])
+		case dCvtFI:
+			r[in.rd&regMask] = int64(f[in.rs1&regMask])
+		case dLd1:
+			v, ok := guest.MemLoad1(data, uint64(r[in.rs1&regMask]+in.imm))
+			if !ok {
+				return it.failBlock(id, in.gi, retired)
+			}
+			r[in.rd&regMask] = int64(v)
+		case dLd2:
+			v, ok := guest.MemLoad2(data, uint64(r[in.rs1&regMask]+in.imm))
+			if !ok {
+				return it.failBlock(id, in.gi, retired)
+			}
+			r[in.rd&regMask] = int64(v)
+		case dLd4:
+			v, ok := guest.MemLoad4(data, uint64(r[in.rs1&regMask]+in.imm))
+			if !ok {
+				return it.failBlock(id, in.gi, retired)
+			}
+			r[in.rd&regMask] = int64(v)
+		case dLd8:
+			v, ok := guest.MemLoad8(data, uint64(r[in.rs1&regMask]+in.imm))
+			if !ok {
+				return it.failBlock(id, in.gi, retired)
+			}
+			r[in.rd&regMask] = int64(v)
+		case dSt1:
+			if !guest.MemStore1(data, uint64(r[in.rs1&regMask]+in.imm), uint64(r[in.rd&regMask])) {
+				return it.failBlock(id, in.gi, retired)
+			}
+		case dSt2:
+			if !guest.MemStore2(data, uint64(r[in.rs1&regMask]+in.imm), uint64(r[in.rd&regMask])) {
+				return it.failBlock(id, in.gi, retired)
+			}
+		case dSt4:
+			if !guest.MemStore4(data, uint64(r[in.rs1&regMask]+in.imm), uint64(r[in.rd&regMask])) {
+				return it.failBlock(id, in.gi, retired)
+			}
+		case dSt8:
+			if !guest.MemStore8(data, uint64(r[in.rs1&regMask]+in.imm), uint64(r[in.rd&regMask])) {
+				return it.failBlock(id, in.gi, retired)
+			}
+		case dFLd8:
+			v, ok := guest.MemLoad8(data, uint64(r[in.rs1&regMask]+in.imm))
+			if !ok {
+				return it.failBlock(id, in.gi, retired)
+			}
+			f[in.rd&regMask] = math.Float64frombits(v)
+		case dFSt8:
+			if !guest.MemStore8(data, uint64(r[in.rs1&regMask]+in.imm), math.Float64bits(f[in.rd&regMask])) {
+				return it.failBlock(id, in.gi, retired)
+			}
+		case dBeq:
+			if r[in.rs1&regMask] == r[in.rs2&regMask] {
+				next, slot = int(in.target), in.slot
+			}
+		case dBne:
+			if r[in.rs1&regMask] != r[in.rs2&regMask] {
+				next, slot = int(in.target), in.slot
+			}
+		case dBlt:
+			if r[in.rs1&regMask] < r[in.rs2&regMask] {
+				next, slot = int(in.target), in.slot
+			}
+		case dBge:
+			if r[in.rs1&regMask] >= r[in.rs2&regMask] {
+				next, slot = int(in.target), in.slot
+			}
+		case dJmp:
+			next, slot = int(in.target), in.slot
+		case dHalt:
+			retired++
+			it.DynInsts += retired
+			it.Insts.Add(int64(retired))
+			return HaltID, nil
+		case dSltBeq:
+			v := int64(0)
+			if r[in.rs1&regMask] < r[in.rs2&regMask] {
+				v = 1
+			}
+			r[in.rd&regMask] = v
+			retired++
+			if r[in.fd&regMask] == r[in.fs&regMask] {
+				next, slot = int(in.target), in.slot
+			}
+		case dSltBne:
+			v := int64(0)
+			if r[in.rs1&regMask] < r[in.rs2&regMask] {
+				v = 1
+			}
+			r[in.rd&regMask] = v
+			retired++
+			if r[in.fd&regMask] != r[in.fs&regMask] {
+				next, slot = int(in.target), in.slot
+			}
+		case dAddiLd1:
+			a := r[in.rs1&regMask] + in.imm
+			r[in.rd&regMask] = a
+			v, ok := guest.MemLoad1(data, uint64(a+in.imm2))
+			if !ok {
+				return it.failBlock(id, in.gi, retired+1)
+			}
+			r[in.fd&regMask] = int64(v)
+			retired++
+		case dAddiLd2:
+			a := r[in.rs1&regMask] + in.imm
+			r[in.rd&regMask] = a
+			v, ok := guest.MemLoad2(data, uint64(a+in.imm2))
+			if !ok {
+				return it.failBlock(id, in.gi, retired+1)
+			}
+			r[in.fd&regMask] = int64(v)
+			retired++
+		case dAddiLd4:
+			a := r[in.rs1&regMask] + in.imm
+			r[in.rd&regMask] = a
+			v, ok := guest.MemLoad4(data, uint64(a+in.imm2))
+			if !ok {
+				return it.failBlock(id, in.gi, retired+1)
+			}
+			r[in.fd&regMask] = int64(v)
+			retired++
+		case dAddiLd8:
+			a := r[in.rs1&regMask] + in.imm
+			r[in.rd&regMask] = a
+			v, ok := guest.MemLoad8(data, uint64(a+in.imm2))
+			if !ok {
+				return it.failBlock(id, in.gi, retired+1)
+			}
+			r[in.fd&regMask] = int64(v)
+			retired++
+		case dAddiFLd8:
+			a := r[in.rs1&regMask] + in.imm
+			r[in.rd&regMask] = a
+			v, ok := guest.MemLoad8(data, uint64(a+in.imm2))
+			if !ok {
+				return it.failBlock(id, in.gi, retired+1)
+			}
+			f[in.fd&regMask] = math.Float64frombits(v)
+			retired++
+		case dMuliAdd:
+			t := r[in.rs1&regMask] * in.imm
+			r[in.rd&regMask] = t
+			r[in.fd&regMask] = r[in.rs2&regMask] + t
+			retired++
+		case dMuliAddLd8:
+			t := r[in.rs1&regMask] * in.imm
+			r[in.rd&regMask] = t
+			s := r[in.rs2&regMask] + t
+			r[in.fd&regMask] = s
+			v, ok := guest.MemLoad8(data, uint64(s+in.imm2))
+			if !ok {
+				return it.failBlock(id, in.gi, retired+2)
+			}
+			r[in.fs&regMask] = int64(v)
+			retired += 2
+		case dMuliAddFLd8:
+			t := r[in.rs1&regMask] * in.imm
+			r[in.rd&regMask] = t
+			s := r[in.rs2&regMask] + t
+			r[in.fd&regMask] = s
+			v, ok := guest.MemLoad8(data, uint64(s+in.imm2))
+			if !ok {
+				return it.failBlock(id, in.gi, retired+2)
+			}
+			f[in.fs&regMask] = math.Float64frombits(v)
+			retired += 2
+		case dMuliAddSt8:
+			t := r[in.rs1&regMask] * in.imm
+			r[in.rd&regMask] = t
+			s := r[in.rs2&regMask] + t
+			r[in.fd&regMask] = s
+			if !guest.MemStore8(data, uint64(s+in.imm2), uint64(r[in.fs&regMask])) {
+				return it.failBlock(id, in.gi, retired+2)
+			}
+			retired += 2
+		case dMuliAddFSt8:
+			t := r[in.rs1&regMask] * in.imm
+			r[in.rd&regMask] = t
+			s := r[in.rs2&regMask] + t
+			r[in.fd&regMask] = s
+			if !guest.MemStore8(data, uint64(s+in.imm2), math.Float64bits(f[in.fs&regMask])) {
+				return it.failBlock(id, in.gi, retired+2)
+			}
+			retired += 2
+		default: // dBad
+			return it.failBlock(id, in.gi, retired)
+		}
+		retired++
+	}
+	it.DynInsts += retired
+	it.Insts.Add(int64(retired))
+	c := &it.Prof.succs[id][slot]
+	c.id = int32(next)
+	c.n++
+	return next, nil
+}
+
+// failBlock is the decoded engine's cold fault path: it folds the
+// instructions retired before the faulting one into the counters and
+// reproduces the reference interpreter's error for the original guest
+// instruction at index gi. The faulting instruction has had no
+// architectural effect, so re-running it through guest.Exec is
+// side-effect-free and yields the identical error chain.
+//
+//go:noinline
+func (it *Interpreter) failBlock(id int, gi int32, retired uint64) (int, error) {
+	it.DynInsts += retired
+	it.Insts.Add(int64(retired))
+	in := it.Prog.Blocks[id].Insts[gi]
+	if _, err := guest.Exec(in, it.St, it.Mem); err != nil {
+		return HaltID, fmt.Errorf("interp: B%d %s: %w", id, in, err)
+	}
+	return HaltID, fmt.Errorf("interp: B%d %s: decoded fault not reproduced by reference", id, in)
+}
+
+// runBlockRef is the reference engine: one guest.Exec call per instruction.
+func (it *Interpreter) runBlockRef(id int) (int, error) {
 	b := it.Prog.Block(id)
 	if b == nil {
 		return HaltID, fmt.Errorf("interp: no block %d", id)
 	}
 	it.Prof.BlockCounts[id]++
 	next := id + 1 // fallthrough unless a control instruction says otherwise
-	// Hot loop: index the instruction slice (no per-iteration Inst copy
-	// from range) and batch the retired-instruction count into a local,
-	// folding it into DynInsts at every exit.
 	st, mem, insts := it.St, it.Mem, b.Insts
 	retired := uint64(0)
 	for i := range insts {
@@ -113,15 +516,25 @@ func (it *Interpreter) RunBlock(id int) (int, error) {
 	}
 	it.DynInsts += retired
 	it.Insts.Add(int64(retired))
-	it.Prof.EdgeCounts[Edge{id, next}]++
+	it.Prof.AddEdges(id, next, 1)
 	return next, nil
 }
 
-// Run interprets from the entry block until the guest halts or maxInsts
-// guest instructions have retired. It reports whether the guest halted.
+// Run interprets from the entry block until the guest halts or the
+// instruction budget is exhausted. It reports whether the guest halted.
+//
+// The budget is a soft cap checked between blocks: a run may overshoot
+// maxInsts by at most the size of the final block executed (blocks are the
+// unit of retirement; clamping mid-block would make budget-capped profiles
+// depend on where the cap fell inside a block). dynopt.System.Run documents
+// the same contract at region granularity.
+//
 // Used for reference runs; the dynamic optimization system drives RunBlock
 // itself so it can switch between interpretation and translated regions.
 func (it *Interpreter) Run(entry int, maxInsts uint64) (halted bool, err error) {
+	if !it.Ref {
+		return it.runDecoded(entry, maxInsts)
+	}
 	id := entry
 	for id != HaltID {
 		if it.DynInsts >= maxInsts {
@@ -133,4 +546,309 @@ func (it *Interpreter) Run(entry int, maxInsts uint64) (halted bool, err error) 
 		}
 	}
 	return true, nil
+}
+
+// runDecoded is Run fused with the decoded RunBlock: the architectural
+// state, memory slice and retirement counter are hoisted into locals once
+// and stay in registers across block boundaries, so short-block programs
+// don't pay a call, slice construction and two counter flushes per block.
+// Semantics are identical to the RunBlock-at-a-time loop above — same
+// between-blocks budget contract, same profile writes, same errors — and
+// the differential tests run both paths.
+func (it *Interpreter) runDecoded(entry int, maxInsts uint64) (bool, error) {
+	d := &it.dec
+	st := it.St
+	r := &st.R
+	f := &st.F
+	data := it.Mem.Bytes()
+	prof := it.Prof
+	start := it.DynInsts
+	dyn := it.DynInsts
+	id := entry
+	for {
+		if dyn >= maxInsts {
+			it.DynInsts = dyn
+			it.Insts.Add(int64(dyn - start))
+			return false, nil
+		}
+		if uint(id) >= uint(len(d.blocks)) {
+			it.DynInsts = dyn
+			it.Insts.Add(int64(dyn - start))
+			return false, fmt.Errorf("interp: no block %d", id)
+		}
+		prof.BlockCounts[id]++
+		b := d.blocks[id]
+		code := d.code[b.start:b.end:b.end]
+		next := int(b.fall)
+		slot := uint8(slotFall)
+		for i := 0; i < len(code); i++ {
+			in := &code[i]
+			switch in.op {
+			case dNop:
+			case dLi:
+				r[in.rd&regMask] = in.imm
+			case dMov:
+				r[in.rd&regMask] = r[in.rs1&regMask]
+			case dAdd:
+				r[in.rd&regMask] = r[in.rs1&regMask] + r[in.rs2&regMask]
+			case dSub:
+				r[in.rd&regMask] = r[in.rs1&regMask] - r[in.rs2&regMask]
+			case dMul:
+				r[in.rd&regMask] = r[in.rs1&regMask] * r[in.rs2&regMask]
+			case dDiv:
+				if r[in.rs2&regMask] == 0 {
+					r[in.rd&regMask] = 0
+				} else {
+					r[in.rd&regMask] = r[in.rs1&regMask] / r[in.rs2&regMask]
+				}
+			case dAnd:
+				r[in.rd&regMask] = r[in.rs1&regMask] & r[in.rs2&regMask]
+			case dOr:
+				r[in.rd&regMask] = r[in.rs1&regMask] | r[in.rs2&regMask]
+			case dXor:
+				r[in.rd&regMask] = r[in.rs1&regMask] ^ r[in.rs2&regMask]
+			case dShl:
+				r[in.rd&regMask] = r[in.rs1&regMask] << (uint64(r[in.rs2&regMask]) & 63)
+			case dShr:
+				r[in.rd&regMask] = r[in.rs1&regMask] >> (uint64(r[in.rs2&regMask]) & 63)
+			case dAddi:
+				r[in.rd&regMask] = r[in.rs1&regMask] + in.imm
+			case dMuli:
+				r[in.rd&regMask] = r[in.rs1&regMask] * in.imm
+			case dSlt:
+				v := int64(0)
+				if r[in.rs1&regMask] < r[in.rs2&regMask] {
+					v = 1
+				}
+				r[in.rd&regMask] = v
+			case dFLi:
+				f[in.rd&regMask] = math.Float64frombits(uint64(in.imm))
+			case dFMov:
+				f[in.rd&regMask] = f[in.rs1&regMask]
+			case dFAdd:
+				f[in.rd&regMask] = f[in.rs1&regMask] + f[in.rs2&regMask]
+			case dFSub:
+				f[in.rd&regMask] = f[in.rs1&regMask] - f[in.rs2&regMask]
+			case dFMul:
+				f[in.rd&regMask] = f[in.rs1&regMask] * f[in.rs2&regMask]
+			case dFDiv:
+				f[in.rd&regMask] = f[in.rs1&regMask] / f[in.rs2&regMask]
+			case dFNeg:
+				f[in.rd&regMask] = -f[in.rs1&regMask]
+			case dFAbs:
+				f[in.rd&regMask] = math.Abs(f[in.rs1&regMask])
+			case dFSqrt:
+				f[in.rd&regMask] = math.Sqrt(f[in.rs1&regMask])
+			case dCvtIF:
+				f[in.rd&regMask] = float64(r[in.rs1&regMask])
+			case dCvtFI:
+				r[in.rd&regMask] = int64(f[in.rs1&regMask])
+			case dLd1:
+				v, ok := guest.MemLoad1(data, uint64(r[in.rs1&regMask]+in.imm))
+				if !ok {
+					return false, it.failRun(id, in.gi, start, dyn)
+				}
+				r[in.rd&regMask] = int64(v)
+			case dLd2:
+				v, ok := guest.MemLoad2(data, uint64(r[in.rs1&regMask]+in.imm))
+				if !ok {
+					return false, it.failRun(id, in.gi, start, dyn)
+				}
+				r[in.rd&regMask] = int64(v)
+			case dLd4:
+				v, ok := guest.MemLoad4(data, uint64(r[in.rs1&regMask]+in.imm))
+				if !ok {
+					return false, it.failRun(id, in.gi, start, dyn)
+				}
+				r[in.rd&regMask] = int64(v)
+			case dLd8:
+				v, ok := guest.MemLoad8(data, uint64(r[in.rs1&regMask]+in.imm))
+				if !ok {
+					return false, it.failRun(id, in.gi, start, dyn)
+				}
+				r[in.rd&regMask] = int64(v)
+			case dSt1:
+				if !guest.MemStore1(data, uint64(r[in.rs1&regMask]+in.imm), uint64(r[in.rd&regMask])) {
+					return false, it.failRun(id, in.gi, start, dyn)
+				}
+			case dSt2:
+				if !guest.MemStore2(data, uint64(r[in.rs1&regMask]+in.imm), uint64(r[in.rd&regMask])) {
+					return false, it.failRun(id, in.gi, start, dyn)
+				}
+			case dSt4:
+				if !guest.MemStore4(data, uint64(r[in.rs1&regMask]+in.imm), uint64(r[in.rd&regMask])) {
+					return false, it.failRun(id, in.gi, start, dyn)
+				}
+			case dSt8:
+				if !guest.MemStore8(data, uint64(r[in.rs1&regMask]+in.imm), uint64(r[in.rd&regMask])) {
+					return false, it.failRun(id, in.gi, start, dyn)
+				}
+			case dFLd8:
+				v, ok := guest.MemLoad8(data, uint64(r[in.rs1&regMask]+in.imm))
+				if !ok {
+					return false, it.failRun(id, in.gi, start, dyn)
+				}
+				f[in.rd&regMask] = math.Float64frombits(v)
+			case dFSt8:
+				if !guest.MemStore8(data, uint64(r[in.rs1&regMask]+in.imm), math.Float64bits(f[in.rd&regMask])) {
+					return false, it.failRun(id, in.gi, start, dyn)
+				}
+			case dBeq:
+				if r[in.rs1&regMask] == r[in.rs2&regMask] {
+					next, slot = int(in.target), in.slot
+				}
+			case dBne:
+				if r[in.rs1&regMask] != r[in.rs2&regMask] {
+					next, slot = int(in.target), in.slot
+				}
+			case dBlt:
+				if r[in.rs1&regMask] < r[in.rs2&regMask] {
+					next, slot = int(in.target), in.slot
+				}
+			case dBge:
+				if r[in.rs1&regMask] >= r[in.rs2&regMask] {
+					next, slot = int(in.target), in.slot
+				}
+			case dJmp:
+				next, slot = int(in.target), in.slot
+			case dHalt:
+				dyn++
+				it.DynInsts = dyn
+				it.Insts.Add(int64(dyn - start))
+				return true, nil
+			case dSltBeq:
+				v := int64(0)
+				if r[in.rs1&regMask] < r[in.rs2&regMask] {
+					v = 1
+				}
+				r[in.rd&regMask] = v
+				dyn++
+				if r[in.fd&regMask] == r[in.fs&regMask] {
+					next, slot = int(in.target), in.slot
+				}
+			case dSltBne:
+				v := int64(0)
+				if r[in.rs1&regMask] < r[in.rs2&regMask] {
+					v = 1
+				}
+				r[in.rd&regMask] = v
+				dyn++
+				if r[in.fd&regMask] != r[in.fs&regMask] {
+					next, slot = int(in.target), in.slot
+				}
+			case dAddiLd1:
+				a := r[in.rs1&regMask] + in.imm
+				r[in.rd&regMask] = a
+				v, ok := guest.MemLoad1(data, uint64(a+in.imm2))
+				if !ok {
+					return false, it.failRun(id, in.gi, start, dyn+1)
+				}
+				r[in.fd&regMask] = int64(v)
+				dyn++
+			case dAddiLd2:
+				a := r[in.rs1&regMask] + in.imm
+				r[in.rd&regMask] = a
+				v, ok := guest.MemLoad2(data, uint64(a+in.imm2))
+				if !ok {
+					return false, it.failRun(id, in.gi, start, dyn+1)
+				}
+				r[in.fd&regMask] = int64(v)
+				dyn++
+			case dAddiLd4:
+				a := r[in.rs1&regMask] + in.imm
+				r[in.rd&regMask] = a
+				v, ok := guest.MemLoad4(data, uint64(a+in.imm2))
+				if !ok {
+					return false, it.failRun(id, in.gi, start, dyn+1)
+				}
+				r[in.fd&regMask] = int64(v)
+				dyn++
+			case dAddiLd8:
+				a := r[in.rs1&regMask] + in.imm
+				r[in.rd&regMask] = a
+				v, ok := guest.MemLoad8(data, uint64(a+in.imm2))
+				if !ok {
+					return false, it.failRun(id, in.gi, start, dyn+1)
+				}
+				r[in.fd&regMask] = int64(v)
+				dyn++
+			case dAddiFLd8:
+				a := r[in.rs1&regMask] + in.imm
+				r[in.rd&regMask] = a
+				v, ok := guest.MemLoad8(data, uint64(a+in.imm2))
+				if !ok {
+					return false, it.failRun(id, in.gi, start, dyn+1)
+				}
+				f[in.fd&regMask] = math.Float64frombits(v)
+				dyn++
+			case dMuliAdd:
+				t := r[in.rs1&regMask] * in.imm
+				r[in.rd&regMask] = t
+				r[in.fd&regMask] = r[in.rs2&regMask] + t
+				dyn++
+			case dMuliAddLd8:
+				t := r[in.rs1&regMask] * in.imm
+				r[in.rd&regMask] = t
+				s := r[in.rs2&regMask] + t
+				r[in.fd&regMask] = s
+				v, ok := guest.MemLoad8(data, uint64(s+in.imm2))
+				if !ok {
+					return false, it.failRun(id, in.gi, start, dyn+2)
+				}
+				r[in.fs&regMask] = int64(v)
+				dyn += 2
+			case dMuliAddFLd8:
+				t := r[in.rs1&regMask] * in.imm
+				r[in.rd&regMask] = t
+				s := r[in.rs2&regMask] + t
+				r[in.fd&regMask] = s
+				v, ok := guest.MemLoad8(data, uint64(s+in.imm2))
+				if !ok {
+					return false, it.failRun(id, in.gi, start, dyn+2)
+				}
+				f[in.fs&regMask] = math.Float64frombits(v)
+				dyn += 2
+			case dMuliAddSt8:
+				t := r[in.rs1&regMask] * in.imm
+				r[in.rd&regMask] = t
+				s := r[in.rs2&regMask] + t
+				r[in.fd&regMask] = s
+				if !guest.MemStore8(data, uint64(s+in.imm2), uint64(r[in.fs&regMask])) {
+					return false, it.failRun(id, in.gi, start, dyn+2)
+				}
+				dyn += 2
+			case dMuliAddFSt8:
+				t := r[in.rs1&regMask] * in.imm
+				r[in.rd&regMask] = t
+				s := r[in.rs2&regMask] + t
+				r[in.fd&regMask] = s
+				if !guest.MemStore8(data, uint64(s+in.imm2), math.Float64bits(f[in.fs&regMask])) {
+					return false, it.failRun(id, in.gi, start, dyn+2)
+				}
+				dyn += 2
+			default: // dBad
+				return false, it.failRun(id, in.gi, start, dyn)
+			}
+			dyn++
+		}
+		c := &prof.succs[id][slot]
+		c.id = int32(next)
+		c.n++
+		id = next
+	}
+}
+
+// failRun is runDecoded's cold fault path: it flushes the retirement
+// counters (dyn counts every instruction retired before the faulting one)
+// and reproduces the reference error exactly like failBlock.
+//
+//go:noinline
+func (it *Interpreter) failRun(id int, gi int32, start, dyn uint64) error {
+	it.DynInsts = dyn
+	it.Insts.Add(int64(dyn - start))
+	in := it.Prog.Blocks[id].Insts[gi]
+	if _, err := guest.Exec(in, it.St, it.Mem); err != nil {
+		return fmt.Errorf("interp: B%d %s: %w", id, in, err)
+	}
+	return fmt.Errorf("interp: B%d %s: decoded fault not reproduced by reference", id, in)
 }

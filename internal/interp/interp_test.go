@@ -56,10 +56,10 @@ func TestProfileCounts(t *testing.T) {
 	if got := it.Prof.BlockCounts[0]; got != 1 {
 		t.Errorf("entry block count = %d, want 1", got)
 	}
-	if got := it.Prof.EdgeCounts[Edge{1, 1}]; got != 4 {
+	if got := it.Prof.EdgeCount(1, 1); got != 4 {
 		t.Errorf("back edge count = %d, want 4", got)
 	}
-	if got := it.Prof.EdgeCounts[Edge{1, 2}]; got != 1 {
+	if got := it.Prof.EdgeCount(1, 2); got != 1 {
 		t.Errorf("exit edge count = %d, want 1", got)
 	}
 	if !it.Prof.Hot(1, 5) {
@@ -72,8 +72,8 @@ func TestProfileCounts(t *testing.T) {
 
 func TestHottestSuccessor(t *testing.T) {
 	p := NewProfile(3)
-	p.EdgeCounts[Edge{0, 1}] = 10
-	p.EdgeCounts[Edge{0, 2}] = 3
+	p.AddEdges(0, 1, 10)
+	p.AddEdges(0, 2, 3)
 	got, n := p.HottestSuccessor(0, []int{1, 2})
 	if got != 1 || n != 10 {
 		t.Errorf("HottestSuccessor = (%d,%d), want (1,10)", got, n)

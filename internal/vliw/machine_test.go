@@ -447,8 +447,8 @@ func TestExecuteAllGuardKinds(t *testing.T) {
 			it := interp.New(prog, st, mem)
 			// Give the loop block enough heat to be formed as a region.
 			it.Prof.BlockCounts[body] = 100
-			it.Prof.EdgeCounts[interp.Edge{From: body, To: body}] = 90
-			it.Prof.EdgeCounts[interp.Edge{From: body, To: body + 1}] = 10
+			it.Prof.AddEdges(body, body, 90)
+			it.Prof.AddEdges(body, body+1, 10)
 			sb, err := region.Form(prog, it.Prof, body, region.DefaultConfig())
 			if err != nil {
 				t.Fatal(err)
